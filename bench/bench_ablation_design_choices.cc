@@ -1,0 +1,111 @@
+// Ablation study of general slicing's design choices (DESIGN.md Section 5).
+// Not a paper figure; quantifies each adaptive mechanism in isolation:
+//
+//  A1 adaptive tuple storage:     decision-tree (drop tuples) vs forced
+//                                 retention — memory and throughput.
+//  A2 lazy vs eager store:        throughput cost of maintaining the
+//                                 FlatFAT for the same workload.
+//  A3 start-only slicing:         Cutty-style start-edges-only vs Pairs-
+//                                 style start+end cuts on in-order streams.
+//  A4 invertible count shifts:    TryRemove fast path vs always-recompute
+//                                 (sum vs sum-no-invert on count windows).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "windows/sliding.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+GeneralSlicingOperator::Options Base(bool in_order, Time lateness) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+ThroughputResult Drive(GeneralSlicingOperator& op, double ooo_fraction) {
+  SensorStream inner(SensorStream::Football());
+  OutOfOrderInjector::Options ooo;
+  ooo.fraction = ooo_fraction;
+  ooo.max_delay = 2000;
+  OutOfOrderInjector src(&inner, ooo);
+  return MeasureThroughput(op, src, 2'000'000, 0.8, 1024, 2000);
+}
+
+void Run() {
+  PrintHeader("ablation", "design-choice ablations for general slicing");
+
+  // A1: adaptive tuple storage (OOO stream, CF windows: tuples droppable).
+  for (const bool force : {false, true}) {
+    GeneralSlicingOperator::Options o = Base(false, 2000);
+    o.force_store_tuples = force;
+    GeneralSlicingOperator op(o);
+    op.AddAggregation(MakeAggregation("sum"));
+    AddWindows(op, DashboardTumblingWindows(20));
+    const ThroughputResult r = Drive(op, 0.2);
+    const std::string series =
+        std::string("A1-storage/") + (force ? "forced-tuples" : "adaptive");
+    PrintRow("ablation", series, "throughput", r.TuplesPerSecond(),
+             "tuples/s");
+    PrintRow("ablation", series, "memory",
+             static_cast<double>(op.MemoryUsageBytes()), "bytes");
+  }
+
+  // A2: lazy vs eager store maintenance.
+  for (const StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    GeneralSlicingOperator::Options o = Base(false, 2000);
+    o.store_mode = mode;
+    GeneralSlicingOperator op(o);
+    op.AddAggregation(MakeAggregation("sum"));
+    AddWindows(op, DashboardTumblingWindows(20));
+    const ThroughputResult r = Drive(op, 0.2);
+    PrintRow("ablation",
+             std::string("A2-store/") +
+                 (mode == StoreMode::kLazy ? "lazy" : "eager"),
+             "throughput", r.TuplesPerSecond(), "tuples/s");
+  }
+
+  // A3: slice-at-starts-only vs start+end cuts (in-order stream).
+  for (const bool ends : {false, true}) {
+    GeneralSlicingOperator::Options o = Base(true, 0);
+    o.slice_at_window_ends = ends;
+    GeneralSlicingOperator op(o);
+    op.AddAggregation(MakeAggregation("sum"));
+    op.AddWindow(std::make_shared<SlidingWindow>(17000, 3000));
+    SensorStream src(SensorStream::Football());
+    const ThroughputResult r =
+        MeasureThroughput(op, src, 3'000'000, 0.8, /*wm_every=*/0);
+    const std::string series =
+        std::string("A3-edges/") + (ends ? "starts+ends" : "starts-only");
+    PrintRow("ablation", series, "throughput", r.TuplesPerSecond(),
+             "tuples/s");
+    PrintRow("ablation", series, "slices-created",
+             static_cast<double>(op.time_store()->SlicesCreated()), "slices");
+  }
+
+  // A4: invertibility fast path on count-measure shifts.
+  for (const char* agg : {"sum", "sum-no-invert"}) {
+    GeneralSlicingOperator op(Base(false, 2000));
+    op.AddAggregation(MakeAggregation(agg));
+    AddWindows(op, DashboardCountWindows(20));
+    const ThroughputResult r = Drive(op, 0.2);
+    PrintRow("ablation", std::string("A4-invert/") + agg, "throughput",
+             r.TuplesPerSecond(), "tuples/s");
+    PrintRow("ablation", std::string("A4-invert/") + agg, "recomputes",
+             static_cast<double>(op.stats().slice_recomputes), "ops");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 10: Memory experiments with unordered streams.
+//
+// (a) time-based windows, memory vs #slices in the allowed lateness
+//     (tuples fixed at 50 000);
+// (b) time-based windows, memory vs #tuples (slices fixed at 500);
+// (c) count-based windows, memory vs #slices (tuples fixed at 50 000);
+// (d) count-based windows, memory vs #tuples (slices fixed at 500).
+//
+// Expected shape (paper Section 6.2.3): with time-based windows, slicing
+// and buckets depend only on the slice/window count while tuple buffer and
+// aggregate tree grow with the tuple count; with count-based windows every
+// technique must retain tuples, so all curves become linear and parallel in
+// the tuple count, and slicing starts at the footprint of its slices.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+/// Streams `num_tuples` in-order tuples evenly spread over an event-time
+/// horizon carved into `num_slices` window lengths, with everything inside
+/// the allowed lateness (nothing is evicted or triggered), then reports the
+/// operator's accounted memory.
+size_t MeasureMemory(Technique tech, bool count_based, int64_t num_tuples,
+                     int64_t num_slices) {
+  const Time horizon = 1'000'000;
+  std::vector<WindowPtr> windows;
+  if (count_based) {
+    // Count windows of length tuples/slices rank units.
+    const int64_t len = std::max<int64_t>(1, num_tuples / num_slices);
+    windows.push_back(std::make_shared<TumblingWindow>(len, Measure::kCount));
+  } else {
+    const Time len = std::max<Time>(1, horizon / num_slices);
+    windows.push_back(std::make_shared<TumblingWindow>(len));
+  }
+  auto op = MakeTechnique(tech, /*stream_in_order=*/false,
+                          /*allowed_lateness=*/horizon * 2, windows, {"sum"});
+  const Time step = std::max<Time>(1, horizon / num_tuples);
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < num_tuples; ++i) {
+    Tuple t;
+    t.ts = static_cast<Time>(i) * step;
+    t.value = static_cast<double>(i % 97);
+    t.seq = seq++;
+    op->ProcessTuple(t);
+  }
+  return op->MemoryUsageBytes();
+}
+
+void Sweep(const std::string& fig, bool count_based, bool vary_slices) {
+  const std::vector<Technique> techniques = {
+      Technique::kLazySlicing, Technique::kBuckets, Technique::kTupleBuffer,
+      Technique::kAggregateTree};
+  const std::vector<int64_t> xs = vary_slices
+                                      ? std::vector<int64_t>{10, 100, 1000,
+                                                             10000}
+                                      : std::vector<int64_t>{1000, 10000,
+                                                             100000};
+  for (Technique tech : techniques) {
+    for (int64_t x : xs) {
+      const int64_t tuples = vary_slices ? 50'000 : x;
+      const int64_t slices = vary_slices ? x : 500;
+      const size_t bytes = MeasureMemory(tech, count_based, tuples, slices);
+      PrintRow(fig, TechniqueName(tech), std::to_string(x),
+               static_cast<double>(bytes), "bytes");
+    }
+  }
+}
+
+void Run() {
+  PrintHeader("fig10a", "memory vs #slices, time-based (50k tuples fixed)");
+  Sweep("fig10a", /*count_based=*/false, /*vary_slices=*/true);
+  PrintHeader("fig10b", "memory vs #tuples, time-based (500 slices fixed)");
+  Sweep("fig10b", /*count_based=*/false, /*vary_slices=*/false);
+  PrintHeader("fig10c", "memory vs #slices, count-based (50k tuples fixed)");
+  Sweep("fig10c", /*count_based=*/true, /*vary_slices=*/true);
+  PrintHeader("fig10d", "memory vs #tuples, count-based (500 slices fixed)");
+  Sweep("fig10d", /*count_based=*/true, /*vary_slices=*/false);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Figure 11: Output latency of aggregate stores (JMH in the paper; Google
+// Benchmark here).
+//
+// Measures the time to produce one final window aggregate from a store
+// holding N entries:
+//  - lazy slicing:   ordered combine of N slice partials on demand;
+//  - eager slicing:  O(log N) FlatFAT range query;
+//  - tuple buffer:   lazy fold over N buffered tuples;
+//  - buckets:        hash lookup of the pre-computed window aggregate.
+//
+// (a) uses the algebraic sum, (c) the holistic median. Expected shape:
+// lazy ~ tuple buffer (linear, ms at 1e5 entries), eager in microseconds,
+// buckets in nanoseconds; the median raises slicing combine costs but not
+// the bucket lookup.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "aggregates/registry.h"
+#include "core/aggregate_store.h"
+
+namespace scotty {
+namespace {
+
+AggregateStore MakeStore(StoreMode mode, const std::string& agg, int64_t n) {
+  AggregateStore store(mode, {MakeAggregation(agg)});
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    Slice& s = store.Append(i * 10, (i + 1) * 10);
+    Tuple t;
+    t.ts = i * 10 + 5;
+    t.value = static_cast<double>(i % 37);
+    t.seq = seq++;
+    s.AddTuple(t, store.fns(), false);
+    store.OnSliceAggUpdated(store.NumSlices() - 1);
+  }
+  return store;
+}
+
+void BM_LazySlicing(benchmark::State& state, const std::string& agg) {
+  const int64_t n = state.range(0);
+  AggregateStore store = MakeStore(StoreMode::kLazy, agg, n);
+  const AggregateFunctionPtr fn = MakeAggregation(agg);
+  for (auto _ : state) {
+    Value v = fn->Lower(store.QueryRange(0, 0, n * 10));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel("fig11:lazy-slicing:" + agg);
+}
+
+void BM_EagerSlicing(benchmark::State& state, const std::string& agg) {
+  const int64_t n = state.range(0);
+  AggregateStore store = MakeStore(StoreMode::kEager, agg, n);
+  const AggregateFunctionPtr fn = MakeAggregation(agg);
+  for (auto _ : state) {
+    Value v = fn->Lower(store.QueryRange(0, 0, n * 10));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel("fig11:eager-slicing:" + agg);
+}
+
+void BM_TupleBuffer(benchmark::State& state, const std::string& agg) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> buffer;
+  buffer.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.ts = i;
+    t.value = static_cast<double>(i % 37);
+    t.seq = static_cast<uint64_t>(i);
+    buffer.push_back(t);
+  }
+  const AggregateFunctionPtr fn = MakeAggregation(agg);
+  for (auto _ : state) {
+    Partial acc;
+    for (const Tuple& t : buffer) fn->Combine(acc, fn->Lift(t));
+    Value v = fn->Lower(acc);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel("fig11:tuple-buffer:" + agg);
+}
+
+void BM_Buckets(benchmark::State& state, const std::string& agg) {
+  const int64_t n = state.range(0);
+  const AggregateFunctionPtr fn = MakeAggregation(agg);
+  // Pre-computed per-window aggregates in a map keyed by window start.
+  std::map<Time, Partial> buckets;
+  for (int64_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.ts = i;
+    t.value = static_cast<double>(i % 37);
+    Partial p = fn->Lift(t);
+    buckets[i * 10] = std::move(p);
+  }
+  Time probe = 0;
+  for (auto _ : state) {
+    auto it = buckets.find(probe);
+    Value v = fn->Lower(it->second);
+    benchmark::DoNotOptimize(v);
+    probe += 10;
+    if (probe >= n * 10) probe = 0;
+  }
+  state.SetLabel("fig11:buckets:" + agg);
+}
+
+void RegisterAll() {
+  for (const char* agg : {"sum", "median"}) {
+    const std::string name(agg);
+    benchmark::RegisterBenchmark(("fig11/lazy-slicing/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_LazySlicing(s, name);
+                                 })
+        ->RangeMultiplier(10)
+        ->Range(100, 100000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("fig11/eager-slicing/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_EagerSlicing(s, name);
+                                 })
+        ->RangeMultiplier(10)
+        ->Range(100, 100000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("fig11/tuple-buffer/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_TupleBuffer(s, name);
+                                 })
+        ->RangeMultiplier(10)
+        ->Range(100, 100000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("fig11/buckets/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Buckets(s, name);
+                                 })
+        ->RangeMultiplier(10)
+        ->Range(100, 100000)
+        ->Unit(benchmark::kNanosecond);
+  }
+}
+
+}  // namespace
+}  // namespace scotty
+
+int main(int argc, char** argv) {
+  scotty::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

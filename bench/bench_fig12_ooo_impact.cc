@@ -1,0 +1,72 @@
+// Figure 12: Impact of stream order on throughput.
+//
+// (a) increasing the fraction of out-of-order tuples (0..100%, delays
+//     0-2 s) — slicing and buckets stay flat, tuple buffer and aggregate
+//     tree decay (sorted-buffer inserts / tree leaf inserts);
+// (b) increasing the delay of out-of-order tuples (20% OOO, delay ranges
+//     up to 0.5 s .. 8 s) — everything except the tuple buffer is robust.
+//
+// Setup as in Section 6.2.2 with 20 concurrent windows.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "windows/session.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+std::vector<WindowPtr> Windows() {
+  std::vector<WindowPtr> ws = DashboardTumblingWindows(20);
+  ws.push_back(std::make_shared<SessionWindow>(1000));
+  return ws;
+}
+
+ThroughputResult RunOne(Technique tech, double fraction, Time max_delay) {
+  SensorStream inner(SensorStream::Football());
+  OutOfOrderInjector::Options ooo;
+  ooo.fraction = fraction;
+  ooo.min_delay = 0;
+  ooo.max_delay = max_delay;
+  OutOfOrderInjector src(&inner, ooo);
+  auto op = MakeTechnique(tech, /*stream_in_order=*/false,
+                          /*allowed_lateness=*/max_delay, Windows(), {"sum"});
+  return MeasureThroughput(*op, src, 2'000'000, 0.8, 1024, max_delay);
+}
+
+void Run() {
+  const std::vector<Technique> techniques = {
+      Technique::kLazySlicing, Technique::kEagerSlicing, Technique::kBuckets,
+      Technique::kTupleBuffer, Technique::kAggregateTree};
+
+  PrintHeader("fig12a", "throughput vs fraction of out-of-order tuples");
+  for (Technique tech : techniques) {
+    for (double fraction : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const ThroughputResult r = RunOne(tech, fraction, 2000);
+      PrintRow("fig12a", TechniqueName(tech),
+               std::to_string(static_cast<int>(fraction * 100)) + "%",
+               r.TuplesPerSecond(), "tuples/s");
+    }
+  }
+
+  PrintHeader("fig12b", "throughput vs delay of out-of-order tuples");
+  for (Technique tech : techniques) {
+    for (Time delay : {500, 1000, 2000, 4000, 8000}) {
+      const ThroughputResult r = RunOne(tech, 0.2, delay);
+      PrintRow("fig12b", TechniqueName(tech),
+               "0-" + std::to_string(delay) + "ms", r.TuplesPerSecond(),
+               "tuples/s");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 15: Processing time for recomputing aggregates after a slice
+// split, as a function of the number of tuples in the slice.
+//
+// Context-aware windows can force split operations, whose cost is dominated
+// by recomputing the two halves from stored tuples (paper Section 6.3.3).
+// Sum stands in for algebraic functions, median for holistic ones. Expected
+// shape: linear in the tuple count.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregates/registry.h"
+#include "bench/bench_util.h"
+#include "core/slice.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+uint64_t g_sink = 0;
+
+double MeasureSplitSeconds(const std::string& agg, int64_t tuples_per_slice) {
+  const AggregateFunctionPtr fn = MakeAggregation(agg);
+  const std::vector<AggregateFunctionPtr> fns = {fn};
+  const int reps = tuples_per_slice >= 100000 ? 3 : 20;
+  double total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Slice s(0, tuples_per_slice + 1, fns.size());
+    for (int64_t i = 0; i < tuples_per_slice; ++i) {
+      Tuple t;
+      t.ts = i;
+      // 64 distinct values keep the holistic build affordable while the
+      // split recomputation cost stays linear in the tuple count.
+      t.value = static_cast<double>(i % 64);
+      t.seq = static_cast<uint64_t>(i);
+      s.AddTuple(t, fns, /*store_tuple=*/true);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Slice right = s.SplitAt(tuples_per_slice / 2, fns);
+    const auto end = std::chrono::steady_clock::now();
+    g_sink += right.tuple_count();
+    total += std::chrono::duration<double>(end - start).count();
+  }
+  return total / reps;
+}
+
+void Run() {
+  PrintHeader("fig15", "aggregate recomputation time after a slice split");
+  for (const char* agg : {"sum", "median"}) {
+    for (int64_t n : {1000, 10000, 100000, 1000000}) {
+      const double secs = MeasureSplitSeconds(agg, n);
+      PrintRow("fig15", agg, std::to_string(n), secs * 1e3, "ms");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

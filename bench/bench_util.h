@@ -1,0 +1,173 @@
+#ifndef SCOTTY_BENCH_BENCH_UTIL_H_
+#define SCOTTY_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregates/registry.h"
+#include "baselines/aggregate_tree.h"
+#include "baselines/buckets.h"
+#include "baselines/pairs.h"
+#include "baselines/tuple_buffer.h"
+#include "core/general_slicing_operator.h"
+#include "datagen/generators.h"
+#include "datagen/ooo_injector.h"
+#include "datagen/workloads.h"
+
+namespace scotty {
+namespace bench {
+
+/// Techniques compared across the evaluation (paper Section 6.1 baselines).
+enum class Technique {
+  kLazySlicing,
+  kEagerSlicing,
+  kTupleBuffer,
+  kAggregateTree,
+  kBuckets,
+  kPairs,
+  kCutty,
+};
+
+inline const char* TechniqueName(Technique t) {
+  switch (t) {
+    case Technique::kLazySlicing:
+      return "lazy-slicing";
+    case Technique::kEagerSlicing:
+      return "eager-slicing";
+    case Technique::kTupleBuffer:
+      return "tuple-buffer";
+    case Technique::kAggregateTree:
+      return "aggregate-tree";
+    case Technique::kBuckets:
+      return "buckets";
+    case Technique::kPairs:
+      return "pairs";
+    case Technique::kCutty:
+      return "cutty";
+  }
+  return "?";
+}
+
+/// Builds a fully-wired operator for one technique.
+inline std::unique_ptr<WindowOperator> MakeTechnique(
+    Technique t, bool stream_in_order, Time allowed_lateness,
+    const std::vector<WindowPtr>& windows,
+    const std::vector<std::string>& aggs) {
+  auto add_all = [&](auto& op) {
+    for (const std::string& a : aggs) op.AddAggregation(MakeAggregation(a));
+    for (const WindowPtr& w : windows) op.AddWindow(w);
+  };
+  switch (t) {
+    case Technique::kLazySlicing:
+    case Technique::kEagerSlicing: {
+      GeneralSlicingOperator::Options o;
+      o.stream_in_order = stream_in_order;
+      o.allowed_lateness = allowed_lateness;
+      o.store_mode = t == Technique::kLazySlicing ? StoreMode::kLazy
+                                                  : StoreMode::kEager;
+      auto op = std::make_unique<GeneralSlicingOperator>(o);
+      add_all(*op);
+      return op;
+    }
+    case Technique::kTupleBuffer: {
+      auto op = std::make_unique<TupleBufferOperator>(stream_in_order,
+                                                      allowed_lateness);
+      add_all(*op);
+      return op;
+    }
+    case Technique::kAggregateTree: {
+      auto op = std::make_unique<AggregateTreeOperator>(stream_in_order,
+                                                        allowed_lateness);
+      add_all(*op);
+      return op;
+    }
+    case Technique::kBuckets: {
+      auto op = std::make_unique<BucketsOperator>(stream_in_order,
+                                                  allowed_lateness);
+      add_all(*op);
+      return op;
+    }
+    case Technique::kPairs: {
+      auto op = std::make_unique<PairsOperator>();
+      add_all(*op);
+      return op;
+    }
+    case Technique::kCutty: {
+      auto op = std::make_unique<CuttyOperator>();
+      add_all(*op);
+      return op;
+    }
+  }
+  return nullptr;
+}
+
+struct ThroughputResult {
+  uint64_t tuples = 0;
+  double seconds = 0.0;
+  uint64_t results = 0;
+
+  double TuplesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
+  }
+};
+
+/// Drives `src` into `op` until either `max_tuples` tuples were processed or
+/// `max_seconds` wall time elapsed (whichever first). Slow baselines thus
+/// stay affordable while fast techniques get a full measurement. Watermarks
+/// are injected every `wm_every` tuples with `wm_delay` slack (0 disables).
+inline ThroughputResult MeasureThroughput(WindowOperator& op, TupleSource& src,
+                                          uint64_t max_tuples,
+                                          double max_seconds,
+                                          uint64_t wm_every = 1024,
+                                          Time wm_delay = 2000) {
+  ThroughputResult r;
+  Time max_ts = kNoTime;
+  Tuple t;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  uint64_t i = 0;
+  while (i < max_tuples && src.Next(&t)) {
+    op.ProcessTuple(t);
+    if (t.ts > max_ts) max_ts = t.ts;
+    ++i;
+    if (wm_every > 0 && i % wm_every == 0) {
+      op.ProcessWatermark(max_ts - wm_delay);
+      r.results += op.TakeResults().size();
+      // Check the clock only at watermark boundaries (cheap).
+      if (elapsed() > max_seconds) break;
+    }
+    if ((i & 0x3FF) == 0 && elapsed() > max_seconds) break;
+  }
+  r.seconds = elapsed();
+  if (max_ts != kNoTime) op.ProcessWatermark(max_ts);
+  r.results += op.TakeResults().size();
+  r.tuples = i;
+  return r;
+}
+
+/// Uniform machine-readable output: one row per measured point.
+inline void PrintRow(const std::string& figure, const std::string& series,
+                     const std::string& x, double y,
+                     const std::string& unit) {
+  std::printf("%s,%s,%s,%.6g,%s\n", figure.c_str(), series.c_str(), x.c_str(),
+              y, unit.c_str());
+  std::fflush(stdout);
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("# %s — %s\n", figure.c_str(), title.c_str());
+  std::printf("# columns: figure,series,x,y,unit\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace scotty
+
+#endif  // SCOTTY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// CDN 95th-percentile billing (the paper's holistic-aggregation use case:
+// "windowed quantiles are the basis for billing models of content delivery
+// networks and transit-ISPs" [13, 23]).
+//
+// Transit billing samples the customer's bandwidth every 5 minutes and
+// charges the 95th percentile over the billing window. This example runs a
+// sliding billing window (1 hour, sliding by 15 minutes) with a holistic
+// percentile aggregation over an out-of-order measurement stream — the
+// workload combination (holistic + sliding + OOO) that defeats most
+// specialized techniques but is a first-class citizen of general slicing.
+//
+//   $ ./examples/cdn_billing_percentile
+
+#include <cstdio>
+#include <memory>
+
+#include "aggregates/holistic.h"
+#include "aggregates/registry.h"
+#include "common/rng.h"
+#include "core/general_slicing_operator.h"
+#include "windows/sliding.h"
+
+int main() {
+  using namespace scotty;
+  constexpr Time kMinute = 60;  // timestamps in seconds for this example
+  constexpr Time kHour = 60 * kMinute;
+
+  GeneralSlicingOperator::Options options;
+  options.stream_in_order = false;
+  options.allowed_lateness = 10 * kMinute;
+  GeneralSlicingOperator op(options);
+
+  // A custom percentile: billing uses p95 (between the built-in median and
+  // p90 — user-defined aggregations plug in without touching the core).
+  op.AddAggregation(std::make_shared<PercentileAggregation>(0.95, "p95"));
+  op.AddWindow(std::make_shared<SlidingWindow>(kHour, 15 * kMinute));
+
+  // Simulate 6 hours of 5-minute bandwidth samples (Mbps) with a traffic
+  // spike in hour 3 and ~15% of samples arriving out of order.
+  Rng rng(2026);
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Tuple delayed{};
+  bool has_delayed = false;
+  for (Time ts = 0; ts < 6 * kHour; ts += 5 * kMinute) {
+    Tuple t;
+    t.ts = ts;
+    const bool spike = ts >= 2 * kHour && ts < 3 * kHour;
+    t.value = (spike ? 900.0 : 300.0) + rng.NextDouble() * 100.0;
+    t.seq = seq++;
+    if (!has_delayed && rng.NextDouble() < 0.15) {
+      delayed = t;  // hold this sample back one step
+      has_delayed = true;
+      continue;
+    }
+    op.ProcessTuple(t);
+    if (t.ts > max_ts) max_ts = t.ts;
+    if (has_delayed) {
+      op.ProcessTuple(delayed);  // arrives late, out of order
+      has_delayed = false;
+    }
+    op.ProcessWatermark(max_ts - 10 * kMinute);
+  }
+  op.ProcessWatermark(7 * kHour);
+
+  std::printf("billing windows (1h sliding by 15min), p95 bandwidth:\n");
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.value.IsEmpty() || r.is_update) continue;
+    std::printf("  [%4.2fh, %4.2fh)  p95 = %6.1f Mbps%s\n",
+                static_cast<double>(r.start) / kHour,
+                static_cast<double>(r.end) / kHour, r.value.Numeric(),
+                r.value.Numeric() > 800 ? "  <-- spike billed" : "");
+  }
+
+  std::printf(
+      "\nstate: %zu slices, %.1f KiB (holistic partials are sorted "
+      "run-length-encoded multisets)\n",
+      op.time_store()->NumSlices(),
+      static_cast<double>(op.MemoryUsageBytes()) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Taxi-trip session analysis (sessions are the paper's canonical
+// context-aware window: "typical examples of sessions are taxi trips,
+// browser sessions, and ATM interactions").
+//
+// Each taxi emits GPS speed updates while a trip is in progress; a pause of
+// more than 3 minutes ends the trip. A session window per trip computes the
+// average speed and the number of pings — even when updates arrive out of
+// order, which can retroactively merge what looked like two trips into one.
+//
+//   $ ./examples/session_taxi
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "windows/session.h"
+
+int main() {
+  using namespace scotty;
+  constexpr Time kMinute = 60'000;  // timestamps in milliseconds
+
+  GeneralSlicingOperator::Options options;
+  options.stream_in_order = false;     // mobile networks reorder updates
+  options.allowed_lateness = kMinute;  // accept 1 min of late pings
+  GeneralSlicingOperator op(options);
+
+  const int avg_speed = op.AddAggregation(MakeAggregation("avg"));
+  const int pings = op.AddAggregation(MakeAggregation("count"));
+  op.AddWindow(std::make_shared<SessionWindow>(3 * kMinute));
+
+  std::printf("decision: store tuples = %s — %s\n\n",
+              op.queries().StoreTuples() ? "yes" : "no",
+              op.queries().storage.reason.c_str());
+
+  // One taxi's morning: two trips... or is it? The ping at minute 21
+  // arrives late and bridges what initially looks like separate trips.
+  struct Ping {
+    double minute;
+    double speed_kmh;
+  };
+  const std::vector<Ping> pings_in_arrival_order = {
+      {0, 32},  {1, 45},  {2, 51},  {3, 38},            // trip A
+      {19, 42}, {23, 35}, {24, 48},                     // trip B...
+      {21, 40},                                         // late: bridges 19-23
+      {40, 55}, {41, 62},                               // trip C
+  };
+
+  uint64_t seq = 0;
+  for (const Ping& p : pings_in_arrival_order) {
+    Tuple t;
+    t.ts = static_cast<Time>(p.minute * kMinute);
+    t.value = p.speed_kmh;
+    t.seq = seq++;
+    op.ProcessTuple(t);
+  }
+  op.ProcessWatermark(50 * kMinute);  // end of the observation period
+
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.agg_id == avg_speed && !r.value.IsEmpty()) {
+      std::printf("trip [%4.1f min, %4.1f min): avg speed %.1f km/h%s\n",
+                  static_cast<double>(r.start) / kMinute,
+                  static_cast<double>(r.end) / kMinute, r.value.Numeric(),
+                  r.is_update ? " (updated)" : "");
+    } else if (r.agg_id == pings && !r.value.IsEmpty()) {
+      std::printf("      %-24s %ld pings\n", "",
+                  static_cast<long>(r.value.AsInt()));
+    }
+  }
+
+  std::printf(
+      "\nsessions merged without recomputation: %llu merges, %llu "
+      "recomputes (sessions never recompute — paper Section 5.1)\n",
+      static_cast<unsigned long long>(op.stats().slice_merges),
+      static_cast<unsigned long long>(op.stats().slice_recomputes));
+  return 0;
+}

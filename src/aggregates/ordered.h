@@ -1,0 +1,49 @@
+#ifndef SCOTTY_AGGREGATES_ORDERED_H_
+#define SCOTTY_AGGREGATES_ORDERED_H_
+
+#include <string>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+
+namespace scotty {
+
+/// Concat: the sequence of values in aggregation order. Associative but
+/// NOT commutative — the paper's example of a workload characteristic that
+/// forces the slicing core to keep source tuples on out-of-order streams and
+/// to recompute slice aggregates from them (Section 5.1 condition (1),
+/// Section 5.2 "Update").
+///
+/// Holistic (unbounded partial state).
+class ConcatAggregation : public AggregateFunction {
+ public:
+  Partial Lift(const Tuple& t) const override {
+    SeqState s;
+    s.seq.push_back(t.value);
+    return Partial{Partial::Storage{std::move(s)}};
+  }
+
+  void Combine(Partial& into, const Partial& other) const override {
+    if (other.IsIdentity()) return;
+    if (into.IsIdentity()) {
+      into = other;
+      return;
+    }
+    SeqState& a = into.Get<SeqState>();
+    const SeqState& b = other.Get<SeqState>();
+    a.seq.insert(a.seq.end(), b.seq.begin(), b.seq.end());
+  }
+
+  Value Lower(const Partial& p) const override {
+    if (p.IsIdentity()) return Value{std::vector<double>{}};
+    return Value{p.Get<SeqState>().seq};
+  }
+
+  bool IsCommutative() const override { return false; }
+  AggClass Class() const override { return AggClass::kHolistic; }
+  std::string Name() const override { return "concat"; }
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_AGGREGATES_ORDERED_H_

@@ -1,0 +1,220 @@
+#ifndef SCOTTY_AGGREGATES_PARTIAL_H_
+#define SCOTTY_AGGREGATES_PARTIAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/time.h"
+
+namespace scotty {
+
+/// Partial state of an average: <sum, count> (the paper's lift example).
+struct AvgState {
+  double sum = 0.0;
+  int64_t count = 0;
+
+  friend bool operator==(const AvgState&, const AvgState&) = default;
+};
+
+/// Partial state of a geometric mean: <sum of logs, count>.
+struct GeoState {
+  double log_sum = 0.0;
+  int64_t count = 0;
+
+  friend bool operator==(const GeoState&, const GeoState&) = default;
+};
+
+/// Partial state of sample standard deviation, combinable via Chan et al.'s
+/// parallel variance formula: <count, mean, M2>.
+struct VarState {
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  friend bool operator==(const VarState&, const VarState&) = default;
+};
+
+/// Partial state of MinCount/MaxCount: the extremum and how often it occurs.
+struct ValCountState {
+  double value = 0.0;
+  int64_t count = 0;  // count == 0 encodes "empty"
+
+  friend bool operator==(const ValCountState&, const ValCountState&) = default;
+};
+
+/// Partial state of ArgMin/ArgMax: the extremum and the timestamp where it
+/// (first) occurred.
+struct ArgValState {
+  double value = 0.0;
+  Time arg = kNoTime;
+  bool empty = true;
+
+  friend bool operator==(const ArgValState&, const ArgValState&) = default;
+};
+
+/// Partial state of M4 [26]: min, max, and the chronologically first/last
+/// values of the window. first/last carry their timestamps so that combine
+/// stays correct for out-of-order arrival and arbitrary combine order.
+struct M4State {
+  double min = 0.0;
+  double max = 0.0;
+  double first_v = 0.0;
+  Time first_t = kNoTime;
+  uint64_t first_seq = 0;  // arrival order breaks timestamp ties
+  double last_v = 0.0;
+  Time last_t = kNoTime;
+  uint64_t last_seq = 0;
+  bool empty = true;
+
+  friend bool operator==(const M4State&, const M4State&) = default;
+};
+
+/// Run-length-encoded sorted multiset of values: the holistic partial used
+/// for Median/Percentile. The paper (Section 5.4.1): "we sort tuples in
+/// slices to speed up succeeding merge operations and apply run length
+/// encoding to save memory". Runs are sorted ascending by value.
+struct SortedRuns {
+  struct Run {
+    double value = 0.0;
+    int64_t count = 0;
+
+    friend bool operator==(const Run&, const Run&) = default;
+  };
+
+  std::vector<Run> runs;
+  int64_t total = 0;
+
+  friend bool operator==(const SortedRuns&, const SortedRuns&) = default;
+
+  /// Inserts one occurrence of `v`, keeping runs sorted and merged.
+  void Insert(double v) {
+    auto it = std::lower_bound(
+        runs.begin(), runs.end(), v,
+        [](const Run& r, double x) { return r.value < x; });
+    if (it != runs.end() && it->value == v) {
+      ++it->count;
+    } else {
+      runs.insert(it, Run{v, 1});
+    }
+    ++total;
+  }
+
+  /// Removes one occurrence of `v`. Returns false if `v` is not present.
+  bool Remove(double v) {
+    auto it = std::lower_bound(
+        runs.begin(), runs.end(), v,
+        [](const Run& r, double x) { return r.value < x; });
+    if (it == runs.end() || it->value != v) return false;
+    if (--it->count == 0) runs.erase(it);
+    --total;
+    return true;
+  }
+
+  /// Merges `other` into this (linear two-way merge of sorted run lists).
+  void Merge(const SortedRuns& other) {
+    std::vector<Run> merged;
+    merged.reserve(runs.size() + other.runs.size());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < runs.size() && j < other.runs.size()) {
+      if (runs[i].value < other.runs[j].value) {
+        merged.push_back(runs[i++]);
+      } else if (other.runs[j].value < runs[i].value) {
+        merged.push_back(other.runs[j++]);
+      } else {
+        merged.push_back(Run{runs[i].value, runs[i].count + other.runs[j].count});
+        ++i;
+        ++j;
+      }
+    }
+    while (i < runs.size()) merged.push_back(runs[i++]);
+    while (j < other.runs.size()) merged.push_back(other.runs[j++]);
+    runs = std::move(merged);
+    total += other.total;
+  }
+
+  /// Value at zero-based rank `k` in sorted order (k < total).
+  double ValueAtRank(int64_t k) const {
+    for (const Run& r : runs) {
+      if (k < r.count) return r.value;
+      k -= r.count;
+    }
+    return 0.0;  // unreachable for valid k
+  }
+};
+
+/// Partial state of the non-commutative Concat aggregation: the sequence of
+/// values in aggregation order. Used to exercise the paper's
+/// "non-commutative aggregation forces tuple storage on OOO streams" path.
+struct SeqState {
+  std::vector<double> seq;
+
+  friend bool operator==(const SeqState&, const SeqState&) = default;
+};
+
+/// A partial aggregate. A closed variant over the state types used by the
+/// built-in aggregations; user-defined aggregations reuse one of these
+/// shapes (most custom algebraic functions fit AvgState/VarState-like pairs,
+/// custom holistic ones fit SortedRuns, order-dependent ones fit SeqState).
+///
+/// std::monostate is the neutral element ("no tuples yet"): every
+/// AggregateFunction must treat it as identity in Combine.
+class Partial {
+ public:
+  using Storage =
+      std::variant<std::monostate, int64_t, double, AvgState, GeoState,
+                   VarState, ValCountState, ArgValState, M4State, SortedRuns,
+                   SeqState>;
+
+  Partial() = default;
+  explicit Partial(Storage s) : v_(std::move(s)) {}
+
+  bool IsIdentity() const { return std::holds_alternative<std::monostate>(v_); }
+
+  template <typename T>
+  bool Holds() const {
+    return std::holds_alternative<T>(v_);
+  }
+
+  template <typename T>
+  T& Get() {
+    return std::get<T>(v_);
+  }
+
+  template <typename T>
+  const T& Get() const {
+    return std::get<T>(v_);
+  }
+
+  template <typename T>
+  void Set(T value) {
+    v_ = std::move(value);
+  }
+
+  friend bool operator==(const Partial&, const Partial&) = default;
+
+  /// Bytes of heap storage beyond the fixed variant slot (holistic runs,
+  /// Concat sequences). Used by the memory experiments.
+  size_t DynamicBytes() const {
+    if (const auto* runs = std::get_if<SortedRuns>(&v_)) {
+      return runs->runs.capacity() * sizeof(SortedRuns::Run);
+    }
+    if (const auto* seq = std::get_if<SeqState>(&v_)) {
+      return seq->seq.capacity() * sizeof(double);
+    }
+    return 0;
+  }
+
+  /// Total accounted bytes for this partial (fixed slot + heap).
+  size_t TotalBytes() const { return MemoryModel::kPartialBytes + DynamicBytes(); }
+
+ private:
+  Storage v_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_AGGREGATES_PARTIAL_H_

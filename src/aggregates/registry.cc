@@ -1,0 +1,46 @@
+#include "aggregates/registry.h"
+
+#include <memory>
+
+#include "aggregates/algebraic.h"
+#include "aggregates/basic.h"
+#include "aggregates/holistic.h"
+#include "aggregates/ordered.h"
+#include "aggregates/positional.h"
+
+namespace scotty {
+
+AggregateFunctionPtr MakeAggregation(const std::string& name) {
+  if (name == "sum") return std::make_shared<SumAggregation>();
+  if (name == "sum-no-invert") return std::make_shared<SumNoInvertAggregation>();
+  if (name == "count") return std::make_shared<CountAggregation>();
+  if (name == "min") return std::make_shared<MinAggregation>();
+  if (name == "max") return std::make_shared<MaxAggregation>();
+  if (name == "avg") return std::make_shared<AvgAggregation>();
+  if (name == "geometric-mean")
+    return std::make_shared<GeometricMeanAggregation>();
+  if (name == "stddev") return std::make_shared<StdDevAggregation>();
+  if (name == "min-count") return std::make_shared<MinCountAggregation>();
+  if (name == "max-count") return std::make_shared<MaxCountAggregation>();
+  if (name == "arg-min") return std::make_shared<ArgMinAggregation>();
+  if (name == "arg-max") return std::make_shared<ArgMaxAggregation>();
+  if (name == "m4") return std::make_shared<M4Aggregation>();
+  if (name == "median") return std::make_shared<MedianAggregation>();
+  if (name == "p90") return std::make_shared<Percentile90Aggregation>();
+  if (name == "concat") return std::make_shared<ConcatAggregation>();
+  if (name == "first") return std::make_shared<FirstAggregation>();
+  if (name == "last") return std::make_shared<LastAggregation>();
+  if (name == "count-distinct")
+    return std::make_shared<CountDistinctAggregation>();
+  return nullptr;
+}
+
+std::vector<std::string> BuiltinAggregationNames() {
+  return {"sum",       "sum-no-invert", "count",     "avg",
+          "geometric-mean", "stddev",   "min",       "max",
+          "min-count", "max-count",     "arg-min",   "arg-max",
+          "m4",        "median",        "p90",       "concat",
+          "first",     "last",          "count-distinct"};
+}
+
+}  // namespace scotty

@@ -1,0 +1,22 @@
+#ifndef SCOTTY_AGGREGATES_REGISTRY_H_
+#define SCOTTY_AGGREGATES_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+
+namespace scotty {
+
+/// Creates a built-in aggregation by name ("sum", "count", "avg", "min",
+/// "max", "min-count", "max-count", "arg-min", "arg-max", "geometric-mean",
+/// "stddev", "m4", "median", "p90", "sum-no-invert", "concat").
+/// Returns nullptr for unknown names.
+AggregateFunctionPtr MakeAggregation(const std::string& name);
+
+/// Names of all built-in aggregations, in the order used by Figure 13.
+std::vector<std::string> BuiltinAggregationNames();
+
+}  // namespace scotty
+
+#endif  // SCOTTY_AGGREGATES_REGISTRY_H_

@@ -1,0 +1,237 @@
+#include "baselines/aggregate_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/memory.h"
+
+namespace scotty {
+
+namespace {
+
+class Collector : public WindowCallback {
+ public:
+  void OnWindow(Time start, Time end) override {
+    windows.push_back({start, end});
+  }
+  std::vector<std::pair<Time, Time>> windows;
+};
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+AggregateTreeOperator::AggregateTreeOperator(bool stream_in_order,
+                                             Time allowed_lateness)
+    : stream_in_order_(stream_in_order), allowed_lateness_(allowed_lateness) {}
+
+int AggregateTreeOperator::AddAggregation(AggregateFunctionPtr fn) {
+  assert(buffer_.empty() && "add aggregations before streaming");
+  trees_.emplace_back(fn);
+  aggs_.push_back(std::move(fn));
+  return static_cast<int>(aggs_.size()) - 1;
+}
+
+int AggregateTreeOperator::AddWindow(WindowPtr w) {
+  windows_.push_back(std::move(w));
+  return static_cast<int>(windows_.size()) - 1;
+}
+
+void AggregateTreeOperator::ProcessTuple(const Tuple& t) {
+  const bool in_order = max_ts_ == kNoTime || t.ts >= max_ts_;
+  const bool late = last_wm_ != kNoTime && t.ts <= last_wm_;
+  if (late && t.ts < last_wm_ - allowed_lateness_) return;
+  if (last_wm_ == kNoTime) last_wm_ = t.ts - 1;
+
+  std::vector<char> changed(windows_.size(), 0);
+  std::vector<std::pair<int, std::vector<std::pair<Time, Time>>>> changed_wins;
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    if (auto* caw = dynamic_cast<ContextAwareWindow*>(windows_[w].get())) {
+      ContextModifications mods = caw->ProcessContext(t);
+      if (!mods.changed_windows.empty()) {
+        changed[w] = 1;
+        changed_wins.emplace_back(static_cast<int>(w),
+                                  std::move(mods.changed_windows));
+      }
+    }
+  }
+
+  if (!t.is_punctuation) {
+    if (in_order) {
+      buffer_.push_back(t);
+      for (size_t a = 0; a < trees_.size(); ++a) {
+        trees_[a].Append(aggs_[a]->Lift(t));
+      }
+    } else {
+      // The expensive path: a leaf insert in the middle of the tree.
+      auto it = std::upper_bound(buffer_.begin(), buffer_.end(), t, TupleLess);
+      const size_t idx = static_cast<size_t>(it - buffer_.begin());
+      buffer_.insert(it, t);
+      for (size_t a = 0; a < trees_.size(); ++a) {
+        trees_[a].InsertLeafAt(idx, aggs_[a]->Lift(t));
+      }
+    }
+  }
+  if (in_order) max_ts_ = t.ts;
+
+  for (auto& [wid, wins] : changed_wins) {
+    for (const auto& [s, e] : wins) {
+      if (e <= last_wm_) EmitTimeWindow(wid, s, e, /*update=*/true);
+    }
+  }
+  if (late) {
+    for (size_t w = 0; w < windows_.size(); ++w) {
+      if (changed[w] || windows_[w]->measure() == Measure::kCount) continue;
+      Collector c;
+      windows_[w]->TriggerWindows(c, t.ts, last_wm_);
+      for (const auto& [s, e] : c.windows) {
+        if (s <= t.ts) EmitTimeWindow(static_cast<int>(w), s, e, true);
+      }
+    }
+    Tuple probe = t;
+    const auto rank_it =
+        std::lower_bound(buffer_.begin(), buffer_.end(), probe, TupleLess);
+    const int64_t rank = evicted_count_ + (rank_it - buffer_.begin());
+    for (size_t w = 0; w < windows_.size(); ++w) {
+      if (windows_[w]->measure() != Measure::kCount) continue;
+      Collector c;
+      windows_[w]->TriggerWindows(c, rank, last_cwm_);
+      for (const auto& [cs, ce] : c.windows) {
+        EmitCountWindow(static_cast<int>(w), cs, ce, true);
+      }
+    }
+  }
+
+  if (stream_in_order_) TriggerAll(t.ts);
+}
+
+void AggregateTreeOperator::ProcessWatermark(Time wm) {
+  if (last_wm_ == kNoTime) {
+    last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+  }
+  TriggerAll(wm);
+}
+
+void AggregateTreeOperator::TriggerAll(Time wm) {
+  if (last_wm_ != kNoTime && wm <= last_wm_) return;
+  Tuple probe;
+  probe.ts = wm;
+  probe.seq = ~0ULL;
+  const int64_t cwm =
+      evicted_count_ +
+      (std::upper_bound(buffer_.begin(), buffer_.end(), probe, TupleLess) -
+       buffer_.begin());
+
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    Collector c;
+    if (windows_[w]->measure() == Measure::kCount) {
+      windows_[w]->TriggerWindows(c, last_cwm_, cwm);
+      for (const auto& [cs, ce] : c.windows) {
+        EmitCountWindow(static_cast<int>(w), cs, ce, false);
+      }
+    } else {
+      windows_[w]->TriggerWindows(c, last_wm_, wm);
+      for (const auto& [s, e] : c.windows) {
+        EmitTimeWindow(static_cast<int>(w), s, e, false);
+      }
+    }
+  }
+  last_wm_ = wm;
+  last_cwm_ = std::max(last_cwm_, cwm);
+  Evict(wm);
+}
+
+Value AggregateTreeOperator::ComputeWindow(size_t agg, Time start,
+                                           Time end) const {
+  auto lo = std::lower_bound(
+      buffer_.begin(), buffer_.end(), start,
+      [](const Tuple& a, Time x) { return a.ts < x; });
+  auto hi = std::lower_bound(
+      buffer_.begin(), buffer_.end(), end,
+      [](const Tuple& a, Time x) { return a.ts < x; });
+  const size_t i = static_cast<size_t>(lo - buffer_.begin());
+  const size_t j = static_cast<size_t>(hi - buffer_.begin());
+  return aggs_[agg]->Lower(trees_[agg].Query(i, j));
+}
+
+void AggregateTreeOperator::EmitTimeWindow(int w, Time s, Time e,
+                                           bool update) {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    WindowResult r;
+    r.window_id = w;
+    r.agg_id = static_cast<int>(a);
+    r.start = s;
+    r.end = e;
+    r.value = ComputeWindow(a, s, e);
+    r.is_update = update;
+    results_.push_back(std::move(r));
+  }
+}
+
+void AggregateTreeOperator::EmitCountWindow(int w, int64_t cs, int64_t ce,
+                                            bool update) {
+  const int64_t lo = std::max(cs - evicted_count_, int64_t{0});
+  const int64_t hi =
+      std::min(ce - evicted_count_, static_cast<int64_t>(buffer_.size()));
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    WindowResult r;
+    r.window_id = w;
+    r.agg_id = static_cast<int>(a);
+    r.start = cs;
+    r.end = ce;
+    r.value = aggs_[a]->Lower(
+        lo < hi ? trees_[a].Query(static_cast<size_t>(lo),
+                                  static_cast<size_t>(hi))
+                : Partial{});
+    r.is_update = update;
+    results_.push_back(std::move(r));
+  }
+}
+
+void AggregateTreeOperator::Evict(Time wm) {
+  Time safe = wm;
+  for (const WindowPtr& w : windows_) {
+    if (w->measure() == Measure::kCount) continue;
+    const Time p = w->EvictionSafePoint(wm);
+    if (p == kNoTime) return;
+    safe = std::min(safe, p);
+  }
+  int64_t safe_rank = last_cwm_;
+  bool has_count = false;
+  for (const WindowPtr& w : windows_) {
+    if (w->measure() != Measure::kCount) continue;
+    has_count = true;
+    safe_rank = std::min(safe_rank, w->EvictionSafePoint(last_cwm_));
+  }
+  const Time bound = safe - allowed_lateness_;
+  size_t k = 0;
+  while (k < buffer_.size() && buffer_[k].ts < bound) {
+    if (has_count && evicted_count_ + static_cast<int64_t>(k) >= safe_rank) {
+      break;
+    }
+    ++k;
+  }
+  if (k > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(k));
+    evicted_count_ += static_cast<int64_t>(k);
+    for (FlatFat& tree : trees_) tree.PopFront(k);
+  }
+  for (const WindowPtr& w : windows_) w->EvictState(bound);
+}
+
+std::vector<WindowResult> AggregateTreeOperator::TakeResults() {
+  std::vector<WindowResult> out;
+  out.swap(results_);
+  return out;
+}
+
+size_t AggregateTreeOperator::MemoryUsageBytes() const {
+  size_t bytes = buffer_.size() * MemoryModel::kTupleBytes;
+  for (const FlatFat& tree : trees_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace scotty

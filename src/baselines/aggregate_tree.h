@@ -1,0 +1,60 @@
+#ifndef SCOTTY_BASELINES_AGGREGATE_TREE_H_
+#define SCOTTY_BASELINES_AGGREGATE_TREE_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+#include "core/flat_fat.h"
+#include "core/window_operator.h"
+#include "windows/window.h"
+
+namespace scotty {
+
+/// Aggregate Tree baseline (paper Section 3.2, Table 1 Row 2): a FlatFAT
+/// [42] whose leaves are the individual stream tuples. Window aggregates are
+/// answered as ordered range queries over the tree, sharing partials among
+/// overlapping windows; in-order appends cost O(log n) tree updates, while
+/// out-of-order tuples require a leaf insert in the middle of the tree —
+/// shifting leaves and recomputing inner nodes (the drastic throughput drop
+/// the paper measures in Figures 9 and 12a).
+class AggregateTreeOperator : public WindowOperator {
+ public:
+  explicit AggregateTreeOperator(bool stream_in_order = false,
+                                 Time allowed_lateness = 0);
+
+  int AddAggregation(AggregateFunctionPtr fn);
+  int AddWindow(WindowPtr w);
+
+  void ProcessTuple(const Tuple& t) override;
+  void ProcessWatermark(Time wm) override;
+  std::vector<WindowResult> TakeResults() override;
+  size_t MemoryUsageBytes() const override;
+  std::string Name() const override { return "aggregate-tree"; }
+
+  size_t LeafCount() const { return buffer_.size(); }
+
+ private:
+  void TriggerAll(Time wm);
+  void Evict(Time wm);
+  Value ComputeWindow(size_t agg, Time start, Time end) const;
+  void EmitTimeWindow(int w, Time s, Time e, bool update);
+  void EmitCountWindow(int w, int64_t cs, int64_t ce, bool update);
+
+  bool stream_in_order_;
+  Time allowed_lateness_;
+  std::vector<AggregateFunctionPtr> aggs_;
+  std::vector<WindowPtr> windows_;
+  std::deque<Tuple> buffer_;    // sorted by (ts, seq); index i = tree leaf i
+  std::vector<FlatFat> trees_;  // one per aggregation
+  int64_t evicted_count_ = 0;
+  Time max_ts_ = kNoTime;
+  Time last_wm_ = kNoTime;
+  int64_t last_cwm_ = 0;
+  std::vector<WindowResult> results_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_BASELINES_AGGREGATE_TREE_H_

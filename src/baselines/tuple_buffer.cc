@@ -1,0 +1,229 @@
+#include "baselines/tuple_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/memory.h"
+
+namespace scotty {
+
+namespace {
+
+class Collector : public WindowCallback {
+ public:
+  void OnWindow(Time start, Time end) override {
+    windows.push_back({start, end});
+  }
+  std::vector<std::pair<Time, Time>> windows;
+};
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+TupleBufferOperator::TupleBufferOperator(bool stream_in_order,
+                                         Time allowed_lateness)
+    : stream_in_order_(stream_in_order), allowed_lateness_(allowed_lateness) {}
+
+int TupleBufferOperator::AddAggregation(AggregateFunctionPtr fn) {
+  aggs_.push_back(std::move(fn));
+  return static_cast<int>(aggs_.size()) - 1;
+}
+
+int TupleBufferOperator::AddWindow(WindowPtr w) {
+  windows_.push_back(std::move(w));
+  return static_cast<int>(windows_.size()) - 1;
+}
+
+void TupleBufferOperator::ProcessTuple(const Tuple& t) {
+  const bool in_order = max_ts_ == kNoTime || t.ts >= max_ts_;
+  const bool late = last_wm_ != kNoTime && t.ts <= last_wm_;
+  if (late && t.ts < last_wm_ - allowed_lateness_) return;  // beyond lateness
+  if (last_wm_ == kNoTime) last_wm_ = t.ts - 1;
+
+  // Context-aware windows (sessions) track their state from the raw stream.
+  std::vector<char> changed(windows_.size(), 0);
+  std::vector<std::pair<int, std::vector<std::pair<Time, Time>>>> changed_wins;
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    if (auto* caw = dynamic_cast<ContextAwareWindow*>(windows_[w].get())) {
+      ContextModifications mods = caw->ProcessContext(t);
+      if (!mods.changed_windows.empty()) {
+        changed[w] = 1;
+        changed_wins.emplace_back(static_cast<int>(w),
+                                  std::move(mods.changed_windows));
+      }
+    }
+  }
+
+  if (!t.is_punctuation) {
+    if (in_order) {
+      buffer_.push_back(t);
+    } else {
+      // The expensive out-of-order path: insert into the sorted buffer.
+      auto it = std::upper_bound(buffer_.begin(), buffer_.end(), t, TupleLess);
+      buffer_.insert(it, t);
+    }
+  }
+  if (in_order) max_ts_ = t.ts;
+
+  // Allowed-lateness updates.
+  for (auto& [wid, wins] : changed_wins) {
+    for (const auto& [s, e] : wins) {
+      if (e <= last_wm_) EmitTimeWindow(wid, s, e, /*update=*/true);
+    }
+  }
+  if (late) {
+    for (size_t w = 0; w < windows_.size(); ++w) {
+      if (changed[w] || windows_[w]->measure() == Measure::kCount) continue;
+      Collector c;
+      windows_[w]->TriggerWindows(c, t.ts, last_wm_);
+      for (const auto& [s, e] : c.windows) {
+        if (s <= t.ts) EmitTimeWindow(static_cast<int>(w), s, e, true);
+      }
+    }
+    // A late tuple shifts every already-emitted count window ending after it.
+    const auto rank_it =
+        std::lower_bound(buffer_.begin(), buffer_.end(), t, TupleLess);
+    const int64_t rank = evicted_count_ + (rank_it - buffer_.begin());
+    for (size_t w = 0; w < windows_.size(); ++w) {
+      if (windows_[w]->measure() != Measure::kCount) continue;
+      Collector c;
+      windows_[w]->TriggerWindows(c, rank, last_cwm_);
+      for (const auto& [cs, ce] : c.windows) {
+        EmitCountWindow(static_cast<int>(w), cs, ce, true);
+      }
+    }
+  }
+
+  if (stream_in_order_) TriggerAll(t.ts);
+}
+
+void TupleBufferOperator::ProcessWatermark(Time wm) {
+  if (last_wm_ == kNoTime) {
+    last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+  }
+  TriggerAll(wm);
+}
+
+void TupleBufferOperator::TriggerAll(Time wm) {
+  if (last_wm_ != kNoTime && wm <= last_wm_) return;
+  // Count-domain watermark: tuples with ts <= wm.
+  Tuple probe;
+  probe.ts = wm;
+  probe.seq = ~0ULL;
+  const int64_t cwm =
+      evicted_count_ +
+      (std::upper_bound(buffer_.begin(), buffer_.end(), probe, TupleLess) -
+       buffer_.begin());
+
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    Collector c;
+    if (windows_[w]->measure() == Measure::kCount) {
+      windows_[w]->TriggerWindows(c, last_cwm_, cwm);
+      for (const auto& [cs, ce] : c.windows) {
+        EmitCountWindow(static_cast<int>(w), cs, ce, false);
+      }
+    } else {
+      windows_[w]->TriggerWindows(c, last_wm_, wm);
+      for (const auto& [s, e] : c.windows) {
+        EmitTimeWindow(static_cast<int>(w), s, e, false);
+      }
+    }
+  }
+  last_wm_ = wm;
+  last_cwm_ = std::max(last_cwm_, cwm);
+  Evict(wm);
+}
+
+Value TupleBufferOperator::ComputeWindow(size_t agg, Time start,
+                                         Time end) const {
+  // Lazy aggregation: fold every tuple of the window.
+  const AggregateFunction& fn = *aggs_[agg];
+  Partial acc;
+  auto it = std::lower_bound(
+      buffer_.begin(), buffer_.end(), start,
+      [](const Tuple& a, Time x) { return a.ts < x; });
+  for (; it != buffer_.end() && it->ts < end; ++it) {
+    fn.Combine(acc, fn.Lift(*it));
+  }
+  return fn.Lower(acc);
+}
+
+Value TupleBufferOperator::ComputeCountWindow(size_t agg, int64_t cs,
+                                              int64_t ce) const {
+  const AggregateFunction& fn = *aggs_[agg];
+  Partial acc;
+  for (int64_t r = std::max(cs, evicted_count_); r < ce; ++r) {
+    const size_t i = static_cast<size_t>(r - evicted_count_);
+    if (i >= buffer_.size()) break;
+    fn.Combine(acc, fn.Lift(buffer_[i]));
+  }
+  return fn.Lower(acc);
+}
+
+void TupleBufferOperator::EmitTimeWindow(int w, Time s, Time e, bool update) {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    WindowResult r;
+    r.window_id = w;
+    r.agg_id = static_cast<int>(a);
+    r.start = s;
+    r.end = e;
+    r.value = ComputeWindow(a, s, e);
+    r.is_update = update;
+    results_.push_back(std::move(r));
+  }
+}
+
+void TupleBufferOperator::EmitCountWindow(int w, int64_t cs, int64_t ce,
+                                          bool update) {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    WindowResult r;
+    r.window_id = w;
+    r.agg_id = static_cast<int>(a);
+    r.start = cs;
+    r.end = ce;
+    r.value = ComputeCountWindow(a, cs, ce);
+    r.is_update = update;
+    results_.push_back(std::move(r));
+  }
+}
+
+void TupleBufferOperator::Evict(Time wm) {
+  Time safe = wm;
+  for (const WindowPtr& w : windows_) {
+    if (w->measure() == Measure::kCount) continue;
+    const Time p = w->EvictionSafePoint(wm);
+    if (p == kNoTime) return;
+    safe = std::min(safe, p);
+  }
+  // Count windows retain by rank.
+  int64_t safe_rank = last_cwm_;
+  bool has_count = false;
+  for (const WindowPtr& w : windows_) {
+    if (w->measure() != Measure::kCount) continue;
+    has_count = true;
+    safe_rank = std::min(safe_rank, w->EvictionSafePoint(last_cwm_));
+  }
+  const Time bound = safe - allowed_lateness_;
+  while (!buffer_.empty() && buffer_.front().ts < bound) {
+    if (has_count && evicted_count_ >= safe_rank) break;
+    buffer_.pop_front();
+    ++evicted_count_;
+  }
+  for (const WindowPtr& w : windows_) w->EvictState(bound);
+}
+
+std::vector<WindowResult> TupleBufferOperator::TakeResults() {
+  std::vector<WindowResult> out;
+  out.swap(results_);
+  return out;
+}
+
+size_t TupleBufferOperator::MemoryUsageBytes() const {
+  return buffer_.size() * MemoryModel::kTupleBytes;
+}
+
+}  // namespace scotty

@@ -1,0 +1,37 @@
+#ifndef SCOTTY_COMMON_MEMORY_H_
+#define SCOTTY_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scotty {
+
+/// Byte-cost model for the memory experiments (Table 1, Figure 10).
+///
+/// The paper measures JVM object sizes with Nashorn's ObjectSizeCalculator.
+/// We account bytes explicitly instead: every operator implements
+/// MemoryUsageBytes() by summing the constants below over its live state.
+/// The constants reflect our native layouts, so the absolute numbers differ
+/// from the JVM but the *formulas* of Table 1 are reproduced exactly.
+struct MemoryModel {
+  /// One stored stream tuple (ts, value, key, seq, flags; see common/tuple.h).
+  static constexpr size_t kTupleBytes = sizeof(int64_t) * 3 + sizeof(double) + 8;
+
+  /// One fixed-size partial aggregate (the variant slot of a Partial).
+  /// Holistic partials additionally report their run-storage through
+  /// Partial::DynamicBytes().
+  static constexpr size_t kPartialBytes = 48;
+
+  /// Slice metadata: t_start, t_end, t_first, t_last, count range.
+  static constexpr size_t kSliceMetaBytes = sizeof(int64_t) * 6;
+
+  /// Bucket metadata: window start/end, hash-map entry overhead.
+  static constexpr size_t kBucketMetaBytes = sizeof(int64_t) * 2 + 32;
+
+  /// One inner node of an aggregate tree (a partial aggregate).
+  static constexpr size_t kTreeNodeBytes = kPartialBytes;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_COMMON_MEMORY_H_

@@ -1,0 +1,58 @@
+#ifndef SCOTTY_COMMON_RNG_H_
+#define SCOTTY_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace scotty {
+
+/// Small, fast, deterministic PRNG (xorshift128+). Used by the data
+/// generators and the out-of-order injector so experiments are exactly
+/// reproducible across runs; std::mt19937_64 would work too but is slower
+/// and its streams are harder to seed splittably.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t NextU64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_COMMON_RNG_H_

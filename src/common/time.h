@@ -1,0 +1,54 @@
+#ifndef SCOTTY_COMMON_TIME_H_
+#define SCOTTY_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace scotty {
+
+/// Logical timestamp used throughout the library. Per the paper (Section
+/// 4.3), a "timestamp" can represent event-time (milliseconds in our data
+/// generators), processing-time, a tuple count, or any other monotonically
+/// advancing measure. All windowing arithmetic is integer arithmetic on this
+/// type.
+using Time = int64_t;
+
+/// Sentinel for "no timestamp yet" (e.g., t_first of an empty slice).
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Sentinel for "infinitely far in the future" (e.g., the next edge of a
+/// window type that currently has no upcoming edge).
+inline constexpr Time kMaxTime = std::numeric_limits<Time>::max();
+
+/// The measures a window can be defined on (paper Section 4.3).
+///
+/// kEventTime and kArbitrary are processed identically (arbitrary advancing
+/// measures are a generalization of event-time); kProcessingTime uses the
+/// operator's own clock and is therefore always in-order; kCount counts
+/// tuples in event-time order, which interacts with out-of-order tuples
+/// (an out-of-order tuple shifts the count of all later tuples).
+enum class Measure {
+  kEventTime,
+  kProcessingTime,
+  kCount,
+  kArbitrary,
+};
+
+/// Returns a short human-readable name, for logs and benchmark output.
+inline const char* MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kEventTime:
+      return "event-time";
+    case Measure::kProcessingTime:
+      return "processing-time";
+    case Measure::kCount:
+      return "count";
+    case Measure::kArbitrary:
+      return "arbitrary";
+  }
+  return "unknown";
+}
+
+}  // namespace scotty
+
+#endif  // SCOTTY_COMMON_TIME_H_

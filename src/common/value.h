@@ -1,0 +1,105 @@
+#ifndef SCOTTY_COMMON_VALUE_H_
+#define SCOTTY_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+
+namespace scotty {
+
+/// Final result of the M4 aggregation [26]: the four values that suffice to
+/// draw a pixel-perfect line chart of the window (min, max, first, last).
+struct M4Result {
+  double min = 0.0;
+  double max = 0.0;
+  double first = 0.0;
+  double last = 0.0;
+
+  friend bool operator==(const M4Result& a, const M4Result& b) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const M4Result& r) {
+  return os << "M4{min=" << r.min << ", max=" << r.max << ", first=" << r.first
+            << ", last=" << r.last << "}";
+}
+
+/// Final result of ArgMin/ArgMax: the extremum and the timestamp at which it
+/// was observed.
+struct ArgResult {
+  double value = 0.0;
+  Time arg = kNoTime;
+
+  friend bool operator==(const ArgResult& a, const ArgResult& b) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ArgResult& r) {
+  return os << "Arg{value=" << r.value << ", arg=" << r.arg << "}";
+}
+
+/// Type-safe final aggregate value produced by AggregateFunction::Lower().
+///
+/// kEmpty is produced when a window contains no tuples (e.g., an empty
+/// tumbling window period).
+class Value {
+ public:
+  Value() = default;
+  explicit Value(double d) : v_(d) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(M4Result m) : v_(m) {}
+  explicit Value(ArgResult a) : v_(a) {}
+  explicit Value(std::vector<double> seq) : v_(std::move(seq)) {}
+
+  bool IsEmpty() const { return std::holds_alternative<std::monostate>(v_); }
+  bool IsDouble() const { return std::holds_alternative<double>(v_); }
+  bool IsInt() const { return std::holds_alternative<int64_t>(v_); }
+  bool IsM4() const { return std::holds_alternative<M4Result>(v_); }
+  bool IsArg() const { return std::holds_alternative<ArgResult>(v_); }
+  bool IsSequence() const {
+    return std::holds_alternative<std::vector<double>>(v_);
+  }
+
+  double AsDouble() const { return std::get<double>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  const M4Result& AsM4() const { return std::get<M4Result>(v_); }
+  const ArgResult& AsArg() const { return std::get<ArgResult>(v_); }
+  const std::vector<double>& AsSequence() const {
+    return std::get<std::vector<double>>(v_);
+  }
+
+  /// Numeric view: int64 and double both convert; everything else is NaN.
+  double Numeric() const {
+    if (IsDouble()) return AsDouble();
+    if (IsInt()) return static_cast<double>(AsInt());
+    return std::nan("");
+  }
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Value& v) {
+    if (v.IsEmpty()) return os << "<empty>";
+    if (v.IsDouble()) return os << v.AsDouble();
+    if (v.IsInt()) return os << v.AsInt();
+    if (v.IsM4()) return os << v.AsM4();
+    if (v.IsArg()) return os << v.AsArg();
+    os << "[";
+    for (size_t i = 0; i < v.AsSequence().size(); ++i) {
+      if (i) os << ", ";
+      os << v.AsSequence()[i];
+    }
+    return os << "]";
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, M4Result, ArgResult,
+               std::vector<double>>
+      v_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_COMMON_VALUE_H_

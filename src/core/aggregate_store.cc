@@ -1,0 +1,170 @@
+#include "core/aggregate_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scotty {
+
+AggregateStore::AggregateStore(StoreMode mode,
+                               std::vector<AggregateFunctionPtr> fns)
+    : mode_(mode), fns_(std::move(fns)) {
+  if (mode_ == StoreMode::kEager) {
+    trees_.reserve(fns_.size());
+    for (const AggregateFunctionPtr& fn : fns_) trees_.emplace_back(fn);
+  }
+}
+
+size_t AggregateStore::FindByStart(Time ts) const {
+  // Last slice with start <= ts.
+  auto it = std::upper_bound(
+      slices_.begin(), slices_.end(), ts,
+      [](Time x, const Slice& s) { return x < s.start(); });
+  if (it == slices_.begin()) return kNpos;
+  return static_cast<size_t>(it - slices_.begin()) - 1;
+}
+
+size_t AggregateStore::FindCovering(Time ts) const {
+  const size_t i = FindByStart(ts);
+  if (i == kNpos) return kNpos;
+  return ts < slices_[i].end() ? i : kNpos;
+}
+
+size_t AggregateStore::FirstEndingAfter(Time ts) const {
+  auto it = std::upper_bound(
+      slices_.begin(), slices_.end(), ts,
+      [](Time x, const Slice& s) { return x < s.end(); });
+  return static_cast<size_t>(it - slices_.begin());
+}
+
+Slice& AggregateStore::Append(Time start, Time end) {
+  assert(slices_.empty() || start >= slices_.back().end());
+  slices_.emplace_back(start, end, fns_.size());
+  ++slices_created_;
+  for (FlatFat& tree : trees_) tree.Append(Partial{});
+  return slices_.back();
+}
+
+Slice& AggregateStore::InsertAt(size_t idx, Time start, Time end) {
+  assert(idx <= slices_.size());
+  slices_.emplace(slices_.begin() + static_cast<ptrdiff_t>(idx),
+                  Slice(start, end, fns_.size()));
+  ++slices_created_;
+  if (mode_ == StoreMode::kEager) {
+    for (size_t a = 0; a < trees_.size(); ++a) {
+      trees_[a].InsertLeafAt(idx, Partial{});
+    }
+  }
+  return slices_[idx];
+}
+
+void AggregateStore::MergeWithNext(size_t i) {
+  assert(i + 1 < slices_.size());
+  slices_[i].MergeWith(slices_[i + 1], fns_);
+  slices_.erase(slices_.begin() + static_cast<ptrdiff_t>(i) + 1);
+  if (mode_ == StoreMode::kEager) {
+    for (size_t a = 0; a < trees_.size(); ++a) {
+      trees_[a].RemoveLeafAt(i + 1);
+      trees_[a].UpdateLeaf(i, slices_[i].agg(a));
+    }
+  }
+}
+
+void AggregateStore::SplitAt(size_t i, Time t) {
+  assert(i < slices_.size());
+  Slice right = slices_[i].SplitAt(t, fns_);
+  slices_.insert(slices_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                 std::move(right));
+  ++slices_created_;
+  if (mode_ == StoreMode::kEager) {
+    for (size_t a = 0; a < trees_.size(); ++a) {
+      trees_[a].UpdateLeaf(i, slices_[i].agg(a));
+      trees_[a].InsertLeafAt(i + 1, slices_[i + 1].agg(a));
+    }
+  }
+}
+
+void AggregateStore::OnSliceAggUpdated(size_t i) {
+  if (mode_ != StoreMode::kEager) return;
+  for (size_t a = 0; a < trees_.size(); ++a) {
+    trees_[a].UpdateLeaf(i, slices_[i].agg(a));
+  }
+}
+
+void AggregateStore::OnStructureChanged() {
+  if (mode_ != StoreMode::kEager) return;
+  RebuildTrees();
+}
+
+void AggregateStore::EvictBefore(Time t) {
+  size_t k = 0;
+  while (k < slices_.size() && slices_[k].end() <= t) {
+    total_tuples_ -= slices_[k].tuple_count();
+    ++k;
+  }
+  if (k == 0) return;
+  slices_.erase(slices_.begin(), slices_.begin() + static_cast<ptrdiff_t>(k));
+  for (FlatFat& tree : trees_) tree.PopFront(k);
+}
+
+Partial AggregateStore::QuerySlices(size_t agg, size_t i, size_t j) const {
+  assert(agg < fns_.size());
+  if (i >= j) return Partial{};
+  if (mode_ == StoreMode::kEager) return trees_[agg].Query(i, j);
+  Partial acc;
+  const AggregateFunction& fn = *fns_[agg];
+  for (size_t k = i; k < j; ++k) fn.Combine(acc, slices_[k].agg(agg));
+  return acc;
+}
+
+Partial AggregateStore::QueryRange(size_t agg, Time start, Time end) const {
+  const size_t i = FirstEndingAfter(start);
+  // First slice with start >= end bounds the range on the right.
+  auto it = std::lower_bound(
+      slices_.begin(), slices_.end(), end,
+      [](const Slice& s, Time x) { return s.start() < x; });
+  const size_t j = static_cast<size_t>(it - slices_.begin());
+  return QuerySlices(agg, i, j);
+}
+
+Time AggregateStore::NthRecentTupleTime(Time t, int64_t n) const {
+  if (n <= 0) return kNoTime;
+  size_t i = FindByStart(t);
+  if (i == kNpos) return kNoTime;
+  int64_t remaining = n;
+  for (size_t k = i + 1; k-- > 0;) {
+    const std::vector<Tuple>& tuples = slices_[k].tuples();
+    if (tuples.empty()) {
+      if (slices_[k].tuple_count() > 0) return kNoTime;  // not retained
+      continue;
+    }
+    // Tuples are sorted by (ts, seq); count those with ts < t from the back.
+    auto ub = std::lower_bound(
+        tuples.begin(), tuples.end(), t,
+        [](const Tuple& a, Time x) { return a.ts < x; });
+    int64_t avail = static_cast<int64_t>(ub - tuples.begin());
+    if (avail >= remaining) {
+      return tuples[static_cast<size_t>(avail - remaining)].ts;
+    }
+    remaining -= avail;
+  }
+  return kNoTime;
+}
+
+size_t AggregateStore::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Slice& s : slices_) bytes += s.MemoryBytes();
+  for (const FlatFat& tree : trees_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+void AggregateStore::RebuildTrees() {
+  if (mode_ != StoreMode::kEager) return;
+  trees_.clear();
+  trees_.reserve(fns_.size());
+  for (size_t a = 0; a < fns_.size(); ++a) {
+    trees_.emplace_back(fns_[a]);
+    for (const Slice& s : slices_) trees_[a].Append(s.agg(a));
+  }
+}
+
+}  // namespace scotty

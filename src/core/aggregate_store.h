@@ -1,0 +1,119 @@
+#ifndef SCOTTY_CORE_AGGREGATE_STORE_H_
+#define SCOTTY_CORE_AGGREGATE_STORE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+#include "core/flat_fat.h"
+#include "core/slice.h"
+#include "windows/window.h"
+
+namespace scotty {
+
+/// Lazy vs eager aggregate store (paper Section 3.4): the lazy variant keeps
+/// only slices and combines them on demand; the eager variant additionally
+/// maintains a FlatFAT aggregate tree over the slice partials, trading
+/// per-update tree maintenance for O(log |slices|) window queries.
+enum class StoreMode { kLazy, kEager };
+
+/// The shared slice container of the slicing operator (paper Figure 7): the
+/// Stream Slicer appends slices, the Slice Manager updates/merges/splits
+/// them, the Window Manager queries ranges of them.
+///
+/// Slices are kept ordered by start timestamp; their ranges never overlap
+/// but may leave uncovered gaps (stream regions without tuples, e.g.,
+/// between sessions).
+class AggregateStore : public StreamStateView {
+ public:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  AggregateStore(StoreMode mode, std::vector<AggregateFunctionPtr> fns);
+
+  StoreMode mode() const { return mode_; }
+  const std::vector<AggregateFunctionPtr>& fns() const { return fns_; }
+  size_t NumSlices() const { return slices_.size(); }
+  bool Empty() const { return slices_.empty(); }
+
+  Slice& At(size_t i) { return slices_[i]; }
+  const Slice& At(size_t i) const { return slices_[i]; }
+
+  /// The open (latest) slice, or nullptr if none exists yet.
+  Slice* Current() { return slices_.empty() ? nullptr : &slices_.back(); }
+
+  /// Index of the slice covering `ts` (start <= ts < end), or kNpos.
+  size_t FindCovering(Time ts) const;
+
+  /// Index of the last slice with start <= ts, or kNpos.
+  size_t FindByStart(Time ts) const;
+
+  /// Index of the first slice with end > ts (i.e., the first slice that can
+  /// intersect a range beginning at ts), or NumSlices().
+  size_t FirstEndingAfter(Time ts) const;
+
+  /// Appends a new latest slice [start, end). Requires start >= previous
+  /// slice's end.
+  Slice& Append(Time start, Time end);
+
+  /// Inserts a slice at position `idx` (used for out-of-order session
+  /// creation in uncovered regions).
+  Slice& InsertAt(size_t idx, Time start, Time end);
+
+  /// Merges slice i with slice i+1 (paper's Merge operation).
+  void MergeWithNext(size_t i);
+
+  /// Splits slice i at t (paper's Split operation); the right half becomes
+  /// slice i+1.
+  void SplitAt(size_t i, Time t);
+
+  /// Notifies the store that slice i's aggregates changed (eager mode
+  /// refreshes the tree leaves). Call after AddTuple/Recompute/SetAgg.
+  void OnSliceAggUpdated(size_t i);
+
+  /// Notifies the store that slice boundaries changed in a way not covered
+  /// by the dedicated mutators (bulk edits); rebuilds eager trees.
+  void OnStructureChanged();
+
+  /// Drops all slices with end <= t (outside the allowed lateness).
+  void EvictBefore(Time t);
+
+  /// Ordered combine of the partials of slices [i, j) for aggregation
+  /// `agg`. Eager mode answers from the tree in O(log n).
+  Partial QuerySlices(size_t agg, size_t i, size_t j) const;
+
+  /// Ordered combine over all slices intersecting the window [start, end).
+  /// Slice boundaries are expected to align with window edges; slices
+  /// partially overlapping the range are included in full (callers split
+  /// slices first when exact bounds are required).
+  Partial QueryRange(size_t agg, Time start, Time end) const;
+
+  /// StreamStateView: timestamp of the n-th most recent stored tuple with
+  /// ts < t (requires tuple retention; returns kNoTime otherwise).
+  Time NthRecentTupleTime(Time t, int64_t n) const override;
+
+  /// Total stored tuples across slices (metadata count, not retained count).
+  uint64_t TotalTupleCount() const { return total_tuples_; }
+  void NoteTupleAdded() { ++total_tuples_; }
+
+  /// Lifetime count of slices ever created (appends, inserts, splits);
+  /// eviction does not decrease it. Drives the slice-minimality assertions
+  /// and the Figure 8 slice-count comparison (Pairs vs Cutty vs general).
+  uint64_t SlicesCreated() const { return slices_created_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  void RebuildTrees();
+
+  StoreMode mode_;
+  std::vector<AggregateFunctionPtr> fns_;
+  std::deque<Slice> slices_;
+  std::vector<FlatFat> trees_;  // eager mode: one per aggregation
+  uint64_t total_tuples_ = 0;
+  uint64_t slices_created_ = 0;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_AGGREGATE_STORE_H_

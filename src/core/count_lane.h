@@ -1,0 +1,91 @@
+#ifndef SCOTTY_CORE_COUNT_LANE_H_
+#define SCOTTY_CORE_COUNT_LANE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/aggregate_store.h"
+#include "core/query_set.h"
+#include "core/window_operator.h"
+
+namespace scotty {
+
+/// Slicing state for count-based window measures (paper Sections 4.3, 5.2).
+///
+/// The "timestamp" of a tuple on this lane is its rank in event-time order.
+/// Slices cover rank ranges aligned to the count edges of all count-measure
+/// windows. On in-order streams ranks equal arrival order and processing
+/// matches the time lane. An out-of-order tuple, however, changes the rank
+/// of every succeeding tuple: the lane inserts the tuple into the slice
+/// covering its event-time position and then shifts the last tuple of each
+/// subsequent slice one slice further (Fig. 6) — incrementally via
+/// invert/combine when all aggregations are invertible, by recomputation
+/// otherwise.
+///
+/// Only context-free windows are supported on the count measure (sessions /
+/// punctuations on counts are not meaningful in the paper's model).
+class CountLane {
+ public:
+  CountLane(StoreMode mode, QuerySet* queries, OperatorStats* stats);
+
+  /// Adds a tuple. `in_order` is relative to event-time order. Emits update
+  /// results for already-triggered count windows whose content shifted.
+  void Add(const Tuple& t, bool in_order, std::vector<WindowResult>* out);
+
+  /// Number of tuples with ts <= `wm` (the count-domain watermark).
+  int64_t CountAtOrBefore(Time wm) const;
+
+  /// Triggers count windows with end rank in (prev_cwm, cwm].
+  void Trigger(int64_t prev_cwm, int64_t cwm, std::vector<WindowResult>* out);
+
+  /// Cheap check whether any count window has an edge at or before `cwm`
+  /// that Trigger has not fired yet (per-tuple early-out on in-order
+  /// streams).
+  bool NeedsTrigger(int64_t cwm) {
+    if (next_trigger_rank_ == kNoTime) next_trigger_rank_ = NextEdge(last_cwm_);
+    return cwm >= next_trigger_rank_;
+  }
+
+  /// Evicts slices that are complete, fully before rank `safe_rank`, and
+  /// whose last tuple is older than `safe_time`.
+  void Evict(int64_t safe_rank, Time safe_time);
+
+  /// Invalidates the trigger early-out cache (call after query changes).
+  void InvalidateTriggerCache() { next_trigger_rank_ = kNoTime; }
+
+  int64_t total_count() const { return total_count_; }
+  const AggregateStore& store() const { return store_; }
+  size_t MemoryBytes() const { return store_.MemoryBytes(); }
+
+ private:
+  /// Smallest count edge > rank over all count windows.
+  int64_t NextEdge(int64_t rank) const;
+
+  /// Ensures the open slice exists and `rank` falls into it.
+  void EnsureOpenSlice(int64_t rank);
+
+  /// Removes the overflow tuple of slice `idx` and carries it into the
+  /// following slices until every slice respects its rank capacity.
+  void ShiftFrom(size_t idx, std::vector<WindowResult>* out);
+
+  /// Applies the removal of `t` from slice `idx` per the workload's
+  /// RemovalStrategy, and the insertion into slice `to`.
+  void MoveTuple(size_t from, size_t to, const Tuple& t);
+
+  /// Re-emits already-triggered count windows affected by an insert at
+  /// rank `r`.
+  void EmitShiftUpdates(int64_t r, std::vector<WindowResult>* out);
+
+  AggregateStore store_;
+  QuerySet* queries_;
+  OperatorStats* stats_;
+  int64_t total_count_ = 0;
+  int64_t evicted_ranks_ = 0;        // ranks dropped off the front
+  int64_t last_cwm_ = 0;             // last triggered count watermark
+  int64_t next_trigger_rank_ = kNoTime;  // early-out cache
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_COUNT_LANE_H_

@@ -1,0 +1,294 @@
+#include "core/general_slicing_operator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scotty {
+
+GeneralSlicingOperator::GeneralSlicingOperator()
+    : GeneralSlicingOperator(Options{}) {}
+
+GeneralSlicingOperator::GeneralSlicingOperator(Options opts)
+    : opts_(opts) {
+  queries_.stream_in_order = opts_.stream_in_order;
+  queries_.force_store_tuples = opts_.force_store_tuples;
+  queries_.slice_at_window_ends = opts_.slice_at_window_ends;
+}
+
+int GeneralSlicingOperator::AddAggregation(AggregateFunctionPtr fn) {
+  assert(!initialized_ &&
+         "aggregations must be registered before the first tuple");
+  assert(fn != nullptr);
+  queries_.aggs.push_back(std::move(fn));
+  queries_.Recharacterize();
+  return static_cast<int>(queries_.aggs.size()) - 1;
+}
+
+int GeneralSlicingOperator::AddWindow(WindowPtr w) {
+  assert(w != nullptr);
+  assert(w->measure() != Measure::kProcessingTime &&
+         "processing-time windows: assign ts = arrival order at ingestion "
+         "and use an event-time window (see DESIGN.md)");
+  if (w->measure() == Measure::kCount) {
+    assert(w->context_class() == ContextClass::kContextFree &&
+           "only context-free windows are supported on the count measure");
+  }
+  queries_.windows.push_back(std::move(w));
+  queries_.Recharacterize();
+  if (initialized_) RefreshLanes();
+  return static_cast<int>(queries_.windows.size()) - 1;
+}
+
+void GeneralSlicingOperator::RemoveWindow(int window_id) {
+  assert(window_id >= 0 &&
+         window_id < static_cast<int>(queries_.windows.size()));
+  const bool stored_before = queries_.StoreTuples();
+  queries_.windows[static_cast<size_t>(window_id)] = nullptr;
+  queries_.Recharacterize();
+  if (initialized_) {
+    RefreshLanes();
+    // Adaptivity: when no remaining query needs retained tuples, drop them
+    // to reclaim memory (paper Section 5: "stores the tuples themselves
+    // only when it is required").
+    if (stored_before && !queries_.StoreTuples() && time_store_) {
+      for (size_t i = 0; i < time_store_->NumSlices(); ++i) {
+        time_store_->At(i).DropTuples();
+      }
+    }
+  }
+}
+
+void GeneralSlicingOperator::EnsureInitialized() {
+  if (initialized_) return;
+  assert(!queries_.aggs.empty() && "register aggregations before streaming");
+  initialized_ = true;
+  RefreshLanes();
+}
+
+void GeneralSlicingOperator::RefreshLanes() {
+  if (queries_.HasTimeLane() && !time_store_) {
+    time_store_ = std::make_unique<AggregateStore>(opts_.store_mode,
+                                                   queries_.aggs);
+    slice_mgr_ = std::make_unique<SliceManager>(time_store_.get(), &queries_,
+                                                &stats_);
+    slicer_ = std::make_unique<StreamSlicer>(time_store_.get(), &queries_);
+    window_mgr_ = std::make_unique<WindowManager>(
+        time_store_.get(), &queries_, slice_mgr_.get(), &stats_);
+  }
+  if (queries_.HasCountLane() && !count_lane_) {
+    count_lane_ =
+        std::make_unique<CountLane>(opts_.store_mode, &queries_, &stats_);
+  }
+  // Rebind context-aware windows and refresh caches after query changes.
+  ca_windows_.clear();
+  cf_trigger_heap_ = {};
+  win_prev_wm_.assign(queries_.windows.size(), kNoTime);
+  for (size_t i = 0; i < queries_.windows.size(); ++i) {
+    const WindowPtr& w = queries_.windows[i];
+    if (!QuerySet::OnTimeLane(w)) continue;
+    if (auto* caw = dynamic_cast<ContextAwareWindow*>(w.get())) {
+      caw->Bind(time_store_.get());
+      ca_windows_.push_back({static_cast<int>(i), caw});
+    } else {
+      // kNoTime sorts first: the window is visited on the next trigger,
+      // which computes its real next edge.
+      cf_trigger_heap_.push({kNoTime, static_cast<int>(i)});
+    }
+  }
+  has_ca_windows_ = !ca_windows_.empty();
+  if (slicer_ && max_ts_ != kNoTime) slicer_->Recache(max_ts_);
+  if (count_lane_) count_lane_->InvalidateTriggerCache();
+  next_trigger_edge_ = kNoTime;  // recompute on next trigger check
+}
+
+void GeneralSlicingOperator::ProcessTuple(const Tuple& t) {
+  EnsureInitialized();
+  const bool in_order = max_ts_ == kNoTime || t.ts >= max_ts_;
+  ++stats_.tuples_processed;
+  if (!in_order) ++stats_.out_of_order_tuples;
+
+  const bool late = last_wm_ != kNoTime && t.ts <= last_wm_;
+  if (late) {
+    if (t.ts < last_wm_ - opts_.allowed_lateness) {
+      ++stats_.dropped_tuples;
+      return;
+    }
+    ++stats_.late_tuples;
+  }
+  if (last_wm_ == kNoTime) {
+    // Baseline for the first trigger: windows ending before the first tuple
+    // are empty and not reported.
+    last_wm_ = t.ts - 1;
+  }
+
+  if (time_store_) {
+    if (in_order) slicer_->OnInOrderTuple(t.ts);
+
+    // Step 2 (Slice Manager): context-aware windows observe every tuple and
+    // request splits / merges / extent updates.
+    std::vector<char> ctx_changed;
+    std::vector<std::pair<int, std::vector<std::pair<Time, Time>>>> changed;
+    for (auto& [wid, caw] : ca_windows_) {
+      ContextModifications mods = caw->ProcessContext(t);
+      if (mods.Empty()) continue;
+      slice_mgr_->Apply(mods);
+      if (!mods.changed_windows.empty()) {
+        if (ctx_changed.empty()) ctx_changed.assign(queries_.windows.size(), 0);
+        ctx_changed[static_cast<size_t>(wid)] = 1;
+        changed.emplace_back(wid, std::move(mods.changed_windows));
+      }
+    }
+
+    if (!t.is_punctuation) {
+      if (in_order) {
+        slice_mgr_->AddInOrder(t);
+      } else {
+        slice_mgr_->AddOutOfOrder(t);
+      }
+    }
+
+    if (in_order) {
+      if (has_ca_windows_) slicer_->Recache(t.ts);
+    }
+
+    // Allowed-lateness updates (Window Manager, paper Step 3): emitted
+    // windows whose aggregate the late tuple changed.
+    for (auto& [wid, wins] : changed) {
+      window_mgr_->EmitChangedWindows(wid, wins, last_wm_, &results_);
+    }
+    if (late) {
+      window_mgr_->EmitLateUpdates(t.ts, last_wm_,
+                                   ctx_changed.empty() ? nullptr : &ctx_changed,
+                                   &results_);
+    }
+  }
+
+  if (count_lane_ && !t.is_punctuation) {
+    count_lane_->Add(t, in_order, &results_);
+  }
+
+  if (in_order) max_ts_ = t.ts;
+
+  if (opts_.stream_in_order) {
+    // Every in-order tuple acts as a watermark (paper Section 5.3 Step 3).
+    // The common case is one comparison against the cached next edge.
+    if (next_trigger_edge_ == kNoTime || has_ca_windows_) {
+      next_trigger_edge_ = NextTriggerEdge();
+    }
+    const bool count_due =
+        count_lane_ && count_lane_->NeedsTrigger(count_lane_->total_count());
+    if (t.ts >= next_trigger_edge_ || count_due) {
+      TriggerAll(t.ts);
+      next_trigger_edge_ = NextTriggerEdge();
+    }
+  }
+}
+
+Time GeneralSlicingOperator::NextTriggerEdge() const {
+  // Lower bound for the next window end: no trigger can fire before the
+  // next edge of any time-lane window. Context-free edges come from the
+  // trigger heap in O(1); context-aware edges move with the stream and are
+  // recomputed.
+  Time edge = cf_trigger_heap_.empty() ? kMaxTime : cf_trigger_heap_.top().first;
+  for (const auto& [wid, caw] : ca_windows_) {
+    edge = std::min(edge, caw->GetNextEdge(last_wm_));
+  }
+  return edge;
+}
+
+void GeneralSlicingOperator::ProcessWatermark(Time wm) {
+  EnsureInitialized();
+  if (last_wm_ == kNoTime) {
+    // No windows before the first observed point in time.
+    last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+  }
+  TriggerAll(wm);
+}
+
+void GeneralSlicingOperator::TriggerAll(Time wm) {
+  if (last_wm_ != kNoTime && wm <= last_wm_) return;
+  const Time prev_global = last_wm_;
+  if (window_mgr_) {
+    // Context-free windows: only those whose cached next edge the watermark
+    // passed are visited (heap pop), keeping trigger cost independent of
+    // the number of idle concurrent queries.
+    while (!cf_trigger_heap_.empty() && cf_trigger_heap_.top().first <= wm) {
+      const auto [edge, wid] = cf_trigger_heap_.top();
+      cf_trigger_heap_.pop();
+      const WindowPtr& win = queries_.windows[static_cast<size_t>(wid)];
+      if (!QuerySet::OnTimeLane(win)) continue;  // removed query
+      Time prev = win_prev_wm_[static_cast<size_t>(wid)];
+      if (prev == kNoTime) prev = prev_global;
+      window_mgr_->TriggerWindow(wid, prev, wm, &results_);
+      win_prev_wm_[static_cast<size_t>(wid)] = wm;
+      cf_trigger_heap_.push({win->GetNextEdge(wm), wid});
+    }
+    // Context-aware windows: edges move with the stream; visit every time.
+    for (const auto& [wid, caw] : ca_windows_) {
+      Time prev = win_prev_wm_[static_cast<size_t>(wid)];
+      if (prev == kNoTime) prev = prev_global;
+      window_mgr_->TriggerWindow(wid, prev, wm, &results_);
+      win_prev_wm_[static_cast<size_t>(wid)] = wm;
+    }
+  }
+  if (count_lane_) {
+    const int64_t cwm = opts_.stream_in_order
+                            ? count_lane_->total_count()
+                            : count_lane_->CountAtOrBefore(wm);
+    count_lane_->Trigger(last_cwm_, cwm, &results_);
+    last_cwm_ = std::max(last_cwm_, cwm);
+  }
+  last_wm_ = wm;
+  Evict(wm);
+}
+
+void GeneralSlicingOperator::Evict(Time wm) {
+  if (time_store_) {
+    Time safe = wm;
+    bool keep_all = false;
+    for (const WindowPtr& w : queries_.windows) {
+      if (!QuerySet::OnTimeLane(w)) continue;
+      const Time p = w->EvictionSafePoint(wm);
+      if (p == kNoTime) {
+        keep_all = true;
+        break;
+      }
+      safe = std::min(safe, p);
+    }
+    if (!keep_all) {
+      const Time bound = safe - opts_.allowed_lateness;
+      time_store_->EvictBefore(bound);
+      for (const WindowPtr& w : queries_.windows) {
+        if (QuerySet::OnTimeLane(w)) w->EvictState(bound);
+      }
+    }
+  }
+  if (count_lane_) {
+    Time safe_rank = last_cwm_;
+    for (const WindowPtr& w : queries_.windows) {
+      if (!QuerySet::OnCountLane(w)) continue;
+      safe_rank = std::min(safe_rank, w->EvictionSafePoint(last_cwm_));
+    }
+    count_lane_->Evict(safe_rank, wm - opts_.allowed_lateness);
+  }
+}
+
+std::vector<WindowResult> GeneralSlicingOperator::TakeResults() {
+  std::vector<WindowResult> out;
+  out.swap(results_);
+  return out;
+}
+
+size_t GeneralSlicingOperator::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  if (time_store_) bytes += time_store_->MemoryBytes();
+  if (count_lane_) bytes += count_lane_->MemoryBytes();
+  return bytes;
+}
+
+std::string GeneralSlicingOperator::Name() const {
+  return opts_.store_mode == StoreMode::kLazy ? "general-slicing-lazy"
+                                              : "general-slicing-eager";
+}
+
+}  // namespace scotty

@@ -1,0 +1,132 @@
+#ifndef SCOTTY_CORE_GENERAL_SLICING_OPERATOR_H_
+#define SCOTTY_CORE_GENERAL_SLICING_OPERATOR_H_
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate_store.h"
+#include "core/count_lane.h"
+#include "core/query_set.h"
+#include "core/slice_manager.h"
+#include "core/stream_slicer.h"
+#include "core/window_manager.h"
+#include "core/window_operator.h"
+
+namespace scotty {
+
+/// The paper's primary contribution (Section 5): a general stream-slicing
+/// window aggregation operator that serves multiple concurrent queries with
+/// diverse window types (CF / FCF / FCA / sessions), window measures (time,
+/// arbitrary advancing, count), aggregation functions (distributive,
+/// algebraic, holistic; commutative or not; invertible or not), and both
+/// in-order and out-of-order streams — while adapting its strategy to the
+/// workload (tuples are retained only when the decision tree of Fig. 4
+/// requires it; splits/merges/removals follow Figs. 5 and 6).
+///
+/// Usage:
+///
+///   GeneralSlicingOperator op({.stream_in_order = false,
+///                              .allowed_lateness = 2000});
+///   int sum = op.AddAggregation(MakeAggregation("sum"));
+///   int w1 = op.AddWindow(std::make_shared<TumblingWindow>(1000));
+///   int w2 = op.AddWindow(std::make_shared<SessionWindow>(500));
+///   for (const Tuple& t : stream) op.ProcessTuple(t);
+///   op.ProcessWatermark(wm);
+///   for (const WindowResult& r : op.TakeResults()) ...;
+///
+/// Aggregations must all be registered before the first tuple; windows can
+/// be added and removed at any time (the operator re-characterizes the
+/// workload and adapts, dropping retained tuples when they are no longer
+/// needed).
+class GeneralSlicingOperator : public WindowOperator {
+ public:
+  struct Options {
+    /// Declared stream property. In-order streams trigger windows on every
+    /// tuple (each tuple acts as a watermark) and drop the rare
+    /// out-of-order tuple; out-of-order streams trigger on explicit
+    /// watermarks and accept late tuples within the allowed lateness.
+    bool stream_in_order = false;
+    /// How long after the watermark aggregates remain updatable (paper
+    /// Section 2).
+    Time allowed_lateness = 0;
+    /// Lazy: combine slices on demand (highest throughput). Eager:
+    /// maintain a FlatFAT over slices (lowest latency).
+    StoreMode store_mode = StoreMode::kLazy;
+    /// Experiment override: retain tuples regardless of the decision tree.
+    bool force_store_tuples = false;
+    /// Slice at window ends even on in-order streams (Pairs behaviour).
+    bool slice_at_window_ends = false;
+  };
+
+  GeneralSlicingOperator();  // default options
+  explicit GeneralSlicingOperator(Options opts);
+  ~GeneralSlicingOperator() override = default;
+
+  GeneralSlicingOperator(const GeneralSlicingOperator&) = delete;
+  GeneralSlicingOperator& operator=(const GeneralSlicingOperator&) = delete;
+
+  /// Registers an aggregation function; returns its agg_id. Must be called
+  /// before the first tuple.
+  int AddAggregation(AggregateFunctionPtr fn);
+
+  /// Registers a window assigner; returns its window_id. Windows may be
+  /// added while the stream is running.
+  int AddWindow(WindowPtr w);
+
+  /// Removes a window; the operator re-characterizes the workload and drops
+  /// retained tuples if no remaining query needs them.
+  void RemoveWindow(int window_id);
+
+  void ProcessTuple(const Tuple& t) override;
+  void ProcessWatermark(Time wm) override;
+  std::vector<WindowResult> TakeResults() override;
+  size_t MemoryUsageBytes() const override;
+  std::string Name() const override;
+
+  const QuerySet& queries() const { return queries_; }
+  const OperatorStats& stats() const { return stats_; }
+  const AggregateStore* time_store() const { return time_store_.get(); }
+  const CountLane* count_lane() const { return count_lane_.get(); }
+  Time last_watermark() const { return last_wm_; }
+
+ private:
+  void EnsureInitialized();
+  void RefreshLanes();
+  void TriggerAll(Time wm);
+  void Evict(Time wm);
+  Time NextTriggerEdge() const;
+
+  Options opts_;
+  QuerySet queries_;
+  OperatorStats stats_;
+  bool initialized_ = false;
+  bool has_ca_windows_ = false;
+  Time max_ts_ = kNoTime;
+  Time last_wm_ = kNoTime;
+  int64_t last_cwm_ = 0;
+  Time next_trigger_edge_ = kNoTime;  // early-out cache for per-tuple triggers
+
+  /// Min-heap of (next window edge, window id) over context-free time-lane
+  /// windows: a watermark only visits windows whose edge it passed, keeping
+  /// trigger cost independent of the number of idle concurrent queries.
+  using HeapEntry = std::pair<Time, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      cf_trigger_heap_;
+  std::vector<Time> win_prev_wm_;  // per-window last triggered watermark
+
+  std::unique_ptr<AggregateStore> time_store_;
+  std::unique_ptr<StreamSlicer> slicer_;
+  std::unique_ptr<SliceManager> slice_mgr_;
+  std::unique_ptr<WindowManager> window_mgr_;
+  std::unique_ptr<CountLane> count_lane_;
+  std::vector<std::pair<int, ContextAwareWindow*>> ca_windows_;
+  std::vector<WindowResult> results_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_GENERAL_SLICING_OPERATOR_H_

@@ -1,0 +1,138 @@
+#ifndef SCOTTY_CORE_QUERY_BUILDER_H_
+#define SCOTTY_CORE_QUERY_BUILDER_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "windows/frames.h"
+#include "windows/multi_measure.h"
+#include "windows/punctuation.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+
+/// Fluent front-end for assembling a general slicing operator — the role of
+/// the paper's "query translator" (Figure 3): it observes the declared
+/// query characteristics (window types, aggregations, measures, stream
+/// order) and hands them to the aggregator, which adapts automatically.
+///
+///   auto op = QueryBuilder()
+///                 .OutOfOrder(/*allowed_lateness=*/2000)
+///                 .Aggregate("sum")
+///                 .Aggregate("median")
+///                 .Tumbling(1000)
+///                 .Sliding(20000, 1000)
+///                 .Session(500)
+///                 .Build();
+class QueryBuilder {
+ public:
+  QueryBuilder() = default;
+
+  /// Declares the stream in-order: windows trigger per tuple, out-of-order
+  /// tuples are dropped.
+  QueryBuilder& InOrder() {
+    opts_.stream_in_order = true;
+    opts_.allowed_lateness = 0;
+    return *this;
+  }
+
+  /// Declares the stream out-of-order: windows trigger on watermarks, late
+  /// tuples within `allowed_lateness` update emitted windows.
+  QueryBuilder& OutOfOrder(Time allowed_lateness) {
+    opts_.stream_in_order = false;
+    opts_.allowed_lateness = allowed_lateness;
+    return *this;
+  }
+
+  /// Lazy store: highest throughput (default).
+  QueryBuilder& Lazy() {
+    opts_.store_mode = StoreMode::kLazy;
+    return *this;
+  }
+
+  /// Eager store: FlatFAT over slices for microsecond output latency.
+  QueryBuilder& Eager() {
+    opts_.store_mode = StoreMode::kEager;
+    return *this;
+  }
+
+  /// Adds a built-in aggregation by registry name.
+  QueryBuilder& Aggregate(const std::string& name) {
+    AggregateFunctionPtr fn = MakeAggregation(name);
+    assert(fn != nullptr && "unknown aggregation name");
+    aggs_.push_back(std::move(fn));
+    return *this;
+  }
+
+  /// Adds a custom aggregation function.
+  QueryBuilder& Aggregate(AggregateFunctionPtr fn) {
+    aggs_.push_back(std::move(fn));
+    return *this;
+  }
+
+  QueryBuilder& Tumbling(Time length, Measure measure = Measure::kEventTime) {
+    windows_.push_back(std::make_shared<TumblingWindow>(length, measure));
+    return *this;
+  }
+
+  QueryBuilder& Sliding(Time length, Time slide,
+                        Measure measure = Measure::kEventTime) {
+    windows_.push_back(
+        std::make_shared<SlidingWindow>(length, slide, measure));
+    return *this;
+  }
+
+  QueryBuilder& Session(Time gap) {
+    windows_.push_back(std::make_shared<SessionWindow>(gap));
+    return *this;
+  }
+
+  QueryBuilder& Punctuated() {
+    windows_.push_back(std::make_shared<PunctuationWindow>());
+    return *this;
+  }
+
+  /// Data-driven threshold frames: windows over maximal runs of values at
+  /// or above `threshold`.
+  QueryBuilder& Frames(double threshold) {
+    windows_.push_back(std::make_shared<ThresholdFrameWindow>(threshold));
+    return *this;
+  }
+
+  QueryBuilder& LastNEveryT(int64_t n, Time period) {
+    windows_.push_back(std::make_shared<LastNEveryTWindow>(n, period));
+    return *this;
+  }
+
+  /// Adds any window implementation (user-defined types plug in here).
+  QueryBuilder& Window(WindowPtr w) {
+    windows_.push_back(std::move(w));
+    return *this;
+  }
+
+  /// Materializes the operator. The builder can be reused afterwards.
+  std::unique_ptr<GeneralSlicingOperator> Build() const {
+    assert(!aggs_.empty() && "at least one aggregation is required");
+    assert(!windows_.empty() && "at least one window is required");
+    auto op = std::make_unique<GeneralSlicingOperator>(opts_);
+    for (const AggregateFunctionPtr& fn : aggs_) op->AddAggregation(fn);
+    for (const WindowPtr& w : windows_) op->AddWindow(w);
+    return op;
+  }
+
+ private:
+  GeneralSlicingOperator::Options opts_;
+  std::vector<AggregateFunctionPtr> aggs_;
+  std::vector<WindowPtr> windows_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_QUERY_BUILDER_H_

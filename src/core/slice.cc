@@ -1,0 +1,139 @@
+#include "core/slice.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scotty {
+
+namespace {
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+void Slice::AddTuple(const Tuple& t,
+                     const std::vector<AggregateFunctionPtr>& fns,
+                     bool store_tuple) {
+  assert(fns.size() == aggs_.size());
+  for (size_t i = 0; i < fns.size(); ++i) {
+    fns[i]->Combine(aggs_[i], fns[i]->Lift(t));
+  }
+  if (store_tuple) RawInsertSorted(t);
+  NoteTuple(t);
+}
+
+void Slice::RecomputeFromTuples(const std::vector<AggregateFunctionPtr>& fns) {
+  for (size_t i = 0; i < fns.size(); ++i) {
+    Partial acc;
+    for (const Tuple& t : tuples_) fns[i]->Combine(acc, fns[i]->Lift(t));
+    aggs_[i] = std::move(acc);
+  }
+}
+
+void Slice::MergeWith(const Slice& other,
+                      const std::vector<AggregateFunctionPtr>& fns) {
+  end_ = std::max(end_, other.end_);
+  start_ = std::min(start_, other.start_);
+  for (size_t i = 0; i < fns.size(); ++i) {
+    fns[i]->Combine(aggs_[i], other.aggs_[i]);
+  }
+  if (!other.tuples_.empty()) {
+    // Both slices keep tuples sorted; `other` covers a later range, but
+    // out-of-order metadata moves can make ranges touch, so merge-sort to
+    // stay safe.
+    std::vector<Tuple> merged;
+    merged.reserve(tuples_.size() + other.tuples_.size());
+    std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+               other.tuples_.end(), std::back_inserter(merged), TupleLess);
+    tuples_ = std::move(merged);
+  }
+  if (other.t_first_ != kNoTime &&
+      (t_first_ == kNoTime || other.t_first_ < t_first_)) {
+    t_first_ = other.t_first_;
+  }
+  if (other.t_last_ != kNoTime &&
+      (t_last_ == kNoTime || other.t_last_ > t_last_)) {
+    t_last_ = other.t_last_;
+  }
+  tuple_count_ += other.tuple_count_;
+}
+
+Slice Slice::SplitAt(Time t, const std::vector<AggregateFunctionPtr>& fns) {
+  assert(start_ < t && t < end_);
+  Slice right(t, end_, aggs_.size());
+  end_ = t;
+
+  if (tuples_.empty()) {
+    // Metadata-only split: legal only when all tuples fall on one side.
+    assert(empty() || t_last_ < t || t_first_ >= t);
+    if (!empty() && t_first_ >= t) {
+      // Everything moves to the right half.
+      right.aggs_ = std::move(aggs_);
+      aggs_.assign(right.aggs_.size(), Partial{});
+      right.t_first_ = t_first_;
+      right.t_last_ = t_last_;
+      right.tuple_count_ = tuple_count_;
+      t_first_ = t_last_ = kNoTime;
+      tuple_count_ = 0;
+    }
+    return right;
+  }
+
+  // Real split: partition tuples at t and recompute both halves from scratch
+  // (the expensive operation the paper warns about).
+  auto pivot = std::lower_bound(
+      tuples_.begin(), tuples_.end(), t,
+      [](const Tuple& a, Time x) { return a.ts < x; });
+  right.tuples_.assign(pivot, tuples_.end());
+  tuples_.erase(pivot, tuples_.end());
+
+  auto reset_meta = [](Slice& s) {
+    s.tuple_count_ = s.tuples_.size();
+    if (s.tuples_.empty()) {
+      s.t_first_ = s.t_last_ = kNoTime;
+    } else {
+      s.t_first_ = s.tuples_.front().ts;
+      s.t_last_ = s.tuples_.back().ts;
+    }
+  };
+  reset_meta(*this);
+  reset_meta(right);
+  RecomputeFromTuples(fns);
+  right.RecomputeFromTuples(fns);
+  return right;
+}
+
+Tuple Slice::PopLastTuple() {
+  assert(!tuples_.empty());
+  Tuple t = tuples_.back();
+  tuples_.pop_back();
+  --tuple_count_;
+  if (tuples_.empty()) {
+    t_first_ = t_last_ = kNoTime;
+  } else {
+    t_last_ = tuples_.back().ts;
+  }
+  return t;
+}
+
+void Slice::InsertTupleOnly(const Tuple& t) {
+  RawInsertSorted(t);
+  NoteTuple(t);
+}
+
+void Slice::RawInsertSorted(const Tuple& t) {
+  auto it = std::upper_bound(tuples_.begin(), tuples_.end(), t, TupleLess);
+  tuples_.insert(it, t);
+}
+
+size_t Slice::MemoryBytes() const {
+  size_t bytes = MemoryModel::kSliceMetaBytes;
+  for (const Partial& p : aggs_) bytes += p.TotalBytes();
+  bytes += tuples_.capacity() * MemoryModel::kTupleBytes;
+  return bytes;
+}
+
+}  // namespace scotty

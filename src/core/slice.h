@@ -1,0 +1,117 @@
+#ifndef SCOTTY_CORE_SLICE_H_
+#define SCOTTY_CORE_SLICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aggregates/aggregate_function.h"
+#include "common/memory.h"
+#include "common/time.h"
+#include "common/tuple.h"
+
+namespace scotty {
+
+/// A stream slice: a non-overlapping chunk of the stream with one partial
+/// aggregate per registered aggregation function (paper Section 5.2).
+///
+/// Metadata follows the paper exactly: the slice covers the measure range
+/// [start, end), while t_first/t_last record the timestamps of the earliest
+/// and latest tuple actually contained (which need not coincide with the
+/// slice bounds). When the workload characterization requires it, the slice
+/// additionally retains its source tuples, sorted by (ts, seq), to support
+/// splits and order-preserving recomputation.
+class Slice {
+ public:
+  Slice(Time start, Time end, size_t num_aggs)
+      : start_(start), end_(end), aggs_(num_aggs) {}
+
+  Time start() const { return start_; }
+  Time end() const { return end_; }
+  Time t_first() const { return t_first_; }
+  Time t_last() const { return t_last_; }
+  uint64_t tuple_count() const { return tuple_count_; }
+  bool empty() const { return tuple_count_ == 0; }
+
+  void set_start(Time s) { start_ = s; }
+  void set_end(Time e) { end_ = e; }
+
+  const Partial& agg(size_t i) const { return aggs_[i]; }
+  Partial& mutable_agg(size_t i) { return aggs_[i]; }
+  size_t num_aggs() const { return aggs_.size(); }
+
+  /// Stored source tuples (empty unless the workload requires retention).
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  bool stores_tuples() const { return !tuples_.empty() || tuple_count_ == 0; }
+
+  /// Adds a tuple: one incremental aggregation step per function (the
+  /// paper's Update operation). If `store_tuple` is set, the tuple is kept
+  /// sorted by (ts, seq). `fns` must match the slice's aggregation count.
+  void AddTuple(const Tuple& t,
+                const std::vector<AggregateFunctionPtr>& fns,
+                bool store_tuple);
+
+  /// Recomputes all partial aggregates from the stored tuples in (ts, seq)
+  /// order. Precondition: tuples were stored. This is the expensive path
+  /// taken for non-commutative aggregations on out-of-order arrival and
+  /// after splits (paper Section 5.2).
+  void RecomputeFromTuples(const std::vector<AggregateFunctionPtr>& fns);
+
+  /// Merges `other` (the immediately following slice) into this one:
+  /// extends the range, combines aggregates (this (+)= other), and adopts
+  /// the other's tuples. The paper's Merge operation.
+  void MergeWith(const Slice& other,
+                 const std::vector<AggregateFunctionPtr>& fns);
+
+  /// Splits this slice at `t` (start < t < end): this becomes [start, t),
+  /// the returned slice is [t, end). Aggregates of both halves are
+  /// recomputed from stored tuples; if no tuples are stored, the split is
+  /// only legal when one side is empty of tuples (then it degenerates to a
+  /// metadata update). The paper's Split operation.
+  Slice SplitAt(Time t, const std::vector<AggregateFunctionPtr>& fns);
+
+  /// Removes the stored tuple with the largest (ts, seq) and returns it.
+  /// Used by the count-measure shift of out-of-order processing (Fig. 6).
+  /// Precondition: tuples stored and non-empty.
+  Tuple PopLastTuple();
+
+  /// Inserts a tuple and updates tuple metadata (count, t_first, t_last)
+  /// without touching aggregates (the caller recomputes or combines
+  /// separately). Used by count-measure shifts.
+  void InsertTupleOnly(const Tuple& t);
+
+  /// Replaces the partial of aggregation `i` (used by incremental
+  /// invert-based updates).
+  void SetAgg(size_t i, Partial p) { aggs_[i] = std::move(p); }
+
+  /// Drops tuple storage (when adaptivity decides tuples are no longer
+  /// needed after a query was removed).
+  void DropTuples() {
+    tuples_.clear();
+    tuples_.shrink_to_fit();
+  }
+
+  /// Accounted bytes: metadata + fixed partials + dynamic partial storage +
+  /// retained tuples.
+  size_t MemoryBytes() const;
+
+ private:
+  void RawInsertSorted(const Tuple& t);
+
+  void NoteTuple(const Tuple& t) {
+    if (t_first_ == kNoTime || t.ts < t_first_) t_first_ = t.ts;
+    if (t_last_ == kNoTime || t.ts > t_last_) t_last_ = t.ts;
+    ++tuple_count_;
+  }
+
+  Time start_;
+  Time end_;
+  Time t_first_ = kNoTime;
+  Time t_last_ = kNoTime;
+  uint64_t tuple_count_ = 0;
+  std::vector<Partial> aggs_;
+  std::vector<Tuple> tuples_;  // sorted by (ts, seq) when retained
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_SLICE_H_

@@ -1,0 +1,52 @@
+#ifndef SCOTTY_CORE_SLICE_MANAGER_H_
+#define SCOTTY_CORE_SLICE_MANAGER_H_
+
+#include <cstddef>
+
+#include "common/tuple.h"
+#include "core/aggregate_store.h"
+#include "core/query_set.h"
+
+namespace scotty {
+
+/// Step 2 of the slicing pipeline (paper Section 5.3): triggers all merge,
+/// split, and update operations on slices. It adds tuples to their slices
+/// (incrementally for commutative aggregations, by order-preserving
+/// recomputation otherwise), applies the slice-structure modifications
+/// requested by context-aware windows, and performs the count-measure
+/// removal/shift logic is handled by the CountLane (see count_lane.h).
+class SliceManager {
+ public:
+  SliceManager(AggregateStore* store, QuerySet* queries, OperatorStats* stats)
+      : store_(store), queries_(queries), stats_(stats) {}
+
+  /// Adds an in-order tuple to the open slice.
+  void AddInOrder(const Tuple& t);
+
+  /// Adds an out-of-order tuple: looks up the covering slice (creating one
+  /// in uncovered stream regions, e.g., a new session between existing
+  /// ones) and updates its aggregate — incrementally for commutative
+  /// functions, recomputing from stored tuples otherwise.
+  /// Returns the index of the slice that received the tuple.
+  size_t AddOutOfOrder(const Tuple& t);
+
+  /// Applies context-window modifications: splits, merges, and slice-extent
+  /// updates.
+  void Apply(const ContextModifications& mods);
+
+  /// Ensures a slice boundary exists at `t`, splitting the covering slice
+  /// if necessary (recomputes both halves from stored tuples).
+  void EnsureEdge(Time t);
+
+ private:
+  void ApplyMerge(Time a, Time b);
+  void ApplyResize(const ContextModifications::Resize& r);
+
+  AggregateStore* store_;
+  QuerySet* queries_;
+  OperatorStats* stats_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_SLICE_MANAGER_H_

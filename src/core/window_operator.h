@@ -1,0 +1,67 @@
+#ifndef SCOTTY_CORE_WINDOW_OPERATOR_H_
+#define SCOTTY_CORE_WINDOW_OPERATOR_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace scotty {
+
+/// One produced window aggregate.
+struct WindowResult {
+  /// Index of the window assigner (AddWindow order).
+  int window_id = 0;
+  /// Index of the aggregation (AddAggregation order).
+  int agg_id = 0;
+  /// Window extent [start, end) on the window's measure.
+  Time start = 0;
+  Time end = 0;
+  Value value;
+  /// Partition key, when produced by a keyed operator (0 otherwise).
+  int64_t key = 0;
+  /// True when this re-emits a window that was already output and whose
+  /// aggregate changed because a tuple arrived after the watermark but
+  /// within the allowed lateness (paper Section 2 / Section 5.3 Step 3).
+  bool is_update = false;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const WindowResult& r) {
+  return os << "Window{w=" << r.window_id << ", a=" << r.agg_id << ", ["
+            << r.start << "," << r.end << "), value=" << r.value
+            << (r.is_update ? ", update" : "") << "}";
+}
+
+/// Common interface of all window-aggregation operators: the general slicing
+/// operator and the baseline techniques of paper Section 3 (tuple buffer,
+/// aggregate tree, buckets, pairs, cutty). Benchmarks and the streaming
+/// pipeline treat them interchangeably — the paper's point that general
+/// slicing is a drop-in replacement for alternative window operators.
+class WindowOperator {
+ public:
+  virtual ~WindowOperator() = default;
+
+  /// Processes one stream tuple (in-order or out-of-order).
+  virtual void ProcessTuple(const Tuple& t) = 0;
+
+  /// Processes a low-watermark: triggers all windows that ended at or before
+  /// `wm` and evicts state outside the allowed lateness.
+  virtual void ProcessWatermark(Time wm) = 0;
+
+  /// Returns and clears the window aggregates produced so far.
+  virtual std::vector<WindowResult> TakeResults() = 0;
+
+  /// Accounted bytes of live state (tuples, partials, metadata); the
+  /// native-code stand-in for the paper's ObjectSizeCalculator measurements.
+  virtual size_t MemoryUsageBytes() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_CORE_WINDOW_OPERATOR_H_

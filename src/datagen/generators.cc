@@ -1,0 +1,87 @@
+#include "datagen/generators.h"
+
+#include <cmath>
+
+namespace scotty {
+
+SensorStream::SensorStream(SensorConfig config) : config_(std::move(config)),
+                                                  rng_(config_.seed) {
+  const double tuples_per_gap =
+      config_.rate_hz * 60.0 /
+      (config_.session_gaps_per_minute > 0 ? config_.session_gaps_per_minute
+                                           : 1.0);
+  tuples_until_gap_ =
+      config_.session_gaps_per_minute > 0 ? tuples_per_gap : -1.0;
+}
+
+SensorConfig SensorStream::Football() {
+  SensorConfig c;
+  c.name = "football";
+  c.rate_hz = 2000.0;
+  c.distinct_values = 84232;
+  c.session_gaps_per_minute = 5.0;
+  c.gap_length_ms = 2000;
+  c.num_keys = 16;
+  c.seed = 1337;
+  return c;
+}
+
+SensorConfig SensorStream::Machine() {
+  SensorConfig c;
+  c.name = "machine";
+  c.rate_hz = 100.0;
+  c.distinct_values = 37;
+  c.session_gaps_per_minute = 5.0;
+  c.gap_length_ms = 2000;
+  c.num_keys = 16;
+  c.seed = 4242;
+  return c;
+}
+
+bool SensorStream::Next(Tuple* out) {
+  // Advance event time by the inter-arrival interval (fractional carry keeps
+  // long-run rates exact for non-divisor frequencies).
+  carry_ms_ += 1000.0 / config_.rate_hz;
+  const Time step = static_cast<Time>(carry_ms_);
+  carry_ms_ -= static_cast<double>(step);
+  now_ms_ += step;
+
+  if (tuples_until_gap_ > 0) {
+    tuples_until_gap_ -= 1.0;
+    if (tuples_until_gap_ <= 0) {
+      // Inactivity period: ball possession changes / machine idles.
+      now_ms_ += config_.gap_length_ms;
+      tuples_until_gap_ = config_.rate_hz * 60.0 /
+                          config_.session_gaps_per_minute;
+    }
+  }
+
+  out->ts = now_ms_;
+  out->value = static_cast<double>(
+      rng_.NextBounded(static_cast<uint64_t>(config_.distinct_values)));
+  out->key = static_cast<int64_t>(
+      rng_.NextBounded(static_cast<uint64_t>(config_.num_keys)));
+  out->seq = seq_++;
+  out->is_punctuation = false;
+  return true;
+}
+
+bool PunctuatedStream::Next(Tuple* out) {
+  if (has_pending_) {
+    *out = pending_;
+    has_pending_ = false;
+    return true;
+  }
+  if (!inner_->Next(out)) return false;
+  if (++count_ % interval_ == 0) {
+    // Emit the punctuation marker before the data tuple that crossed the
+    // interval, with the same timestamp.
+    pending_ = *out;
+    has_pending_ = true;
+    out->is_punctuation = true;
+    out->value = 0.0;
+  }
+  return true;
+}
+
+}  // namespace scotty

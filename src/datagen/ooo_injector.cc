@@ -1,0 +1,44 @@
+#include "datagen/ooo_injector.h"
+
+#include <algorithm>
+
+namespace scotty {
+
+bool OutOfOrderInjector::Next(Tuple* out) {
+  while (true) {
+    // Release a held tuple whose delay has elapsed relative to the
+    // *source's* progress; it arrives late (out of order). Driving releases
+    // by source progress (not by what was already emitted) keeps the
+    // injector correct up to a 100% out-of-order fraction.
+    if (!held_.empty() && max_source_ts_ != kNoTime &&
+        held_.top().release <= max_source_ts_) {
+      *out = held_.top().tuple;
+      held_.pop();
+      out->seq = next_seq_++;
+      return true;
+    }
+    Tuple t;
+    if (!inner_->Next(&t)) {
+      // Source exhausted: flush the remaining held tuples.
+      if (held_.empty()) return false;
+      *out = held_.top().tuple;
+      held_.pop();
+      out->seq = next_seq_++;
+      return true;
+    }
+    max_source_ts_ = std::max(max_source_ts_, t.ts);
+    if (!t.is_punctuation && rng_.NextDouble() < opts_.fraction) {
+      const Time delay =
+          opts_.max_delay > opts_.min_delay
+              ? rng_.NextInRange(opts_.min_delay, opts_.max_delay)
+              : opts_.min_delay;
+      held_.push(Held{t.ts + delay, t});
+      continue;  // this tuple arrives later
+    }
+    *out = t;
+    out->seq = next_seq_++;
+    return true;
+  }
+}
+
+}  // namespace scotty

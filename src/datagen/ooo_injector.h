@@ -1,0 +1,57 @@
+#ifndef SCOTTY_DATAGEN_OOO_INJECTOR_H_
+#define SCOTTY_DATAGEN_OOO_INJECTOR_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+
+namespace scotty {
+
+/// Out-of-order injection (paper Section 6.2.2 / 6.3.1): selects a fraction
+/// of tuples and delays their *arrival* by a uniformly random amount of
+/// stream time, leaving their event-times unchanged. The emitted stream
+/// therefore contains the configured fraction of out-of-order tuples with
+/// delays in [min_delay, max_delay], exactly the knobs of Figures 9 and 12.
+class OutOfOrderInjector : public TupleSource {
+ public:
+  struct Options {
+    /// Fraction of tuples delivered out of order, in [0, 1].
+    double fraction = 0.2;
+    /// Uniform arrival-delay range in stream-time units (ms).
+    Time min_delay = 0;
+    Time max_delay = 2000;
+    uint64_t seed = 7;
+  };
+
+  OutOfOrderInjector(TupleSource* inner, Options opts)
+      : inner_(inner), opts_(opts), rng_(opts.seed) {}
+
+  bool Next(Tuple* out) override;
+
+  /// Low-watermark for everything emitted so far: any tuple still held has
+  /// release > max source ts, hence ts > max source ts - max delay.
+  Time CurrentWatermark() const {
+    return max_source_ts_ == kNoTime ? kNoTime
+                                     : max_source_ts_ - opts_.max_delay;
+  }
+
+ private:
+  struct Held {
+    Time release;  // stream time at which the tuple arrives
+    Tuple tuple;
+    bool operator>(const Held& o) const { return release > o.release; }
+  };
+
+  TupleSource* inner_;
+  Options opts_;
+  Rng rng_;
+  std::priority_queue<Held, std::vector<Held>, std::greater<Held>> held_;
+  Time max_source_ts_ = kNoTime;  // progress of the wrapped source
+  uint64_t next_seq_ = 0;         // re-sequence in arrival order
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_DATAGEN_OOO_INJECTOR_H_

@@ -1,0 +1,64 @@
+#include "datagen/replayer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace scotty {
+
+bool CsvReplaySource::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  tuples_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string ts_s;
+    std::string value_s;
+    std::string key_s;
+    if (!std::getline(ss, ts_s, ',') || !std::getline(ss, value_s, ',')) {
+      continue;  // malformed line: skip, keep replaying the rest
+    }
+    std::getline(ss, key_s, ',');  // key column is optional
+    Tuple t;
+    t.ts = std::strtoll(ts_s.c_str(), nullptr, 10);
+    t.value = std::strtod(value_s.c_str(), nullptr);
+    t.key = key_s.empty() ? 0 : std::strtoll(key_s.c_str(), nullptr, 10);
+    tuples_.push_back(t);
+  }
+  Rewind();
+  return !tuples_.empty();
+}
+
+bool CsvReplaySource::Next(Tuple* out) {
+  if (tuples_.empty()) return false;
+  if (pos_ >= tuples_.size()) {
+    if (loop_ + 1 >= loops_) return false;
+    ++loop_;
+    pos_ = 0;
+  }
+  *out = tuples_[pos_++];
+  if (loop_ > 0 && !tuples_.empty()) {
+    // Shift repeated passes so event time keeps advancing.
+    const Time span = tuples_.back().ts - tuples_.front().ts + 1;
+    out->ts += span * loop_;
+  }
+  out->seq = seq_++;
+  return true;
+}
+
+bool CsvReplaySource::Dump(const std::string& path, TupleSource& src,
+                           uint64_t max_tuples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# ts,value,key\n";
+  Tuple t;
+  for (uint64_t i = 0; i < max_tuples && src.Next(&t); ++i) {
+    out << t.ts << ',' << t.value << ',' << t.key << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace scotty

@@ -1,0 +1,48 @@
+#ifndef SCOTTY_DATAGEN_REPLAYER_H_
+#define SCOTTY_DATAGEN_REPLAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generators.h"
+
+namespace scotty {
+
+/// Replays a recorded trace from a CSV file with lines `ts,value,key`
+/// (header lines starting with '#' are skipped). This is the hook for
+/// feeding the original DEBS'12/DEBS'13 traces — or any recorded stream —
+/// into the operators instead of the synthetic generators.
+class CsvReplaySource : public TupleSource {
+ public:
+  /// Loads the whole file; returns false (and stays empty) on I/O errors.
+  bool Load(const std::string& path);
+
+  /// Rate-scaling: replays the trace `factor` times back to back, shifting
+  /// timestamps, to simulate higher ingestion volumes from a short trace
+  /// (the paper: "we generate additional tuples based on the original
+  /// data"). Must be called before reading.
+  void SetLoopCount(int loops) { loops_ = loops; }
+
+  bool Next(Tuple* out) override;
+
+  size_t size() const { return tuples_.size(); }
+  void Rewind() {
+    pos_ = 0;
+    loop_ = 0;
+  }
+
+  /// Writes a stream to CSV (for capturing synthetic runs / fixtures).
+  static bool Dump(const std::string& path, TupleSource& src,
+                   uint64_t max_tuples);
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+  int loops_ = 1;
+  int loop_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_DATAGEN_REPLAYER_H_

@@ -1,0 +1,31 @@
+#include "datagen/workloads.h"
+
+#include "windows/tumbling.h"
+
+namespace scotty {
+
+namespace {
+
+std::vector<WindowPtr> SpreadTumbling(int n, Time min_len, Time max_len,
+                                      Measure measure) {
+  std::vector<WindowPtr> windows;
+  windows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Time len =
+        n > 1 ? min_len + (max_len - min_len) * i / (n - 1) : min_len;
+    windows.push_back(std::make_shared<TumblingWindow>(len, measure));
+  }
+  return windows;
+}
+
+}  // namespace
+
+std::vector<WindowPtr> DashboardTumblingWindows(int n) {
+  return SpreadTumbling(n, 1000, 20000, Measure::kEventTime);
+}
+
+std::vector<WindowPtr> DashboardCountWindows(int n) {
+  return SpreadTumbling(n, 1000, 20000, Measure::kCount);
+}
+
+}  // namespace scotty

@@ -1,0 +1,31 @@
+#ifndef SCOTTY_DATAGEN_WORKLOADS_H_
+#define SCOTTY_DATAGEN_WORKLOADS_H_
+
+#include <memory>
+#include <vector>
+
+#include "windows/window.h"
+
+namespace scotty {
+
+/// Query workloads used across the benchmarks, modeled after the paper's
+/// live-visualization dashboard (Section 6.1): concurrent tumbling-window
+/// queries with lengths equally distributed between 1 and 20 seconds (the
+/// zoom levels of a line-chart dashboard). n queries yield n concurrent
+/// windows; the paper notes sliding windows with the same number of
+/// concurrent windows behave identically.
+std::vector<WindowPtr> DashboardTumblingWindows(int n);
+
+/// Count-measure variant: tumbling count windows with lengths equally
+/// distributed between 1 000 and 20 000 tuples.
+std::vector<WindowPtr> DashboardCountWindows(int n);
+
+/// Adds windows to any operator exposing AddWindow(WindowPtr).
+template <typename Op>
+void AddWindows(Op& op, const std::vector<WindowPtr>& windows) {
+  for (const WindowPtr& w : windows) op.AddWindow(w);
+}
+
+}  // namespace scotty
+
+#endif  // SCOTTY_DATAGEN_WORKLOADS_H_

@@ -1,0 +1,93 @@
+#ifndef SCOTTY_RUNTIME_KEYED_OPERATOR_H_
+#define SCOTTY_RUNTIME_KEYED_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/window_operator.h"
+
+namespace scotty {
+
+/// Per-key windowing within one thread: wraps a factory of window operators
+/// and maintains one instance per partition key (windows over "average
+/// speed per vehicle", "session per user", ...). This is the keyed-stream
+/// semantics of Flink/Beam; combined with the ParallelExecutor it yields
+/// the two-level key partitioning of paper Section 5.3.
+///
+/// Watermarks are broadcast to every per-key operator; results are tagged
+/// with their key.
+class KeyedWindowOperator : public WindowOperator {
+ public:
+  using Factory = std::function<std::unique_ptr<WindowOperator>()>;
+
+  explicit KeyedWindowOperator(Factory factory)
+      : factory_(std::move(factory)) {}
+
+  void ProcessTuple(const Tuple& t) override {
+    auto it = operators_.find(t.key);
+    if (it == operators_.end()) {
+      it = operators_.emplace(t.key, factory_()).first;
+      // A freshly created per-key operator must not consider windows
+      // before the current watermark already triggered.
+      if (last_wm_ != kNoTime) it->second->ProcessWatermark(last_wm_);
+    }
+    it->second->ProcessTuple(t);
+  }
+
+  void ProcessWatermark(Time wm) override {
+    last_wm_ = wm;
+    for (auto& [key, op] : operators_) {
+      op->ProcessWatermark(wm);
+      for (WindowResult& r : op->TakeResults()) {
+        r.key = key;
+        results_.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::vector<WindowResult> TakeResults() override {
+    // Collect anything produced between watermarks too (in-order streams
+    // self-trigger per tuple).
+    for (auto& [key, op] : operators_) {
+      for (WindowResult& r : op->TakeResults()) {
+        r.key = key;
+        results_.push_back(std::move(r));
+      }
+    }
+    std::vector<WindowResult> out;
+    out.swap(results_);
+    return out;
+  }
+
+  size_t MemoryUsageBytes() const override {
+    size_t bytes = 0;
+    for (const auto& [key, op] : operators_) bytes += op->MemoryUsageBytes();
+    return bytes;
+  }
+
+  std::string Name() const override {
+    return operators_.empty() ? "keyed" : "keyed-" + factory_()->Name();
+  }
+
+  size_t NumKeys() const { return operators_.size(); }
+
+  /// Access to one key's operator (nullptr if the key was never seen).
+  const WindowOperator* ForKey(int64_t key) const {
+    auto it = operators_.find(key);
+    return it == operators_.end() ? nullptr : it->second.get();
+  }
+
+ private:
+  Factory factory_;
+  std::unordered_map<int64_t, std::unique_ptr<WindowOperator>> operators_;
+  std::vector<WindowResult> results_;
+  Time last_wm_ = kNoTime;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_KEYED_OPERATOR_H_

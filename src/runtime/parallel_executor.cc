@@ -1,0 +1,113 @@
+#include "runtime/parallel_executor.h"
+
+#include <cassert>
+
+namespace scotty {
+
+SpscQueue::SpscQueue(size_t capacity_pow2)
+    : ring_(capacity_pow2), mask_(capacity_pow2 - 1) {
+  assert((capacity_pow2 & mask_) == 0 && "capacity must be a power of two");
+}
+
+void SpscQueue::Push(const Item& item) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  while (tail - head_.load(std::memory_order_acquire) >= ring_.size()) {
+    std::this_thread::yield();  // backpressure
+  }
+  ring_[tail & mask_] = item;
+  tail_.store(tail + 1, std::memory_order_release);
+}
+
+bool SpscQueue::Pop(Item* out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  if (head == tail_.load(std::memory_order_acquire)) return false;
+  *out = ring_[head & mask_];
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+ParallelExecutor::ParallelExecutor(
+    size_t num_workers,
+    std::function<std::unique_ptr<WindowOperator>()> factory)
+    : factory_(std::move(factory)) {
+  for (size_t i = 0; i < num_workers; ++i) {
+    operators_.push_back(factory_());
+    queues_.push_back(std::make_unique<SpscQueue>());
+  }
+  workers_.reserve(num_workers);
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  if (started_ && !finished_) Finish();
+}
+
+void ParallelExecutor::Start() {
+  assert(!started_);
+  started_ = true;
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ParallelExecutor::Push(const Tuple& t) {
+  // Key partitioning: consistent routing keeps all tuples of a key on one
+  // worker, so per-key window semantics are preserved.
+  const size_t w =
+      static_cast<size_t>(static_cast<uint64_t>(t.key) * 0x9E3779B97F4A7C15ULL
+                          >> 32) %
+      queues_.size();
+  SpscQueue::Item item;
+  item.kind = SpscQueue::Item::Kind::kTuple;
+  item.tuple = t;
+  queues_[w]->Push(item);
+}
+
+void ParallelExecutor::PushWatermark(Time wm) {
+  SpscQueue::Item item;
+  item.kind = SpscQueue::Item::Kind::kWatermark;
+  item.watermark = wm;
+  for (auto& q : queues_) q->Push(item);
+}
+
+void ParallelExecutor::Finish() {
+  assert(started_);
+  SpscQueue::Item stop;
+  stop.kind = SpscQueue::Item::Kind::kStop;
+  for (auto& q : queues_) q->Push(stop);
+  for (std::thread& t : workers_) t.join();
+  finished_ = true;
+}
+
+void ParallelExecutor::WorkerLoop(size_t i) {
+  SpscQueue& q = *queues_[i];
+  WindowOperator& op = *operators_[i];
+  SpscQueue::Item item;
+  uint64_t results = 0;
+  while (true) {
+    if (!q.Pop(&item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    switch (item.kind) {
+      case SpscQueue::Item::Kind::kTuple:
+        op.ProcessTuple(item.tuple);
+        break;
+      case SpscQueue::Item::Kind::kWatermark:
+        op.ProcessWatermark(item.watermark);
+        results += op.TakeResults().size();
+        break;
+      case SpscQueue::Item::Kind::kStop:
+        results += op.TakeResults().size();
+        total_results_.fetch_add(results);
+        return;
+    }
+  }
+}
+
+size_t ParallelExecutor::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& op : operators_) bytes += op->MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace scotty

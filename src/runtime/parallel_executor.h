@@ -1,0 +1,78 @@
+#ifndef SCOTTY_RUNTIME_PARALLEL_EXECUTOR_H_
+#define SCOTTY_RUNTIME_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/window_operator.h"
+
+namespace scotty {
+
+/// Single-producer single-consumer ring buffer carrying tuples and
+/// watermarks between the source thread and one worker.
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity_pow2 = 1 << 14);
+
+  struct Item {
+    enum class Kind : uint8_t { kTuple, kWatermark, kStop };
+    Kind kind = Kind::kTuple;
+    Tuple tuple{};
+    Time watermark = kNoTime;
+  };
+
+  /// Blocks (spins + yields) while full.
+  void Push(const Item& item);
+  /// Returns false when empty.
+  bool Pop(Item* out);
+
+ private:
+  std::vector<Item> ring_;
+  size_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer position
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer position
+};
+
+/// Key-partitioned parallel execution (paper Section 5.3,
+/// "Parallelization", and the scaling experiment of Section 6.4): tuples
+/// are routed to workers by key hash, watermarks are broadcast, and every
+/// worker runs an independent window-operator instance — the standard
+/// intra-node parallelism of Flink/Spark/Storm.
+class ParallelExecutor {
+ public:
+  ParallelExecutor(size_t num_workers,
+                   std::function<std::unique_ptr<WindowOperator>()> factory);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  void Start();
+  void Push(const Tuple& t);
+  void PushWatermark(Time wm);
+  /// Sends stop markers, drains, and joins all workers.
+  void Finish();
+
+  uint64_t TotalResults() const { return total_results_.load(); }
+  size_t MemoryUsageBytes() const;
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop(size_t i);
+
+  std::function<std::unique_ptr<WindowOperator>()> factory_;
+  std::vector<std::unique_ptr<WindowOperator>> operators_;
+  std::vector<std::unique_ptr<SpscQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> total_results_{0};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_PARALLEL_EXECUTOR_H_

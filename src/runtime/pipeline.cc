@@ -1,0 +1,38 @@
+#include "runtime/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace scotty {
+
+PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
+                           uint64_t max_tuples, const PipelineOptions& opts) {
+  PipelineReport report;
+  Time max_ts = kNoTime;
+  const auto start = std::chrono::steady_clock::now();
+  Tuple t;
+  for (uint64_t i = 0; i < max_tuples && src.Next(&t); ++i) {
+    op.ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    ++report.tuples;
+    if (opts.watermark_every > 0 && (i + 1) % opts.watermark_every == 0) {
+      op.ProcessWatermark(max_ts - opts.watermark_delay);
+      if (opts.drain_results) {
+        for (const WindowResult& r : op.TakeResults()) {
+          ++report.results;
+          if (r.is_update) ++report.updates;
+        }
+      }
+    }
+  }
+  if (max_ts != kNoTime) op.ProcessWatermark(max_ts);
+  for (const WindowResult& r : op.TakeResults()) {
+    ++report.results;
+    if (r.is_update) ++report.updates;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  report.seconds = std::chrono::duration<double>(end - start).count();
+  return report;
+}
+
+}  // namespace scotty

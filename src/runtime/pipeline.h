@@ -1,0 +1,43 @@
+#ifndef SCOTTY_RUNTIME_PIPELINE_H_
+#define SCOTTY_RUNTIME_PIPELINE_H_
+
+#include <cstdint>
+
+#include "core/window_operator.h"
+#include "datagen/generators.h"
+
+namespace scotty {
+
+/// Single-threaded tuple-at-a-time driver: pulls tuples from a source into
+/// a window operator, injecting periodic low-watermarks (paper Section 2).
+/// This is our stand-in for the Flink task the paper deploys operators in.
+struct PipelineOptions {
+  /// Inject a watermark after every N tuples (0 disables watermarks —
+  /// correct for streams declared in-order, which self-trigger).
+  uint64_t watermark_every = 1024;
+  /// Watermark = max event-time seen minus this delay (covers the maximum
+  /// out-of-order delay of the stream).
+  Time watermark_delay = 2000;
+  /// Drain op.TakeResults() after every watermark (keeps memory flat).
+  bool drain_results = true;
+};
+
+struct PipelineReport {
+  uint64_t tuples = 0;
+  uint64_t results = 0;
+  uint64_t updates = 0;
+  double seconds = 0.0;
+
+  double TuplesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(tuples) / seconds : 0.0;
+  }
+};
+
+/// Runs up to `max_tuples` tuples through `op` and returns throughput and
+/// result counts. Sends one final watermark at the maximum event time.
+PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
+                           uint64_t max_tuples, const PipelineOptions& opts);
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_PIPELINE_H_

@@ -1,0 +1,89 @@
+#ifndef SCOTTY_RUNTIME_WATERMARKS_H_
+#define SCOTTY_RUNTIME_WATERMARKS_H_
+
+#include <algorithm>
+
+#include "common/time.h"
+#include "common/tuple.h"
+
+namespace scotty {
+
+/// Watermark generation policies (paper Section 2: "many systems use
+/// watermarks to control how long they wait for out-of-order tuples").
+/// A policy observes every ingested tuple and decides when to emit a
+/// low-watermark and with which timestamp. kNoTime means "no watermark now".
+class WatermarkPolicy {
+ public:
+  virtual ~WatermarkPolicy() = default;
+
+  /// Called for every tuple in arrival order; returns a watermark timestamp
+  /// to emit after this tuple, or kNoTime.
+  virtual Time OnTuple(const Tuple& t) = 0;
+};
+
+/// Emits max_event_time - fixed_delay every `interval` tuples: the standard
+/// bounded-out-of-orderness heuristic (Flink's
+/// BoundedOutOfOrdernessTimestampExtractor).
+class PeriodicWatermarks : public WatermarkPolicy {
+ public:
+  PeriodicWatermarks(uint64_t interval, Time fixed_delay)
+      : interval_(interval), delay_(fixed_delay) {}
+
+  Time OnTuple(const Tuple& t) override {
+    max_ts_ = std::max(max_ts_, t.ts);
+    if (++count_ % interval_ != 0) return kNoTime;
+    return max_ts_ == kNoTime ? kNoTime : max_ts_ - delay_;
+  }
+
+ private:
+  uint64_t interval_;
+  Time delay_;
+  uint64_t count_ = 0;
+  Time max_ts_ = kNoTime;
+};
+
+/// Derives watermarks from punctuation tuples: a source that knows its own
+/// progress embeds markers, and the marker timestamp doubles as the
+/// low-watermark (paper Section 2, "punctuations").
+class PunctuatedWatermarks : public WatermarkPolicy {
+ public:
+  Time OnTuple(const Tuple& t) override {
+    return t.is_punctuation ? t.ts : kNoTime;
+  }
+};
+
+/// Adapts the slack to the disorder actually observed: tracks the maximum
+/// lateness seen so far and emits max_event_time - (observed * safety).
+/// Useful when the delay bound of the stream is unknown a priori.
+class AdaptiveWatermarks : public WatermarkPolicy {
+ public:
+  AdaptiveWatermarks(uint64_t interval, double safety_factor = 1.5,
+                     Time initial_slack = 100)
+      : interval_(interval),
+        safety_(safety_factor),
+        observed_delay_(initial_slack) {}
+
+  Time OnTuple(const Tuple& t) override {
+    if (max_ts_ != kNoTime && t.ts < max_ts_) {
+      observed_delay_ = std::max(observed_delay_, max_ts_ - t.ts);
+    }
+    max_ts_ = std::max(max_ts_, t.ts);
+    if (++count_ % interval_ != 0) return kNoTime;
+    const Time slack =
+        static_cast<Time>(static_cast<double>(observed_delay_) * safety_);
+    return max_ts_ == kNoTime ? kNoTime : max_ts_ - slack;
+  }
+
+  Time observed_delay() const { return observed_delay_; }
+
+ private:
+  uint64_t interval_;
+  double safety_;
+  Time observed_delay_;
+  uint64_t count_ = 0;
+  Time max_ts_ = kNoTime;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_WATERMARKS_H_

@@ -1,0 +1,207 @@
+// Count-based window measures: in-order rank slicing, out-of-order rank
+// shifts (paper Fig. 6), invertible vs non-invertible removal strategies,
+// and update emission for shifted windows.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "common/rng.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::BruteForceCount;
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+GeneralSlicingOperator::Options Opts(bool in_order, Time lateness = 10000) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+WindowPtr CountTumbling(int64_t n) {
+  return std::make_shared<TumblingWindow>(n, Measure::kCount);
+}
+
+TEST(CountWindows, InOrderTumblingCounts) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(3));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) tuples.push_back(T(i * 10, i + 1));
+  auto fin = FinalResults(RunStream(op, tuples, 100));
+  // Ranks [0,3): 1+2+3; [3,6): 4+5+6; [6,9): 7+8+9.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 3}]), 6.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 3, 6}]), 15.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 6, 9}]), 24.0);
+}
+
+TEST(CountWindows, InOrderNeedsNoTupleStorage) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(3));
+  EXPECT_FALSE(op.queries().StoreTuples());
+}
+
+TEST(CountWindows, OutOfOrderStreamStoresTuples) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(3));
+  EXPECT_TRUE(op.queries().StoreTuples());
+}
+
+TEST(CountWindows, OutOfOrderTupleShiftsLaterRanks) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(3));
+  // Event times 10,20,30,40,50 arrive with 25 late: final event-time order
+  // is 10,20,25,30,40,50.
+  std::vector<Tuple> tuples = {T(10, 1), T(20, 2), T(30, 3),
+                               T(40, 4), T(50, 5), T(25, 10)};
+  auto fin = FinalResults(RunStream(op, tuples, 50));
+  // Ranks: [0,3) = 1+2+10, [3,6) = 3+4+5.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 3}]), 13.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 3, 6}]), 12.0);
+  EXPECT_GT(op.stats().count_shifts, 0u);
+}
+
+TEST(CountWindows, ShiftUpdatesAlreadyEmittedWindows) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(2));
+  op.ProcessTuple(T(10, 1, 0));
+  op.ProcessTuple(T(20, 2, 1));
+  op.ProcessTuple(T(30, 4, 2));
+  op.ProcessWatermark(30);  // cwm = 3: emits ranks [0,2) = 3
+  auto first = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(first[{0, 0, 0, 2}]), 3.0);
+  op.ProcessTuple(T(15, 8, 3));  // shifts ranks of 20 and 30
+  auto updates = op.TakeResults();
+  ASSERT_FALSE(updates.empty());
+  bool found = false;
+  for (const WindowResult& r : updates) {
+    if (r.start == 0 && r.end == 2) {
+      EXPECT_TRUE(r.is_update);
+      EXPECT_DOUBLE_EQ(Num(r.value), 9.0);  // now {1, 8}
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CountWindows, InvertibleShiftsAreIncremental) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));  // invertible
+  op.AddWindow(CountTumbling(2));
+  std::vector<Tuple> tuples = {T(10, 1), T(20, 2), T(30, 3),
+                               T(40, 4), T(15, 5)};
+  RunStream(op, tuples, 40);
+  EXPECT_EQ(op.queries().removal, RemovalStrategy::kIncrementalInvert);
+  EXPECT_EQ(op.stats().slice_recomputes, 0u);
+  EXPECT_GT(op.stats().count_shifts, 0u);
+}
+
+TEST(CountWindows, NonInvertibleShiftsRecompute) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("max"));  // not invertible
+  op.AddWindow(CountTumbling(2));
+  std::vector<Tuple> tuples = {T(10, 1), T(20, 2), T(30, 3),
+                               T(40, 4), T(15, 5)};
+  auto fin = FinalResults(RunStream(op, tuples, 40));
+  EXPECT_EQ(op.queries().removal, RemovalStrategy::kRecompute);
+  EXPECT_GT(op.stats().slice_recomputes, 0u);
+  // Event-time order: 10,15,20,30,40 -> ranks [0,2) max(1,5)=5,
+  // [2,4) max(2,3)=3.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 2}]), 5.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 2, 4}]), 3.0);
+}
+
+TEST(CountWindows, MatchesBruteForceOnRandomOoo) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(5));
+  Rng rng(31);
+  std::vector<Tuple> tuples;
+  Time ts = 0;
+  for (int i = 0; i < 200; ++i) {
+    ts += 1 + static_cast<Time>(rng.NextBounded(5));
+    tuples.push_back(T(ts, static_cast<double>(rng.NextBounded(100))));
+  }
+  // Shuffle lightly: swap ~20% of adjacent pairs to create bounded disorder.
+  for (size_t i = 1; i + 1 < tuples.size(); i += 2) {
+    if (rng.NextDouble() < 0.4) std::swap(tuples[i], tuples[i + 1]);
+  }
+  auto fin = FinalResults(RunStream(op, tuples, ts));
+  const AggregateFunctionPtr sum = MakeAggregation("sum");
+  ASSERT_FALSE(fin.empty());
+  for (const auto& [key, value] : fin) {
+    const auto [w, a, cs, ce] = key;
+    const Value expected = BruteForceCount(*sum, tuples, cs, ce);
+    EXPECT_DOUBLE_EQ(Num(value), Num(expected)) << cs << "," << ce;
+  }
+}
+
+TEST(CountWindows, SlidingCountWindows) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(4, 2, Measure::kCount));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10; ++i) tuples.push_back(T(i * 10, 1.0));
+  auto fin = FinalResults(RunStream(op, tuples, 90));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 4}]), 4.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 2, 6}]), 4.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 4, 8}]), 4.0);
+}
+
+TEST(CountWindows, MixedTimeAndCountQueriesShareOneOperator) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int cw = op.AddWindow(CountTumbling(4));
+  const int tw = op.AddWindow(std::make_shared<TumblingWindow>(25));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 12; ++i) tuples.push_back(T(i * 10, 1.0));
+  auto fin = FinalResults(RunStream(op, tuples, 120));
+  EXPECT_DOUBLE_EQ(Num(fin[{cw, 0, 0, 4}]), 4.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{cw, 0, 4, 8}]), 4.0);
+  // Time windows [0,25): tuples at 0,10,20.
+  EXPECT_DOUBLE_EQ(Num(fin[{tw, 0, 0, 25}]), 3.0);
+}
+
+TEST(CountWindows, HolisticMedianOverCountWindowsWithOoo) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("median"));
+  op.AddWindow(CountTumbling(3));
+  std::vector<Tuple> tuples = {T(10, 9), T(20, 1), T(30, 5),
+                               T(40, 7), T(15, 3)};
+  auto fin = FinalResults(RunStream(op, tuples, 40));
+  // Event-time order values: 9,3,1,5,7 -> ranks [0,3) = {9,3,1} median 3.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 3}]), 3.0);
+}
+
+TEST(CountWindows, CountWatermarkCountsOnlyTuplesBelowTimeWatermark) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(2));
+  op.ProcessTuple(T(10, 1, 0));
+  op.ProcessTuple(T(20, 2, 1));
+  op.ProcessTuple(T(100, 4, 2));
+  op.ProcessWatermark(50);  // only ranks 0 and 1 are final
+  auto fin = FinalResults(op.TakeResults());
+  ASSERT_EQ(fin.size(), 1u);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 2}]), 3.0);
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,199 @@
+// Operator lifecycle: adding and removing queries while the stream runs
+// (the paper's adaptivity), trigger-heap bookkeeping, and state bounds.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/punctuation.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::T;
+
+GeneralSlicingOperator::Options Opts(bool in_order, Time lateness = 1000) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+TEST(Lifecycle, AddWindowMidStream) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(5, 1, 0));
+  op.ProcessTuple(T(15, 2, 1));
+  // A second query joins while the stream runs.
+  const int w2 = op.AddWindow(std::make_shared<TumblingWindow>(20));
+  op.ProcessTuple(T(25, 4, 2));
+  op.ProcessTuple(T(35, 8, 3));
+  op.ProcessWatermark(40);
+  auto fin = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 1.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 30, 40}]), 8.0);
+  // The new query's windows cover the whole range; early ones may span
+  // stream history it never saw sliced — at minimum [20, 40) must be exact.
+  EXPECT_DOUBLE_EQ(Num(fin[{w2, 0, 20, 40}]), 12.0);
+}
+
+TEST(Lifecycle, RemoveWindowStopsItsTriggers) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int w1 = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  const int w2 = op.AddWindow(std::make_shared<TumblingWindow>(5));
+  op.ProcessTuple(T(3, 1, 0));
+  op.RemoveWindow(w2);
+  op.ProcessTuple(T(12, 2, 1));
+  op.ProcessWatermark(20);
+  for (const WindowResult& r : op.TakeResults()) {
+    EXPECT_EQ(r.window_id, w1) << "removed window must not trigger";
+  }
+}
+
+TEST(Lifecycle, RemoveAndReaddKeepsIdsStable) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int w1 = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.RemoveWindow(w1);
+  const int w2 = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  EXPECT_NE(w1, w2);
+  op.ProcessTuple(T(5, 3, 0));
+  op.ProcessWatermark(10);
+  auto fin = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(fin[{w2, 0, 0, 10}]), 3.0);
+}
+
+TEST(Lifecycle, AddingSessionMidStreamActivatesContextPath) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(5, 1, 0));
+  const int sess = op.AddWindow(std::make_shared<SessionWindow>(5));
+  op.ProcessTuple(T(20, 2, 1));
+  op.ProcessTuple(T(40, 4, 2));
+  op.ProcessWatermark(50);
+  auto fin = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 20, 25}]), 2.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 40, 45}]), 4.0);
+}
+
+TEST(Lifecycle, AddingCountWindowMidStreamCreatesCountLane) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(5, 1, 0));
+  EXPECT_EQ(op.count_lane(), nullptr);
+  const int cw =
+      op.AddWindow(std::make_shared<TumblingWindow>(2, Measure::kCount));
+  ASSERT_NE(op.count_lane(), nullptr);
+  op.ProcessTuple(T(15, 2, 1));
+  op.ProcessTuple(T(25, 4, 2));
+  op.ProcessWatermark(30);
+  auto fin = FinalResults(op.TakeResults());
+  // The count lane starts counting from its creation: ranks 0,1 are the
+  // tuples at 15 and 25.
+  EXPECT_DOUBLE_EQ(Num(fin[{cw, 0, 0, 2}]), 6.0);
+}
+
+TEST(Lifecycle, WorkloadDecisionUpdatesOnQueryChanges) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  EXPECT_FALSE(op.queries().StoreTuples());
+  const int punct = op.AddWindow(std::make_shared<PunctuationWindow>());
+  EXPECT_TRUE(op.queries().StoreTuples());  // FCF + OOO
+  op.RemoveWindow(punct);
+  EXPECT_FALSE(op.queries().StoreTuples());
+}
+
+TEST(Lifecycle, StateStaysBoundedOverLongRuns) {
+  GeneralSlicingOperator op(Opts(false, /*lateness=*/500));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(100));
+  op.AddWindow(std::make_shared<SlidingWindow>(400, 100));
+  size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i)));
+    if (i % 1000 == 999) {
+      op.ProcessWatermark(i - 100);
+      op.TakeResults();
+      peak = std::max(peak, op.MemoryUsageBytes());
+    }
+  }
+  // Horizon: window extent 400 + lateness 500 => ~9-12 slices alive.
+  EXPECT_LE(op.time_store()->NumSlices(), 16u);
+  EXPECT_LE(peak, 16u * 200);
+}
+
+TEST(Lifecycle, ResultsAccumulateUntilTaken) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(5, 1, 0));
+  op.ProcessTuple(T(25, 1, 1));
+  op.ProcessWatermark(10);
+  op.ProcessWatermark(20);
+  auto all = op.TakeResults();
+  EXPECT_EQ(all.size(), 2u);  // [0,10) and the empty [10,20)
+  EXPECT_TRUE(op.TakeResults().empty());
+}
+
+TEST(Lifecycle, PerWindowTriggerHeapSurvivesSparseEdges) {
+  // Windows with wildly different lengths: the heap must trigger each at
+  // its own cadence without scanning the others.
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("count"));
+  const int fast = op.AddWindow(std::make_shared<TumblingWindow>(2));
+  const int slow = op.AddWindow(std::make_shared<TumblingWindow>(1000));
+  for (int i = 0; i < 2000; ++i) {
+    op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i)));
+  }
+  op.ProcessWatermark(2000);
+  int fast_windows = 0;
+  int slow_windows = 0;
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.window_id == fast) ++fast_windows;
+    if (r.window_id == slow) ++slow_windows;
+  }
+  EXPECT_EQ(fast_windows, 1000);
+  EXPECT_EQ(slow_windows, 2);
+}
+
+TEST(Lifecycle, InterleavedWatermarksAndLateTuples) {
+  GeneralSlicingOperator op(Opts(false, /*lateness=*/100));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  uint64_t seq = 0;
+  double expected_updates = 0;
+  for (int round = 0; round < 20; ++round) {
+    const Time base = round * 50;
+    op.ProcessTuple(T(base + 5, 1, seq++));
+    op.ProcessTuple(T(base + 15, 1, seq++));
+    op.ProcessWatermark(base + 20);
+    op.ProcessTuple(T(base + 7, 2, seq++));  // late into [base, base+10)
+    expected_updates += 1;
+  }
+  op.ProcessWatermark(2000);
+  int updates = 0;
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.is_update) {
+      ++updates;
+      EXPECT_DOUBLE_EQ(Num(r.value), 3.0);  // 1 + late 2
+    }
+  }
+  EXPECT_EQ(updates, 20);
+}
+
+}  // namespace
+}  // namespace scotty

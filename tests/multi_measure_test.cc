@@ -1,0 +1,112 @@
+// Forward-context-aware multi-measure windows ("last N tuples every T"):
+// trigger-time start derivation, on-demand slice splits, and tuple
+// retention per the decision tree.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/multi_measure.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+GeneralSlicingOperator::Options Opts(bool in_order) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = 1000;
+  return o;
+}
+
+TEST(MultiMeasure, FcaForcesTupleStorageEvenInOrder) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<LastNEveryTWindow>(3, 10));
+  EXPECT_TRUE(op.queries().StoreTuples());
+  EXPECT_TRUE(op.queries().splits_possible);
+}
+
+TEST(MultiMeasure, LastNTuplesEveryPeriod) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<LastNEveryTWindow>(3, 10));
+  // Tuples at 1,4,6,8 (before edge 10): last 3 are {4,6,8} -> [4, 10).
+  auto fin = FinalResults(RunStream(
+      op, {T(1, 1), T(4, 2), T(6, 4), T(8, 8), T(13, 16), T(21, 32)}, 30));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 4, 10}]), 14.0);
+  // At edge 20: last 3 before 20 are {6, 8, 13} -> [6, 20) = 4 + 8 + 16.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 6, 20}]), 28.0);
+}
+
+TEST(MultiMeasure, TriggerSplitsSlicesAtDerivedStarts) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<LastNEveryTWindow>(2, 10));
+  RunStream(op, {T(1, 1), T(4, 2), T(8, 4), T(12, 8)}, 20);
+  // Window start 4 falls inside slice [0, 10): a split must have happened.
+  EXPECT_GT(op.stats().slice_splits, 0u);
+}
+
+TEST(MultiMeasure, SkipsEdgesWithTooFewTuples) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<LastNEveryTWindow>(5, 10));
+  auto fin = FinalResults(RunStream(op, {T(1, 1), T(4, 2), T(15, 4)}, 20));
+  // Edge 10 has only 2 tuples before it: no window. Edge 20 has 3: still no.
+  EXPECT_TRUE(fin.empty());
+}
+
+TEST(MultiMeasure, WorksTogetherWithTumblingQuery) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int fca = op.AddWindow(std::make_shared<LastNEveryTWindow>(2, 10));
+  const int tumb = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  auto fin = FinalResults(RunStream(
+      op, {T(2, 1), T(5, 2), T(9, 4), T(12, 8), T(25, 16)}, 30));
+  EXPECT_DOUBLE_EQ(Num(fin[{fca, 0, 5, 10}]), 6.0);   // last 2 before 10
+  EXPECT_DOUBLE_EQ(Num(fin[{fca, 0, 9, 20}]), 12.0);  // {9, 12}
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 0, 10}]), 7.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 10, 20}]), 8.0);
+}
+
+TEST(MultiMeasure, OutOfOrderStreamAlsoSupported) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<LastNEveryTWindow>(2, 10));
+  op.ProcessTuple(T(2, 1, 0));
+  op.ProcessTuple(T(8, 2, 1));
+  op.ProcessTuple(T(5, 4, 2));  // out-of-order, before the first trigger
+  op.ProcessWatermark(10);
+  auto fin = FinalResults(op.TakeResults());
+  // Last 2 tuples before 10 by event time: {5, 8} -> [5, 10) = 6.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 5, 10}]), 6.0);
+}
+
+TEST(MultiMeasure, EagerStoreMatchesLazy) {
+  std::vector<Tuple> tuples = {T(1, 1),  T(4, 2),  T(6, 4),
+                               T(8, 8),  T(13, 16), T(17, 32)};
+  GeneralSlicingOperator::Options lazy_opts = Opts(true);
+  GeneralSlicingOperator::Options eager_opts = Opts(true);
+  eager_opts.store_mode = StoreMode::kEager;
+  GeneralSlicingOperator lazy(lazy_opts);
+  GeneralSlicingOperator eager(eager_opts);
+  for (auto* op : {&lazy, &eager}) {
+    op->AddAggregation(MakeAggregation("sum"));
+    op->AddWindow(std::make_shared<LastNEveryTWindow>(3, 10));
+  }
+  EXPECT_EQ(FinalResults(RunStream(lazy, tuples, 30)),
+            FinalResults(RunStream(eager, tuples, 30)));
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,157 @@
+// Streaming-substrate tests: the single-threaded pipeline driver and the
+// key-partitioned parallel executor.
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "datagen/generators.h"
+#include "datagen/ooo_injector.h"
+#include "runtime/parallel_executor.h"
+#include "runtime/pipeline.h"
+#include "tests/test_util.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+std::unique_ptr<GeneralSlicingOperator> MakeOp(bool in_order) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = 2000;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  op->AddAggregation(MakeAggregation("sum"));
+  op->AddWindow(std::make_shared<TumblingWindow>(1000));
+  return op;
+}
+
+TEST(Pipeline, DrivesTuplesAndWatermarks) {
+  SensorStream src(SensorStream::Machine());
+  auto op = MakeOp(false);
+  PipelineOptions opts;
+  opts.watermark_every = 100;
+  opts.watermark_delay = 0;
+  const PipelineReport report = RunPipeline(src, *op, 5000, opts);
+  EXPECT_EQ(report.tuples, 5000u);
+  EXPECT_GT(report.results, 0u);
+  EXPECT_GT(report.TuplesPerSecond(), 0.0);
+}
+
+TEST(Pipeline, InOrderModeWithoutWatermarks) {
+  SensorStream src(SensorStream::Machine());
+  auto op = MakeOp(true);
+  PipelineOptions opts;
+  opts.watermark_every = 0;  // self-triggering stream
+  const PipelineReport report = RunPipeline(src, *op, 5000, opts);
+  EXPECT_EQ(report.tuples, 5000u);
+  EXPECT_GT(report.results, 0u);
+}
+
+TEST(Pipeline, OutOfOrderSourceProducesUpdatesWithinLateness) {
+  SensorStream inner(SensorStream::Football());
+  OutOfOrderInjector::Options ooo;
+  ooo.fraction = 0.2;
+  ooo.max_delay = 2000;
+  OutOfOrderInjector src(&inner, ooo);
+  auto op = MakeOp(false);
+  PipelineOptions opts;
+  opts.watermark_every = 500;
+  opts.watermark_delay = 500;  // tighter than max delay: some tuples are late
+  const PipelineReport report = RunPipeline(src, *op, 50000, opts);
+  EXPECT_GT(op->stats().out_of_order_tuples, 0u);
+  EXPECT_GT(report.results, 0u);
+  EXPECT_GT(report.updates, 0u);  // allowed-lateness updates observed
+}
+
+TEST(SpscQueueTest, PushPopRoundTrip) {
+  SpscQueue q(8);
+  SpscQueue::Item in;
+  in.kind = SpscQueue::Item::Kind::kTuple;
+  in.tuple = testutil::T(42, 3.5, 7);
+  q.Push(in);
+  SpscQueue::Item out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.tuple, in.tuple);
+  EXPECT_FALSE(q.Pop(&out));
+}
+
+TEST(SpscQueueTest, OrderPreserved) {
+  SpscQueue q(16);
+  for (int i = 0; i < 10; ++i) {
+    SpscQueue::Item item;
+    item.tuple = testutil::T(i, i);
+    q.Push(item);
+  }
+  SpscQueue::Item out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out.tuple.ts, i);
+  }
+}
+
+TEST(ParallelExecutor, PartitionsByKeyAndAggregates) {
+  ParallelExecutor exec(2, [] {
+    auto op = MakeOp(false);
+    return std::unique_ptr<WindowOperator>(std::move(op));
+  });
+  exec.Start();
+  // 4 keys, 2000 tuples, 1ms apart.
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = testutil::T(i * 2, 1.0, static_cast<uint64_t>(i), i % 4);
+    exec.Push(t);
+    if (i % 500 == 499) exec.PushWatermark(i * 2 - 100);
+  }
+  exec.PushWatermark(4000);
+  exec.Finish();
+  EXPECT_GT(exec.TotalResults(), 0u);
+  EXPECT_GT(exec.MemoryUsageBytes(), 0u);
+}
+
+TEST(ParallelExecutor, SingleWorkerMatchesSequentialResultCount) {
+  // One worker must see every tuple and produce the same windows as a
+  // sequential run.
+  auto sequential = MakeOp(false);
+  uint64_t seq_results = 0;
+  for (int i = 0; i < 3000; ++i) {
+    sequential->ProcessTuple(testutil::T(i, 1.0, static_cast<uint64_t>(i)));
+  }
+  sequential->ProcessWatermark(3000);
+  seq_results = sequential->TakeResults().size();
+
+  ParallelExecutor exec(1, [] {
+    auto op = MakeOp(false);
+    return std::unique_ptr<WindowOperator>(std::move(op));
+  });
+  exec.Start();
+  for (int i = 0; i < 3000; ++i) {
+    exec.Push(testutil::T(i, 1.0, static_cast<uint64_t>(i)));
+  }
+  exec.PushWatermark(3000);
+  exec.Finish();
+  EXPECT_EQ(exec.TotalResults(), seq_results);
+}
+
+TEST(ParallelExecutor, ScalesWithoutLosingTuples) {
+  std::atomic<uint64_t> dummy{0};
+  (void)dummy;
+  for (size_t workers : {1, 2, 4}) {
+    ParallelExecutor exec(workers, [] {
+      auto op = MakeOp(false);
+      return std::unique_ptr<WindowOperator>(std::move(op));
+    });
+    exec.Start();
+    for (int i = 0; i < 5000; ++i) {
+      exec.Push(testutil::T(i, 1.0, static_cast<uint64_t>(i), i % 16));
+    }
+    exec.PushWatermark(5000);
+    exec.Finish();
+    EXPECT_GT(exec.TotalResults(), 0u) << workers;
+  }
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,128 @@
+// Operator-level punctuation-window (FCF) tests: in-order cheap cuts,
+// out-of-order punctuation splits with recomputation from stored tuples.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/punctuation.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+Tuple Punct(Time ts) {
+  Tuple t = testutil::T(ts, 0);
+  t.is_punctuation = true;
+  return t;
+}
+
+GeneralSlicingOperator::Options Opts(bool in_order, Time lateness = 1000) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+TEST(PunctuationSlicing, InOrderWindowsBetweenMarkers) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  auto fin = FinalResults(RunStream(
+      op,
+      {Punct(0), T(1, 1), T(3, 2), Punct(5), T(7, 4), Punct(12), T(13, 8),
+       Punct(20)},
+      25));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 5}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 5, 12}]), 4.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 12, 20}]), 8.0);
+}
+
+TEST(PunctuationSlicing, InOrderNeedsNoTupleStorageAndNoRecompute) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  EXPECT_FALSE(op.queries().StoreTuples());
+  RunStream(op, {Punct(0), T(1, 1), Punct(5), T(7, 2), Punct(10)}, 20);
+  EXPECT_EQ(op.stats().slice_recomputes, 0u);
+}
+
+TEST(PunctuationSlicing, OutOfOrderPunctuationSplitsSlice) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  EXPECT_TRUE(op.queries().StoreTuples());  // FCF + OOO stores tuples
+  std::vector<Tuple> tuples = {Punct(0),  T(2, 1),  T(6, 2),
+                               Punct(10), T(12, 4), Punct(8)};
+  auto fin = FinalResults(RunStream(op, tuples, 20));
+  // The late marker at 8 splits [0,10) into [0,8) and [8,10).
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 8}]), 3.0);
+  EXPECT_TRUE((fin[{0, 0, 8, 10}]).IsEmpty());
+  EXPECT_GT(op.stats().slice_splits, 0u);
+}
+
+TEST(PunctuationSlicing, OutOfOrderPunctuationSplitsTuplesCorrectly) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  std::vector<Tuple> tuples = {Punct(0),  T(2, 1),  T(6, 2), T(9, 8),
+                               Punct(10), T(12, 4), Punct(5)};
+  auto fin = FinalResults(RunStream(op, tuples, 20));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 5}]), 1.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 5, 10}]), 10.0);
+}
+
+TEST(PunctuationSlicing, LateDataTupleUpdatesEmittedPunctWindow) {
+  GeneralSlicingOperator op(Opts(false, /*lateness=*/100));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  uint64_t seq = 0;
+  for (Tuple t : {Punct(0), T(2, 1), Punct(10), T(12, 2)}) {
+    t.seq = seq++;
+    op.ProcessTuple(t);
+  }
+  op.ProcessWatermark(11);  // emits [0, 10) = 1
+  op.TakeResults();
+  Tuple late = T(4, 5, seq++);
+  op.ProcessTuple(late);
+  auto updates = op.TakeResults();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_TRUE(updates[0].is_update);
+  EXPECT_EQ(updates[0].start, 0);
+  EXPECT_EQ(updates[0].end, 10);
+  EXPECT_DOUBLE_EQ(Num(updates[0].value), 6.0);
+}
+
+TEST(PunctuationSlicing, CoexistsWithTumblingQueries) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int punct = op.AddWindow(std::make_shared<PunctuationWindow>());
+  const int tumb = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  auto fin = FinalResults(RunStream(
+      op, {Punct(0), T(2, 1), T(7, 2), Punct(13), T(14, 4), Punct(25)}, 30));
+  EXPECT_DOUBLE_EQ(Num(fin[{punct, 0, 0, 13}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{punct, 0, 13, 25}]), 4.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 0, 10}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 10, 20}]), 4.0);
+}
+
+TEST(PunctuationSlicing, MedianOverPunctuationWindows) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("median"));
+  op.AddWindow(std::make_shared<PunctuationWindow>());
+  auto fin = FinalResults(RunStream(
+      op, {Punct(0), T(1, 9), T(2, 1), T(3, 5), Punct(10)}, 20));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 5.0);
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,210 @@
+// Tests for the runtime extras: watermark policies, the keyed per-partition
+// operator, and the CSV trace replayer.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "datagen/generators.h"
+#include "datagen/ooo_injector.h"
+#include "datagen/replayer.h"
+#include "runtime/keyed_operator.h"
+#include "runtime/watermarks.h"
+#include "tests/test_util.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::T;
+
+// --------------------------- Watermark policies ---------------------------
+
+TEST(PeriodicWatermarks, EmitsEveryIntervalWithDelay) {
+  PeriodicWatermarks policy(3, 100);
+  EXPECT_EQ(policy.OnTuple(T(1000, 0, 0)), kNoTime);
+  EXPECT_EQ(policy.OnTuple(T(1500, 0, 1)), kNoTime);
+  EXPECT_EQ(policy.OnTuple(T(1200, 0, 2)), 1400);  // max 1500 - 100
+  EXPECT_EQ(policy.OnTuple(T(2000, 0, 3)), kNoTime);
+}
+
+TEST(PunctuatedWatermarks, UsesMarkerTimestamps) {
+  PunctuatedWatermarks policy;
+  EXPECT_EQ(policy.OnTuple(T(10, 1, 0)), kNoTime);
+  Tuple marker = T(25, 0, 1);
+  marker.is_punctuation = true;
+  EXPECT_EQ(policy.OnTuple(marker), 25);
+}
+
+TEST(AdaptiveWatermarks, TracksObservedDisorder) {
+  AdaptiveWatermarks policy(2, /*safety=*/1.0, /*initial_slack=*/10);
+  policy.OnTuple(T(1000, 0, 0));
+  policy.OnTuple(T(2000, 0, 1));
+  EXPECT_EQ(policy.observed_delay(), 10);  // nothing late yet
+  policy.OnTuple(T(1500, 0, 2));           // 500 late
+  EXPECT_EQ(policy.observed_delay(), 500);
+  const Time wm = policy.OnTuple(T(2100, 0, 3));
+  EXPECT_EQ(wm, 2100 - 500);
+}
+
+TEST(AdaptiveWatermarks, WatermarksAreSoundForBoundedDisorder) {
+  SensorStream inner(SensorStream::Football());
+  OutOfOrderInjector::Options opts;
+  opts.fraction = 0.2;
+  opts.max_delay = 700;
+  OutOfOrderInjector src(&inner, opts);
+  AdaptiveWatermarks policy(64, /*safety=*/1.5);
+  Tuple t;
+  Time last_wm = kNoTime;
+  int violations = 0;
+  for (int i = 0; i < 30000; ++i) {
+    src.Next(&t);
+    if (last_wm != kNoTime && t.ts < last_wm) ++violations;
+    const Time wm = policy.OnTuple(t);
+    if (wm != kNoTime) last_wm = wm;
+  }
+  // The safety factor gives headroom; violations should be extremely rare.
+  EXPECT_LE(violations, 3);
+}
+
+// --------------------------- Keyed operator ---------------------------
+
+std::unique_ptr<WindowOperator> MakePerKeyOp() {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = false;
+  o.allowed_lateness = 100;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  op->AddAggregation(MakeAggregation("sum"));
+  op->AddWindow(std::make_shared<TumblingWindow>(10));
+  return op;
+}
+
+TEST(KeyedOperator, SeparatesStatePerKey) {
+  KeyedWindowOperator op(MakePerKeyOp);
+  op.ProcessTuple(T(1, 1, 0, /*key=*/7));
+  op.ProcessTuple(T(2, 2, 1, /*key=*/9));
+  op.ProcessTuple(T(3, 4, 2, /*key=*/7));
+  op.ProcessWatermark(20);
+  EXPECT_EQ(op.NumKeys(), 2u);
+  double sum7 = -1;
+  double sum9 = -1;
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.start != 0) continue;
+    if (r.key == 7) sum7 = Num(r.value);
+    if (r.key == 9) sum9 = Num(r.value);
+  }
+  EXPECT_DOUBLE_EQ(sum7, 5.0);
+  EXPECT_DOUBLE_EQ(sum9, 2.0);
+}
+
+TEST(KeyedOperator, LateKeyCreationRespectsWatermark) {
+  KeyedWindowOperator op(MakePerKeyOp);
+  op.ProcessTuple(T(5, 1, 0, 1));
+  op.ProcessWatermark(50);
+  op.TakeResults();
+  // A new key appears after the watermark; its operator must not re-emit
+  // windows before 50 as fresh results.
+  op.ProcessTuple(T(55, 2, 1, 2));
+  op.ProcessWatermark(70);
+  for (const WindowResult& r : op.TakeResults()) {
+    if (r.key == 2 && !r.is_update) {
+      EXPECT_GE(r.end, 50);
+    }
+  }
+}
+
+TEST(KeyedOperator, MemoryAggregatesAcrossKeys) {
+  KeyedWindowOperator op(MakePerKeyOp);
+  for (int i = 0; i < 100; ++i) {
+    op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i), i % 8));
+  }
+  EXPECT_EQ(op.NumKeys(), 8u);
+  EXPECT_GT(op.MemoryUsageBytes(), 0u);
+  EXPECT_NE(op.ForKey(3), nullptr);
+  EXPECT_EQ(op.ForKey(99), nullptr);
+}
+
+// --------------------------- CSV replayer ---------------------------
+
+TEST(CsvReplaySource, RoundTripsAStream) {
+  const std::string path = ::testing::TempDir() + "/scotty_trace.csv";
+  SensorStream src(SensorStream::Machine());
+  ASSERT_TRUE(CsvReplaySource::Dump(path, src, 500));
+
+  CsvReplaySource replay;
+  ASSERT_TRUE(replay.Load(path));
+  EXPECT_EQ(replay.size(), 500u);
+
+  SensorStream fresh(SensorStream::Machine());
+  Tuple a;
+  Tuple b;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(replay.Next(&a));
+    ASSERT_TRUE(fresh.Next(&b));
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(a.key, b.key);
+  }
+  EXPECT_FALSE(replay.Next(&a));
+  std::remove(path.c_str());
+}
+
+TEST(CsvReplaySource, LoopingShiftsTimestamps) {
+  const std::string path = ::testing::TempDir() + "/scotty_loop.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# ts,value,key\n10,1.5,0\n20,2.5,1\n", f);
+    std::fclose(f);
+  }
+  CsvReplaySource replay;
+  ASSERT_TRUE(replay.Load(path));
+  replay.SetLoopCount(2);
+  Tuple t;
+  std::vector<Time> ts;
+  while (replay.Next(&t)) ts.push_back(t.ts);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts[0], 10);
+  EXPECT_EQ(ts[1], 20);
+  EXPECT_EQ(ts[2], 10 + 11);  // shifted by span (20 - 10 + 1)
+  EXPECT_EQ(ts[3], 20 + 11);
+  std::remove(path.c_str());
+}
+
+TEST(CsvReplaySource, MissingFileFailsGracefully) {
+  CsvReplaySource replay;
+  EXPECT_FALSE(replay.Load("/nonexistent/path/trace.csv"));
+  Tuple t;
+  EXPECT_FALSE(replay.Next(&t));
+}
+
+TEST(CsvReplaySource, SkipsMalformedLines) {
+  const std::string path = ::testing::TempDir() + "/scotty_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# header\ngarbage\n5,1.0,2\n\n7,2.0\n", f);
+    std::fclose(f);
+  }
+  CsvReplaySource replay;
+  ASSERT_TRUE(replay.Load(path));
+  EXPECT_EQ(replay.size(), 2u);  // "5,1.0,2" and "7,2.0" (key optional)
+  Tuple t;
+  ASSERT_TRUE(replay.Next(&t));
+  EXPECT_EQ(t.ts, 5);
+  EXPECT_EQ(t.key, 2);
+  ASSERT_TRUE(replay.Next(&t));
+  EXPECT_EQ(t.ts, 7);
+  EXPECT_EQ(t.key, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,189 @@
+// Operator-level session-window tests: slice creation per session, merges
+// without recomputation, out-of-order extensions, and coexistence with
+// context-free queries.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/session.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+GeneralSlicingOperator::Options Opts(bool in_order, Time lateness = 1000) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+TEST(SessionSlicing, InOrderSessionsAggregatePerSession) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  // Sessions: {1,3,4} -> [1,9) and {20,22} -> [20,27).
+  auto fin = FinalResults(RunStream(
+      op, {T(1, 1), T(3, 2), T(4, 3), T(20, 4), T(22, 5)}, 40));
+  ASSERT_EQ(fin.size(), 2u);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 1, 9}]), 6.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 20, 27}]), 9.0);
+}
+
+TEST(SessionSlicing, SessionEmittedOnlyAfterTimeout) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessTuple(T(3, 2, 1));
+  EXPECT_TRUE(op.TakeResults().empty());  // session still open
+  op.ProcessTuple(T(30, 4, 2));           // closes [1, 8)
+  auto results = op.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].start, 1);
+  EXPECT_EQ(results[0].end, 8);
+  EXPECT_DOUBLE_EQ(Num(results[0].value), 3.0);
+}
+
+TEST(SessionSlicing, OutOfOrderTupleMergesSessionsWithoutRecompute) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  std::vector<Tuple> tuples = {T(10, 1), T(18, 2), T(30, 3), T(14, 4)};
+  auto fin = FinalResults(RunStream(op, tuples, 50));
+  // 14 bridges {10} and {18}: one session [10, 23) with sum 7.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 23}]), 7.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 30, 35}]), 3.0);
+  EXPECT_GT(op.stats().slice_merges, 0u);
+  EXPECT_EQ(op.stats().slice_recomputes, 0u);  // sessions never recompute
+  EXPECT_EQ(op.stats().slice_splits, 0u);
+}
+
+TEST(SessionSlicing, SessionsRequireNoTupleStorage) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  EXPECT_FALSE(op.queries().StoreTuples());  // the paper's session exception
+}
+
+TEST(SessionSlicing, OutOfOrderNewSessionBetweenExisting) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 1), T(40, 2), T(25, 3)}, 60));
+  ASSERT_EQ(fin.size(), 3u);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 15}]), 1.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 25, 30}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 40, 45}]), 2.0);
+}
+
+TEST(SessionSlicing, OutOfOrderBackwardExtensionMovesSessionStart) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 1), T(12, 2), T(40, 9), T(7, 3)}, 60));
+  // Session extends backward to 7: [7, 17) with sum 6.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 7, 17}]), 6.0);
+}
+
+TEST(SessionSlicing, OutOfOrderForwardExtensionMovesSessionEnd) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 1), T(40, 9), T(13, 2)}, 60));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 18}]), 3.0);
+}
+
+TEST(SessionSlicing, LateTupleAfterEmissionProducesUpdatedSession) {
+  GeneralSlicingOperator op(Opts(false, /*lateness=*/100));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  op.ProcessTuple(T(10, 1, 0));
+  op.ProcessTuple(T(40, 2, 1));
+  op.ProcessWatermark(30);  // emits session [10, 15)
+  auto first = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(first[{0, 0, 10, 15}]), 1.0);
+  op.ProcessTuple(T(12, 5, 2));  // late, lands inside the emitted session
+  auto updates = op.TakeResults();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_TRUE(updates[0].is_update);
+  EXPECT_DOUBLE_EQ(Num(updates[0].value), 6.0);
+}
+
+TEST(SessionSlicing, SessionPlusTumblingShareTheStream) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int sess = op.AddWindow(std::make_shared<SessionWindow>(5));
+  const int tumb = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  std::vector<Tuple> tuples = {T(1, 1), T(3, 2), T(12, 3), T(30, 4)};
+  auto fin = FinalResults(RunStream(op, tuples, 50));
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 1, 8}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 12, 17}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 0, 10}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 10, 20}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 30, 40}]), 4.0);
+}
+
+TEST(SessionSlicing, TumblingEdgeInsideSessionDoesNotBreakSession) {
+  GeneralSlicingOperator op(Opts(true));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int sess = op.AddWindow(std::make_shared<SessionWindow>(8));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  // Session {7, 9, 12} straddles the tumbling edge at 10.
+  auto fin = FinalResults(RunStream(
+      op, {T(7, 1), T(9, 2), T(12, 4), T(50, 1)}, 80));
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 7, 20}]), 7.0);
+}
+
+TEST(SessionSlicing, MergeRespectsOtherWindowsEdges) {
+  // A merge may not erase a boundary the tumbling query still needs.
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  const int sess = op.AddWindow(std::make_shared<SessionWindow>(6));
+  const int tumb = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  std::vector<Tuple> tuples = {T(6, 1), T(14, 2), T(40, 0), T(9, 4)};
+  auto fin = FinalResults(RunStream(op, tuples, 60));
+  // Sessions {6} and {14} merge via 9 into [6, 20).
+  EXPECT_DOUBLE_EQ(Num(fin[{sess, 0, 6, 20}]), 7.0);
+  // Tumbling windows must still see the split at 10.
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 0, 10}]), 5.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{tumb, 0, 10, 20}]), 2.0);
+}
+
+TEST(SessionSlicing, EagerStoreHandlesSessionMerges) {
+  GeneralSlicingOperator::Options o = Opts(false);
+  o.store_mode = StoreMode::kEager;
+  GeneralSlicingOperator op(o);
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 1), T(18, 2), T(30, 3), T(14, 4)}, 50));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 23}]), 7.0);
+}
+
+TEST(SessionSlicing, ManySessionsEvictedAfterTimeoutAndLateness) {
+  GeneralSlicingOperator op(Opts(true, /*lateness=*/0));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SessionWindow>(5));
+  for (int i = 0; i < 1000; ++i) {
+    // Tuples 20 apart: every tuple is its own session.
+    op.ProcessTuple(T(i * 20, 1.0, static_cast<uint64_t>(i)));
+  }
+  EXPECT_LE(op.time_store()->NumSlices(), 3u);
+}
+
+}  // namespace
+}  // namespace scotty

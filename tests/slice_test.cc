@@ -1,0 +1,207 @@
+// Tests for Slice: the paper's three fundamental operations (merge, split,
+// update) plus tuple retention and memory accounting.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/basic.h"
+#include "aggregates/ordered.h"
+#include "core/slice.h"
+#include "tests/test_util.h"
+
+namespace scotty {
+namespace {
+
+using testutil::T;
+
+std::vector<AggregateFunctionPtr> SumOnly() {
+  return {std::make_shared<SumAggregation>()};
+}
+
+std::vector<AggregateFunctionPtr> SumAndConcat() {
+  return {std::make_shared<SumAggregation>(),
+          std::make_shared<ConcatAggregation>()};
+}
+
+TEST(Slice, AddTupleUpdatesAggregateAndMetadata) {
+  auto fns = SumOnly();
+  Slice s(0, 10, fns.size());
+  s.AddTuple(T(3, 5.0, 0), fns, /*store_tuple=*/false);
+  s.AddTuple(T(7, 2.0, 1), fns, false);
+  EXPECT_EQ(s.tuple_count(), 2u);
+  EXPECT_EQ(s.t_first(), 3);
+  EXPECT_EQ(s.t_last(), 7);
+  EXPECT_DOUBLE_EQ(s.agg(0).Get<double>(), 7.0);
+  EXPECT_TRUE(s.tuples().empty());  // not retained
+}
+
+TEST(Slice, MetadataIndependentOfBounds) {
+  // The paper's example: slice [1, 10) whose first tuple is at 2, last at 9.
+  auto fns = SumOnly();
+  Slice s(1, 10, fns.size());
+  s.AddTuple(T(2, 1.0, 0), fns, false);
+  s.AddTuple(T(9, 1.0, 1), fns, false);
+  EXPECT_EQ(s.start(), 1);
+  EXPECT_EQ(s.end(), 10);
+  EXPECT_EQ(s.t_first(), 2);
+  EXPECT_EQ(s.t_last(), 9);
+}
+
+TEST(Slice, StoredTuplesKeptSortedByTsThenSeq) {
+  auto fns = SumOnly();
+  Slice s(0, 100, fns.size());
+  s.AddTuple(T(30, 1.0, 0), fns, true);
+  s.AddTuple(T(10, 2.0, 1), fns, true);
+  s.AddTuple(T(30, 3.0, 2), fns, true);
+  s.AddTuple(T(20, 4.0, 3), fns, true);
+  ASSERT_EQ(s.tuples().size(), 4u);
+  EXPECT_EQ(s.tuples()[0].ts, 10);
+  EXPECT_EQ(s.tuples()[1].ts, 20);
+  EXPECT_EQ(s.tuples()[2].ts, 30);
+  EXPECT_EQ(s.tuples()[2].seq, 0u);  // seq breaks the tie
+  EXPECT_EQ(s.tuples()[3].seq, 2u);
+}
+
+TEST(Slice, MergeCombinesAggregatesAndRange) {
+  auto fns = SumOnly();
+  Slice a(0, 10, fns.size());
+  a.AddTuple(T(5, 1.0, 0), fns, false);
+  Slice b(10, 20, fns.size());
+  b.AddTuple(T(12, 2.0, 1), fns, false);
+  b.AddTuple(T(19, 3.0, 2), fns, false);
+  a.MergeWith(b, fns);
+  EXPECT_EQ(a.start(), 0);
+  EXPECT_EQ(a.end(), 20);
+  EXPECT_EQ(a.tuple_count(), 3u);
+  EXPECT_EQ(a.t_first(), 5);
+  EXPECT_EQ(a.t_last(), 19);
+  EXPECT_DOUBLE_EQ(a.agg(0).Get<double>(), 6.0);
+}
+
+TEST(Slice, MergePreservesNonCommutativeOrder) {
+  auto fns = SumAndConcat();
+  Slice a(0, 10, fns.size());
+  a.AddTuple(T(1, 1.0, 0), fns, true);
+  a.AddTuple(T(2, 2.0, 1), fns, true);
+  Slice b(10, 20, fns.size());
+  b.AddTuple(T(11, 3.0, 2), fns, true);
+  a.MergeWith(b, fns);
+  const std::vector<double> expected = {1, 2, 3};
+  EXPECT_EQ(ConcatAggregation().Lower(a.agg(1)).AsSequence(), expected);
+}
+
+TEST(Slice, MergeWithEmptySliceIsIdentity) {
+  auto fns = SumOnly();
+  Slice a(0, 10, fns.size());
+  a.AddTuple(T(5, 4.0, 0), fns, false);
+  Slice b(10, 20, fns.size());
+  a.MergeWith(b, fns);
+  EXPECT_DOUBLE_EQ(a.agg(0).Get<double>(), 4.0);
+  EXPECT_EQ(a.end(), 20);
+  EXPECT_EQ(a.t_last(), 5);
+}
+
+TEST(Slice, SplitRecomputesBothHalves) {
+  auto fns = SumOnly();
+  Slice s(0, 20, fns.size());
+  s.AddTuple(T(2, 1.0, 0), fns, true);
+  s.AddTuple(T(8, 2.0, 1), fns, true);
+  s.AddTuple(T(12, 4.0, 2), fns, true);
+  s.AddTuple(T(18, 8.0, 3), fns, true);
+  Slice right = s.SplitAt(10, fns);
+  EXPECT_EQ(s.start(), 0);
+  EXPECT_EQ(s.end(), 10);
+  EXPECT_EQ(right.start(), 10);
+  EXPECT_EQ(right.end(), 20);
+  EXPECT_EQ(s.tuple_count(), 2u);
+  EXPECT_EQ(right.tuple_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.agg(0).Get<double>(), 3.0);
+  EXPECT_DOUBLE_EQ(right.agg(0).Get<double>(), 12.0);
+  EXPECT_EQ(s.t_last(), 8);
+  EXPECT_EQ(right.t_first(), 12);
+}
+
+TEST(Slice, SplitAtTupleTimestampPutsItRight) {
+  auto fns = SumOnly();
+  Slice s(0, 20, fns.size());
+  s.AddTuple(T(5, 1.0, 0), fns, true);
+  s.AddTuple(T(10, 2.0, 1), fns, true);
+  Slice right = s.SplitAt(10, fns);
+  EXPECT_EQ(s.tuple_count(), 1u);
+  EXPECT_EQ(right.tuple_count(), 1u);
+  EXPECT_DOUBLE_EQ(right.agg(0).Get<double>(), 2.0);
+}
+
+TEST(Slice, MetadataOnlySplitWithoutStoredTuples) {
+  auto fns = SumOnly();
+  Slice s(0, 20, fns.size());
+  s.AddTuple(T(2, 3.0, 0), fns, false);
+  s.AddTuple(T(4, 4.0, 1), fns, false);
+  // All tuples are left of the cut: the right half is empty metadata.
+  Slice right = s.SplitAt(10, fns);
+  EXPECT_DOUBLE_EQ(s.agg(0).Get<double>(), 7.0);
+  EXPECT_TRUE(right.agg(0).IsIdentity());
+  EXPECT_TRUE(right.empty());
+}
+
+TEST(Slice, MetadataOnlySplitAllTuplesRight) {
+  auto fns = SumOnly();
+  Slice s(0, 20, fns.size());
+  s.AddTuple(T(15, 3.0, 0), fns, false);
+  Slice right = s.SplitAt(10, fns);
+  EXPECT_TRUE(s.agg(0).IsIdentity());
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(right.agg(0).Get<double>(), 3.0);
+  EXPECT_EQ(right.t_first(), 15);
+}
+
+TEST(Slice, RecomputeFromTuplesFoldsInOrder) {
+  auto fns = SumAndConcat();
+  Slice s(0, 100, fns.size());
+  s.AddTuple(T(30, 3.0, 0), fns, true);
+  s.InsertTupleOnly(T(10, 1.0, 1));  // out-of-order arrival
+  s.RecomputeFromTuples(fns);
+  const std::vector<double> expected = {1, 3};  // event-time order
+  EXPECT_EQ(ConcatAggregation().Lower(s.agg(1)).AsSequence(), expected);
+  EXPECT_DOUBLE_EQ(s.agg(0).Get<double>(), 4.0);
+}
+
+TEST(Slice, PopLastTupleMaintainsMetadata) {
+  auto fns = SumOnly();
+  Slice s(0, 100, fns.size());
+  s.AddTuple(T(10, 1.0, 0), fns, true);
+  s.AddTuple(T(20, 2.0, 1), fns, true);
+  const Tuple popped = s.PopLastTuple();
+  EXPECT_EQ(popped.ts, 20);
+  EXPECT_EQ(s.tuple_count(), 1u);
+  EXPECT_EQ(s.t_last(), 10);
+  const Tuple last = s.PopLastTuple();
+  EXPECT_EQ(last.ts, 10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.t_first(), kNoTime);
+}
+
+TEST(Slice, DropTuplesReleasesStorageKeepsAggregates) {
+  auto fns = SumOnly();
+  Slice s(0, 100, fns.size());
+  for (int i = 0; i < 100; ++i) s.AddTuple(T(i, 1.0, i), fns, true);
+  const size_t with_tuples = s.MemoryBytes();
+  s.DropTuples();
+  EXPECT_LT(s.MemoryBytes(), with_tuples);
+  EXPECT_DOUBLE_EQ(s.agg(0).Get<double>(), 100.0);
+  EXPECT_EQ(s.tuple_count(), 100u);
+}
+
+TEST(Slice, MemoryBytesCountsTuplesAndPartials) {
+  auto fns = SumOnly();
+  Slice lean(0, 10, fns.size());
+  lean.AddTuple(T(1, 1.0, 0), fns, false);
+  Slice fat(0, 10, fns.size());
+  for (int i = 0; i < 50; ++i) fat.AddTuple(T(i, 1.0, i), fns, true);
+  EXPECT_GT(fat.MemoryBytes(), lean.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,248 @@
+// Focused unit tests for the StreamSlicer (Step 1) and SliceManager (Step 2)
+// components, driving them directly against an AggregateStore.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/basic.h"
+#include "core/slice_manager.h"
+#include "core/stream_slicer.h"
+#include "tests/test_util.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::T;
+
+struct Rig {
+  explicit Rig(std::vector<WindowPtr> windows, bool in_order = true,
+               bool store_tuples = false) {
+    queries.windows = std::move(windows);
+    queries.aggs = {std::make_shared<SumAggregation>()};
+    queries.stream_in_order = in_order;
+    queries.force_store_tuples = store_tuples;
+    queries.Recharacterize();
+    store = std::make_unique<AggregateStore>(StoreMode::kLazy, queries.aggs);
+    slicer = std::make_unique<StreamSlicer>(store.get(), &queries);
+    manager = std::make_unique<SliceManager>(store.get(), &queries, &stats);
+  }
+
+  void Feed(Time ts, double value = 1.0) {
+    Tuple t = T(ts, value, seq++);
+    slicer->OnInOrderTuple(ts);
+    manager->AddInOrder(t);
+    if (!queries.windows.empty() &&
+        queries.windows[0]->context_class() != ContextClass::kContextFree) {
+      slicer->Recache(ts);
+    }
+  }
+
+  QuerySet queries;
+  OperatorStats stats;
+  std::unique_ptr<AggregateStore> store;
+  std::unique_ptr<StreamSlicer> slicer;
+  std::unique_ptr<SliceManager> manager;
+  uint64_t seq = 0;
+};
+
+TEST(StreamSlicer, FirstTupleOpensSliceAtFloorEdge) {
+  Rig rig({std::make_shared<TumblingWindow>(10)});
+  rig.Feed(23);
+  ASSERT_EQ(rig.store->NumSlices(), 1u);
+  EXPECT_EQ(rig.store->At(0).start(), 20);
+  EXPECT_EQ(rig.store->At(0).end(), 30);
+}
+
+TEST(StreamSlicer, CutsExactlyAtWindowEdges) {
+  Rig rig({std::make_shared<TumblingWindow>(10)});
+  for (Time ts : {1, 5, 9, 10, 11, 20}) rig.Feed(ts);
+  ASSERT_EQ(rig.store->NumSlices(), 3u);
+  EXPECT_EQ(rig.store->At(0).end(), 10);
+  EXPECT_EQ(rig.store->At(1).start(), 10);
+  EXPECT_EQ(rig.store->At(1).end(), 20);
+  EXPECT_EQ(rig.store->At(2).start(), 20);
+  EXPECT_EQ(rig.store->At(0).tuple_count(), 3u);  // 1, 5, 9
+  EXPECT_EQ(rig.store->At(1).tuple_count(), 2u);  // 10, 11
+}
+
+TEST(StreamSlicer, TupleAtEdgeBelongsToNextSlice) {
+  Rig rig({std::make_shared<TumblingWindow>(10)});
+  rig.Feed(9);
+  rig.Feed(10);  // exactly on the edge: [10, 20)
+  ASSERT_EQ(rig.store->NumSlices(), 2u);
+  EXPECT_EQ(rig.store->At(1).t_first(), 10);
+}
+
+TEST(StreamSlicer, SkipsEmptyRegions) {
+  Rig rig({std::make_shared<TumblingWindow>(10)});
+  rig.Feed(5);
+  rig.Feed(95);  // nine empty windows in between: no slices for them
+  ASSERT_EQ(rig.store->NumSlices(), 2u);
+  EXPECT_EQ(rig.store->At(1).start(), 90);
+}
+
+TEST(StreamSlicer, MultiQueryEdgesInterleave) {
+  Rig rig({std::make_shared<TumblingWindow>(10),
+           std::make_shared<TumblingWindow>(15)});
+  for (Time ts = 0; ts < 30; ++ts) rig.Feed(ts);
+  // Edges at 0, 10, 15, 20, 30: slices [0,10) [10,15) [15,20) [20,30).
+  ASSERT_EQ(rig.store->NumSlices(), 4u);
+  EXPECT_EQ(rig.store->At(1).start(), 10);
+  EXPECT_EQ(rig.store->At(1).end(), 15);
+  EXPECT_EQ(rig.store->At(2).end(), 20);
+}
+
+TEST(StreamSlicer, SessionNextEdgeFollowsTimeout) {
+  auto session = std::make_shared<SessionWindow>(5);
+  Rig rig({session});
+  session->ProcessContext(T(10, 1, 100));
+  rig.Feed(10);
+  EXPECT_EQ(rig.slicer->next_edge(), 15);
+  session->ProcessContext(T(13, 1, 101));
+  rig.Feed(13);
+  EXPECT_EQ(rig.slicer->next_edge(), 18);
+  EXPECT_EQ(rig.store->Current()->end(), 18);  // provisional end follows
+}
+
+TEST(StreamSlicer, OutOfOrderDeclaredStreamCutsAtAllEdges) {
+  // Declared out-of-order streams always slice at starts AND ends so late
+  // tuples can update a window's last slice. For misaligned sliding
+  // windows, in-order streams need the end cuts too (correctness), so the
+  // slice structures coincide; OOO must never have fewer.
+  Rig in_order({std::make_shared<SlidingWindow>(12, 5)}, /*in_order=*/true);
+  Rig ooo({std::make_shared<SlidingWindow>(12, 5)}, /*in_order=*/false);
+  for (Time ts = 0; ts < 40; ++ts) {
+    in_order.Feed(ts);
+    ooo.Feed(ts);
+  }
+  EXPECT_GE(ooo.store->NumSlices(), in_order.store->NumSlices());
+  // Ends must be cut in both: edge at 12 separates slices.
+  EXPECT_NE(ooo.store->FindCovering(12), AggregateStore::kNpos);
+  EXPECT_EQ(ooo.store->At(ooo.store->FindCovering(12)).start(), 12);
+}
+
+TEST(SliceManager, AddOutOfOrderHitsCoveringSlice) {
+  Rig rig({std::make_shared<TumblingWindow>(10)}, /*in_order=*/false);
+  rig.Feed(5);
+  rig.Feed(15);
+  const size_t idx = rig.manager->AddOutOfOrder(T(7, 10.0, 99));
+  EXPECT_EQ(idx, 0u);
+  EXPECT_DOUBLE_EQ(rig.store->At(0).agg(0).Get<double>(), 11.0);
+}
+
+TEST(SliceManager, AddOutOfOrderCreatesSliceInGap) {
+  Rig rig({std::make_shared<TumblingWindow>(10)}, /*in_order=*/false);
+  rig.Feed(5);
+  rig.Feed(95);
+  const size_t idx = rig.manager->AddOutOfOrder(T(47, 2.0, 99));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_EQ(rig.store->At(1).start(), 40);
+  EXPECT_EQ(rig.store->At(1).end(), 50);
+  EXPECT_EQ(rig.store->NumSlices(), 3u);
+}
+
+TEST(SliceManager, EnsureEdgeNoOpOnExistingBoundary) {
+  Rig rig({std::make_shared<TumblingWindow>(10)}, false, true);
+  rig.Feed(5);
+  rig.Feed(15);
+  const size_t before = rig.store->NumSlices();
+  rig.manager->EnsureEdge(10);
+  EXPECT_EQ(rig.store->NumSlices(), before);
+  EXPECT_EQ(rig.stats.slice_splits, 0u);
+}
+
+TEST(SliceManager, EnsureEdgeSplitsWithStoredTuples) {
+  Rig rig({std::make_shared<TumblingWindow>(100)}, false, true);
+  rig.Feed(10, 1.0);
+  rig.Feed(30, 2.0);
+  rig.Feed(60, 4.0);
+  rig.manager->EnsureEdge(40);
+  ASSERT_EQ(rig.store->NumSlices(), 2u);
+  EXPECT_DOUBLE_EQ(rig.store->At(0).agg(0).Get<double>(), 3.0);
+  EXPECT_DOUBLE_EQ(rig.store->At(1).agg(0).Get<double>(), 4.0);
+  EXPECT_EQ(rig.stats.slice_splits, 1u);
+  EXPECT_GE(rig.stats.slice_recomputes, 1u);
+}
+
+TEST(SliceManager, EnsureEdgeMetadataOnlyWhenOneSideEmpty) {
+  Rig rig({std::make_shared<TumblingWindow>(100)}, false, false);
+  rig.Feed(10);
+  rig.Feed(20);
+  // All tuples left of 50: metadata-only split without stored tuples.
+  rig.manager->EnsureEdge(50);
+  ASSERT_EQ(rig.store->NumSlices(), 2u);
+  EXPECT_DOUBLE_EQ(rig.store->At(0).agg(0).Get<double>(), 2.0);
+  EXPECT_TRUE(rig.store->At(1).agg(0).IsIdentity());
+}
+
+TEST(SliceManager, MergePreservesRequiredEdges) {
+  auto session = std::make_shared<SessionWindow>(6);
+  auto tumbling = std::make_shared<TumblingWindow>(10);
+  Rig rig({session, tumbling}, /*in_order=*/false);
+  // Build slices [6,10) and [10,12) and [14, 20) via in-order feed.
+  session->ProcessContext(T(6, 1, 0));
+  rig.Feed(6);
+  session->ProcessContext(T(11, 1, 1));
+  rig.Feed(11);
+  session->ProcessContext(T(30, 1, 2));
+  rig.Feed(30);
+  const size_t before = rig.store->NumSlices();
+  // Request a merge across (6, 17): the boundary at 10 is a tumbling edge
+  // and must survive.
+  ContextModifications mods;
+  mods.merged_ranges.push_back({6, 17});
+  rig.manager->Apply(mods);
+  EXPECT_EQ(rig.store->NumSlices(), before);  // nothing merged
+  EXPECT_EQ(rig.stats.slice_merges, 0u);
+}
+
+TEST(SliceManager, MergeCombinesWhenEdgeUnneeded) {
+  auto session = std::make_shared<SessionWindow>(4);
+  Rig rig({session}, /*in_order=*/false);
+  session->ProcessContext(T(10, 1, 0));
+  rig.Feed(10, 1.0);
+  session->ProcessContext(T(16, 1, 1));
+  rig.Feed(16, 2.0);
+  session->ProcessContext(T(40, 1, 2));
+  rig.Feed(40, 4.0);
+  ASSERT_EQ(rig.store->NumSlices(), 3u);
+  // Bridge the first two sessions (ProcessContext updates session state so
+  // the old boundary is no longer required).
+  ContextModifications mods = session->ProcessContext(T(13, 1, 3));
+  rig.manager->Apply(mods);
+  rig.manager->AddOutOfOrder(T(13, 8.0, 3));
+  EXPECT_EQ(rig.store->NumSlices(), 2u);
+  EXPECT_DOUBLE_EQ(rig.store->At(0).agg(0).Get<double>(), 11.0);
+  EXPECT_EQ(rig.stats.slice_merges, 1u);
+}
+
+TEST(SliceManager, ResizeExtendsSliceBounds) {
+  auto session = std::make_shared<SessionWindow>(5);
+  Rig rig({session}, /*in_order=*/false);
+  session->ProcessContext(T(10, 1, 0));
+  rig.Feed(10);
+  session->ProcessContext(T(40, 1, 1));
+  rig.Feed(40);
+  // Backward extension via OOO tuple at 7.
+  ContextModifications mods = session->ProcessContext(T(7, 1, 2));
+  rig.manager->Apply(mods);
+  rig.manager->AddOutOfOrder(T(7, 1, 2));
+  EXPECT_EQ(rig.store->At(0).start(), 7);
+  EXPECT_EQ(rig.store->At(0).end(), 15);
+}
+
+TEST(SliceManager, StatsTrackTupleFlow) {
+  Rig rig({std::make_shared<TumblingWindow>(10)}, false);
+  rig.Feed(1);
+  rig.Feed(2);
+  rig.manager->AddOutOfOrder(T(1, 1, 99));
+  EXPECT_EQ(rig.store->TotalTupleCount(), 3u);
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,260 @@
+// In-order slicing on context-free windows: correctness of the general
+// slicing operator against brute-force semantics, slice minimality, and
+// multi-query sharing.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::BruteForce;
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+GeneralSlicingOperator::Options InOrderOpts(
+    StoreMode mode = StoreMode::kLazy) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = true;
+  o.store_mode = mode;
+  return o;
+}
+
+TEST(SlicingBasic, TumblingSumSingleWindow) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  auto results = RunStream(
+      op, {T(1, 1), T(3, 2), T(9, 3), T(11, 4), T(15, 5), T(21, 6)}, 30);
+  auto fin = FinalResults(results);
+  ASSERT_EQ(fin.size(), 3u);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 6.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 20}]), 9.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 20, 30}]), 6.0);
+}
+
+TEST(SlicingBasic, InOrderStreamEmitsPerTupleWithoutWatermarks) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessTuple(T(5, 2, 1));
+  EXPECT_TRUE(op.TakeResults().empty());  // window [0,10) still open
+  op.ProcessTuple(T(12, 3, 2));           // acts as watermark 12
+  auto results = op.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].start, 0);
+  EXPECT_EQ(results[0].end, 10);
+  EXPECT_DOUBLE_EQ(Num(results[0].value), 3.0);
+}
+
+TEST(SlicingBasic, SlidingWindowsShareSlices) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(10, 5));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 40; ++i) tuples.push_back(T(i, 1.0));
+  auto fin = FinalResults(RunStream(op, tuples, 40));
+  // Windows [0,10),[5,15),...,[30,40) each contain 10 tuples.
+  for (Time s = 0; s <= 30; s += 5) {
+    EXPECT_DOUBLE_EQ(Num(fin[{0, 0, s, s + 10}]), 10.0) << s;
+  }
+}
+
+TEST(SlicingBasic, EachTupleInExactlyOneSlice) {
+  // Out-of-order mode without watermarks: nothing is triggered or evicted,
+  // so we can audit the full slice structure at the end.
+  GeneralSlicingOperator::Options o;
+  o.allowed_lateness = 1000000;
+  GeneralSlicingOperator op(o);
+  op.AddAggregation(MakeAggregation("count"));
+  op.AddWindow(std::make_shared<SlidingWindow>(20, 5));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 100; ++i) tuples.push_back(T(i, 1.0));
+  uint64_t seq = 0;
+  for (Tuple& t : tuples) {
+    t.seq = seq++;
+    op.ProcessTuple(t);
+  }
+  const AggregateStore* store = op.time_store();
+  ASSERT_NE(store, nullptr);
+  uint64_t total = 0;
+  for (size_t i = 0; i < store->NumSlices(); ++i) {
+    total += store->At(i).tuple_count();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(SlicingBasic, InOrderCutsAtWindowStartsOnlyWhenAligned) {
+  // The Cutty minimality: when window ends coincide with start edges
+  // (length % slide == 0), in-order streams slice at starts only.
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(20, 5));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 50; ++i) tuples.push_back(T(i, 1.0));
+  RunStream(op, tuples, 0);
+  // Starts are multiples of 5: 50/5 = 10 slices ever created.
+  EXPECT_EQ(op.time_store()->SlicesCreated(), 10u);
+}
+
+TEST(SlicingBasic, MisalignedSlidingWindowsAlsoCutAtEnds) {
+  // length % slide != 0: end edges fall between starts and must cut, or
+  // windows would absorb tuples beyond their end (correctness over
+  // minimality).
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(12, 5));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 50; ++i) tuples.push_back(T(i, 1.0));
+  RunStream(op, tuples, 0);
+  // Starts 0,5,...,45 (the first opens the initial slice) plus ends
+  // 12,17,...,47: 10 + 8 = 18 slices.
+  EXPECT_EQ(op.time_store()->SlicesCreated(), 18u);
+}
+
+TEST(SlicingBasic, MultipleConcurrentQueriesShareOneStore) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  const int w1 = op.AddWindow(std::make_shared<TumblingWindow>(10));
+  const int w2 = op.AddWindow(std::make_shared<TumblingWindow>(15));
+  const int w3 = op.AddWindow(std::make_shared<SlidingWindow>(20, 10));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 60; ++i) tuples.push_back(T(i, 1.0));
+  auto fin = FinalResults(RunStream(op, tuples, 60));
+  EXPECT_DOUBLE_EQ(Num(fin[{w1, 0, 0, 10}]), 10.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{w2, 0, 0, 15}]), 15.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{w2, 0, 15, 30}]), 15.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{w3, 0, 10, 30}]), 20.0);
+}
+
+TEST(SlicingBasic, MultipleAggregationsPerSlice) {
+  GeneralSlicingOperator op(InOrderOpts());
+  const int sum = op.AddAggregation(MakeAggregation("sum"));
+  const int mx = op.AddAggregation(MakeAggregation("max"));
+  const int cnt = op.AddAggregation(MakeAggregation("count"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  auto fin =
+      FinalResults(RunStream(op, {T(1, 5), T(4, 9), T(8, 2)}, 10));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, sum, 0, 10}]), 16.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, mx, 0, 10}]), 9.0);
+  EXPECT_EQ((fin[{0, cnt, 0, 10}]).AsInt(), 3);
+}
+
+TEST(SlicingBasic, EmptyWindowsEmitEmptyValues) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  auto fin = FinalResults(RunStream(op, {T(5, 1), T(35, 2)}, 40));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 1.0);
+  EXPECT_TRUE((fin[{0, 0, 10, 20}]).IsEmpty());
+  EXPECT_TRUE((fin[{0, 0, 20, 30}]).IsEmpty());
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 30, 40}]), 2.0);
+}
+
+TEST(SlicingBasic, NoTupleStorageForContextFreeInOrder) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 30; ++i) tuples.push_back(T(i, 1.0));
+  RunStream(op, tuples, 0);
+  EXPECT_FALSE(op.queries().StoreTuples());
+  for (size_t i = 0; i < op.time_store()->NumSlices(); ++i) {
+    EXPECT_TRUE(op.time_store()->At(i).tuples().empty());
+  }
+}
+
+TEST(SlicingBasic, EagerModeMatchesLazyMode) {
+  for (const char* agg : {"sum", "median", "m4"}) {
+    GeneralSlicingOperator lazy(InOrderOpts(StoreMode::kLazy));
+    GeneralSlicingOperator eager(InOrderOpts(StoreMode::kEager));
+    for (auto* op : {&lazy, &eager}) {
+      op->AddAggregation(MakeAggregation(agg));
+      op->AddWindow(std::make_shared<SlidingWindow>(10, 5));
+    }
+    std::vector<Tuple> tuples;
+    for (int i = 0; i < 50; ++i) {
+      tuples.push_back(T(i, static_cast<double>((i * 7) % 13)));
+    }
+    auto a = FinalResults(RunStream(lazy, tuples, 50));
+    auto b = FinalResults(RunStream(eager, tuples, 50));
+    EXPECT_EQ(a, b) << agg;
+  }
+}
+
+TEST(SlicingBasic, ResultsMatchBruteForceOnIrregularStream) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(7));
+  std::vector<Tuple> tuples = {T(0, 1), T(2, 2),  T(6, 3),  T(13, 4),
+                               T(14, 5), T(29, 6), T(30, 7), T(31, 8)};
+  auto fin = FinalResults(RunStream(op, tuples, 40));
+  const AggregateFunctionPtr sum = MakeAggregation("sum");
+  for (const auto& [key, value] : fin) {
+    const auto [w, a, s, e] = key;
+    const Value expected = BruteForce(*sum, tuples, s, e);
+    if (expected.IsEmpty()) {
+      EXPECT_TRUE(value.IsEmpty()) << s << "," << e;
+    } else {
+      EXPECT_DOUBLE_EQ(Num(value), Num(expected)) << s << "," << e;
+    }
+  }
+}
+
+TEST(SlicingBasic, WatermarksAlsoWorkOnDeclaredInOrderStreams) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessWatermark(25);
+  auto fin = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 1.0);
+  EXPECT_TRUE((fin[{0, 0, 10, 20}]).IsEmpty());
+}
+
+TEST(SlicingBasic, EvictionBoundsSliceCount) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  for (int i = 0; i < 10000; ++i) {
+    op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i)));
+  }
+  // Retention horizon is one window length: old slices must be gone.
+  EXPECT_LE(op.time_store()->NumSlices(), 4u);
+}
+
+TEST(SlicingBasic, ArbitraryAdvancingMeasureBehavesLikeEventTime) {
+  // "Timestamps" are kilometers driven: identical processing (paper §4.3).
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("avg"));
+  op.AddWindow(
+      std::make_shared<TumblingWindow>(100, Measure::kArbitrary));
+  auto fin = FinalResults(
+      RunStream(op, {T(10, 50), T(60, 70), T(120, 30)}, 200));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 100}]), 60.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 100, 200}]), 30.0);
+}
+
+TEST(SlicingBasic, StatsCountProcessedTuples) {
+  GeneralSlicingOperator op(InOrderOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  RunStream(op, {T(1, 1), T(2, 2), T(3, 3)}, 10);
+  EXPECT_EQ(op.stats().tuples_processed, 3u);
+  EXPECT_EQ(op.stats().out_of_order_tuples, 0u);
+  EXPECT_GT(op.stats().windows_emitted, 0u);
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,251 @@
+// Out-of-order processing on the general slicing operator: slice lookups,
+// watermark-driven triggering, allowed lateness, non-commutative
+// recomputation, and the adaptive storage decision.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::Num;
+using testutil::RunStream;
+using testutil::T;
+
+GeneralSlicingOperator::Options OooOpts(Time lateness = 100,
+                                        StoreMode mode = StoreMode::kLazy) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = false;
+  o.allowed_lateness = lateness;
+  o.store_mode = mode;
+  return o;
+}
+
+TEST(SlicingOoo, NoOutputBeforeWatermark) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessTuple(T(15, 2, 1));
+  EXPECT_TRUE(op.TakeResults().empty());
+  op.ProcessWatermark(10);
+  auto fin = FinalResults(op.TakeResults());
+  ASSERT_EQ(fin.size(), 1u);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 1.0);
+}
+
+TEST(SlicingOoo, OutOfOrderTupleLandsInExistingSlice) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  // In-order tuples carve slices [0,10) and [10,20); the late tuple at 4
+  // must update the first slice, before any watermark.
+  auto fin = FinalResults(RunStream(
+      op, {T(1, 1), T(12, 2), T(4, 10)}, 20));
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 11.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 20}]), 2.0);
+  EXPECT_EQ(op.stats().out_of_order_tuples, 1u);
+}
+
+TEST(SlicingOoo, SlicesCutAtStartsAndEndsForOutOfOrderStreams) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(12, 5));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 50; ++i) tuples.push_back(T(i, 1.0));
+  RunStream(op, tuples, 0);
+  // Unlike the in-order case (10 slices), ends also cut: roughly double.
+  EXPECT_GT(op.time_store()->NumSlices(), 10u);
+}
+
+TEST(SlicingOoo, LateTupleWithinLatenessEmitsUpdate) {
+  GeneralSlicingOperator op(OooOpts(/*lateness=*/100));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessTuple(T(15, 2, 1));
+  op.ProcessWatermark(10);  // emits [0,10) = 1
+  op.TakeResults();
+  op.ProcessTuple(T(5, 7, 2));  // late but within lateness
+  auto results = op.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].is_update);
+  EXPECT_EQ(results[0].start, 0);
+  EXPECT_EQ(results[0].end, 10);
+  EXPECT_DOUBLE_EQ(Num(results[0].value), 8.0);
+  EXPECT_EQ(op.stats().late_tuples, 1u);
+}
+
+TEST(SlicingOoo, LateTupleUpdatesAllCoveringSlidingWindows) {
+  GeneralSlicingOperator op(OooOpts(/*lateness=*/1000));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<SlidingWindow>(20, 10));
+  op.ProcessTuple(T(5, 1, 0));
+  op.ProcessTuple(T(45, 1, 1));
+  op.ProcessWatermark(40);
+  op.TakeResults();
+  op.ProcessTuple(T(15, 5, 2));  // inside [0,20) and [10,30)
+  auto results = op.TakeResults();
+  ASSERT_EQ(results.size(), 2u);
+  for (const WindowResult& r : results) {
+    EXPECT_TRUE(r.is_update);
+    EXPECT_TRUE((r.start == 0 && r.end == 20) ||
+                (r.start == 10 && r.end == 30))
+        << r;
+  }
+}
+
+TEST(SlicingOoo, TuplesBeyondAllowedLatenessAreDropped) {
+  GeneralSlicingOperator op(OooOpts(/*lateness=*/10));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(100, 1, 0));
+  op.ProcessWatermark(100);
+  op.TakeResults();
+  op.ProcessTuple(T(50, 99, 1));  // 50 < 100 - 10: dropped
+  EXPECT_TRUE(op.TakeResults().empty());
+  EXPECT_EQ(op.stats().dropped_tuples, 1u);
+}
+
+TEST(SlicingOoo, CommutativeAggsNeedNoTupleStorage) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddAggregation(MakeAggregation("avg"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  EXPECT_FALSE(op.queries().StoreTuples());
+  std::vector<Tuple> tuples = {T(1, 1), T(8, 2), T(3, 3), T(12, 4), T(6, 5)};
+  RunStream(op, tuples, 0);
+  for (size_t i = 0; i < op.time_store()->NumSlices(); ++i) {
+    EXPECT_TRUE(op.time_store()->At(i).tuples().empty());
+  }
+}
+
+TEST(SlicingOoo, NonCommutativeAggRecomputesFromStoredTuples) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("concat"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  EXPECT_TRUE(op.queries().StoreTuples());
+  // 5 arrives after 7 but must appear before it in the concatenation.
+  auto fin = FinalResults(RunStream(
+      op, {T(2, 1), T(7, 2), T(12, 9), T(5, 3)}, 20));
+  const std::vector<double> expected = {1, 3, 2};
+  EXPECT_EQ((fin[{0, 0, 0, 10}]).AsSequence(), expected);
+  EXPECT_GT(op.stats().slice_recomputes, 0u);
+}
+
+TEST(SlicingOoo, HolisticMedianWithOutOfOrderTuples) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("median"));
+  op.AddWindow(std::make_shared<TumblingWindow>(100));
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 5), T(60, 9), T(90, 1), T(30, 7), T(20, 3)}, 100));
+  // Window [0,100) holds {1,3,5,7,9}: median 5.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 100}]), 5.0);
+}
+
+TEST(SlicingOoo, EagerModeMatchesLazyUnderOutOfOrder) {
+  std::vector<Tuple> tuples = {T(1, 1),  T(14, 2), T(7, 3),  T(22, 4),
+                               T(3, 5),  T(28, 6), T(17, 7), T(33, 8),
+                               T(25, 9), T(40, 10)};
+  for (const char* agg : {"sum", "median"}) {
+    GeneralSlicingOperator lazy(OooOpts(1000, StoreMode::kLazy));
+    GeneralSlicingOperator eager(OooOpts(1000, StoreMode::kEager));
+    for (auto* op : {&lazy, &eager}) {
+      op->AddAggregation(MakeAggregation(agg));
+      op->AddWindow(std::make_shared<SlidingWindow>(20, 10));
+    }
+    auto a = FinalResults(RunStream(lazy, tuples, 50));
+    auto b = FinalResults(RunStream(eager, tuples, 50));
+    EXPECT_EQ(a, b) << agg;
+  }
+}
+
+TEST(SlicingOoo, OutOfOrderTupleBeforeFirstSliceCreatesOne) {
+  GeneralSlicingOperator op(OooOpts(/*lateness=*/1000));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(25, 1, 0));
+  op.ProcessTuple(T(3, 2, 1));  // before every existing slice
+  op.ProcessWatermark(30);
+  auto fin = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 2.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 20, 30}]), 1.0);
+}
+
+TEST(SlicingOoo, WatermarksAreMonotonic) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  op.ProcessTuple(T(5, 1, 0));
+  op.ProcessWatermark(20);
+  const size_t first = op.TakeResults().size();
+  EXPECT_GT(first, 0u);
+  op.ProcessWatermark(15);  // regression must be ignored
+  EXPECT_TRUE(op.TakeResults().empty());
+}
+
+TEST(SlicingOoo, EvictionRespectsAllowedLateness) {
+  GeneralSlicingOperator op(OooOpts(/*lateness=*/50));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  for (int i = 0; i < 500; ++i) {
+    op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i)));
+    if (i % 100 == 99) op.ProcessWatermark(i - 10);
+  }
+  // Horizon = window length + lateness = 60ms: ~6-8 slices remain.
+  EXPECT_LE(op.time_store()->NumSlices(), 10u);
+  EXPECT_GE(op.time_store()->NumSlices(), 5u);
+}
+
+TEST(SlicingOoo, ForceStoreTuplesOverrideRetainsTuples) {
+  GeneralSlicingOperator::Options o = OooOpts();
+  o.force_store_tuples = true;
+  GeneralSlicingOperator op(o);
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  RunStream(op, {T(1, 1), T(2, 2)}, 0);
+  EXPECT_TRUE(op.queries().StoreTuples());
+  EXPECT_FALSE(op.time_store()->At(0).tuples().empty());
+}
+
+TEST(SlicingOoo, MemoryGrowsWithTupleStorageDecision) {
+  auto run = [](bool force) {
+    GeneralSlicingOperator::Options o = OooOpts(10000);
+    o.force_store_tuples = force;
+    GeneralSlicingOperator op(o);
+    op.AddAggregation(MakeAggregation("sum"));
+    op.AddWindow(std::make_shared<TumblingWindow>(1000));
+    for (int i = 0; i < 5000; ++i) {
+      op.ProcessTuple(T(i, 1.0, static_cast<uint64_t>(i)));
+    }
+    return op.MemoryUsageBytes();
+  };
+  EXPECT_GT(run(true), 4 * run(false));
+}
+
+TEST(SlicingOoo, RemoveWindowDropsTuplesWhenNoLongerNeeded) {
+  GeneralSlicingOperator op(OooOpts());
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(10));
+  const int concat_forcer =
+      op.AddWindow(std::make_shared<TumblingWindow>(10, Measure::kCount));
+  EXPECT_TRUE(op.queries().StoreTuples());  // count measure + OOO stream
+  op.ProcessTuple(T(1, 1, 0));
+  op.ProcessTuple(T(2, 2, 1));
+  EXPECT_FALSE(op.time_store()->At(0).tuples().empty());
+  op.RemoveWindow(concat_forcer);
+  EXPECT_FALSE(op.queries().StoreTuples());
+  EXPECT_TRUE(op.time_store()->At(0).tuples().empty());
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,198 @@
+// Multi-seed randomized soak: long mixed-query streams through the general
+// slicing operator (lazy and eager) checked against the tuple buffer as a
+// semantic oracle, plus invariants on statistics and state bounds.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "baselines/tuple_buffer.h"
+#include "common/rng.h"
+#include "core/general_slicing_operator.h"
+#include "tests/test_util.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+using testutil::FinalResults;
+using testutil::RunStream;
+using testutil::T;
+
+struct SoakConfig {
+  uint64_t seed;
+  double ooo_fraction;
+  Time max_delay;
+  bool with_sessions;
+};
+
+std::vector<Tuple> MakeSoakStream(const SoakConfig& cfg, int n) {
+  Rng rng(cfg.seed);
+  std::vector<Tuple> in_order;
+  Time ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += 1 + static_cast<Time>(rng.NextBounded(3));
+    if (rng.NextDouble() < 0.02) ts += 60;  // session gaps
+    in_order.push_back(T(ts, static_cast<double>(rng.NextBounded(40))));
+  }
+  if (cfg.ooo_fraction <= 0) return in_order;
+  std::vector<Tuple> arrived;
+  std::vector<std::pair<Time, Tuple>> held;
+  for (const Tuple& t : in_order) {
+    while (!held.empty() && held.front().first <= t.ts) {
+      arrived.push_back(held.front().second);
+      held.erase(held.begin());
+    }
+    if (rng.NextDouble() < cfg.ooo_fraction) {
+      held.push_back(
+          {t.ts + 1 +
+               static_cast<Time>(
+                   rng.NextBounded(static_cast<uint64_t>(cfg.max_delay))),
+           t});
+    } else {
+      arrived.push_back(t);
+    }
+  }
+  for (auto& [r, t] : held) arrived.push_back(t);
+  return arrived;
+}
+
+std::vector<WindowPtr> SoakWindows(bool with_sessions) {
+  std::vector<WindowPtr> ws = {std::make_shared<TumblingWindow>(13),
+                               std::make_shared<SlidingWindow>(40, 10),
+                               std::make_shared<TumblingWindow>(97)};
+  if (with_sessions) ws.push_back(std::make_shared<SessionWindow>(20));
+  return ws;
+}
+
+class SoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoakTest, SlicingMatchesOracleAcrossSeeds) {
+  SoakConfig cfg;
+  cfg.seed = static_cast<uint64_t>(GetParam()) * 7919 + 3;
+  cfg.ooo_fraction = (GetParam() % 3) * 0.15;  // 0, 15%, 30%
+  cfg.max_delay = 40;
+  cfg.with_sessions = GetParam() % 2 == 0;
+
+  const std::vector<Tuple> stream = MakeSoakStream(cfg, 1500);
+  Time last = 0;
+  for (const Tuple& t : stream) last = std::max(last, t.ts);
+  const Time final_wm = last + 100;
+
+  auto build_slicing = [&](StoreMode mode) {
+    GeneralSlicingOperator::Options o;
+    o.stream_in_order = false;
+    o.allowed_lateness = 1000000;
+    o.store_mode = mode;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    op->AddAggregation(MakeAggregation("sum"));
+    op->AddAggregation(MakeAggregation("max"));
+    for (const WindowPtr& w : SoakWindows(cfg.with_sessions)) {
+      op->AddWindow(w);
+    }
+    return op;
+  };
+
+  auto lazy = build_slicing(StoreMode::kLazy);
+  auto fin_lazy = FinalResults(RunStream(*lazy, stream, final_wm));
+
+  auto eager = build_slicing(StoreMode::kEager);
+  auto fin_eager = FinalResults(RunStream(*eager, stream, final_wm));
+  EXPECT_EQ(fin_lazy, fin_eager) << "lazy vs eager divergence";
+
+  TupleBufferOperator oracle(false, 1000000);
+  oracle.AddAggregation(MakeAggregation("sum"));
+  oracle.AddAggregation(MakeAggregation("max"));
+  for (const WindowPtr& w : SoakWindows(cfg.with_sessions)) {
+    oracle.AddWindow(w);
+  }
+  auto fin_oracle = FinalResults(RunStream(oracle, stream, final_wm));
+  // Key-by-key comparison for actionable diagnostics.
+  for (const auto& [key, expected] : fin_oracle) {
+    const auto it = fin_lazy.find(key);
+    if (it == fin_lazy.end()) {
+      ADD_FAILURE() << "slicing missing window (w=" << std::get<0>(key)
+                    << ", a=" << std::get<1>(key) << ", ["
+                    << std::get<2>(key) << "," << std::get<3>(key) << "))";
+      continue;
+    }
+    EXPECT_EQ(it->second, expected)
+        << "window (w=" << std::get<0>(key) << ", a=" << std::get<1>(key)
+        << ", [" << std::get<2>(key) << "," << std::get<3>(key) << "))";
+  }
+  for (const auto& [key, v] : fin_lazy) {
+    EXPECT_TRUE(fin_oracle.count(key))
+        << "slicing emitted extra window (w=" << std::get<0>(key)
+        << ", a=" << std::get<1>(key) << ", [" << std::get<2>(key) << ","
+        << std::get<3>(key) << ")) = " << v;
+  }
+
+  // Statistics invariants.
+  EXPECT_EQ(lazy->stats().tuples_processed, stream.size());
+  EXPECT_EQ(lazy->stats().dropped_tuples, 0u);
+  if (cfg.ooo_fraction > 0) {
+    EXPECT_GT(lazy->stats().out_of_order_tuples, 0u);
+  } else {
+    EXPECT_EQ(lazy->stats().out_of_order_tuples, 0u);
+  }
+  if (cfg.with_sessions) {
+    // Sessions never split or recompute (commutative aggregations here).
+    EXPECT_EQ(lazy->stats().slice_splits, 0u);
+    EXPECT_EQ(lazy->stats().slice_recomputes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, ::testing::Range(0, 12));
+
+// With periodic watermarks and eviction, a long soak must keep memory flat
+// and still produce exactly one final value per window instance.
+class EvictingSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvictingSoakTest, BoundedStateWithPeriodicWatermarks) {
+  SoakConfig cfg;
+  cfg.seed = static_cast<uint64_t>(GetParam()) * 104729 + 17;
+  cfg.ooo_fraction = 0.2;
+  cfg.max_delay = 40;
+  cfg.with_sessions = true;
+
+  const std::vector<Tuple> stream = MakeSoakStream(cfg, 4000);
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = false;
+  o.allowed_lateness = 50;
+  GeneralSlicingOperator op(o);
+  op.AddAggregation(MakeAggregation("sum"));
+  for (const WindowPtr& w : SoakWindows(true)) op.AddWindow(w);
+
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  size_t peak_slices = 0;
+  uint64_t results = 0;
+  for (const Tuple& raw : stream) {
+    Tuple t = raw;
+    t.seq = seq++;
+    op.ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (seq % 256 == 0) {
+      op.ProcessWatermark(max_ts - cfg.max_delay);
+      results += op.TakeResults().size();
+      peak_slices = std::max(peak_slices, op.time_store()->NumSlices());
+    }
+  }
+  op.ProcessWatermark(max_ts + 100);
+  results += op.TakeResults().size();
+  EXPECT_GT(results, 100u);
+  // Retention horizon: longest window (97) + lateness (50) + session slack.
+  EXPECT_LT(peak_slices, 80u);
+  EXPECT_EQ(op.stats().dropped_tuples, 0u);  // wm slack == injector bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvictingSoakTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace scotty

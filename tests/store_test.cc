@@ -1,0 +1,194 @@
+// AggregateStore unit tests: slice lookup, ordered range queries in lazy and
+// eager mode, eviction, structure changes, and the StreamStateView used by
+// forward-context-aware windows.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/basic.h"
+#include "aggregates/ordered.h"
+#include "core/aggregate_store.h"
+#include "tests/test_util.h"
+
+namespace scotty {
+namespace {
+
+using testutil::T;
+
+std::vector<AggregateFunctionPtr> SumFns() {
+  return {std::make_shared<SumAggregation>()};
+}
+
+void Fill(AggregateStore& store, bool store_tuples = false) {
+  // Slices [0,10), [10,20), [20,30) with one tuple each.
+  uint64_t seq = 0;
+  for (Time start = 0; start < 30; start += 10) {
+    Slice& s = store.Append(start, start + 10);
+    s.AddTuple(T(start + 5, static_cast<double>(start + 1), seq++),
+               store.fns(), store_tuples);
+    store.NoteTupleAdded();
+    store.OnSliceAggUpdated(store.NumSlices() - 1);
+  }
+}
+
+TEST(AggregateStore, FindCoveringAndByStart) {
+  AggregateStore store(StoreMode::kLazy, SumFns());
+  Fill(store);
+  EXPECT_EQ(store.FindCovering(0), 0u);
+  EXPECT_EQ(store.FindCovering(9), 0u);
+  EXPECT_EQ(store.FindCovering(10), 1u);
+  EXPECT_EQ(store.FindCovering(29), 2u);
+  EXPECT_EQ(store.FindCovering(30), AggregateStore::kNpos);
+  EXPECT_EQ(store.FindByStart(25), 2u);
+  EXPECT_EQ(store.FindByStart(-1), AggregateStore::kNpos);
+  EXPECT_EQ(store.FirstEndingAfter(10), 1u);
+  EXPECT_EQ(store.FirstEndingAfter(9), 0u);
+}
+
+TEST(AggregateStore, FindCoveringRespectsGaps) {
+  AggregateStore store(StoreMode::kLazy, SumFns());
+  store.Append(0, 10);
+  store.Append(20, 30);  // gap [10, 20)
+  EXPECT_EQ(store.FindCovering(5), 0u);
+  EXPECT_EQ(store.FindCovering(15), AggregateStore::kNpos);
+  EXPECT_EQ(store.FindCovering(25), 1u);
+}
+
+TEST(AggregateStore, QueryRangeCombinesIntersectingSlices) {
+  AggregateStore store(StoreMode::kLazy, SumFns());
+  Fill(store);
+  EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 30).Get<double>(), 1 + 11 + 21);
+  EXPECT_DOUBLE_EQ(store.QueryRange(0, 10, 20).Get<double>(), 11);
+  EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 15).Get<double>(), 12);  // full slices
+  EXPECT_TRUE(store.QueryRange(0, 30, 40).IsIdentity());
+}
+
+TEST(AggregateStore, EagerQueriesMatchLazy) {
+  AggregateStore lazy(StoreMode::kLazy, SumFns());
+  AggregateStore eager(StoreMode::kEager, SumFns());
+  Fill(lazy);
+  Fill(eager);
+  for (Time s = 0; s <= 30; s += 10) {
+    for (Time e = s; e <= 30; e += 10) {
+      EXPECT_EQ(lazy.QueryRange(0, s, e), eager.QueryRange(0, s, e))
+          << s << "," << e;
+    }
+  }
+}
+
+TEST(AggregateStore, EagerTreeFollowsSliceUpdates) {
+  AggregateStore store(StoreMode::kEager, SumFns());
+  Fill(store);
+  Slice& s = store.At(1);
+  s.AddTuple(T(15, 100.0, 9), store.fns(), false);
+  store.OnSliceAggUpdated(1);
+  EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 30).Get<double>(), 133.0);
+}
+
+TEST(AggregateStore, MergeWithNextCombines) {
+  for (StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    AggregateStore store(mode, SumFns());
+    Fill(store);
+    store.MergeWithNext(0);
+    EXPECT_EQ(store.NumSlices(), 2u);
+    EXPECT_EQ(store.At(0).end(), 20);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 20).Get<double>(), 12.0);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 30).Get<double>(), 33.0);
+  }
+}
+
+TEST(AggregateStore, SplitAtDividesSlice) {
+  for (StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    AggregateStore store(mode, SumFns());
+    uint64_t seq = 0;
+    Slice& s = store.Append(0, 20);
+    s.AddTuple(T(3, 1.0, seq++), store.fns(), true);
+    s.AddTuple(T(14, 2.0, seq++), store.fns(), true);
+    store.OnSliceAggUpdated(0);
+    store.SplitAt(0, 10);
+    ASSERT_EQ(store.NumSlices(), 2u);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 10).Get<double>(), 1.0);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 10, 20).Get<double>(), 2.0);
+  }
+}
+
+TEST(AggregateStore, InsertAtKeepsOrderAndTrees) {
+  for (StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    AggregateStore store(mode, SumFns());
+    store.Append(0, 10);
+    store.Append(40, 50);
+    Slice& mid = store.InsertAt(1, 20, 30);
+    mid.AddTuple(T(25, 7.0, 0), store.fns(), false);
+    store.OnSliceAggUpdated(1);
+    EXPECT_EQ(store.NumSlices(), 3u);
+    EXPECT_EQ(store.FindCovering(25), 1u);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 50).Get<double>(), 7.0);
+  }
+}
+
+TEST(AggregateStore, EvictBeforeDropsOldSlices) {
+  for (StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    AggregateStore store(mode, SumFns());
+    Fill(store);
+    EXPECT_EQ(store.TotalTupleCount(), 3u);
+    store.EvictBefore(20);
+    EXPECT_EQ(store.NumSlices(), 1u);
+    EXPECT_EQ(store.At(0).start(), 20);
+    EXPECT_EQ(store.TotalTupleCount(), 1u);
+    EXPECT_DOUBLE_EQ(store.QueryRange(0, 0, 30).Get<double>(), 21.0);
+  }
+}
+
+TEST(AggregateStore, OrderedCombineForNonCommutativeAggs) {
+  std::vector<AggregateFunctionPtr> fns = {
+      std::make_shared<ConcatAggregation>()};
+  for (StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    AggregateStore store(mode, fns);
+    uint64_t seq = 0;
+    for (Time start = 0; start < 40; start += 10) {
+      Slice& s = store.Append(start, start + 10);
+      s.AddTuple(T(start + 1, static_cast<double>(start), seq++), fns, true);
+      store.OnSliceAggUpdated(store.NumSlices() - 1);
+    }
+    const Partial p = store.QueryRange(0, 0, 40);
+    const std::vector<double> expected = {0, 10, 20, 30};
+    EXPECT_EQ(ConcatAggregation().Lower(p).AsSequence(), expected) << "mode";
+  }
+}
+
+TEST(AggregateStore, NthRecentTupleTimeWalksBackward) {
+  AggregateStore store(StoreMode::kLazy, SumFns());
+  uint64_t seq = 0;
+  Slice& a = store.Append(0, 10);
+  a.AddTuple(T(2, 1, seq++), store.fns(), true);
+  a.AddTuple(T(6, 1, seq++), store.fns(), true);
+  Slice& b = store.Append(10, 20);
+  b.AddTuple(T(13, 1, seq++), store.fns(), true);
+  b.AddTuple(T(17, 1, seq++), store.fns(), true);
+  EXPECT_EQ(store.NthRecentTupleTime(20, 1), 17);
+  EXPECT_EQ(store.NthRecentTupleTime(20, 2), 13);
+  EXPECT_EQ(store.NthRecentTupleTime(20, 3), 6);
+  EXPECT_EQ(store.NthRecentTupleTime(20, 4), 2);
+  EXPECT_EQ(store.NthRecentTupleTime(20, 5), kNoTime);
+  EXPECT_EQ(store.NthRecentTupleTime(15, 1), 13);  // excludes ts >= 15
+  EXPECT_EQ(store.NthRecentTupleTime(13, 1), 6);   // strict: ts < 13
+}
+
+TEST(AggregateStore, NthRecentWithoutRetentionReturnsNoTime) {
+  AggregateStore store(StoreMode::kLazy, SumFns());
+  Fill(store, /*store_tuples=*/false);
+  EXPECT_EQ(store.NthRecentTupleTime(30, 1), kNoTime);
+}
+
+TEST(AggregateStore, MemoryBytesReflectsEagerTreeOverhead) {
+  AggregateStore lazy(StoreMode::kLazy, SumFns());
+  AggregateStore eager(StoreMode::kEager, SumFns());
+  Fill(lazy);
+  Fill(eager);
+  EXPECT_GT(eager.MemoryBytes(), lazy.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace scotty

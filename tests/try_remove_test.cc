@@ -1,0 +1,135 @@
+// Dedicated tests for AggregateFunction::TryRemove — the incremental-removal
+// fast path used by count-measure shifts (paper Fig. 6 and the
+// invertibility discussion of Section 6.3.2).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/algebraic.h"
+#include "aggregates/basic.h"
+#include "aggregates/registry.h"
+#include "tests/test_util.h"
+
+namespace scotty {
+namespace {
+
+using testutil::T;
+
+Partial Fold(const AggregateFunction& fn, std::initializer_list<Tuple> ts) {
+  Partial acc;
+  for (const Tuple& t : ts) fn.Combine(acc, fn.Lift(t));
+  return acc;
+}
+
+TEST(TryRemove, InvertibleFunctionsAlwaysSucceed) {
+  for (const char* name : {"sum", "count", "avg", "stddev", "geometric-mean",
+                           "median", "p90"}) {
+    AggregateFunctionPtr fn = MakeAggregation(name);
+    ASSERT_TRUE(fn->IsInvertible()) << name;
+    Partial acc = Fold(*fn, {T(1, 2.0), T(2, 4.0), T(3, 8.0)});
+    EXPECT_TRUE(fn->TryRemove(acc, fn->Lift(T(2, 4.0)))) << name;
+    const Value expected = fn->Lower(Fold(*fn, {T(1, 2.0), T(3, 8.0)}));
+    const Value actual = fn->Lower(acc);
+    if (expected.IsDouble()) {
+      EXPECT_NEAR(actual.AsDouble(), expected.AsDouble(), 1e-9) << name;
+    } else {
+      EXPECT_EQ(actual, expected) << name;
+    }
+  }
+}
+
+TEST(TryRemove, MinSucceedsWhenRemovedValueIsLarger) {
+  MinAggregation mn;
+  Partial acc = Fold(mn, {T(1, 3.0), T(2, 7.0)});
+  EXPECT_TRUE(mn.TryRemove(acc, mn.Lift(T(2, 7.0))));  // 7 > min 3
+  EXPECT_DOUBLE_EQ(mn.Lower(acc).AsDouble(), 3.0);
+}
+
+TEST(TryRemove, MinFailsWhenRemovingTheMinimum) {
+  MinAggregation mn;
+  Partial acc = Fold(mn, {T(1, 3.0), T(2, 7.0)});
+  EXPECT_FALSE(mn.TryRemove(acc, mn.Lift(T(1, 3.0))));
+}
+
+TEST(TryRemove, MaxSymmetricBehaviour) {
+  MaxAggregation mx;
+  Partial acc = Fold(mx, {T(1, 3.0), T(2, 7.0)});
+  EXPECT_TRUE(mx.TryRemove(acc, mx.Lift(T(1, 3.0))));
+  EXPECT_DOUBLE_EQ(mx.Lower(acc).AsDouble(), 7.0);
+  EXPECT_FALSE(mx.TryRemove(acc, mx.Lift(T(2, 7.0))));
+}
+
+TEST(TryRemove, MinCountDecrementsMultiplicity) {
+  MinCountAggregation mc;
+  Partial acc = Fold(mc, {T(1, 2.0), T(2, 2.0), T(3, 5.0)});
+  // Removing one occurrence of the minimum keeps the other.
+  EXPECT_TRUE(mc.TryRemove(acc, mc.Lift(T(1, 2.0))));
+  const Value v = mc.Lower(acc);
+  EXPECT_DOUBLE_EQ(v.AsArg().value, 2.0);
+  EXPECT_EQ(v.AsArg().arg, 1);  // multiplicity now 1
+  // Removing the last occurrence requires recomputation.
+  EXPECT_FALSE(mc.TryRemove(acc, mc.Lift(T(2, 2.0))));
+}
+
+TEST(TryRemove, MaxCountLargerValueIsNoOp) {
+  MaxCountAggregation mc;
+  Partial acc = Fold(mc, {T(1, 9.0), T(2, 4.0)});
+  EXPECT_TRUE(mc.TryRemove(acc, mc.Lift(T(2, 4.0))));
+  EXPECT_DOUBLE_EQ(mc.Lower(acc).AsArg().value, 9.0);
+  EXPECT_FALSE(mc.TryRemove(acc, mc.Lift(T(1, 9.0))));
+}
+
+TEST(TryRemove, ArgMaxFailsOnlyForTheWinningOccurrence) {
+  ArgMaxAggregation am;
+  Partial acc = Fold(am, {T(1, 9.0), T(5, 9.0), T(3, 4.0)});
+  // The earliest occurrence (ts=1) wins; removing the tie at ts=5 is safe.
+  EXPECT_TRUE(am.TryRemove(acc, am.Lift(T(5, 9.0))));
+  EXPECT_FALSE(am.TryRemove(acc, am.Lift(T(1, 9.0))));
+  // Smaller values never matter.
+  EXPECT_TRUE(am.TryRemove(acc, am.Lift(T(3, 4.0))));
+}
+
+TEST(TryRemove, M4InteriorTupleIsNoOp) {
+  M4Aggregation m4;
+  Partial acc = Fold(m4, {T(1, 5.0, 0), T(2, 1.0, 1), T(3, 9.0, 2),
+                          T(4, 6.0, 3)});
+  // ts=2 holds the min; ts=3 the max; ts=1 is first; ts=4 is last.
+  // An interior tuple in both value and time: none here except... build one:
+  Partial interior = m4.Lift(T(2, 1.0, 1));
+  EXPECT_FALSE(m4.TryRemove(acc, interior));  // it is the min
+  Partial acc2 = Fold(m4, {T(1, 5.0, 0), T(2, 3.0, 1), T(3, 9.0, 2),
+                           T(4, 1.0, 3), T(5, 6.0, 4)});
+  // ts=2 (value 3): not min (1 at ts=4), not max (9), not first, not last.
+  EXPECT_TRUE(m4.TryRemove(acc2, m4.Lift(T(2, 3.0, 1))));
+  const M4Result r = m4.Lower(acc2).AsM4();
+  EXPECT_DOUBLE_EQ(r.min, 1.0);
+  EXPECT_DOUBLE_EQ(r.max, 9.0);
+  EXPECT_DOUBLE_EQ(r.first, 5.0);
+  EXPECT_DOUBLE_EQ(r.last, 6.0);
+}
+
+TEST(TryRemove, M4BoundaryTuplesFail) {
+  M4Aggregation m4;
+  Partial acc = Fold(m4, {T(1, 5.0, 0), T(2, 3.0, 1), T(3, 6.0, 2)});
+  EXPECT_FALSE(m4.TryRemove(acc, m4.Lift(T(1, 5.0, 0))));  // first
+  EXPECT_FALSE(m4.TryRemove(acc, m4.Lift(T(3, 6.0, 2))));  // last & max
+  EXPECT_FALSE(m4.TryRemove(acc, m4.Lift(T(2, 3.0, 1))));  // min
+}
+
+TEST(TryRemove, SumNoInvertAlwaysFails) {
+  SumNoInvertAggregation s;
+  Partial acc = Fold(s, {T(1, 1.0), T(2, 2.0)});
+  EXPECT_FALSE(s.TryRemove(acc, s.Lift(T(1, 1.0))));
+}
+
+TEST(TryRemove, IdentityArgumentsAreSafe) {
+  MaxAggregation mx;
+  Partial acc = Fold(mx, {T(1, 3.0)});
+  Partial id;
+  EXPECT_TRUE(mx.TryRemove(acc, id));
+  EXPECT_TRUE(mx.TryRemove(id, mx.Lift(T(1, 1.0))));
+}
+
+}  // namespace
+}  // namespace scotty

@@ -1,0 +1,184 @@
+// Tests for the Value and Partial types: variant accessors, equality,
+// printing, memory accounting, and identity semantics.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/partial.h"
+#include "aggregates/registry.h"
+#include "common/value.h"
+
+namespace scotty {
+namespace {
+
+TEST(Value, DefaultIsEmpty) {
+  Value v;
+  EXPECT_TRUE(v.IsEmpty());
+  EXPECT_FALSE(v.IsDouble());
+  EXPECT_TRUE(std::isnan(v.Numeric()));
+}
+
+TEST(Value, DoubleAccessors) {
+  Value v(3.5);
+  EXPECT_TRUE(v.IsDouble());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(v.Numeric(), 3.5);
+}
+
+TEST(Value, IntAccessors) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.Numeric(), 42.0);
+}
+
+TEST(Value, M4Accessors) {
+  Value v(M4Result{1, 9, 3, 7});
+  EXPECT_TRUE(v.IsM4());
+  EXPECT_DOUBLE_EQ(v.AsM4().min, 1);
+  EXPECT_DOUBLE_EQ(v.AsM4().last, 7);
+  EXPECT_TRUE(std::isnan(v.Numeric()));
+}
+
+TEST(Value, ArgAccessors) {
+  Value v(ArgResult{2.5, 100});
+  EXPECT_TRUE(v.IsArg());
+  EXPECT_EQ(v.AsArg().arg, 100);
+}
+
+TEST(Value, SequenceAccessors) {
+  Value v(std::vector<double>{1, 2, 3});
+  EXPECT_TRUE(v.IsSequence());
+  EXPECT_EQ(v.AsSequence().size(), 3u);
+}
+
+TEST(Value, EqualityDistinguishesTypesAndContent) {
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_NE(Value(1.0), Value(2.0));
+  EXPECT_NE(Value(1.0), Value(int64_t{1}));  // type matters
+  EXPECT_EQ(Value{}, Value{});
+  EXPECT_EQ(Value(M4Result{1, 2, 3, 4}), Value(M4Result{1, 2, 3, 4}));
+  EXPECT_NE(Value(M4Result{1, 2, 3, 4}), Value(M4Result{1, 2, 3, 5}));
+}
+
+TEST(Value, StreamPrinting) {
+  auto str = [](const Value& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  };
+  EXPECT_EQ(str(Value{}), "<empty>");
+  EXPECT_EQ(str(Value(int64_t{7})), "7");
+  EXPECT_EQ(str(Value(std::vector<double>{1, 2})), "[1, 2]");
+  EXPECT_NE(str(Value(M4Result{1, 2, 3, 4})).find("M4{"), std::string::npos);
+  EXPECT_NE(str(Value(ArgResult{1.0, 5})).find("arg=5"), std::string::npos);
+}
+
+TEST(Partial, DefaultIsIdentity) {
+  Partial p;
+  EXPECT_TRUE(p.IsIdentity());
+  EXPECT_EQ(p.DynamicBytes(), 0u);
+  EXPECT_EQ(p.TotalBytes(), MemoryModel::kPartialBytes);
+}
+
+TEST(Partial, HoldsAndGets) {
+  Partial p;
+  p.Set(AvgState{10.0, 4});
+  EXPECT_TRUE(p.Holds<AvgState>());
+  EXPECT_FALSE(p.Holds<double>());
+  EXPECT_FALSE(p.IsIdentity());
+  EXPECT_DOUBLE_EQ(p.Get<AvgState>().sum, 10.0);
+}
+
+TEST(Partial, EqualityByContent) {
+  Partial a;
+  a.Set(3.0);
+  Partial b;
+  b.Set(3.0);
+  EXPECT_EQ(a, b);
+  b.Set(4.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Partial, HolisticStateCountsDynamicBytes) {
+  Partial p;
+  SortedRuns runs;
+  for (int i = 0; i < 1000; ++i) runs.Insert(static_cast<double>(i));
+  p.Set(std::move(runs));
+  EXPECT_GT(p.DynamicBytes(), 1000 * sizeof(SortedRuns::Run) / 2);
+  EXPECT_GT(p.TotalBytes(), MemoryModel::kPartialBytes);
+}
+
+TEST(Partial, SequenceStateCountsDynamicBytes) {
+  Partial p;
+  SeqState s;
+  s.seq.assign(500, 1.0);
+  p.Set(std::move(s));
+  EXPECT_GE(p.DynamicBytes(), 500 * sizeof(double));
+}
+
+// Every builtin must lower its identity partial to a sane "empty window"
+// value without crashing.
+class IdentityLowerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IdentityLowerTest, IdentityLowersSafely) {
+  AggregateFunctionPtr fn = MakeAggregation(GetParam());
+  ASSERT_NE(fn, nullptr);
+  const Value v = fn->Lower(fn->Identity());
+  if (GetParam() == "count" || GetParam() == "count-distinct") {
+    EXPECT_EQ(v.AsInt(), 0);
+  } else if (GetParam() == "concat") {
+    EXPECT_TRUE(v.IsSequence());
+    EXPECT_TRUE(v.AsSequence().empty());
+  } else {
+    EXPECT_TRUE(v.IsEmpty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregations, IdentityLowerTest,
+    ::testing::ValuesIn(BuiltinAggregationNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Combining an identity into a populated partial (and vice versa) must be a
+// no-op for every builtin.
+class IdentityCombineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IdentityCombineTest, IdentityIsNeutral) {
+  AggregateFunctionPtr fn = MakeAggregation(GetParam());
+  Tuple t;
+  t.ts = 5;
+  t.value = 3.25;
+  t.seq = 1;
+  Partial lifted = fn->Lift(t);
+  Partial left = fn->Identity();
+  fn->Combine(left, lifted);
+  EXPECT_EQ(fn->Lower(left), fn->Lower(lifted));
+  Partial right = lifted;
+  fn->Combine(right, fn->Identity());
+  EXPECT_EQ(fn->Lower(right), fn->Lower(lifted));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregations, IdentityCombineTest,
+    ::testing::ValuesIn(BuiltinAggregationNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace scotty

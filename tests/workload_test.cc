@@ -1,0 +1,170 @@
+// Tests for the workload characterization and the adaptive decisions of
+// paper Figures 4 (tuple storage), 5 (splits), and 6 (removal strategy).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/workload.h"
+#include "windows/multi_measure.h"
+#include "windows/punctuation.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+WorkloadCharacteristics Make(std::vector<WindowPtr> windows,
+                             std::vector<std::string> agg_names,
+                             bool in_order) {
+  std::vector<AggregateFunctionPtr> aggs;
+  for (const std::string& n : agg_names) aggs.push_back(MakeAggregation(n));
+  return Characterize(windows, aggs, in_order);
+}
+
+// ------------------- Figure 4: storing tuples vs aggregates -------------------
+
+TEST(DecisionTree, InOrderContextFreeDropsTuples) {
+  auto w = Make({std::make_shared<TumblingWindow>(10)}, {"sum"}, true);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, InOrderSessionDropsTuples) {
+  auto w = Make({std::make_shared<SessionWindow>(10)}, {"sum"}, true);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, InOrderPunctuationDropsTuples) {
+  // FCF windows on in-order streams never split retroactively.
+  auto w = Make({std::make_shared<PunctuationWindow>()}, {"sum"}, true);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, InOrderFcaStoresTuples) {
+  auto w = Make({std::make_shared<LastNEveryTWindow>(10, 100)}, {"sum"}, true);
+  EXPECT_TRUE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, OutOfOrderContextFreeCommutativeDropsTuples) {
+  auto w = Make({std::make_shared<SlidingWindow>(20, 5)}, {"sum", "avg"},
+                false);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, OutOfOrderNonCommutativeStoresTuples) {
+  auto w = Make({std::make_shared<TumblingWindow>(10)}, {"concat"}, false);
+  EXPECT_TRUE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, OutOfOrderSessionDropsTuples) {
+  // The paper's session exception: context aware, but merge-only.
+  auto w = Make({std::make_shared<SessionWindow>(10)}, {"sum"}, false);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, OutOfOrderPunctuationStoresTuples) {
+  auto w = Make({std::make_shared<PunctuationWindow>()}, {"sum"}, false);
+  EXPECT_TRUE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, OutOfOrderCountMeasureStoresTuples) {
+  auto w = Make({std::make_shared<TumblingWindow>(10, Measure::kCount)},
+                {"sum"}, false);
+  EXPECT_TRUE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, MixedQueriesTakeTheConservativeBranch) {
+  auto w = Make({std::make_shared<TumblingWindow>(10),
+                 std::make_shared<PunctuationWindow>()},
+                {"sum"}, false);
+  EXPECT_TRUE(DecideStorage(w).store_tuples);
+}
+
+TEST(DecisionTree, ReasonsAreHumanReadable) {
+  auto w = Make({std::make_shared<TumblingWindow>(10)}, {"concat"}, false);
+  EXPECT_NE(DecideStorage(w).reason.find("non-commutative"),
+            std::string::npos);
+}
+
+// ------------------- Figure 5: splits -------------------
+
+TEST(SplitDecision, InOrderOnlyFcaSplits) {
+  EXPECT_FALSE(SplitsPossible(
+      Make({std::make_shared<TumblingWindow>(10)}, {"sum"}, true)));
+  EXPECT_FALSE(SplitsPossible(
+      Make({std::make_shared<PunctuationWindow>()}, {"sum"}, true)));
+  EXPECT_FALSE(SplitsPossible(
+      Make({std::make_shared<SessionWindow>(5)}, {"sum"}, true)));
+  EXPECT_TRUE(SplitsPossible(
+      Make({std::make_shared<LastNEveryTWindow>(10, 100)}, {"sum"}, true)));
+}
+
+TEST(SplitDecision, OutOfOrderContextAwareSplitsExceptSessions) {
+  EXPECT_FALSE(SplitsPossible(
+      Make({std::make_shared<TumblingWindow>(10)}, {"sum"}, false)));
+  EXPECT_TRUE(SplitsPossible(
+      Make({std::make_shared<PunctuationWindow>()}, {"sum"}, false)));
+  EXPECT_FALSE(SplitsPossible(
+      Make({std::make_shared<SessionWindow>(5)}, {"sum"}, false)));
+}
+
+// ------------------- Figure 6: removing tuples -------------------
+
+TEST(RemovalDecision, NotNeededWithoutCountMeasure) {
+  EXPECT_EQ(DecideRemoval(
+                Make({std::make_shared<TumblingWindow>(10)}, {"sum"}, false)),
+            RemovalStrategy::kNotNeeded);
+}
+
+TEST(RemovalDecision, NotNeededOnInOrderStreams) {
+  EXPECT_EQ(
+      DecideRemoval(Make({std::make_shared<TumblingWindow>(10, Measure::kCount)},
+                         {"sum"}, true)),
+      RemovalStrategy::kNotNeeded);
+}
+
+TEST(RemovalDecision, InvertibleUsesIncrementalUpdate) {
+  EXPECT_EQ(
+      DecideRemoval(Make({std::make_shared<TumblingWindow>(10, Measure::kCount)},
+                         {"sum", "avg"}, false)),
+      RemovalStrategy::kIncrementalInvert);
+}
+
+TEST(RemovalDecision, NonInvertibleRecomputes) {
+  EXPECT_EQ(
+      DecideRemoval(Make({std::make_shared<TumblingWindow>(10, Measure::kCount)},
+                         {"sum", "max"}, false)),
+      RemovalStrategy::kRecompute);
+}
+
+// ------------------- Characterization plumbing -------------------
+
+TEST(Characterize, AggregateProperties) {
+  auto w = Make({std::make_shared<TumblingWindow>(10)},
+                {"sum", "median", "max"}, false);
+  EXPECT_TRUE(w.all_commutative);
+  EXPECT_FALSE(w.all_invertible);  // max is not invertible
+  EXPECT_TRUE(w.any_holistic);     // median
+}
+
+TEST(Characterize, NullWindowsIgnored) {
+  std::vector<WindowPtr> windows = {nullptr,
+                                    std::make_shared<TumblingWindow>(10)};
+  std::vector<AggregateFunctionPtr> aggs = {MakeAggregation("sum")};
+  auto w = Characterize(windows, aggs, true);
+  EXPECT_FALSE(w.any_count_measure);
+  EXPECT_FALSE(DecideStorage(w).store_tuples);
+}
+
+TEST(Characterize, SessionAndNonSessionContextAwareTracked) {
+  auto w = Make({std::make_shared<SessionWindow>(5),
+                 std::make_shared<PunctuationWindow>()},
+                {"sum"}, false);
+  EXPECT_TRUE(w.any_session_window);
+  EXPECT_TRUE(w.any_context_aware_non_session);
+}
+
+}  // namespace
+}  // namespace scotty
