@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_agg_functions.dir/bench_fig13_agg_functions.cc.o"
+  "CMakeFiles/bench_fig13_agg_functions.dir/bench_fig13_agg_functions.cc.o.d"
+  "bench_fig13_agg_functions"
+  "bench_fig13_agg_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_agg_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_holistic.dir/bench_fig14_holistic.cc.o"
+  "CMakeFiles/bench_fig14_holistic.dir/bench_fig14_holistic.cc.o.d"
+  "bench_fig14_holistic"
+  "bench_fig14_holistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_holistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

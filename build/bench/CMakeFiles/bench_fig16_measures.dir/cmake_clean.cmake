@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_measures.dir/bench_fig16_measures.cc.o"
+  "CMakeFiles/bench_fig16_measures.dir/bench_fig16_measures.cc.o.d"
+  "bench_fig16_measures"
+  "bench_fig16_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_parallel.dir/bench_fig17_parallel.cc.o"
+  "CMakeFiles/bench_fig17_parallel.dir/bench_fig17_parallel.cc.o.d"
+  "bench_fig17_parallel"
+  "bench_fig17_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

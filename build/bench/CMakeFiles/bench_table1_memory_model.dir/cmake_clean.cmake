@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memory_model.dir/bench_table1_memory_model.cc.o"
+  "CMakeFiles/bench_table1_memory_model.dir/bench_table1_memory_model.cc.o.d"
+  "bench_table1_memory_model"
+  "bench_table1_memory_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

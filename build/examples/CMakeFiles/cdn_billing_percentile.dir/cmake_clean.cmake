@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_billing_percentile.dir/cdn_billing_percentile.cpp.o"
+  "CMakeFiles/cdn_billing_percentile.dir/cdn_billing_percentile.cpp.o.d"
+  "cdn_billing_percentile"
+  "cdn_billing_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_billing_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_m4.dir/dashboard_m4.cpp.o"
+  "CMakeFiles/dashboard_m4.dir/dashboard_m4.cpp.o.d"
+  "dashboard_m4"
+  "dashboard_m4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_m4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

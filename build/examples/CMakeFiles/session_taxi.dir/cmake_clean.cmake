@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_taxi.dir/session_taxi.cpp.o"
+  "CMakeFiles/session_taxi.dir/session_taxi.cpp.o.d"
+  "session_taxi"
+  "session_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

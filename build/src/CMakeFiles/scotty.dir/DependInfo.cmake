@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregates/registry.cc" "src/CMakeFiles/scotty.dir/aggregates/registry.cc.o" "gcc" "src/CMakeFiles/scotty.dir/aggregates/registry.cc.o.d"
+  "/root/repo/src/baselines/aggregate_tree.cc" "src/CMakeFiles/scotty.dir/baselines/aggregate_tree.cc.o" "gcc" "src/CMakeFiles/scotty.dir/baselines/aggregate_tree.cc.o.d"
+  "/root/repo/src/baselines/buckets.cc" "src/CMakeFiles/scotty.dir/baselines/buckets.cc.o" "gcc" "src/CMakeFiles/scotty.dir/baselines/buckets.cc.o.d"
+  "/root/repo/src/baselines/tuple_buffer.cc" "src/CMakeFiles/scotty.dir/baselines/tuple_buffer.cc.o" "gcc" "src/CMakeFiles/scotty.dir/baselines/tuple_buffer.cc.o.d"
+  "/root/repo/src/core/aggregate_store.cc" "src/CMakeFiles/scotty.dir/core/aggregate_store.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/aggregate_store.cc.o.d"
+  "/root/repo/src/core/count_lane.cc" "src/CMakeFiles/scotty.dir/core/count_lane.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/count_lane.cc.o.d"
+  "/root/repo/src/core/general_slicing_operator.cc" "src/CMakeFiles/scotty.dir/core/general_slicing_operator.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/general_slicing_operator.cc.o.d"
+  "/root/repo/src/core/slice.cc" "src/CMakeFiles/scotty.dir/core/slice.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/slice.cc.o.d"
+  "/root/repo/src/core/slice_manager.cc" "src/CMakeFiles/scotty.dir/core/slice_manager.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/slice_manager.cc.o.d"
+  "/root/repo/src/core/window_manager.cc" "src/CMakeFiles/scotty.dir/core/window_manager.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/window_manager.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/scotty.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/scotty.dir/core/workload.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/scotty.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/scotty.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/ooo_injector.cc" "src/CMakeFiles/scotty.dir/datagen/ooo_injector.cc.o" "gcc" "src/CMakeFiles/scotty.dir/datagen/ooo_injector.cc.o.d"
+  "/root/repo/src/datagen/replayer.cc" "src/CMakeFiles/scotty.dir/datagen/replayer.cc.o" "gcc" "src/CMakeFiles/scotty.dir/datagen/replayer.cc.o.d"
+  "/root/repo/src/datagen/workloads.cc" "src/CMakeFiles/scotty.dir/datagen/workloads.cc.o" "gcc" "src/CMakeFiles/scotty.dir/datagen/workloads.cc.o.d"
+  "/root/repo/src/runtime/parallel_executor.cc" "src/CMakeFiles/scotty.dir/runtime/parallel_executor.cc.o" "gcc" "src/CMakeFiles/scotty.dir/runtime/parallel_executor.cc.o.d"
+  "/root/repo/src/runtime/pipeline.cc" "src/CMakeFiles/scotty.dir/runtime/pipeline.cc.o" "gcc" "src/CMakeFiles/scotty.dir/runtime/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

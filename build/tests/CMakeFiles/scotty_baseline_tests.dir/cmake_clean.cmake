@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scotty_baseline_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/scotty_baseline_tests.dir/baselines_test.cc.o.d"
+  "scotty_baseline_tests"
+  "scotty_baseline_tests.pdb"
+  "scotty_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scotty_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/count_windows_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/count_windows_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/count_windows_test.cc.o.d"
+  "/root/repo/tests/multi_measure_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/multi_measure_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/multi_measure_test.cc.o.d"
+  "/root/repo/tests/punctuation_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/punctuation_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/punctuation_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/slicer_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/slicer_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/slicer_test.cc.o.d"
+  "/root/repo/tests/slicing_basic_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/slicing_basic_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/slicing_basic_test.cc.o.d"
+  "/root/repo/tests/slicing_ooo_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/slicing_ooo_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/slicing_ooo_test.cc.o.d"
+  "/root/repo/tests/store_test.cc" "tests/CMakeFiles/scotty_core_tests.dir/store_test.cc.o" "gcc" "tests/CMakeFiles/scotty_core_tests.dir/store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scotty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

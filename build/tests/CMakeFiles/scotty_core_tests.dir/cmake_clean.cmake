@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scotty_core_tests.dir/count_windows_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/count_windows_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/multi_measure_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/multi_measure_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/punctuation_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/punctuation_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/session_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/session_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/slicer_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/slicer_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/slicing_basic_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/slicing_basic_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/slicing_ooo_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/slicing_ooo_test.cc.o.d"
+  "CMakeFiles/scotty_core_tests.dir/store_test.cc.o"
+  "CMakeFiles/scotty_core_tests.dir/store_test.cc.o.d"
+  "scotty_core_tests"
+  "scotty_core_tests.pdb"
+  "scotty_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scotty_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/custom_window_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/custom_window_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/custom_window_test.cc.o.d"
+  "/root/repo/tests/frames_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/frames_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/frames_test.cc.o.d"
+  "/root/repo/tests/lifecycle_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/lifecycle_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/lifecycle_test.cc.o.d"
+  "/root/repo/tests/runtime_extras_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/runtime_extras_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/runtime_extras_test.cc.o.d"
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/soak_test.cc.o.d"
+  "/root/repo/tests/window_sweep_test.cc" "tests/CMakeFiles/scotty_extras_tests.dir/window_sweep_test.cc.o" "gcc" "tests/CMakeFiles/scotty_extras_tests.dir/window_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scotty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scotty_extras_tests.dir/custom_window_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/custom_window_test.cc.o.d"
+  "CMakeFiles/scotty_extras_tests.dir/frames_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/frames_test.cc.o.d"
+  "CMakeFiles/scotty_extras_tests.dir/lifecycle_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/lifecycle_test.cc.o.d"
+  "CMakeFiles/scotty_extras_tests.dir/runtime_extras_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/runtime_extras_test.cc.o.d"
+  "CMakeFiles/scotty_extras_tests.dir/soak_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/soak_test.cc.o.d"
+  "CMakeFiles/scotty_extras_tests.dir/window_sweep_test.cc.o"
+  "CMakeFiles/scotty_extras_tests.dir/window_sweep_test.cc.o.d"
+  "scotty_extras_tests"
+  "scotty_extras_tests.pdb"
+  "scotty_extras_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scotty_extras_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scotty_integration_tests.dir/equivalence_test.cc.o"
+  "CMakeFiles/scotty_integration_tests.dir/equivalence_test.cc.o.d"
+  "CMakeFiles/scotty_integration_tests.dir/pipeline_test.cc.o"
+  "CMakeFiles/scotty_integration_tests.dir/pipeline_test.cc.o.d"
+  "CMakeFiles/scotty_integration_tests.dir/property_test.cc.o"
+  "CMakeFiles/scotty_integration_tests.dir/property_test.cc.o.d"
+  "scotty_integration_tests"
+  "scotty_integration_tests.pdb"
+  "scotty_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scotty_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregates_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/aggregates_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/aggregates_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/flat_fat_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/flat_fat_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/flat_fat_test.cc.o.d"
+  "/root/repo/tests/slice_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/slice_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/slice_test.cc.o.d"
+  "/root/repo/tests/try_remove_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/try_remove_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/try_remove_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/windows_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/windows_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/windows_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/scotty_unit_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/scotty_unit_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scotty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scotty_unit_tests.dir/aggregates_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/aggregates_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/datagen_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/datagen_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/flat_fat_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/flat_fat_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/slice_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/slice_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/try_remove_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/try_remove_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/value_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/value_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/windows_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/windows_test.cc.o.d"
+  "CMakeFiles/scotty_unit_tests.dir/workload_test.cc.o"
+  "CMakeFiles/scotty_unit_tests.dir/workload_test.cc.o.d"
+  "scotty_unit_tests"
+  "scotty_unit_tests.pdb"
+  "scotty_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scotty_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
