@@ -327,9 +327,11 @@ void BucketsOperator::EmitBucket(size_t w, Time start, bool update,
     r.start = start;
     r.end = it != buckets_[w].end() ? it->second.end : end_hint;
     // The bucket's final aggregate is pre-computed: emission is a lookup
-    // plus Lower — the nanosecond latency of Figure 11.
+    // plus Lower — the nanosecond latency of Figure 11. Empty instances
+    // lower the identity partial: aggregations like count define a
+    // non-empty value (0) for an empty window.
     r.value = it != buckets_[w].end() ? aggs_[a]->Lower(it->second.aggs[a])
-                                      : Value{};
+                                      : aggs_[a]->Lower(Partial{});
     r.is_update = update;
     results_.push_back(std::move(r));
   }

@@ -84,9 +84,17 @@ Slice Slice::SplitAt(Time t, const std::vector<AggregateFunctionPtr>& fns) {
 
   // Real split: partition tuples at t and recompute both halves from scratch
   // (the expensive operation the paper warns about).
+#ifdef SCOTTY_INJECT_SPLIT_BUG
+  // Fuzzer self-test fault: tuples exactly at the split time stay in the
+  // left slice, i.e. [start, t) silently becomes [start, t].
+  auto pivot = std::lower_bound(
+      tuples_.begin(), tuples_.end(), t,
+      [](const Tuple& a, Time x) { return a.ts <= x; });
+#else
   auto pivot = std::lower_bound(
       tuples_.begin(), tuples_.end(), t,
       [](const Tuple& a, Time x) { return a.ts < x; });
+#endif
   right.tuples_.assign(pivot, tuples_.end());
   tuples_.erase(pivot, tuples_.end());
 

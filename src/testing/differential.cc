@@ -1,0 +1,351 @@
+#include "testing/differential.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "aggregates/registry.h"
+#include "baselines/aggregate_tree.h"
+#include "baselines/buckets.h"
+#include "baselines/tuple_buffer.h"
+#include "core/general_slicing_operator.h"
+#include "testing/harness.h"
+#include "testing/oracle.h"
+
+namespace scotty {
+namespace testing {
+
+namespace {
+
+/// Lateness horizon far beyond any generated delay: no technique ever
+/// drops or evicts state the oracle still accounts for.
+constexpr Time kLateness = 1'000'000'000'000;
+
+/// Aggregations whose partial merges are order-dependent floating point
+/// (Chan's M2 combination, log-domain products): compared with tolerance
+/// instead of bit equality.
+bool IsApproxAgg(const std::string& name) {
+  return name == "stddev" || name == "geometric-mean";
+}
+
+bool ValuesMatch(const Value& a, const Value& b, bool approx) {
+  if (a == b) return true;
+  if (!approx) return false;
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  const double x = a.Numeric();
+  const double y = b.Numeric();
+  if (std::isnan(x) && std::isnan(y)) return true;
+  const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+  return std::fabs(x - y) <= 1e-6 * scale;
+}
+
+std::unique_ptr<GeneralSlicingOperator> MakeSlicing(
+    const DifferentialConfig& cfg, StoreMode mode, bool in_order) {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = kLateness;
+  o.store_mode = mode;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  for (const std::string& agg : cfg.aggs) {
+    op->AddAggregation(MakeAggregation(agg));
+  }
+  for (const WindowSpec& w : cfg.windows) op->AddWindow(w.Instantiate());
+  return op;
+}
+
+template <typename Op>
+std::unique_ptr<Op> MakeBaseline(const DifferentialConfig& cfg) {
+  auto op = std::make_unique<Op>(false, kLateness);
+  for (const std::string& agg : cfg.aggs) {
+    op->AddAggregation(MakeAggregation(agg));
+  }
+  for (const WindowSpec& w : cfg.windows) op->AddWindow(w.Instantiate());
+  return op;
+}
+
+std::string Describe(const ResultKey& key) {
+  std::ostringstream os;
+  os << "(w=" << std::get<0>(key) << ", a=" << std::get<1>(key) << ", ["
+     << std::get<2>(key) << "," << std::get<3>(key) << "))";
+  return os.str();
+}
+
+}  // namespace
+
+std::string DifferentialConfig::ToFlags() const {
+  const StreamSpec def;
+  std::ostringstream os;
+  os << "--seed=" << stream.seed << " --tuples=" << stream.num_tuples
+     << " --queries=" << WindowSpecsToString(windows) << " --aggs=";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << aggs[i];
+  }
+  auto flag = [&os](const char* name, auto value, auto defval) {
+    if (value != defval) os << " --" << name << "=" << value;
+  };
+  flag("step-lo", stream.step_lo, def.step_lo);
+  flag("step-hi", stream.step_hi, def.step_hi);
+  flag("gap-prob", stream.gap_probability, def.gap_probability);
+  flag("gap-len", stream.gap_length, def.gap_length);
+  flag("value-range", stream.value_range, def.value_range);
+  flag("punct-prob", stream.punctuation_probability,
+       def.punctuation_probability);
+  flag("ooo", stream.ooo_fraction, def.ooo_fraction);
+  flag("max-delay", stream.max_delay, def.max_delay);
+  flag("burst-prob", stream.burst_probability, def.burst_probability);
+  flag("burst-len", stream.burst_length, def.burst_length);
+  flag("wm-every", wm_every, 0);
+  return os.str();
+}
+
+DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
+  DifferentialOutcome outcome;
+  const std::vector<Tuple> stream = GenerateStream(cfg.stream);
+  if (stream.empty() || cfg.windows.empty() || cfg.aggs.empty()) {
+    return outcome;
+  }
+
+  // In-order fast-path eligibility: sorted arrival, and no punctuation
+  // marker behind a same-timestamp data tuple. The FCF no-storage
+  // optimization (paper Fig. 5) folds each in-order tuple immediately, so a
+  // punctuation edge arriving after a data tuple with the same timestamp is
+  // retroactive: the tuple belongs right of the edge but cannot be unmixed
+  // from the closed slice. All tuple-storing techniques handle it.
+  Time last_ts = 0;
+  bool sorted = true;
+  bool data_at_ts = false;  // a data tuple at the running max timestamp
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Tuple& t = stream[i];
+    last_ts = std::max(last_ts, t.ts);
+    if (i > 0 && t.ts < stream[i - 1].ts) sorted = false;
+    if (i == 0 || t.ts > stream[i - 1].ts) data_at_ts = false;
+    if (t.is_punctuation && data_at_ts) sorted = false;
+    data_at_ts |= !t.is_punctuation;
+  }
+  Time session_slack = 0;
+  for (const WindowSpec& w : cfg.windows) {
+    if (w.kind == WindowSpec::Kind::kSession) {
+      session_slack = std::max(session_slack, w.length);
+    }
+  }
+  const Time final_wm = last_ts + session_slack + 100;
+  const Time wm_lag = cfg.stream.MaxLateness() + 1;
+
+  struct Run {
+    std::string name;
+    std::map<ResultKey, Value> results;
+  };
+  std::vector<Run> runs;
+
+  auto lazy = MakeSlicing(cfg, StoreMode::kLazy, false);
+  runs.push_back({"slicing-lazy", RunToFinalResults(*lazy, stream, final_wm,
+                                                    cfg.wm_every, wm_lag)});
+  if (lazy->stats().dropped_tuples != 0) {
+    outcome.ok = false;
+    outcome.detail =
+        "harness: watermark lag dropped tuples; MaxLateness() bound violated";
+    return outcome;
+  }
+
+  auto eager = MakeSlicing(cfg, StoreMode::kEager, false);
+  runs.push_back({"slicing-eager", RunToFinalResults(*eager, stream, final_wm,
+                                                     cfg.wm_every, wm_lag)});
+  if (sorted) {
+    auto in_order = MakeSlicing(cfg, StoreMode::kLazy, true);
+    runs.push_back({"slicing-inorder",
+                    RunToFinalResults(*in_order, stream, final_wm,
+                                      cfg.wm_every, wm_lag)});
+  }
+  {
+    auto op = MakeBaseline<TupleBufferOperator>(cfg);
+    runs.push_back({"tuple-buffer", RunToFinalResults(*op, stream, final_wm,
+                                                      cfg.wm_every, wm_lag)});
+  }
+  {
+    auto op = MakeBaseline<AggregateTreeOperator>(cfg);
+    runs.push_back({"aggregate-tree",
+                    RunToFinalResults(*op, stream, final_wm, cfg.wm_every,
+                                      wm_lag)});
+  }
+  bool has_punct_window = false;
+  for (const WindowSpec& w : cfg.windows) {
+    has_punct_window |= w.kind == WindowSpec::Kind::kPunctuation;
+  }
+  if (!has_punct_window) {  // buckets support tumbling/sliding/session only
+    auto op = MakeBaseline<BucketsOperator>(cfg);
+    runs.push_back({"buckets", RunToFinalResults(*op, stream, final_wm,
+                                                 cfg.wm_every, wm_lag)});
+  }
+  {
+    // The oracle sees the same seq numbers the operators saw.
+    std::vector<Tuple> seqd = stream;
+    for (size_t i = 0; i < seqd.size(); ++i) seqd[i].seq = i;
+    runs.push_back(
+        {"oracle", OracleResults(cfg.windows, cfg.aggs, seqd, final_wm)});
+  }
+
+  const Run& ref = runs.front();
+  for (size_t r = 1; r < runs.size(); ++r) {
+    const Run& other = runs[r];
+    for (const auto& [key, expected] : ref.results) {
+      ++outcome.comparisons;
+      const bool approx =
+          IsApproxAgg(cfg.aggs[static_cast<size_t>(std::get<1>(key))]);
+      const auto it = other.results.find(key);
+      if (it == other.results.end()) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << other.name << " is missing window " << Describe(key) << " = "
+           << expected << " reported by " << ref.name;
+        outcome.detail = os.str();
+        return outcome;
+      }
+      if (!ValuesMatch(expected, it->second, approx)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << ref.name << " vs " << other.name << " at " << Describe(key)
+           << ": " << expected << " vs " << it->second;
+        outcome.detail = os.str();
+        return outcome;
+      }
+    }
+    for (const auto& [key, value] : other.results) {
+      if (!ref.results.count(key)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << other.name << " reported extra window " << Describe(key)
+           << " = " << value << " absent from " << ref.name;
+        outcome.detail = os.str();
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
+  DifferentialConfig cfg;
+  cfg.stream.seed = seed;
+  cfg.stream.num_tuples = num_tuples;
+
+  const int num_windows = 1 + static_cast<int>(rng.NextBounded(3));
+  bool has_punct_window = false;
+  for (int i = 0; i < num_windows; ++i) {
+    WindowSpec w;
+    switch (rng.NextBounded(6)) {
+      case 0:
+        w.kind = WindowSpec::Kind::kTumbling;
+        w.length = 5 + static_cast<Time>(rng.NextBounded(56));
+        break;
+      case 1:
+        w.kind = WindowSpec::Kind::kSliding;
+        w.length = 8 + static_cast<Time>(rng.NextBounded(73));
+        w.slide = 1 + static_cast<Time>(
+                          rng.NextBounded(static_cast<uint64_t>(w.length)));
+        break;
+      case 2:
+        w.kind = WindowSpec::Kind::kSession;
+        w.length = 8 + static_cast<Time>(rng.NextBounded(33));
+        break;
+      case 3:
+        w.kind = WindowSpec::Kind::kTumbling;
+        w.measure = Measure::kCount;
+        w.length = 2 + static_cast<Time>(rng.NextBounded(19));
+        break;
+      case 4:
+        w.kind = WindowSpec::Kind::kSliding;
+        w.measure = Measure::kCount;
+        w.length = 3 + static_cast<Time>(rng.NextBounded(22));
+        w.slide = 1 + static_cast<Time>(
+                          rng.NextBounded(static_cast<uint64_t>(w.length)));
+        break;
+      default:
+        w.kind = WindowSpec::Kind::kPunctuation;
+        has_punct_window = true;
+        break;
+    }
+    cfg.windows.push_back(w);
+  }
+
+  // Every aggregate class: distributive (sum/min/max), algebraic
+  // (avg/stddev/m4), holistic (median/p90), non-commutative (concat),
+  // non-invertible (sum-no-invert), arg/multiplicity trackers.
+  static const char* kAggs[] = {"sum",       "count",     "avg",
+                                "min",       "max",       "median",
+                                "p90",       "m4",        "arg-max",
+                                "arg-min",   "min-count", "max-count",
+                                "stddev",    "sum-no-invert",
+                                "concat",    "geometric-mean"};
+  const size_t num_aggs = 1 + (rng.NextBounded(4) == 0 ? 1 : 0);
+  while (cfg.aggs.size() < num_aggs) {
+    const char* pick = kAggs[rng.NextBounded(std::size(kAggs))];
+    bool dup = false;
+    for (const std::string& a : cfg.aggs) dup |= a == pick;
+    if (!dup) cfg.aggs.push_back(pick);
+  }
+
+  cfg.stream.step_lo = static_cast<Time>(rng.NextBounded(2));  // 0 => dup ts
+  cfg.stream.step_hi =
+      cfg.stream.step_lo + 1 + static_cast<Time>(rng.NextBounded(4));
+  static const double kGapProb[] = {0.0, 0.02, 0.05};
+  cfg.stream.gap_probability = kGapProb[rng.NextBounded(3)];
+  cfg.stream.gap_length = 30 + static_cast<Time>(rng.NextBounded(51));
+  cfg.stream.value_range = rng.NextBounded(2) == 0 ? 8 : 100;
+  static const double kOoo[] = {0.0, 0.05, 0.2, 0.4};
+  cfg.stream.ooo_fraction = kOoo[rng.NextBounded(4)];
+  static const Time kDelay[] = {4, 16, 60};
+  cfg.stream.max_delay = kDelay[rng.NextBounded(3)];
+  if (cfg.stream.ooo_fraction > 0 && rng.NextBounded(2) == 0) {
+    cfg.stream.burst_probability = 0.03;
+    cfg.stream.burst_length = 4 + static_cast<int>(rng.NextBounded(12));
+  }
+  if (has_punct_window) {
+    cfg.stream.punctuation_probability = 0.02 + 0.06 * rng.NextDouble();
+  } else if (rng.NextBounded(10) == 0) {
+    cfg.stream.punctuation_probability = 0.03;  // context-only punctuation
+  }
+  static const int kWmEvery[] = {0, 64, 256};
+  cfg.wm_every = kWmEvery[rng.NextBounded(3)];
+  return cfg;
+}
+
+DifferentialConfig Shrink(const DifferentialConfig& failing) {
+  auto fails = [](const DifferentialConfig& c) {
+    return !RunDifferential(c).ok;
+  };
+  DifferentialConfig best = failing;
+
+  // Tuple-count bisection. The invariant "hi fails" holds throughout (hi is
+  // only replaced by a mid that failed), so the result replays even though
+  // failures are not strictly monotone in the prefix length.
+  int lo = 1;
+  int hi = best.stream.num_tuples;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    DifferentialConfig c = best;
+    c.stream.num_tuples = mid;
+    if (fails(c)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  best.stream.num_tuples = hi;
+
+  for (size_t i = best.windows.size(); i-- > 0 && best.windows.size() > 1;) {
+    DifferentialConfig c = best;
+    c.windows.erase(c.windows.begin() + static_cast<long>(i));
+    if (fails(c)) best = c;
+  }
+  for (size_t i = best.aggs.size(); i-- > 0 && best.aggs.size() > 1;) {
+    DifferentialConfig c = best;
+    c.aggs.erase(c.aggs.begin() + static_cast<long>(i));
+    if (fails(c)) best = c;
+  }
+  return best;
+}
+
+}  // namespace testing
+}  // namespace scotty

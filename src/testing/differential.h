@@ -1,0 +1,66 @@
+#ifndef SCOTTY_TESTING_DIFFERENTIAL_H_
+#define SCOTTY_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/query_spec.h"
+#include "testing/stream_gen.h"
+
+namespace scotty {
+namespace testing {
+
+/// One differential test case: a query set (windows × aggregations), a
+/// stream spec, and a watermark cadence. Fully determines a run — the
+/// fuzzing reproducer line is exactly a serialized DifferentialConfig.
+struct DifferentialConfig {
+  std::vector<WindowSpec> windows;
+  std::vector<std::string> aggs;
+  StreamSpec stream;
+  /// Issue a lagging watermark every `wm_every` tuples (0 = only the final
+  /// watermark). The lag is StreamSpec::MaxLateness(), so no technique ever
+  /// drops a tuple and the oracle (which does not model drops) stays valid.
+  int wm_every = 0;
+
+  /// Reproducer flags for `fuzz_differential` (everything non-default).
+  std::string ToFlags() const;
+};
+
+/// Outcome of one differential run across all applicable techniques.
+struct DifferentialOutcome {
+  bool ok = true;
+  /// Human-readable description of the first divergence (technique pair,
+  /// window instance, both values) or of a harness-level failure.
+  std::string detail;
+  /// Number of (technique, window instance) comparisons performed.
+  size_t comparisons = 0;
+};
+
+/// Runs the config's stream through the general slicing operator (lazy and
+/// eager stores; plus the in-order fast path when the arrival sequence is
+/// sorted), the three baselines (tuple buffer, aggregate tree, buckets),
+/// and the brute-force oracle, requiring identical final per-instance
+/// aggregates everywhere. Aggregations whose partials are not exactly
+/// representable (stddev, geometric-mean: order-dependent floating-point
+/// merges) are compared with a small relative tolerance; everything else
+/// must match bit-for-bit.
+DifferentialOutcome RunDifferential(const DifferentialConfig& cfg);
+
+/// Derives a random-but-deterministic config from `seed`: 1–3 windows
+/// across every kind, 1–2 aggregations across every class (distributive /
+/// algebraic / holistic / non-commutative), and stream order/disorder/burst
+/// parameters. `num_tuples` is taken verbatim so reproducers can shrink it
+/// independently of the derivation.
+DifferentialConfig RandomConfig(uint64_t seed, int num_tuples);
+
+/// Shrinks a failing config: first the tuple count (bisection, regenerating
+/// the stream each probe so the reproducer stays a pure (seed, n) pair),
+/// then drops windows and aggregations that are not needed for the failure.
+/// Returns the smallest still-failing config found.
+DifferentialConfig Shrink(const DifferentialConfig& failing);
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_DIFFERENTIAL_H_

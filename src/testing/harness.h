@@ -1,0 +1,96 @@
+#ifndef SCOTTY_TESTING_HARNESS_H_
+#define SCOTTY_TESTING_HARNESS_H_
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/time.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "core/window_operator.h"
+
+namespace scotty {
+namespace testing {
+
+/// Shorthand tuple constructor used throughout the test suites.
+inline Tuple T(Time ts, double value, uint64_t seq = 0, int64_t key = 0) {
+  Tuple t;
+  t.ts = ts;
+  t.value = value;
+  t.seq = seq;
+  t.key = key;
+  return t;
+}
+
+/// Key identifying a window instance in the result stream.
+using ResultKey = std::tuple<int, int, Time, Time>;  // window, agg, start, end
+
+/// Final value per window instance: later emissions (allowed-lateness
+/// updates) override earlier ones — the consumer-visible end state.
+inline std::map<ResultKey, Value> FinalResults(
+    const std::vector<WindowResult>& results) {
+  std::map<ResultKey, Value> out;
+  for (const WindowResult& r : results) {
+    out[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+  }
+  return out;
+}
+
+/// Feeds tuples in vector order, assigning arrival sequence numbers, then a
+/// final watermark; returns all emitted results.
+inline std::vector<WindowResult> RunStream(WindowOperator& op,
+                                           std::vector<Tuple> tuples,
+                                           Time final_wm) {
+  uint64_t seq = 0;
+  for (Tuple& t : tuples) {
+    t.seq = seq++;
+    op.ProcessTuple(t);
+  }
+  op.ProcessWatermark(final_wm);
+  return op.TakeResults();
+}
+
+/// Like RunStream, but additionally issues a lagging watermark every
+/// `wm_every` tuples (wm = max event time seen − wm_lag). Exercises the
+/// trigger/update/eviction machinery mid-stream instead of only at the end.
+/// With wm_lag ≥ StreamSpec::MaxLateness() no tuple is ever dropped, so the
+/// final per-instance results must equal the single-watermark run.
+inline std::map<ResultKey, Value> RunToFinalResults(WindowOperator& op,
+                                                    const std::vector<Tuple>&
+                                                        tuples,
+                                                    Time final_wm,
+                                                    int wm_every = 0,
+                                                    Time wm_lag = 0) {
+  std::map<ResultKey, Value> out;
+  auto drain = [&] {
+    for (const WindowResult& r : op.TakeResults()) {
+      out[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+    }
+  };
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  for (Tuple t : tuples) {
+    t.seq = seq++;
+    op.ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        op.ProcessWatermark(wm);
+        last_wm = wm;
+        drain();
+      }
+    }
+  }
+  op.ProcessWatermark(final_wm);
+  drain();
+  return out;
+}
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_HARNESS_H_

@@ -1,0 +1,156 @@
+#include "testing/oracle.h"
+
+#include <cassert>
+
+#include "aggregates/registry.h"
+
+namespace scotty {
+namespace testing {
+
+namespace {
+
+/// Folds `fn` over data[lo, hi) (already in (ts, seq) order).
+Value FoldRange(const AggregateFunction& fn, const std::vector<Tuple>& data,
+                size_t lo, size_t hi) {
+  Partial acc;
+  for (size_t i = lo; i < hi; ++i) fn.Combine(acc, fn.Lift(data[i]));
+  return fn.Lower(acc);
+}
+
+/// First index in `data` (sorted by ts) with ts >= t.
+size_t LowerIdx(const std::vector<Tuple>& data, Time t) {
+  return static_cast<size_t>(
+      std::lower_bound(data.begin(), data.end(), t,
+                       [](const Tuple& a, Time x) { return a.ts < x; }) -
+      data.begin());
+}
+
+}  // namespace
+
+std::map<ResultKey, Value> OracleResults(
+    const std::vector<WindowSpec>& windows,
+    const std::vector<std::string>& aggs, const std::vector<Tuple>& tuples,
+    Time final_wm) {
+  std::map<ResultKey, Value> out;
+  if (tuples.empty()) return out;
+  const Time first_cut = tuples.front().ts;  // first arrival, any tuple kind
+
+  // Event-time ordered views: `data` (aggregation input, punctuation
+  // excluded) and `all_ts` / `punct_ts` (window context).
+  std::vector<Tuple> data;
+  std::vector<Time> all_ts;
+  std::vector<Time> punct_ts;
+  for (const Tuple& t : tuples) {
+    all_ts.push_back(t.ts);
+    if (t.is_punctuation) {
+      punct_ts.push_back(t.ts);
+    } else {
+      data.push_back(t);
+    }
+  }
+  std::sort(data.begin(), data.end(), [](const Tuple& a, const Tuple& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.seq < b.seq;
+  });
+  std::sort(all_ts.begin(), all_ts.end());
+  std::sort(punct_ts.begin(), punct_ts.end());
+  punct_ts.erase(std::unique(punct_ts.begin(), punct_ts.end()),
+                 punct_ts.end());
+
+  std::vector<AggregateFunctionPtr> fns;
+  for (const std::string& name : aggs) {
+    fns.push_back(MakeAggregation(name));
+    assert(fns.back() != nullptr && "unknown aggregation name");
+  }
+
+  auto emit_time_window = [&](int wid, Time s, Time e) {
+    const size_t lo = LowerIdx(data, s);
+    const size_t hi = LowerIdx(data, e);
+    for (size_t a = 0; a < fns.size(); ++a) {
+      out[{wid, static_cast<int>(a), s, e}] = FoldRange(*fns[a], data, lo, hi);
+    }
+  };
+  auto emit_count_window = [&](int wid, int64_t cs, int64_t ce) {
+    for (size_t a = 0; a < fns.size(); ++a) {
+      out[{wid, static_cast<int>(a), cs, ce}] =
+          FoldRange(*fns[a], data, static_cast<size_t>(cs),
+                    static_cast<size_t>(ce));
+    }
+  };
+
+  const int64_t total_ranks = static_cast<int64_t>(data.size());
+  for (size_t w = 0; w < windows.size(); ++w) {
+    const WindowSpec& spec = windows[w];
+    const int wid = static_cast<int>(w);
+    switch (spec.kind) {
+      case WindowSpec::Kind::kTumbling:
+        if (spec.measure == Measure::kCount) {
+          for (int64_t end = spec.length; end <= total_ranks;
+               end += spec.length) {
+            emit_count_window(wid, end - spec.length, end);
+          }
+        } else {
+          // First end strictly after first_cut − 1, i.e. >= first_cut.
+          Time end = ((first_cut + spec.length - 1) / spec.length) *
+                     spec.length;
+          if (end < spec.length) end = spec.length;
+          for (; end <= final_wm; end += spec.length) {
+            emit_time_window(wid, end - spec.length, end);
+          }
+        }
+        break;
+      case WindowSpec::Kind::kSliding:
+        if (spec.measure == Measure::kCount) {
+          for (int64_t end = spec.length; end <= total_ranks;
+               end += spec.slide) {
+            emit_count_window(wid, end - spec.length, end);
+          }
+        } else {
+          // Ends lie at length + k*slide; report those in
+          // [first_cut, final_wm].
+          Time end = spec.length;
+          if (end < first_cut) {
+            const Time k = (first_cut - spec.length + spec.slide - 1) /
+                           spec.slide;
+            end = spec.length + k * spec.slide;
+          }
+          for (; end <= final_wm; end += spec.slide) {
+            emit_time_window(wid, end - spec.length, end);
+          }
+        }
+        break;
+      case WindowSpec::Kind::kSession: {
+        // Gap rule over ALL tuple timestamps (punctuation included).
+        Time start = kNoTime;
+        Time last = kNoTime;
+        auto flush = [&] {
+          if (start == kNoTime) return;
+          const Time end = last + spec.length;
+          if (end >= first_cut && end <= final_wm) {
+            emit_time_window(wid, start, end);
+          }
+        };
+        for (Time t : all_ts) {
+          if (start == kNoTime || t >= last + spec.length) {
+            flush();
+            start = t;
+          }
+          last = t;
+        }
+        flush();
+        break;
+      }
+      case WindowSpec::Kind::kPunctuation:
+        for (size_t i = 1; i < punct_ts.size(); ++i) {
+          const Time s = punct_ts[i - 1];
+          const Time e = punct_ts[i];
+          if (e >= first_cut && e <= final_wm) emit_time_window(wid, s, e);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace scotty

@@ -1,0 +1,125 @@
+#include "testing/query_spec.h"
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "windows/punctuation.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace testing {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+bool ParsePositive(const std::string& s, Time* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) return false;
+  *out = static_cast<Time>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string WindowSpec::ToString() const {
+  const bool count = measure == Measure::kCount;
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kTumbling:
+      os << (count ? "ctumbling:" : "tumbling:") << length;
+      break;
+    case Kind::kSliding:
+      os << (count ? "csliding:" : "sliding:") << length << ":" << slide;
+      break;
+    case Kind::kSession:
+      os << "session:" << length;
+      break;
+    case Kind::kPunctuation:
+      os << "punct";
+      break;
+  }
+  return os.str();
+}
+
+WindowPtr WindowSpec::Instantiate() const {
+  switch (kind) {
+    case Kind::kTumbling:
+      return std::make_shared<TumblingWindow>(length, measure);
+    case Kind::kSliding:
+      return std::make_shared<SlidingWindow>(length, slide, measure);
+    case Kind::kSession:
+      return std::make_shared<SessionWindow>(length);
+    case Kind::kPunctuation:
+      return std::make_shared<PunctuationWindow>();
+  }
+  return nullptr;
+}
+
+bool WindowSpec::Parse(const std::string& text, WindowSpec* out) {
+  const std::vector<std::string> parts = SplitOn(text, ':');
+  WindowSpec spec;
+  const std::string& head = parts[0];
+  if (head == "punct") {
+    if (parts.size() != 1) return false;
+    spec.kind = Kind::kPunctuation;
+  } else if (head == "tumbling" || head == "ctumbling" || head == "session") {
+    if (parts.size() != 2 || !ParsePositive(parts[1], &spec.length)) {
+      return false;
+    }
+    spec.kind = head == "session" ? Kind::kSession : Kind::kTumbling;
+    if (head == "ctumbling") spec.measure = Measure::kCount;
+  } else if (head == "sliding" || head == "csliding") {
+    if (parts.size() != 3 || !ParsePositive(parts[1], &spec.length) ||
+        !ParsePositive(parts[2], &spec.slide)) {
+      return false;
+    }
+    spec.kind = Kind::kSliding;
+    if (head == "csliding") spec.measure = Measure::kCount;
+  } else {
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+std::string WindowSpecsToString(const std::vector<WindowSpec>& specs) {
+  std::string out;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += specs[i].ToString();
+  }
+  return out;
+}
+
+bool ParseWindowSpecs(const std::string& text, std::vector<WindowSpec>* out) {
+  out->clear();
+  if (text.empty()) return false;
+  for (const std::string& part : SplitOn(text, ',')) {
+    WindowSpec spec;
+    if (!WindowSpec::Parse(part, &spec)) return false;
+    out->push_back(spec);
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace scotty

@@ -1,0 +1,51 @@
+#ifndef SCOTTY_TESTING_QUERY_SPEC_H_
+#define SCOTTY_TESTING_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "windows/window.h"
+
+namespace scotty {
+namespace testing {
+
+/// A declarative, parse-/printable window description. The differential
+/// fuzzer works on WindowSpecs rather than Window objects for two reasons:
+/// Window instances are stateful (each technique needs a fresh copy), and
+/// the brute-force oracle needs the window *parameters* to enumerate the
+/// expected window instances independently of the production window
+/// classes.
+///
+/// Textual form (the --queries= reproducer syntax):
+///   tumbling:L       time tumbling, length L
+///   sliding:L:S      time sliding, length L, slide S
+///   session:G        session with inactivity gap G
+///   ctumbling:N      count tumbling, N tuples
+///   csliding:N:S     count sliding, length N tuples, slide S tuples
+///   punct            punctuation-delimited windows (FCF)
+struct WindowSpec {
+  enum class Kind { kTumbling, kSliding, kSession, kPunctuation };
+
+  Kind kind = Kind::kTumbling;
+  Measure measure = Measure::kEventTime;  // kCount for count windows
+  Time length = 10;  // tumbling length / sliding length / session gap
+  Time slide = 0;    // sliding windows only
+
+  std::string ToString() const;
+  /// Fresh, stateless-as-of-yet window object for one operator instance.
+  WindowPtr Instantiate() const;
+
+  /// Parses one spec; returns false (leaving *out* unspecified) on syntax
+  /// errors or non-positive parameters.
+  static bool Parse(const std::string& text, WindowSpec* out);
+};
+
+/// Comma-joined list form used by --queries= and the reproducer line.
+std::string WindowSpecsToString(const std::vector<WindowSpec>& specs);
+bool ParseWindowSpecs(const std::string& text, std::vector<WindowSpec>* out);
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_QUERY_SPEC_H_

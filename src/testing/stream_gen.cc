@@ -1,0 +1,87 @@
+#include "testing/stream_gen.h"
+
+#include <utility>
+
+namespace scotty {
+namespace testing {
+
+std::vector<Tuple> GenerateStream(const StreamSpec& spec) {
+  Rng rng(spec.seed);
+
+  // Phase 1: in-order event-time sequence. The draw order (step, gap,
+  // value, key, punctuation) is fixed and conditional draws are skipped
+  // when their feature is disabled, so legacy single-purpose generators are
+  // reproduced exactly by the matching spec.
+  std::vector<Tuple> in_order;
+  in_order.reserve(static_cast<size_t>(spec.num_tuples));
+  Time ts = 0;
+  for (int i = 0; i < spec.num_tuples; ++i) {
+    ts += spec.step_lo;
+    if (spec.step_hi > spec.step_lo) {
+      ts += static_cast<Time>(rng.NextBounded(
+          static_cast<uint64_t>(spec.step_hi - spec.step_lo) + 1));
+    }
+    if (spec.gap_probability > 0 && rng.NextDouble() < spec.gap_probability) {
+      ts += spec.gap_length;
+    }
+    Tuple t;
+    t.ts = ts;
+    t.value = static_cast<double>(rng.NextBounded(spec.value_range));
+    if (spec.num_keys > 1) {
+      t.key = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(spec.num_keys)));
+    }
+    in_order.push_back(t);
+    if (spec.punctuation_probability > 0 &&
+        rng.NextDouble() < spec.punctuation_probability) {
+      Tuple p;
+      p.ts = ts;  // shares the data tuple's timestamp on purpose
+      p.is_punctuation = true;
+      in_order.push_back(p);
+    }
+  }
+
+  const bool disorder = (spec.ooo_fraction > 0 || spec.burst_probability > 0) &&
+                        spec.max_delay > 0;
+  if (!disorder) return in_order;
+
+  // Phase 2: bounded-disorder injection. Held tuples are released (in FIFO
+  // order) once the in-order timestamp reaches their release point; a held
+  // tuple stuck behind an earlier one is only delayed further, never past
+  // the earlier tuple's bound, so MaxLateness() stays valid.
+  std::vector<Tuple> arrived;
+  arrived.reserve(in_order.size());
+  std::vector<std::pair<Time, Tuple>> held;  // (release ts, tuple)
+  int burst_remaining = 0;
+  Time burst_release = 0;
+  for (const Tuple& t : in_order) {
+    while (!held.empty() && held.front().first <= t.ts) {
+      arrived.push_back(held.front().second);
+      held.erase(held.begin());
+    }
+    if (burst_remaining > 0) {
+      --burst_remaining;
+      held.push_back({std::max(burst_release, t.ts + 1), t});
+    } else if (spec.ooo_fraction > 0 &&
+               rng.NextDouble() < spec.ooo_fraction) {
+      held.push_back({t.ts + 1 +
+                          static_cast<Time>(rng.NextBounded(
+                              static_cast<uint64_t>(spec.max_delay))),
+                      t});
+    } else if (spec.burst_probability > 0 &&
+               rng.NextDouble() < spec.burst_probability) {
+      burst_remaining = spec.burst_length - 1;
+      burst_release = t.ts + 1 +
+                      static_cast<Time>(rng.NextBounded(
+                          static_cast<uint64_t>(spec.max_delay)));
+      held.push_back({burst_release, t});
+    } else {
+      arrived.push_back(t);
+    }
+  }
+  for (auto& [release, t] : held) arrived.push_back(t);
+  return arrived;
+}
+
+}  // namespace testing
+}  // namespace scotty

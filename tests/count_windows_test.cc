@@ -190,6 +190,76 @@ TEST(CountWindows, HolisticMedianOverCountWindowsWithOoo) {
   EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 3}]), 3.0);
 }
 
+TEST(CountWindows, LateTupleBeforeEveryRankShiftsWholeStore) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(2));
+  op.ProcessTuple(T(50, 1, 0));
+  op.ProcessTuple(T(60, 2, 1));
+  op.ProcessTuple(T(70, 4, 2));
+  op.ProcessWatermark(70);  // emits ranks [0,2) = 3
+  auto first = FinalResults(op.TakeResults());
+  EXPECT_DOUBLE_EQ(Num(first[{0, 0, 0, 2}]), 3.0);
+  // Earlier than every stored tuple: every rank shifts by one.
+  op.ProcessTuple(T(5, 8, 3));
+  op.ProcessWatermark(80);
+  auto fin = FinalResults(op.TakeResults());
+  // Event-time order: 5,50,60,70 -> ranks [0,2) = 8+1, [2,4) = 2+4.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 2}]), 9.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 2, 4}]), 6.0);
+  EXPECT_GT(op.stats().count_shifts, 0u);
+}
+
+TEST(CountWindows, PunctuationDoesNotOccupyRanks) {
+  GeneralSlicingOperator op(Opts(false));
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(CountTumbling(2));
+  auto punct = [](Time ts) {
+    Tuple t = T(ts, 0);
+    t.is_punctuation = true;
+    return t;
+  };
+  auto fin = FinalResults(RunStream(
+      op, {T(10, 1), punct(10), T(20, 2), punct(25), T(30, 4), T(40, 8)},
+      40));
+  // Ranks come from data tuples only: [0,2) = 1+2, [2,4) = 4+8.
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 2}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 2, 4}]), 12.0);
+}
+
+TEST(CountWindows, BurstyDisorderMatchesBruteForce) {
+  // A stalled-partition burst: a run of consecutive tuples all released
+  // late at one point, the worst case for rank shifting.
+  testing::StreamSpec spec;
+  spec.seed = 77;
+  spec.num_tuples = 300;
+  spec.step_lo = 0;  // duplicate timestamps too
+  spec.step_hi = 3;
+  spec.value_range = 50;
+  spec.ooo_fraction = 0.1;
+  spec.burst_probability = 0.05;
+  spec.burst_length = 10;
+  spec.max_delay = 20;
+  const std::vector<Tuple> stream = testing::GenerateStream(spec);
+  Time last = 0;
+  for (const Tuple& t : stream) last = std::max(last, t.ts);
+  for (const char* agg : {"sum", "max"}) {  // invertible and recompute paths
+    GeneralSlicingOperator op(Opts(false));
+    op.AddAggregation(MakeAggregation(agg));
+    op.AddWindow(CountTumbling(7));
+    auto fin = FinalResults(RunStream(op, stream, last + 1));
+    ASSERT_FALSE(fin.empty());
+    const AggregateFunctionPtr fn = MakeAggregation(agg);
+    std::vector<Tuple> seqd = stream;
+    for (size_t i = 0; i < seqd.size(); ++i) seqd[i].seq = i;
+    for (const auto& [key, value] : fin) {
+      const auto [w, a, cs, ce] = key;
+      EXPECT_EQ(value, BruteForceCount(*fn, seqd, cs, ce))
+          << agg << " ranks [" << cs << "," << ce << ")";
+    }
+  }
+}
+
 TEST(CountWindows, CountWatermarkCountsOnlyTuplesBelowTimeWatermark) {
   GeneralSlicingOperator op(Opts(false));
   op.AddAggregation(MakeAggregation("sum"));

@@ -32,32 +32,17 @@ using testutil::T;
 
 std::vector<Tuple> RandomStream(uint64_t seed, int n, double ooo_fraction,
                                 Time max_delay) {
-  Rng rng(seed);
-  std::vector<Tuple> tuples;
-  Time ts = 0;
-  for (int i = 0; i < n; ++i) {
-    ts += 1 + static_cast<Time>(rng.NextBounded(4));
-    if (rng.NextDouble() < 0.03) ts += 50;  // inactivity gaps for sessions
-    tuples.push_back(T(ts, static_cast<double>(rng.NextBounded(20))));
-  }
-  // Delay a fraction of tuples in arrival order (bounded disorder).
-  std::vector<Tuple> arrived;
-  std::vector<std::pair<Time, Tuple>> held;  // (release ts, tuple)
-  for (const Tuple& t : tuples) {
-    while (!held.empty() && held.front().first <= t.ts) {
-      arrived.push_back(held.front().second);
-      held.erase(held.begin());
-    }
-    if (rng.NextDouble() < ooo_fraction) {
-      held.push_back({t.ts + 1 + static_cast<Time>(rng.NextBounded(
-                                     static_cast<uint64_t>(max_delay))),
-                      t});
-    } else {
-      arrived.push_back(t);
-    }
-  }
-  for (auto& [release, t] : held) arrived.push_back(t);
-  return arrived;
+  testing::StreamSpec spec;
+  spec.seed = seed;
+  spec.num_tuples = n;
+  spec.step_lo = 1;
+  spec.step_hi = 4;
+  spec.gap_probability = 0.03;  // inactivity gaps for sessions
+  spec.gap_length = 50;
+  spec.value_range = 20;
+  spec.ooo_fraction = ooo_fraction;
+  spec.max_delay = max_delay;
+  return testing::GenerateStream(spec);
 }
 
 using OperatorFactory = std::function<std::unique_ptr<WindowOperator>(

@@ -1,0 +1,203 @@
+// Differential fuzzing driver: runs seed-derived random query sets through
+// the general slicing operator (lazy and eager stores), all three baseline
+// operators, and the brute-force oracle, requiring identical final window
+// aggregates everywhere. On a mismatch it shrinks the failing case and
+// prints a one-line reproducer that replays deterministically:
+//
+//   fuzz_differential --seed=N --tuples=M --queries=... --aggs=...
+//
+// Modes:
+//   fuzz_differential --seed=1 --runs=50 --tuples=20000   # fuzzing sweep
+//   fuzz_differential --seed=7 --tuples=400 --queries=sliding:20:7 --aggs=sum
+//                                                          # replay one case
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "aggregates/registry.h"
+#include "testing/differential.h"
+
+namespace {
+
+using scotty::testing::DifferentialConfig;
+using scotty::testing::DifferentialOutcome;
+using scotty::testing::ParseWindowSpecs;
+using scotty::testing::RandomConfig;
+using scotty::testing::RunDifferential;
+using scotty::testing::Shrink;
+
+struct Flags {
+  std::map<std::string, std::string> kv;
+  bool Has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string Str(const std::string& k, const std::string& def = "") const {
+    auto it = kv.find(k);
+    return it == kv.end() ? def : it->second;
+  }
+  int64_t Int(const std::string& k, int64_t def) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  double Dbl(const std::string& k, double def) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+constexpr const char* kKnownFlags[] = {
+    "seed",       "tuples",     "runs",      "verbose",    "no-shrink",
+    "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
+    "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
+    "max-delay",  "burst-prob", "burst-len", "wm-every"};
+
+bool ParseFlags(int argc, char** argv, Flags* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg);
+      return false;
+    }
+    const char* eq = std::strchr(arg, '=');
+    const std::string key =
+        eq == nullptr ? std::string(arg + 2) : std::string(arg + 2, eq);
+    bool known = false;
+    for (const char* k : kKnownFlags) known |= key == k;
+    if (!known) {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return false;
+    }
+    // Bare flags (e.g. --no-shrink) read as "1".
+    out->kv[key] = eq == nullptr ? "1" : std::string(eq + 1);
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+/// Overlays any explicitly passed stream/watermark flags onto `cfg`. Replay
+/// configs are defaults + flags, so reproducer lines never depend on the
+/// RandomConfig derivation staying stable.
+void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
+  auto& s = cfg->stream;
+  if (flags.Has("step-lo")) s.step_lo = flags.Int("step-lo", s.step_lo);
+  if (flags.Has("step-hi")) s.step_hi = flags.Int("step-hi", s.step_hi);
+  if (flags.Has("gap-prob")) {
+    s.gap_probability = flags.Dbl("gap-prob", s.gap_probability);
+  }
+  if (flags.Has("gap-len")) s.gap_length = flags.Int("gap-len", s.gap_length);
+  if (flags.Has("value-range")) {
+    s.value_range =
+        static_cast<uint64_t>(flags.Int("value-range",
+                                        static_cast<int64_t>(s.value_range)));
+  }
+  if (flags.Has("punct-prob")) {
+    s.punctuation_probability =
+        flags.Dbl("punct-prob", s.punctuation_probability);
+  }
+  if (flags.Has("ooo")) s.ooo_fraction = flags.Dbl("ooo", s.ooo_fraction);
+  if (flags.Has("max-delay")) s.max_delay = flags.Int("max-delay", s.max_delay);
+  if (flags.Has("burst-prob")) {
+    s.burst_probability = flags.Dbl("burst-prob", s.burst_probability);
+  }
+  if (flags.Has("burst-len")) {
+    s.burst_length = static_cast<int>(flags.Int("burst-len", s.burst_length));
+  }
+  if (flags.Has("wm-every")) {
+    cfg->wm_every = static_cast<int>(flags.Int("wm-every", cfg->wm_every));
+  }
+}
+
+int ReportFailure(const Flags& flags, DifferentialConfig failing,
+                  const std::string& detail) {
+  std::fprintf(stderr, "FAIL: %s\n", detail.c_str());
+  if (!flags.Has("no-shrink")) {
+    std::fprintf(stderr, "shrinking...\n");
+    failing = Shrink(failing);
+  }
+  const DifferentialOutcome replay = RunDifferential(failing);
+  const std::string repro = "fuzz_differential " + failing.ToFlags();
+  std::fprintf(stderr, "still failing with: %s\n",
+               replay.ok ? "(shrunk case passes?! report the original)"
+                         : replay.detail.c_str());
+  std::fprintf(stderr, "reproducer: %s\n", repro.c_str());
+  const std::string repro_file = flags.Str("repro-file");
+  if (!repro_file.empty()) {
+    std::ofstream out(repro_file, std::ios::app);
+    out << repro << "\n" << (replay.ok ? detail : replay.detail) << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 1));
+  const int tuples = static_cast<int>(flags.Int("tuples", 2000));
+  const int runs = static_cast<int>(flags.Int("runs", 1));
+  const bool verbose = flags.Has("verbose");
+
+  if (flags.Has("queries")) {
+    // Replay mode: the config is exactly defaults + flags.
+    DifferentialConfig cfg;
+    if (!ParseWindowSpecs(flags.Str("queries"), &cfg.windows)) {
+      std::fprintf(stderr, "bad --queries: %s\n",
+                   flags.Str("queries").c_str());
+      return 2;
+    }
+    cfg.aggs = SplitCommas(flags.Str("aggs", "sum"));
+    for (const std::string& name : cfg.aggs) {
+      if (scotty::MakeAggregation(name) == nullptr) {
+        std::fprintf(stderr, "bad --aggs: unknown aggregation '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    cfg.stream.seed = seed;
+    cfg.stream.num_tuples = tuples;
+    ApplyOverrides(flags, &cfg);
+    const DifferentialOutcome o = RunDifferential(cfg);
+    if (!o.ok) return ReportFailure(flags, cfg, o.detail);
+    std::printf("OK: %zu comparisons (%s)\n", o.comparisons,
+                cfg.ToFlags().c_str());
+    return 0;
+  }
+
+  size_t total_comparisons = 0;
+  for (int r = 0; r < runs; ++r) {
+    const uint64_t s = seed + static_cast<uint64_t>(r);
+    DifferentialConfig cfg = RandomConfig(s, tuples);
+    ApplyOverrides(flags, &cfg);
+    const DifferentialOutcome o = RunDifferential(cfg);
+    if (!o.ok) return ReportFailure(flags, cfg, o.detail);
+    total_comparisons += o.comparisons;
+    if (verbose) {
+      std::printf("seed %llu ok: %zu comparisons (%s)\n",
+                  static_cast<unsigned long long>(s), o.comparisons,
+                  cfg.ToFlags().c_str());
+    }
+  }
+  std::printf("OK: %d run(s), %zu comparisons, seeds [%llu, %llu]\n", runs,
+              total_comparisons, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + runs - 1));
+  return 0;
+}

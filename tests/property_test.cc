@@ -28,32 +28,17 @@ using testutil::T;
 
 std::vector<Tuple> MakeStream(uint64_t seed, int n, double ooo_fraction,
                               Time max_delay, bool with_gaps) {
-  Rng rng(seed);
-  std::vector<Tuple> in_order;
-  Time ts = 0;
-  for (int i = 0; i < n; ++i) {
-    ts += 1 + static_cast<Time>(rng.NextBounded(3));
-    if (with_gaps && rng.NextDouble() < 0.03) ts += 40;  // session gaps
-    in_order.push_back(T(ts, static_cast<double>(rng.NextBounded(30))));
-  }
-  if (ooo_fraction <= 0) return in_order;
-  std::vector<Tuple> arrived;
-  std::vector<std::pair<Time, Tuple>> held;
-  for (const Tuple& t : in_order) {
-    while (!held.empty() && held.front().first <= t.ts) {
-      arrived.push_back(held.front().second);
-      held.erase(held.begin());
-    }
-    if (rng.NextDouble() < ooo_fraction) {
-      held.push_back({t.ts + 1 + static_cast<Time>(rng.NextBounded(
-                                     static_cast<uint64_t>(max_delay))),
-                      t});
-    } else {
-      arrived.push_back(t);
-    }
-  }
-  for (auto& [r, t] : held) arrived.push_back(t);
-  return arrived;
+  testing::StreamSpec spec;
+  spec.seed = seed;
+  spec.num_tuples = n;
+  spec.step_lo = 1;
+  spec.step_hi = 3;
+  spec.gap_probability = with_gaps ? 0.03 : 0.0;
+  spec.gap_length = 40;
+  spec.value_range = 30;
+  spec.ooo_fraction = ooo_fraction;
+  spec.max_delay = max_delay;
+  return testing::GenerateStream(spec);
 }
 
 // Parameters: aggregation name, out-of-order fraction, store mode,

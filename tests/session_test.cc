@@ -123,6 +123,35 @@ TEST(SessionSlicing, LateTupleAfterEmissionProducesUpdatedSession) {
   EXPECT_DOUBLE_EQ(Num(updates[0].value), 6.0);
 }
 
+TEST(SessionSlicing, MergeThenSplitThenMergeSequence) {
+  // A full out-of-order session life cycle: backward extension, a brand-new
+  // session carved out of an existing gap, then a late tuple fusing it with
+  // its right neighbour — while the left session stays exactly gap-separated.
+  for (const StoreMode mode : {StoreMode::kLazy, StoreMode::kEager}) {
+    GeneralSlicingOperator::Options o;
+    o.stream_in_order = false;
+    o.allowed_lateness = 1000;
+    o.store_mode = mode;
+    GeneralSlicingOperator op(o);
+    op.AddAggregation(MakeAggregation("sum"));
+    op.AddWindow(std::make_shared<SessionWindow>(5));
+    auto fin = FinalResults(RunStream(
+        op,
+        {T(10, 1), T(30, 2), T(60, 4),  // sessions {10}, {30}, {60}
+         T(26, 8),                      // extends [30,35) back to [26,35)
+         T(22, 16),                     // extends again to [22,35)
+         T(15, 32),   // new session [15,20): splits the 10..22 gap
+         T(18, 64)},  // fuses [15,20) with [22,35) -> [15,35)
+        100));
+    ASSERT_EQ(fin.size(), 3u) << "store mode " << static_cast<int>(mode);
+    // 15 is exactly gap-separated from 10: [10,15) must NOT merge.
+    EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 10, 15}]), 1.0);
+    EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 15, 35}]), 122.0);
+    EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 60, 65}]), 4.0);
+    EXPECT_GT(op.stats().slice_merges, 0u);
+  }
+}
+
 TEST(SessionSlicing, SessionPlusTumblingShareTheStream) {
   GeneralSlicingOperator op(Opts(true));
   op.AddAggregation(MakeAggregation("sum"));

@@ -33,34 +33,17 @@ struct SoakConfig {
 };
 
 std::vector<Tuple> MakeSoakStream(const SoakConfig& cfg, int n) {
-  Rng rng(cfg.seed);
-  std::vector<Tuple> in_order;
-  Time ts = 0;
-  for (int i = 0; i < n; ++i) {
-    ts += 1 + static_cast<Time>(rng.NextBounded(3));
-    if (rng.NextDouble() < 0.02) ts += 60;  // session gaps
-    in_order.push_back(T(ts, static_cast<double>(rng.NextBounded(40))));
-  }
-  if (cfg.ooo_fraction <= 0) return in_order;
-  std::vector<Tuple> arrived;
-  std::vector<std::pair<Time, Tuple>> held;
-  for (const Tuple& t : in_order) {
-    while (!held.empty() && held.front().first <= t.ts) {
-      arrived.push_back(held.front().second);
-      held.erase(held.begin());
-    }
-    if (rng.NextDouble() < cfg.ooo_fraction) {
-      held.push_back(
-          {t.ts + 1 +
-               static_cast<Time>(
-                   rng.NextBounded(static_cast<uint64_t>(cfg.max_delay))),
-           t});
-    } else {
-      arrived.push_back(t);
-    }
-  }
-  for (auto& [r, t] : held) arrived.push_back(t);
-  return arrived;
+  testing::StreamSpec spec;
+  spec.seed = cfg.seed;
+  spec.num_tuples = n;
+  spec.step_lo = 1;
+  spec.step_hi = 3;
+  spec.gap_probability = 0.02;  // session gaps
+  spec.gap_length = 60;
+  spec.value_range = 40;
+  spec.ooo_fraction = cfg.ooo_fraction;
+  spec.max_delay = cfg.max_delay;
+  return testing::GenerateStream(spec);
 }
 
 std::vector<WindowPtr> SoakWindows(bool with_sessions) {

@@ -1,92 +1,25 @@
 #ifndef SCOTTY_TESTS_TEST_UTIL_H_
 #define SCOTTY_TESTS_TEST_UTIL_H_
 
-#include <algorithm>
-#include <map>
-#include <string>
-#include <tuple>
-#include <vector>
+// Thin re-export of the shared testing library (src/testing/). The helpers
+// used to live here; they moved so the differential fuzzing harness and the
+// gtest suites exercise the exact same oracle and stream machinery.
 
-#include "aggregates/aggregate_function.h"
-#include "common/tuple.h"
-#include "core/window_operator.h"
+#include "common/value.h"
+#include "testing/harness.h"
+#include "testing/oracle.h"
+#include "testing/stream_gen.h"
 
 namespace scotty {
 namespace testutil {
 
-/// Shorthand tuple constructor; seq defaults to an auto-increasing counter
-/// managed by the caller.
-inline Tuple T(Time ts, double value, uint64_t seq = 0, int64_t key = 0) {
-  Tuple t;
-  t.ts = ts;
-  t.value = value;
-  t.seq = seq;
-  t.key = key;
-  return t;
-}
-
-/// Feeds tuples in vector order, assigning arrival sequence numbers, then a
-/// final watermark; returns all emitted results.
-inline std::vector<WindowResult> RunStream(WindowOperator& op,
-                                           std::vector<Tuple> tuples,
-                                           Time final_wm) {
-  uint64_t seq = 0;
-  for (Tuple& t : tuples) {
-    t.seq = seq++;
-    op.ProcessTuple(t);
-  }
-  op.ProcessWatermark(final_wm);
-  return op.TakeResults();
-}
-
-/// Key identifying a window instance in the result stream.
-using ResultKey = std::tuple<int, int, Time, Time>;  // window, agg, start, end
-
-/// Final value per window instance: later emissions (allowed-lateness
-/// updates) override earlier ones — the consumer-visible end state.
-inline std::map<ResultKey, Value> FinalResults(
-    const std::vector<WindowResult>& results) {
-  std::map<ResultKey, Value> out;
-  for (const WindowResult& r : results) {
-    out[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
-  }
-  return out;
-}
-
-/// Reference (brute-force) aggregate of all tuples with start <= ts < end,
-/// folded in (ts, seq) order — the semantic ground truth every operator must
-/// match.
-inline Value BruteForce(const AggregateFunction& fn, std::vector<Tuple> tuples,
-                        Time start, Time end) {
-  std::sort(tuples.begin(), tuples.end(), [](const Tuple& a, const Tuple& b) {
-    if (a.ts != b.ts) return a.ts < b.ts;
-    return a.seq < b.seq;
-  });
-  Partial acc;
-  for (const Tuple& t : tuples) {
-    if (t.is_punctuation) continue;
-    if (t.ts >= start && t.ts < end) fn.Combine(acc, fn.Lift(t));
-  }
-  return fn.Lower(acc);
-}
-
-/// Brute-force aggregate over ranks [cs, ce) in event-time order.
-inline Value BruteForceCount(const AggregateFunction& fn,
-                             std::vector<Tuple> tuples, int64_t cs,
-                             int64_t ce) {
-  std::sort(tuples.begin(), tuples.end(), [](const Tuple& a, const Tuple& b) {
-    if (a.ts != b.ts) return a.ts < b.ts;
-    return a.seq < b.seq;
-  });
-  Partial acc;
-  int64_t rank = 0;
-  for (const Tuple& t : tuples) {
-    if (t.is_punctuation) continue;
-    if (rank >= cs && rank < ce) fn.Combine(acc, fn.Lift(t));
-    ++rank;
-  }
-  return fn.Lower(acc);
-}
+using testing::BruteForce;
+using testing::BruteForceCount;
+using testing::FinalResults;
+using testing::ResultKey;
+using testing::RunStream;
+using testing::RunToFinalResults;
+using testing::T;
 
 /// Numeric comparison helper tolerant of both int64 and double payloads.
 inline double Num(const Value& v) { return v.Numeric(); }

@@ -123,6 +123,25 @@ TEST(TryRemove, SumNoInvertAlwaysFails) {
   EXPECT_FALSE(s.TryRemove(acc, s.Lift(T(1, 1.0))));
 }
 
+TEST(TryRemove, SingleElementAccumulatorDrainsToIdentity) {
+  // Removing the only contribution must leave a partial that lowers to the
+  // empty value and accepts new tuples — the single-slice eviction edge.
+  for (const char* name : {"sum", "count", "avg", "stddev", "median", "p90"}) {
+    AggregateFunctionPtr fn = MakeAggregation(name);
+    Partial acc = fn->Lift(T(4, 6.0));
+    ASSERT_TRUE(fn->TryRemove(acc, fn->Lift(T(4, 6.0)))) << name;
+    // Drained accumulator must behave like a fresh identity.
+    fn->Combine(acc, fn->Lift(T(9, 3.0)));
+    const Value expected = fn->Lower(fn->Lift(T(9, 3.0)));
+    const Value actual = fn->Lower(acc);
+    if (expected.IsDouble()) {
+      EXPECT_NEAR(actual.AsDouble(), expected.AsDouble(), 1e-9) << name;
+    } else {
+      EXPECT_EQ(actual, expected) << name;
+    }
+  }
+}
+
 TEST(TryRemove, IdentityArgumentsAreSafe) {
   MaxAggregation mx;
   Partial acc = Fold(mx, {T(1, 3.0)});
