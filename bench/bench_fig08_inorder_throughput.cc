@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace scotty {
@@ -35,8 +36,8 @@ void Run() {
       // In-order streams self-trigger; no watermarks needed.
       const ThroughputResult r =
           MeasureThroughput(*op, src, 3'000'000, 1.0, /*wm_every=*/0);
-      PrintRow("fig08", TechniqueName(tech), std::to_string(n),
-               r.TuplesPerSecond(), "tuples/s");
+      EmitRow("fig08", TechniqueName(tech), std::to_string(n),
+              r.TuplesPerSecond(), "tuples/s");
     }
   }
 }

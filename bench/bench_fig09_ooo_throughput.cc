@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "windows/session.h"
 
@@ -50,9 +51,9 @@ void Run() {
                                 {"sum"});
         const ThroughputResult r = MeasureThroughput(
             *op, src, 2'000'000, 1.0, /*wm_every=*/1024, /*wm_delay=*/2000);
-        PrintRow("fig09",
-                 std::string(TechniqueName(tech)) + "/" + dataset,
-                 std::to_string(n), r.TuplesPerSecond(), "tuples/s");
+        EmitRow("fig09",
+                std::string(TechniqueName(tech)) + "/" + dataset,
+                std::to_string(n), r.TuplesPerSecond(), "tuples/s");
       }
     }
   }

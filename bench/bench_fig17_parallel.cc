@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "runtime/parallel_executor.h"
 
@@ -57,8 +58,8 @@ void Run() {
   for (Technique tech : {Technique::kLazySlicing, Technique::kBuckets}) {
     for (size_t degree : {1, 2, 4, 8}) {
       const double tps = RunParallel(tech, degree);
-      PrintRow("fig17", TechniqueName(tech), std::to_string(degree), tps,
-               "tuples/s");
+      EmitRow("fig17", TechniqueName(tech), std::to_string(degree), tps,
+              "tuples/s");
     }
   }
 }

@@ -1,0 +1,88 @@
+#ifndef SCOTTY_BENCH_BENCH_JSON_H_
+#define SCOTTY_BENCH_BENCH_JSON_H_
+
+// Machine-readable benchmark recording: every EmitRow prints the usual CSV
+// row AND appends a JSON object to a results file, so perf baselines can be
+// committed and diffed across changes (BENCH_throughput.json at the repo
+// root holds the recorded baseline; see EXPERIMENTS.md for regeneration).
+//
+// The file always holds one valid JSON array. Appending rewrites the file:
+// read, strip the closing bracket, add the new object, close the array.
+// This needs no JSON parser, tolerates a missing/empty file, and keeps the
+// file well-formed after every row — a crashed bench leaves valid JSON.
+//
+// The target path is BENCH_throughput.json in the current directory, or
+// $SCOTTY_BENCH_JSON when set (benches run from build/, so regenerating the
+// committed baseline uses SCOTTY_BENCH_JSON=../BENCH_throughput.json).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace scotty {
+namespace bench {
+
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("SCOTTY_BENCH_JSON");
+  return env != nullptr && env[0] != '\0' ? std::string(env)
+                                          : "BENCH_throughput.json";
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+inline void AppendJsonRow(const std::string& figure, const std::string& series,
+                          const std::string& x, double y,
+                          const std::string& unit) {
+  const std::string path = BenchJsonPath();
+  std::string content;
+  {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  char ybuf[64];
+  std::snprintf(ybuf, sizeof(ybuf), "%.6g", y);
+  std::ostringstream row;
+  row << "  {\"figure\": \"" << JsonEscape(figure) << "\", \"series\": \""
+      << JsonEscape(series) << "\", \"x\": \"" << JsonEscape(x)
+      << "\", \"y\": " << ybuf << ", \"unit\": \"" << JsonEscape(unit)
+      << "\"}";
+  const size_t close = content.find_last_of(']');
+  std::ofstream out(path, std::ios::trunc);
+  if (close == std::string::npos) {
+    out << "[\n" << row.str() << "\n]\n";
+  } else {
+    content.resize(close);  // drop ']' and anything after it
+    while (!content.empty() &&
+           std::isspace(static_cast<unsigned char>(content.back()))) {
+      content.pop_back();
+    }
+    out << content << ",\n" << row.str() << "\n]\n";
+  }
+}
+
+/// CSV row on stdout + JSON object in the results file.
+inline void EmitRow(const std::string& figure, const std::string& series,
+                    const std::string& x, double y, const std::string& unit) {
+  PrintRow(figure, series, x, y, unit);
+  AppendJsonRow(figure, series, x, y, unit);
+}
+
+}  // namespace bench
+}  // namespace scotty
+
+#endif  // SCOTTY_BENCH_BENCH_JSON_H_

@@ -1,0 +1,82 @@
+// Batched vs tuple-at-a-time ingestion on the Figure-8 workload.
+//
+// Setup: the in-order football stream with concurrent tumbling-window sum
+// queries (paper Section 6.2.1) — the configuration where per-tuple overhead
+// dominates, since slicing reduces window maintenance to one partial-
+// aggregate update per tuple. The batched path amortizes virtual dispatch,
+// workload re-checks, and slice lookups across contiguous tuple runs and
+// folds values through the devirtualized LiftCombineBatch kernels.
+//
+// Series per store mode (lazy/eager):
+//   tuple-at-a-time    ProcessTuple per tuple (the pre-batching hot loop)
+//   batch-{64,256,1024} ProcessTupleBatch over blocks of that size
+//   speedup-batch-256  batch-256 tuples/s divided by tuple-at-a-time
+//
+// Results are appended to BENCH_throughput.json (see bench_json.h); the
+// committed baseline at the repo root records the measured speedup. The
+// batch sizes bracket the ParallelExecutor staging default (256).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+// The slicing hot loop sustains tens of millions of tuples/s, so the
+// Figure-8 budget of 3M tuples finishes in well under 0.1s and is too noisy
+// for a recorded speedup baseline; give each point up to 20M tuples / 1s.
+constexpr uint64_t kMaxTuples = 20'000'000;
+constexpr double kMaxSeconds = 1.0;
+
+std::unique_ptr<WindowOperator> MakeOp(Technique tech, int windows) {
+  return MakeTechnique(tech, /*stream_in_order=*/true, /*allowed_lateness=*/0,
+                       DashboardTumblingWindows(windows), {"sum"});
+}
+
+void Run() {
+  PrintHeader("throughput_batched",
+              "batched vs per-tuple ingestion, in-order sum/tumbling");
+  const std::vector<int> window_counts = {1, 10, 100, 1000};
+  const std::vector<size_t> batch_sizes = {64, 256, 1024};
+  for (Technique tech : {Technique::kLazySlicing, Technique::kEagerSlicing}) {
+    const std::string name = TechniqueName(tech);
+    for (int n : window_counts) {
+      SensorStream src(SensorStream::Football());
+      auto base_op = MakeOp(tech, n);
+      // In-order streams self-trigger; no watermarks needed.
+      const ThroughputResult base =
+          MeasureThroughput(*base_op, src, kMaxTuples, kMaxSeconds,
+                            /*wm_every=*/0);
+      EmitRow("throughput_batched", name + "/tuple-at-a-time",
+              std::to_string(n), base.TuplesPerSecond(), "tuples/s");
+      double batch256 = 0.0;
+      for (size_t bs : batch_sizes) {
+        SensorStream bsrc(SensorStream::Football());
+        auto op = MakeOp(tech, n);
+        const ThroughputResult r = MeasureThroughputBatched(
+            *op, bsrc, kMaxTuples, kMaxSeconds, bs, /*wm_every=*/0);
+        EmitRow("throughput_batched", name + "/batch-" + std::to_string(bs),
+                std::to_string(n), r.TuplesPerSecond(), "tuples/s");
+        if (bs == 256) batch256 = r.TuplesPerSecond();
+      }
+      if (base.TuplesPerSecond() > 0) {
+        EmitRow("throughput_batched", name + "/speedup-batch-256",
+                std::to_string(n), batch256 / base.TuplesPerSecond(), "x");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

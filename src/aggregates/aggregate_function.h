@@ -2,6 +2,7 @@
 #define SCOTTY_AGGREGATES_AGGREGATE_FUNCTION_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "aggregates/partial.h"
@@ -45,6 +46,19 @@ class AggregateFunction {
 
   /// into = into (+) other. `other` may be identity; `into` may be identity.
   virtual void Combine(Partial& into, const Partial& other) const = 0;
+
+  /// Folds a batch of tuples into `into`, exactly equivalent to calling
+  /// Combine(into, Lift(t)) for every tuple in order. The batched ingestion
+  /// hot path issues ONE virtual dispatch per (batch, aggregation) through
+  /// this method; the built-in distributive/algebraic functions override it
+  /// with tight non-virtual loops over the raw tuple span (no Partial
+  /// round-trip per tuple). Overrides MUST preserve the per-tuple fold order
+  /// bit-for-bit — the differential fuzzer compares batched and per-tuple
+  /// executions for exact equality, including floating-point rounding.
+  virtual void LiftCombineBatch(std::span<const Tuple> batch,
+                                Partial& into) const {
+    for (const Tuple& t : batch) Combine(into, Lift(t));
+  }
 
   /// Transforms a partial aggregate into the final window aggregate.
   virtual Value Lower(const Partial& p) const = 0;

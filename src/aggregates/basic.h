@@ -34,6 +34,24 @@ class SumAggregation : public AggregateFunction {
     from.Get<double>() -= removed.Get<double>();
   }
 
+  /// Batched kernel: accumulate in a register, seeded with the existing
+  /// partial so the left-to-right fold (and its rounding) matches the
+  /// per-tuple path exactly.
+  void LiftCombineBatch(std::span<const Tuple> batch,
+                        Partial& into) const override {
+    if (batch.empty()) return;
+    size_t i = 0;
+    double acc;
+    if (into.IsIdentity()) {
+      acc = batch[0].value;
+      i = 1;
+    } else {
+      acc = into.Get<double>();
+    }
+    for (; i < batch.size(); ++i) acc += batch[i].value;
+    into.Set(acc);
+  }
+
   bool IsInvertible() const override { return true; }
   AggClass Class() const override { return AggClass::kDistributive; }
   std::string Name() const override { return "sum"; }
@@ -74,6 +92,19 @@ class CountAggregation : public AggregateFunction {
     from.Get<int64_t>() -= removed.Get<int64_t>();
   }
 
+  /// Batched kernel: integer addition is exact, so the whole batch collapses
+  /// to one += regardless of fold order.
+  void LiftCombineBatch(std::span<const Tuple> batch,
+                        Partial& into) const override {
+    if (batch.empty()) return;
+    const int64_t n = static_cast<int64_t>(batch.size());
+    if (into.IsIdentity()) {
+      into.Set(n);
+    } else {
+      into.Get<int64_t>() += n;
+    }
+  }
+
   bool IsInvertible() const override { return true; }
   AggClass Class() const override { return AggClass::kDistributive; }
   std::string Name() const override { return "count"; }
@@ -107,6 +138,22 @@ class MinAggregation : public AggregateFunction {
     return removed.Get<double>() > from.Get<double>();
   }
 
+  /// Batched kernel: min is exact and associative; fold in a register.
+  void LiftCombineBatch(std::span<const Tuple> batch,
+                        Partial& into) const override {
+    if (batch.empty()) return;
+    size_t i = 0;
+    double m;
+    if (into.IsIdentity()) {
+      m = batch[0].value;
+      i = 1;
+    } else {
+      m = into.Get<double>();
+    }
+    for (; i < batch.size(); ++i) m = std::min(m, batch[i].value);
+    into.Set(m);
+  }
+
   AggClass Class() const override { return AggClass::kDistributive; }
   std::string Name() const override { return "min"; }
 };
@@ -135,6 +182,22 @@ class MaxAggregation : public AggregateFunction {
   bool TryRemove(Partial& from, const Partial& removed) const override {
     if (from.IsIdentity() || removed.IsIdentity()) return true;
     return removed.Get<double>() < from.Get<double>();
+  }
+
+  /// Batched kernel: max is exact and associative; fold in a register.
+  void LiftCombineBatch(std::span<const Tuple> batch,
+                        Partial& into) const override {
+    if (batch.empty()) return;
+    size_t i = 0;
+    double m;
+    if (into.IsIdentity()) {
+      m = batch[0].value;
+      i = 1;
+    } else {
+      m = into.Get<double>();
+    }
+    for (; i < batch.size(); ++i) m = std::max(m, batch[i].value);
+    into.Set(m);
   }
 
   AggClass Class() const override { return AggClass::kDistributive; }

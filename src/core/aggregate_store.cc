@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace scotty {
 
@@ -36,9 +37,24 @@ size_t AggregateStore::FirstEndingAfter(Time ts) const {
   return static_cast<size_t>(it - slices_.begin());
 }
 
+Slice AggregateStore::MakeSlice(Time start, Time end) {
+  if (!free_slices_.empty()) {
+    Slice s = std::move(free_slices_.back());
+    free_slices_.pop_back();
+    s.Reset(start, end, fns_.size());
+    return s;
+  }
+  return Slice(start, end, fns_.size());
+}
+
+void AggregateStore::Retire(Slice&& s) {
+  if (free_slices_.size() >= kMaxFreeSlices) return;
+  free_slices_.push_back(std::move(s));
+}
+
 Slice& AggregateStore::Append(Time start, Time end) {
   assert(slices_.empty() || start >= slices_.back().end());
-  slices_.emplace_back(start, end, fns_.size());
+  slices_.push_back(MakeSlice(start, end));
   ++slices_created_;
   for (FlatFat& tree : trees_) tree.Append(Partial{});
   return slices_.back();
@@ -46,8 +62,8 @@ Slice& AggregateStore::Append(Time start, Time end) {
 
 Slice& AggregateStore::InsertAt(size_t idx, Time start, Time end) {
   assert(idx <= slices_.size());
-  slices_.emplace(slices_.begin() + static_cast<ptrdiff_t>(idx),
-                  Slice(start, end, fns_.size()));
+  slices_.insert(slices_.begin() + static_cast<ptrdiff_t>(idx),
+                 MakeSlice(start, end));
   ++slices_created_;
   if (mode_ == StoreMode::kEager) {
     for (size_t a = 0; a < trees_.size(); ++a) {
@@ -60,6 +76,7 @@ Slice& AggregateStore::InsertAt(size_t idx, Time start, Time end) {
 void AggregateStore::MergeWithNext(size_t i) {
   assert(i + 1 < slices_.size());
   slices_[i].MergeWith(slices_[i + 1], fns_);
+  Retire(std::move(slices_[i + 1]));
   slices_.erase(slices_.begin() + static_cast<ptrdiff_t>(i) + 1);
   if (mode_ == StoreMode::kEager) {
     for (size_t a = 0; a < trees_.size(); ++a) {
@@ -99,6 +116,7 @@ void AggregateStore::EvictBefore(Time t) {
   size_t k = 0;
   while (k < slices_.size() && slices_[k].end() <= t) {
     total_tuples_ -= slices_[k].tuple_count();
+    Retire(std::move(slices_[k]));
     ++k;
   }
   if (k == 0) return;

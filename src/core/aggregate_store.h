@@ -95,6 +95,10 @@ class AggregateStore : public StreamStateView {
   /// Total stored tuples across slices (metadata count, not retained count).
   uint64_t TotalTupleCount() const { return total_tuples_; }
   void NoteTupleAdded() { ++total_tuples_; }
+  void NoteTuplesAdded(uint64_t n) { total_tuples_ += n; }
+
+  /// Retired slices currently parked on the freelist (observability/tests).
+  size_t FreeListSize() const { return free_slices_.size(); }
 
   /// Lifetime count of slices ever created (appends, inserts, splits);
   /// eviction does not decrease it. Drives the slice-minimality assertions
@@ -106,9 +110,24 @@ class AggregateStore : public StreamStateView {
  private:
   void RebuildTrees();
 
+  /// Takes a recycled slice off the freelist (or constructs one) reset to
+  /// [start, end). Slices churn constantly — one per window edge passed,
+  /// plus splits and session inserts — and each carries two vectors; the
+  /// freelist keeps those buffers alive across the evict/append cycle so
+  /// the steady-state hot path never touches the allocator.
+  Slice MakeSlice(Time start, Time end);
+
+  /// Parks a dead slice on the freelist (bounded; drops when full).
+  void Retire(Slice&& s);
+
+  /// Freelist bound: enough to absorb a full eviction sweep of a typical
+  /// multi-query slice population without hoarding unbounded memory.
+  static constexpr size_t kMaxFreeSlices = 64;
+
   StoreMode mode_;
   std::vector<AggregateFunctionPtr> fns_;
   std::deque<Slice> slices_;
+  std::vector<Slice> free_slices_;  // recycled slices (capacity preserved)
   std::vector<FlatFat> trees_;  // eager mode: one per aggregation
   uint64_t total_tuples_ = 0;
   uint64_t slices_created_ = 0;

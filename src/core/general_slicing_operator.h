@@ -81,8 +81,19 @@ class GeneralSlicingOperator : public WindowOperator {
   void RemoveWindow(int window_id);
 
   void ProcessTuple(const Tuple& t) override;
+
+  /// Batched ingestion hot path. Splits the batch into maximal runs of
+  /// in-order, non-late, non-punctuation tuples that all fall before the
+  /// next slice edge (and, on declared-in-order streams, before the next
+  /// trigger edge), folds each run into the open slice with one
+  /// LiftCombineBatch dispatch per aggregation, and routes every other
+  /// tuple through the full ProcessTuple machinery. Bit-identical to
+  /// calling ProcessTuple per element.
+  void ProcessTupleBatch(std::span<const Tuple> batch) override;
+
   void ProcessWatermark(Time wm) override;
   std::vector<WindowResult> TakeResults() override;
+  void TakeResultsInto(std::vector<WindowResult>* out) override;
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 

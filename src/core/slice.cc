@@ -25,6 +25,38 @@ void Slice::AddTuple(const Tuple& t,
   NoteTuple(t);
 }
 
+void Slice::AddTupleBatch(std::span<const Tuple> batch,
+                          const std::vector<AggregateFunctionPtr>& fns,
+                          bool store_tuples) {
+  if (batch.empty()) return;
+  assert(fns.size() == aggs_.size());
+  for (size_t i = 0; i < fns.size(); ++i) {
+    fns[i]->LiftCombineBatch(batch, aggs_[i]);
+  }
+  if (store_tuples) {
+    tuples_.reserve(tuples_.size() + batch.size());
+    for (const Tuple& t : batch) {
+      // In-order runs append; fall back to sorted insert for stragglers so
+      // the (ts, seq) invariant holds for any caller.
+      if (tuples_.empty() || !TupleLess(t, tuples_.back())) {
+        tuples_.push_back(t);
+      } else {
+        RawInsertSorted(t);
+      }
+    }
+  }
+  for (const Tuple& t : batch) NoteTuple(t);
+}
+
+void Slice::Reset(Time start, Time end, size_t num_aggs) {
+  start_ = start;
+  end_ = end;
+  t_first_ = t_last_ = kNoTime;
+  tuple_count_ = 0;
+  aggs_.assign(num_aggs, Partial{});
+  tuples_.clear();
+}
+
 void Slice::RecomputeFromTuples(const std::vector<AggregateFunctionPtr>& fns) {
   for (size_t i = 0; i < fns.size(); ++i) {
     Partial acc;

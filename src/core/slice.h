@@ -2,6 +2,7 @@
 #define SCOTTY_CORE_SLICE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aggregates/aggregate_function.h"
@@ -49,6 +50,21 @@ class Slice {
   void AddTuple(const Tuple& t,
                 const std::vector<AggregateFunctionPtr>& fns,
                 bool store_tuple);
+
+  /// Adds a batch of tuples with ONE aggregation dispatch per function
+  /// (AggregateFunction::LiftCombineBatch) instead of one per tuple, plus a
+  /// single metadata pass. Exactly equivalent to calling AddTuple for every
+  /// element in span order; the batched ingestion hot path of the general
+  /// slicing operator feeds runs of in-order tuples through here.
+  void AddTupleBatch(std::span<const Tuple> batch,
+                     const std::vector<AggregateFunctionPtr>& fns,
+                     bool store_tuples);
+
+  /// Reinitializes this slice for reuse as [start, end) with `num_aggs`
+  /// identity partials, keeping the aggregate and tuple vector capacities
+  /// (the AggregateStore freelist recycles evicted slices through this to
+  /// keep slice churn off the allocator).
+  void Reset(Time start, Time end, size_t num_aggs);
 
   /// Recomputes all partial aggregates from the stored tuples in (ts, seq)
   /// order. Precondition: tuples were stored. This is the expensive path

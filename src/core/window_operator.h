@@ -2,8 +2,11 @@
 #define SCOTTY_CORE_WINDOW_OPERATOR_H_
 
 #include <cstddef>
+#include <iterator>
 #include <ostream>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -48,12 +51,37 @@ class WindowOperator {
   /// Processes one stream tuple (in-order or out-of-order).
   virtual void ProcessTuple(const Tuple& t) = 0;
 
+  /// Processes a batch of consecutive stream tuples (arrival order =
+  /// span order). Semantically identical to calling ProcessTuple for every
+  /// element; operators with a batch-aware hot path (the general slicing
+  /// operator, the keyed wrapper) override this to amortize dispatch,
+  /// branching, and slice lookups across the batch. Results must be
+  /// bit-identical to the per-tuple path — the differential fuzzer checks.
+  virtual void ProcessTupleBatch(std::span<const Tuple> batch) {
+    for (const Tuple& t : batch) ProcessTuple(t);
+  }
+
   /// Processes a low-watermark: triggers all windows that ended at or before
   /// `wm` and evicts state outside the allowed lateness.
   virtual void ProcessWatermark(Time wm) = 0;
 
   /// Returns and clears the window aggregates produced so far.
   virtual std::vector<WindowResult> TakeResults() = 0;
+
+  /// Appends the produced window aggregates to `*out` and clears the
+  /// internal buffer. Drivers that drain results in a loop (the pipeline,
+  /// the parallel workers) pass the same vector every time so both sides
+  /// reach a steady state with zero allocations; operators override this to
+  /// keep their internal buffer's capacity across drains.
+  virtual void TakeResultsInto(std::vector<WindowResult>* out) {
+    std::vector<WindowResult> r = TakeResults();
+    if (out->empty()) {
+      *out = std::move(r);
+    } else {
+      out->insert(out->end(), std::make_move_iterator(r.begin()),
+                  std::make_move_iterator(r.end()));
+    }
+  }
 
   /// Accounted bytes of live state (tuples, partials, metadata); the
   /// native-code stand-in for the paper's ObjectSizeCalculator measurements.

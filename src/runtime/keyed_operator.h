@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,14 +29,48 @@ class KeyedWindowOperator : public WindowOperator {
       : factory_(std::move(factory)) {}
 
   void ProcessTuple(const Tuple& t) override {
-    auto it = operators_.find(t.key);
-    if (it == operators_.end()) {
-      it = operators_.emplace(t.key, factory_()).first;
-      // A freshly created per-key operator must not consider windows
-      // before the current watermark already triggered.
-      if (last_wm_ != kNoTime) it->second->ProcessWatermark(last_wm_);
+    OperatorFor(t.key).ProcessTuple(t);
+  }
+
+  /// Splits the batch into per-key groups (preserving each key's arrival
+  /// order) and forwards every group through the inner operator's batched
+  /// path. Keys are independent operator instances, so regrouping cannot be
+  /// observed; maximal same-key runs are forwarded as subspans without
+  /// copying, mixed batches are regrouped through reused scratch buffers.
+  void ProcessTupleBatch(std::span<const Tuple> batch) override {
+    size_t i = 0;
+    const size_t n = batch.size();
+    while (i < n) {
+      // Zero-copy fast path: a maximal run of one key.
+      size_t j = i + 1;
+      while (j < n && batch[j].key == batch[i].key) ++j;
+      if (i == 0 && j == n) {
+        OperatorFor(batch[i].key).ProcessTupleBatch(batch);
+        return;
+      }
+      if (j - i >= kMinDirectRun) {
+        OperatorFor(batch[i].key).ProcessTupleBatch(batch.subspan(i, j - i));
+        i = j;
+        continue;
+      }
+      // Mixed keys: collect this stretch into per-key scratch groups until
+      // the next long same-key run, then dispatch one batch per key.
+      group_order_.clear();
+      for (; i < n; ++i) {
+        size_t r = i + 1;
+        while (r < n && batch[r].key == batch[i].key) ++r;
+        if (r - i >= kMinDirectRun && !group_order_.empty()) break;
+        std::vector<Tuple>& g = groups_[batch[i].key];
+        if (g.empty()) group_order_.push_back(batch[i].key);
+        for (; i < r; ++i) g.push_back(batch[i]);
+        i = r - 1;  // loop increment advances past the run
+      }
+      for (int64_t key : group_order_) {
+        std::vector<Tuple>& g = groups_[key];
+        OperatorFor(key).ProcessTupleBatch(g);
+        g.clear();  // keep capacity for the next batch
+      }
     }
-    it->second->ProcessTuple(t);
   }
 
   void ProcessWatermark(Time wm) override {
@@ -70,7 +105,10 @@ class KeyedWindowOperator : public WindowOperator {
   }
 
   std::string Name() const override {
-    return operators_.empty() ? "keyed" : "keyed-" + factory_()->Name();
+    // inner_name_ is cached when the first per-key operator is created;
+    // constructing a throwaway operator per Name() call would make a cheap
+    // accessor arbitrarily expensive (factories allocate full operators).
+    return inner_name_.empty() ? "keyed" : "keyed-" + inner_name_;
   }
 
   size_t NumKeys() const { return operators_.size(); }
@@ -82,9 +120,28 @@ class KeyedWindowOperator : public WindowOperator {
   }
 
  private:
+  /// Same-key runs at least this long skip the scratch regrouping and go
+  /// straight to the inner operator as a subspan.
+  static constexpr size_t kMinDirectRun = 16;
+
+  WindowOperator& OperatorFor(int64_t key) {
+    auto it = operators_.find(key);
+    if (it == operators_.end()) {
+      it = operators_.emplace(key, factory_()).first;
+      if (inner_name_.empty()) inner_name_ = it->second->Name();
+      // A freshly created per-key operator must not consider windows
+      // before the current watermark already triggered.
+      if (last_wm_ != kNoTime) it->second->ProcessWatermark(last_wm_);
+    }
+    return *it->second;
+  }
+
   Factory factory_;
   std::unordered_map<int64_t, std::unique_ptr<WindowOperator>> operators_;
+  std::unordered_map<int64_t, std::vector<Tuple>> groups_;  // batch scratch
+  std::vector<int64_t> group_order_;                        // batch scratch
   std::vector<WindowResult> results_;
+  std::string inner_name_;
   Time last_wm_ = kNoTime;
 };
 

@@ -1,18 +1,29 @@
 #include "runtime/parallel_executor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace scotty {
 
-SpscQueue::SpscQueue(size_t capacity_pow2)
-    : ring_(capacity_pow2), mask_(capacity_pow2 - 1) {
-  assert((capacity_pow2 & mask_) == 0 && "capacity must be a power of two");
+SpscQueue::SpscQueue(size_t capacity)
+    : ring_(capacity), mask_(capacity - 1) {
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    std::fprintf(stderr,
+                 "SpscQueue: capacity must be a power of two, got %zu\n",
+                 capacity);
+    std::abort();
+  }
 }
 
 void SpscQueue::Push(const Item& item) {
   const uint64_t tail = tail_.load(std::memory_order_relaxed);
-  while (tail - head_.load(std::memory_order_acquire) >= ring_.size()) {
-    std::this_thread::yield();  // backpressure
+  while (tail - head_cache_ >= ring_.size()) {
+    head_cache_ = head_.load(std::memory_order_acquire);
+    if (tail - head_cache_ >= ring_.size()) {
+      std::this_thread::yield();  // backpressure
+    }
   }
   ring_[tail & mask_] = item;
   tail_.store(tail + 1, std::memory_order_release);
@@ -20,19 +31,66 @@ void SpscQueue::Push(const Item& item) {
 
 bool SpscQueue::Pop(Item* out) {
   const uint64_t head = head_.load(std::memory_order_relaxed);
-  if (head == tail_.load(std::memory_order_acquire)) return false;
+  if (head == tail_cache_) {
+    tail_cache_ = tail_.load(std::memory_order_acquire);
+    if (head == tail_cache_) return false;
+  }
   *out = ring_[head & mask_];
   head_.store(head + 1, std::memory_order_release);
   return true;
 }
 
+void SpscQueue::PushBatch(const Item* items, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = ring_.size() - (tail - head_cache_);
+    while (free == 0) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = ring_.size() - (tail - head_cache_);
+      if (free == 0) std::this_thread::yield();  // backpressure
+    }
+    const size_t chunk = std::min(n - done, static_cast<size_t>(free));
+    for (size_t k = 0; k < chunk; ++k) {
+      ring_[(tail + k) & mask_] = items[done + k];
+    }
+    tail_.store(tail + chunk, std::memory_order_release);
+    done += chunk;
+  }
+}
+
+size_t SpscQueue::PopBatch(Item* out, size_t max_n) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t avail = tail_cache_ - head;
+  if (avail == 0) {
+    tail_cache_ = tail_.load(std::memory_order_acquire);
+    avail = tail_cache_ - head;
+    if (avail == 0) return 0;
+  }
+  const size_t chunk = std::min(max_n, static_cast<size_t>(avail));
+  for (size_t k = 0; k < chunk; ++k) {
+    out[k] = ring_[(head + k) & mask_];
+  }
+  head_.store(head + chunk, std::memory_order_release);
+  return chunk;
+}
+
 ParallelExecutor::ParallelExecutor(
     size_t num_workers,
     std::function<std::unique_ptr<WindowOperator>()> factory)
-    : factory_(std::move(factory)) {
+    : ParallelExecutor(num_workers, std::move(factory), Options{}) {}
+
+ParallelExecutor::ParallelExecutor(
+    size_t num_workers,
+    std::function<std::unique_ptr<WindowOperator>()> factory, Options opts)
+    : opts_(opts), factory_(std::move(factory)) {
   for (size_t i = 0; i < num_workers; ++i) {
     operators_.push_back(factory_());
-    queues_.push_back(std::make_unique<SpscQueue>());
+    queues_.push_back(std::make_unique<SpscQueue>(opts_.queue_capacity));
+  }
+  staging_.resize(num_workers);
+  if (opts_.batch_size > 1) {
+    for (auto& s : staging_) s.reserve(opts_.batch_size);
   }
   workers_.reserve(num_workers);
 }
@@ -49,20 +107,46 @@ void ParallelExecutor::Start() {
   }
 }
 
-void ParallelExecutor::Push(const Tuple& t) {
+size_t ParallelExecutor::WorkerFor(const Tuple& t) const {
   // Key partitioning: consistent routing keeps all tuples of a key on one
   // worker, so per-key window semantics are preserved.
-  const size_t w =
-      static_cast<size_t>(static_cast<uint64_t>(t.key) * 0x9E3779B97F4A7C15ULL
-                          >> 32) %
-      queues_.size();
+  return static_cast<size_t>(
+             static_cast<uint64_t>(t.key) * 0x9E3779B97F4A7C15ULL >> 32) %
+         queues_.size();
+}
+
+void ParallelExecutor::FlushStaging(size_t w) {
+  std::vector<SpscQueue::Item>& s = staging_[w];
+  if (s.empty()) return;
+  queues_[w]->PushBatch(s.data(), s.size());
+  s.clear();
+}
+
+void ParallelExecutor::FlushAllStaging() {
+  for (size_t w = 0; w < staging_.size(); ++w) FlushStaging(w);
+}
+
+void ParallelExecutor::Push(const Tuple& t) {
+  const size_t w = WorkerFor(t);
   SpscQueue::Item item;
   item.kind = SpscQueue::Item::Kind::kTuple;
   item.tuple = t;
-  queues_[w]->Push(item);
+  if (opts_.batch_size <= 1) {
+    queues_[w]->Push(item);
+    return;
+  }
+  staging_[w].push_back(item);
+  if (staging_[w].size() >= opts_.batch_size) FlushStaging(w);
+}
+
+void ParallelExecutor::PushBatch(std::span<const Tuple> tuples) {
+  for (const Tuple& t : tuples) Push(t);
 }
 
 void ParallelExecutor::PushWatermark(Time wm) {
+  // Staged tuples precede the watermark in arrival order; transfer them
+  // first so every worker observes the exact unbatched item sequence.
+  FlushAllStaging();
   SpscQueue::Item item;
   item.kind = SpscQueue::Item::Kind::kWatermark;
   item.watermark = wm;
@@ -71,6 +155,7 @@ void ParallelExecutor::PushWatermark(Time wm) {
 
 void ParallelExecutor::Finish() {
   assert(started_);
+  FlushAllStaging();
   SpscQueue::Item stop;
   stop.kind = SpscQueue::Item::Kind::kStop;
   for (auto& q : queues_) q->Push(stop);
@@ -81,25 +166,44 @@ void ParallelExecutor::Finish() {
 void ParallelExecutor::WorkerLoop(size_t i) {
   SpscQueue& q = *queues_[i];
   WindowOperator& op = *operators_[i];
-  SpscQueue::Item item;
+  const size_t batch = std::max<size_t>(size_t{1}, opts_.batch_size);
+  std::vector<SpscQueue::Item> items(batch);
+  std::vector<Tuple> run;  // contiguous tuple run handed to the operator
+  run.reserve(batch);
+  std::vector<WindowResult> drained;
   uint64_t results = 0;
   while (true) {
-    if (!q.Pop(&item)) {
+    const size_t got = q.PopBatch(items.data(), batch);
+    if (got == 0) {
       std::this_thread::yield();
       continue;
     }
-    switch (item.kind) {
-      case SpscQueue::Item::Kind::kTuple:
-        op.ProcessTuple(item.tuple);
-        break;
-      case SpscQueue::Item::Kind::kWatermark:
-        op.ProcessWatermark(item.watermark);
-        results += op.TakeResults().size();
-        break;
-      case SpscQueue::Item::Kind::kStop:
-        results += op.TakeResults().size();
-        total_results_.fetch_add(results);
-        return;
+    size_t k = 0;
+    while (k < got) {
+      switch (items[k].kind) {
+        case SpscQueue::Item::Kind::kTuple: {
+          run.clear();
+          while (k < got && items[k].kind == SpscQueue::Item::Kind::kTuple) {
+            run.push_back(items[k].tuple);
+            ++k;
+          }
+          op.ProcessTupleBatch(run);
+          break;
+        }
+        case SpscQueue::Item::Kind::kWatermark:
+          op.ProcessWatermark(items[k].watermark);
+          drained.clear();
+          op.TakeResultsInto(&drained);
+          results += drained.size();
+          ++k;
+          break;
+        case SpscQueue::Item::Kind::kStop:
+          drained.clear();
+          op.TakeResultsInto(&drained);
+          results += drained.size();
+          total_results_.fetch_add(results);
+          return;
+      }
     }
   }
 }

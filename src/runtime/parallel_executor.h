@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -14,9 +15,17 @@ namespace scotty {
 
 /// Single-producer single-consumer ring buffer carrying tuples and
 /// watermarks between the source thread and one worker.
+///
+/// Both endpoints keep a cached copy of the other side's position and only
+/// refresh it (an acquire load on the shared atomic) when the cache says
+/// the queue is full/empty; combined with the block transfers of
+/// PushBatch/PopBatch this amortizes the atomic traffic to a handful of
+/// operations per batch instead of two per item.
 class SpscQueue {
  public:
-  explicit SpscQueue(size_t capacity_pow2 = 1 << 14);
+  /// `capacity` must be a power of two (the ring index is computed with a
+  /// mask); violating this aborts with a diagnostic.
+  explicit SpscQueue(size_t capacity = 1 << 14);
 
   struct Item {
     enum class Kind : uint8_t { kTuple, kWatermark, kStop };
@@ -25,16 +34,30 @@ class SpscQueue {
     Time watermark = kNoTime;
   };
 
+  size_t capacity() const { return ring_.size(); }
+
   /// Blocks (spins + yields) while full.
   void Push(const Item& item);
   /// Returns false when empty.
   bool Pop(Item* out);
+
+  /// Pushes all `n` items in ring-sized chunks with one release store per
+  /// chunk; blocks (spins + yields) while the ring is full.
+  void PushBatch(const Item* items, size_t n);
+  /// Pops up to `max_n` items into `out` with one acquire load and one
+  /// release store; returns the number popped (0 when empty).
+  size_t PopBatch(Item* out, size_t max_n);
 
  private:
   std::vector<Item> ring_;
   size_t mask_;
   alignas(64) std::atomic<uint64_t> head_{0};  // consumer position
   alignas(64) std::atomic<uint64_t> tail_{0};  // producer position
+  // Position caches, each owned exclusively by one side (producer caches the
+  // consumer's head, consumer caches the producer's tail). Both are always
+  // <= the true value, so capacity/occupancy estimates are conservative.
+  alignas(64) uint64_t head_cache_ = 0;  // producer-owned
+  alignas(64) uint64_t tail_cache_ = 0;  // consumer-owned
 };
 
 /// Key-partitioned parallel execution (paper Section 5.3,
@@ -42,10 +65,27 @@ class SpscQueue {
 /// are routed to workers by key hash, watermarks are broadcast, and every
 /// worker runs an independent window-operator instance — the standard
 /// intra-node parallelism of Flink/Spark/Storm.
+///
+/// Ingestion is batched on both sides of the queue: the producer stages
+/// tuples per worker and transfers them in blocks; each worker pops blocks
+/// and feeds contiguous tuple runs to WindowOperator::ProcessTupleBatch.
+/// Watermarks flush all staging buffers first, so the per-worker item order
+/// is identical to unbatched execution.
 class ParallelExecutor {
  public:
+  struct Options {
+    /// Ring capacity per worker queue; must be a power of two.
+    size_t queue_capacity = 1 << 14;
+    /// Producer-side staging batch per worker (also the workers' pop batch).
+    /// 0 or 1 disables staging: every tuple is pushed individually.
+    size_t batch_size = 256;
+  };
+
   ParallelExecutor(size_t num_workers,
                    std::function<std::unique_ptr<WindowOperator>()> factory);
+  ParallelExecutor(size_t num_workers,
+                   std::function<std::unique_ptr<WindowOperator>()> factory,
+                   Options opts);
   ~ParallelExecutor();
 
   ParallelExecutor(const ParallelExecutor&) = delete;
@@ -53,6 +93,8 @@ class ParallelExecutor {
 
   void Start();
   void Push(const Tuple& t);
+  /// Routes a block of tuples through the per-worker staging buffers.
+  void PushBatch(std::span<const Tuple> tuples);
   void PushWatermark(Time wm);
   /// Sends stop markers, drains, and joins all workers.
   void Finish();
@@ -60,13 +102,19 @@ class ParallelExecutor {
   uint64_t TotalResults() const { return total_results_.load(); }
   size_t MemoryUsageBytes() const;
   size_t num_workers() const { return workers_.size(); }
+  const Options& options() const { return opts_; }
 
  private:
   void WorkerLoop(size_t i);
+  size_t WorkerFor(const Tuple& t) const;
+  void FlushStaging(size_t w);
+  void FlushAllStaging();
 
+  Options opts_;
   std::function<std::unique_ptr<WindowOperator>()> factory_;
   std::vector<std::unique_ptr<WindowOperator>> operators_;
   std::vector<std::unique_ptr<SpscQueue>> queues_;
+  std::vector<std::vector<SpscQueue::Item>> staging_;  // producer-owned
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> total_results_{0};
   bool started_ = false;

@@ -96,6 +96,7 @@ std::string DifferentialConfig::ToFlags() const {
   flag("burst-prob", stream.burst_probability, def.burst_probability);
   flag("burst-len", stream.burst_length, def.burst_length);
   flag("wm-every", wm_every, 0);
+  flag("batch", batch, 0);
   return os.str();
 }
 
@@ -156,6 +157,30 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     runs.push_back({"slicing-inorder",
                     RunToFinalResults(*in_order, stream, final_wm,
                                       cfg.wm_every, wm_lag)});
+  }
+  if (cfg.batch > 0) {
+    // Batched ingestion must be bit-identical to the per-tuple path (the
+    // fast-path fold preserves the exact left-to-right combine order), so
+    // these runs are compared with the same exact/approx rules as the rest.
+    const size_t bs = static_cast<size_t>(cfg.batch);
+    {
+      auto op = MakeSlicing(cfg, StoreMode::kLazy, false);
+      runs.push_back({"slicing-lazy-batched",
+                      RunToFinalResultsBatched(*op, stream, final_wm,
+                                               cfg.wm_every, wm_lag, bs)});
+    }
+    {
+      auto op = MakeSlicing(cfg, StoreMode::kEager, false);
+      runs.push_back({"slicing-eager-batched",
+                      RunToFinalResultsBatched(*op, stream, final_wm,
+                                               cfg.wm_every, wm_lag, bs)});
+    }
+    if (sorted) {
+      auto op = MakeSlicing(cfg, StoreMode::kLazy, true);
+      runs.push_back({"slicing-inorder-batched",
+                      RunToFinalResultsBatched(*op, stream, final_wm,
+                                               cfg.wm_every, wm_lag, bs)});
+    }
   }
   {
     auto op = MakeBaseline<TupleBufferOperator>(cfg);
@@ -308,6 +333,12 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
   }
   static const int kWmEvery[] = {0, 64, 256};
   cfg.wm_every = kWmEvery[rng.NextBounded(3)];
+  // Batched ingestion is always exercised: tiny blocks stress the
+  // run-splitting logic, 64 is a realistic runtime batch, 0 maps to one
+  // whole-stream block.
+  static const int kBatch[] = {1, 7, 64, 0};
+  cfg.batch = kBatch[rng.NextBounded(4)];
+  if (cfg.batch == 0) cfg.batch = std::max(1, num_tuples);
   return cfg;
 }
 

@@ -22,6 +22,10 @@ struct DifferentialConfig {
   /// watermark). The lag is StreamSpec::MaxLateness(), so no technique ever
   /// drops a tuple and the oracle (which does not model drops) stays valid.
   int wm_every = 0;
+  /// Additionally run the slicing operator through its batched ingestion
+  /// path (ProcessTupleBatch) with blocks of this many tuples and require
+  /// bit-identical final results. 0 disables the batched runs.
+  int batch = 0;
 
   /// Reproducer flags for `fuzz_differential` (everything non-default).
   std::string ToFlags() const;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -62,6 +63,55 @@ TEST(SpscQueueStress, TransfersEveryItemInOrder) {
     expected_checksum += static_cast<double>(i % 1024);
   }
   EXPECT_EQ(checksum, expected_checksum);
+}
+
+TEST(SpscQueueStress, BatchTransfersEveryItemInOrder) {
+  SpscQueue q(1 << 7);  // tiny ring: batches constantly split at the wrap
+  constexpr uint64_t kItems = 200000;
+  constexpr size_t kPush = 190;  // > capacity: PushBatch must chunk
+  constexpr size_t kPop = 33;
+
+  std::thread producer([&] {
+    std::vector<SpscQueue::Item> block(kPush);
+    uint64_t next = 0;
+    while (next < kItems) {
+      const size_t n =
+          std::min<uint64_t>(kPush, kItems - next);
+      for (size_t i = 0; i < n; ++i) {
+        block[i].kind = SpscQueue::Item::Kind::kTuple;
+        block[i].tuple.seq = next + i;
+      }
+      q.PushBatch(block.data(), n);
+      next += n;
+    }
+    SpscQueue::Item stop;
+    stop.kind = SpscQueue::Item::Kind::kStop;
+    q.Push(stop);
+  });
+
+  uint64_t received = 0;
+  uint64_t expected_seq = 0;
+  bool in_order = true;
+  bool stopped = false;
+  SpscQueue::Item buf[kPop];
+  while (!stopped) {
+    const size_t n = q.PopBatch(buf, kPop);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (buf[i].kind == SpscQueue::Item::Kind::kStop) {
+        stopped = true;
+        break;
+      }
+      in_order &= buf[i].tuple.seq == expected_seq++;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
+  EXPECT_TRUE(in_order);
 }
 
 std::unique_ptr<WindowOperator> MakeKeyedSlicing() {
@@ -148,6 +198,39 @@ uint64_t ParallelResultCount(const KeyedWorkload& w, Time wm_lag,
   return exec.TotalResults();
 }
 
+/// Like ParallelResultCount, but drives ingestion through PushBatch with
+/// explicit executor options (queue capacity, staging batch size). The
+/// watermark cadence is identical, so results must match the sequential
+/// reference regardless of batching parameters.
+uint64_t ParallelBatchedResultCount(const KeyedWorkload& w, Time wm_lag,
+                                    size_t num_workers,
+                                    ParallelExecutor::Options opts,
+                                    size_t block) {
+  ParallelExecutor exec(num_workers, MakeKeyedSlicing, opts);
+  exec.Start();
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  uint64_t n = 0;
+  size_t i = 0;
+  while (i < w.tuples.size()) {
+    size_t len = std::min(block, w.tuples.size() - i);
+    len = std::min<size_t>(len, 97 - n % 97);  // stop at the wm boundary
+    exec.PushBatch({w.tuples.data() + i, len});
+    for (size_t k = 0; k < len; ++k) {
+      max_ts = std::max(max_ts, w.tuples[i + k].ts);
+    }
+    n += len;
+    i += len;
+    if (n % 97 == 0 && max_ts - wm_lag > last_wm) {
+      last_wm = max_ts - wm_lag;
+      exec.PushWatermark(last_wm);
+    }
+  }
+  exec.PushWatermark(w.final_wm);
+  exec.Finish();
+  return exec.TotalResults();
+}
+
 /// Keys are disjoint across workers and each SPSC queue preserves the
 /// source's tuple/watermark interleaving, so every per-key operator sees the
 /// identical sequence in both executions: the emission counts must match.
@@ -157,6 +240,22 @@ TEST(ParallelExecutorStress, MatchesSequentialKeyedReference) {
   const uint64_t sequential = SequentialResultCount(w, wm_lag);
   ASSERT_GT(sequential, 0u);
   EXPECT_EQ(ParallelResultCount(w, wm_lag, 4), sequential);
+}
+
+TEST(ParallelExecutorStress, BatchedIngestionMatchesSequentialReference) {
+  const KeyedWorkload w = MakeWorkload();
+  const Time wm_lag = 30;
+  const uint64_t sequential = SequentialResultCount(w, wm_lag);
+  ASSERT_GT(sequential, 0u);
+  ParallelExecutor::Options tight;
+  tight.queue_capacity = 1 << 8;  // constant backpressure + wraparound
+  tight.batch_size = 32;
+  EXPECT_EQ(ParallelBatchedResultCount(w, wm_lag, 3, tight, 200), sequential);
+  ParallelExecutor::Options unstaged;
+  unstaged.queue_capacity = 1 << 12;
+  unstaged.batch_size = 1;  // staging disabled: per-item pushes
+  EXPECT_EQ(ParallelBatchedResultCount(w, wm_lag, 5, unstaged, 64),
+            sequential);
 }
 
 TEST(ParallelExecutorStress, DeterministicAcrossRunsAndWorkerCounts) {

@@ -52,7 +52,7 @@ constexpr const char* kKnownFlags[] = {
     "seed",       "tuples",     "runs",      "verbose",    "no-shrink",
     "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
-    "max-delay",  "burst-prob", "burst-len", "wm-every"};
+    "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch"};
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +121,9 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
   }
   if (flags.Has("wm-every")) {
     cfg->wm_every = static_cast<int>(flags.Int("wm-every", cfg->wm_every));
+  }
+  if (flags.Has("batch")) {
+    cfg->batch = static_cast<int>(flags.Int("batch", cfg->batch));
   }
 }
 
