@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "windows/tumbling.h"
 
@@ -67,8 +68,8 @@ void Sweep(const std::string& fig, bool count_based, bool vary_slices) {
       const int64_t tuples = vary_slices ? 50'000 : x;
       const int64_t slices = vary_slices ? x : 500;
       const size_t bytes = MeasureMemory(tech, count_based, tuples, slices);
-      PrintRow(fig, TechniqueName(tech), std::to_string(x),
-               static_cast<double>(bytes), "bytes");
+      EmitRow(fig, TechniqueName(tech), std::to_string(x),
+              static_cast<double>(bytes), "bytes");
     }
   }
 }

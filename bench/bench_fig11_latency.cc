@@ -15,11 +15,13 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "aggregates/registry.h"
+#include "bench/bench_json.h"
 #include "core/aggregate_store.h"
 
 namespace scotty {
@@ -140,13 +142,35 @@ void RegisterAll() {
   }
 }
 
+/// Console output as usual, plus one EmitRow per finished run so fig11
+/// lands in the recorded BENCH_throughput.json like every PrintRow-based
+/// figure. Names are "fig11/<store>/<agg>/<entries>": the middle becomes
+/// the series, the range the x value.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const size_t first = name.find('/');
+      const size_t last = name.rfind('/');
+      if (first == std::string::npos || last <= first) continue;
+      bench::EmitRow("fig11", name.substr(first + 1, last - first - 1),
+                     name.substr(last + 1), run.GetAdjustedRealTime(),
+                     benchmark::GetTimeUnitString(run.time_unit));
+    }
+  }
+};
+
 }  // namespace
 }  // namespace scotty
 
 int main(int argc, char** argv) {
   scotty::RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  scotty::JsonRowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

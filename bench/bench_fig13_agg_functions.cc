@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace scotty {
@@ -43,8 +44,8 @@ void Run() {
                               {agg});
       const ThroughputResult r =
           MeasureThroughput(*op, src, 2'000'000, 0.8, 1024, 2000);
-      PrintRow("fig13", agg + (count_based ? "/count" : "/time"), agg,
-               r.TuplesPerSecond(), "tuples/s");
+      EmitRow("fig13", agg + (count_based ? "/count" : "/time"), agg,
+              r.TuplesPerSecond(), "tuples/s");
     }
   }
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Crash-injection sweep over the checkpoint/restore subsystem (DESIGN.md §7).
+#
+# For every windowing technique: record the result log of an uninterrupted
+# checkpointed run, then for every barrier index n kill the process with
+# SCOTTY_CRASH_AFTER=n (hard std::_Exit right after the n-th snapshot is
+# persisted), resume from the newest snapshot on disk, and require the
+# concatenated crashed+resumed log to be byte-identical to the reference —
+# recovery at every barrier, no result lost, duplicated, or altered.
+#
+# Usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every]
+
+set -u
+
+BIN=${1:?usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every]}
+WORK=${2:-$(mktemp -d)}
+TUPLES=${3:-4096}
+WM_EVERY=${4:-256}
+BARRIERS=$((TUPLES / WM_EVERY))
+
+TECHNIQUES="slicing-lazy slicing-eager slicing-inorder tuple-buffer aggregate-tree buckets"
+
+mkdir -p "$WORK"
+failures=0
+total=0
+
+for tech in $TECHNIQUES; do
+  ref="$WORK/ref-$tech.log"
+  rm -rf "$WORK/ref-dir-$tech"
+  mkdir -p "$WORK/ref-dir-$tech"
+  if ! "$BIN" --technique="$tech" --tuples="$TUPLES" --wm-every="$WM_EVERY" \
+       --dir="$WORK/ref-dir-$tech" --out="$ref" > /dev/null; then
+    echo "FAIL: reference run for $tech did not complete"
+    exit 1
+  fi
+
+  for n in $(seq 1 "$BARRIERS"); do
+    total=$((total + 1))
+    dir="$WORK/crash-$tech-$n"
+    out="$WORK/out-$tech-$n.log"
+    rm -rf "$dir" "$out"
+    mkdir -p "$dir"
+    SCOTTY_CRASH_AFTER=$n "$BIN" --technique="$tech" --tuples="$TUPLES" \
+        --wm-every="$WM_EVERY" --dir="$dir" --out="$out" > /dev/null
+    rc=$?
+    if [ "$rc" -eq 42 ]; then
+      if ! "$BIN" --technique="$tech" --tuples="$TUPLES" \
+           --wm-every="$WM_EVERY" --dir="$dir" --out="$out" --resume \
+           > /dev/null; then
+        echo "FAIL: $tech crash=$n resume did not complete"
+        failures=$((failures + 1))
+        continue
+      fi
+    elif [ "$rc" -ne 0 ]; then
+      echo "FAIL: $tech crash=$n run exited with $rc"
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! cmp -s "$out" "$ref"; then
+      echo "FAIL: $tech crash=$n recovered log differs from reference"
+      failures=$((failures + 1))
+      continue
+    fi
+    rm -rf "$dir" "$out"
+  done
+  echo "OK: $tech recovered bit-identically at all $BARRIERS barriers"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "crash sweep: $failures/$total cases FAILED"
+  exit 1
+fi
+echo "crash sweep: $total cases passed"

@@ -8,6 +8,7 @@
 
 #include "common/memory.h"
 #include "common/time.h"
+#include "state/serde.h"
 
 namespace scotty {
 
@@ -210,6 +211,156 @@ class Partial {
 
   /// Total accounted bytes for this partial (fixed slot + heap).
   size_t TotalBytes() const { return MemoryModel::kPartialBytes + DynamicBytes(); }
+
+  /// Snapshot encoding: one byte of variant index, then the alternative's
+  /// fields. Doubles travel as raw bits (state/serde.h), so a restored
+  /// partial compares == to the original — the checkpoint bit-identity
+  /// contract. The variant is closed, so this is the single place that
+  /// knows every partial shape; aggregate functions stay serialization-free.
+  void Serialize(state::Writer& w) const {
+    w.U8(static_cast<uint8_t>(v_.index()));
+    if (const auto* i = std::get_if<int64_t>(&v_)) {
+      w.I64(*i);
+    } else if (const auto* d = std::get_if<double>(&v_)) {
+      w.F64(*d);
+    } else if (const auto* a = std::get_if<AvgState>(&v_)) {
+      w.F64(a->sum);
+      w.I64(a->count);
+    } else if (const auto* g = std::get_if<GeoState>(&v_)) {
+      w.F64(g->log_sum);
+      w.I64(g->count);
+    } else if (const auto* s = std::get_if<VarState>(&v_)) {
+      w.I64(s->count);
+      w.F64(s->mean);
+      w.F64(s->m2);
+    } else if (const auto* vc = std::get_if<ValCountState>(&v_)) {
+      w.F64(vc->value);
+      w.I64(vc->count);
+    } else if (const auto* av = std::get_if<ArgValState>(&v_)) {
+      w.F64(av->value);
+      w.I64(av->arg);
+      w.Bool(av->empty);
+    } else if (const auto* m = std::get_if<M4State>(&v_)) {
+      w.F64(m->min);
+      w.F64(m->max);
+      w.F64(m->first_v);
+      w.I64(m->first_t);
+      w.U64(m->first_seq);
+      w.F64(m->last_v);
+      w.I64(m->last_t);
+      w.U64(m->last_seq);
+      w.Bool(m->empty);
+    } else if (const auto* runs = std::get_if<SortedRuns>(&v_)) {
+      w.I64(runs->total);
+      w.U64(runs->runs.size());
+      for (const SortedRuns::Run& run : runs->runs) {
+        w.F64(run.value);
+        w.I64(run.count);
+      }
+    } else if (const auto* seq = std::get_if<SeqState>(&v_)) {
+      w.U64(seq->seq.size());
+      for (double x : seq->seq) w.F64(x);
+    }
+    // std::monostate: the index byte alone suffices.
+  }
+
+  void Deserialize(state::Reader& r) {
+    switch (r.U8()) {
+      case 0:
+        v_ = std::monostate{};
+        break;
+      case 1:
+        v_ = r.I64();
+        break;
+      case 2:
+        v_ = r.F64();
+        break;
+      case 3: {
+        AvgState a;
+        a.sum = r.F64();
+        a.count = r.I64();
+        v_ = a;
+        break;
+      }
+      case 4: {
+        GeoState g;
+        g.log_sum = r.F64();
+        g.count = r.I64();
+        v_ = g;
+        break;
+      }
+      case 5: {
+        VarState s;
+        s.count = r.I64();
+        s.mean = r.F64();
+        s.m2 = r.F64();
+        v_ = s;
+        break;
+      }
+      case 6: {
+        ValCountState vc;
+        vc.value = r.F64();
+        vc.count = r.I64();
+        v_ = vc;
+        break;
+      }
+      case 7: {
+        ArgValState av;
+        av.value = r.F64();
+        av.arg = r.I64();
+        av.empty = r.Bool();
+        v_ = av;
+        break;
+      }
+      case 8: {
+        M4State m;
+        m.min = r.F64();
+        m.max = r.F64();
+        m.first_v = r.F64();
+        m.first_t = r.I64();
+        m.first_seq = r.U64();
+        m.last_v = r.F64();
+        m.last_t = r.I64();
+        m.last_seq = r.U64();
+        m.empty = r.Bool();
+        v_ = m;
+        break;
+      }
+      case 9: {
+        SortedRuns runs;
+        runs.total = r.I64();
+        const uint64_t n = r.U64();
+        if (n > r.remaining()) {  // each run needs >= 1 byte; reject early
+          r.Fail();
+          break;
+        }
+        runs.runs.reserve(static_cast<size_t>(n));
+        for (uint64_t i = 0; i < n && r.ok(); ++i) {
+          SortedRuns::Run run;
+          run.value = r.F64();
+          run.count = r.I64();
+          runs.runs.push_back(run);
+        }
+        v_ = std::move(runs);
+        break;
+      }
+      case 10: {
+        SeqState seq;
+        const uint64_t n = r.U64();
+        if (n > r.remaining()) {
+          r.Fail();
+          break;
+        }
+        seq.seq.reserve(static_cast<size_t>(n));
+        for (uint64_t i = 0; i < n && r.ok(); ++i) seq.seq.push_back(r.F64());
+        v_ = std::move(seq);
+        break;
+      }
+      default:
+        r.Fail();
+        break;
+    }
+  }
 
  private:
   Storage v_;

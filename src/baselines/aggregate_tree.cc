@@ -44,7 +44,10 @@ void AggregateTreeOperator::ProcessTuple(const Tuple& t) {
   const bool in_order = max_ts_ == kNoTime || t.ts >= max_ts_;
   const bool late = last_wm_ != kNoTime && t.ts <= last_wm_;
   if (late && t.ts < last_wm_ - allowed_lateness_) return;
-  if (last_wm_ == kNoTime) last_wm_ = t.ts - 1;
+  if (last_wm_ == kNoTime) {
+    last_wm_ = t.ts - 1;
+    wm_floor_ = last_wm_;
+  }
 
   std::vector<char> changed(windows_.size(), 0);
   std::vector<std::pair<int, std::vector<std::pair<Time, Time>>>> changed_wins;
@@ -77,16 +80,18 @@ void AggregateTreeOperator::ProcessTuple(const Tuple& t) {
   }
   if (in_order) max_ts_ = t.ts;
 
+  // Windows ending at or before the watermark floor (the first observed
+  // point in time) were never emitted and must not resurface as updates.
   for (auto& [wid, wins] : changed_wins) {
     for (const auto& [s, e] : wins) {
-      if (e <= last_wm_) EmitTimeWindow(wid, s, e, /*update=*/true);
+      if (e <= last_wm_ && e > wm_floor_) EmitTimeWindow(wid, s, e, true);
     }
   }
   if (late) {
     for (size_t w = 0; w < windows_.size(); ++w) {
       if (changed[w] || windows_[w]->measure() == Measure::kCount) continue;
       Collector c;
-      windows_[w]->TriggerWindows(c, t.ts, last_wm_);
+      windows_[w]->TriggerWindows(c, std::max(t.ts, wm_floor_), last_wm_);
       for (const auto& [s, e] : c.windows) {
         if (s <= t.ts) EmitTimeWindow(static_cast<int>(w), s, e, true);
       }
@@ -111,6 +116,7 @@ void AggregateTreeOperator::ProcessTuple(const Tuple& t) {
 void AggregateTreeOperator::ProcessWatermark(Time wm) {
   if (last_wm_ == kNoTime) {
     last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+    wm_floor_ = last_wm_;
   }
   TriggerAll(wm);
 }

@@ -35,6 +35,61 @@ class AggregateTreeOperator : public WindowOperator {
 
   size_t LeafCount() const { return buffer_.size(); }
 
+  bool SupportsSnapshot() const override { return true; }
+
+  /// The FlatFATs are serialized in full (physical layout, not just leaves):
+  /// inner-node floating-point partials depend on the tree's growth history,
+  /// and restore must answer range queries bit-identically.
+  void SerializeState(state::Writer& w) const override {
+    w.Tag(0x41545245);  // "ATRE"
+    w.U64(buffer_.size());
+    for (const Tuple& t : buffer_) state::SerializeTuple(w, t);
+    w.U64(trees_.size());
+    for (const FlatFat& tree : trees_) tree.Serialize(w);
+    w.I64(evicted_count_);
+    w.I64(max_ts_);
+    w.I64(last_wm_);
+    w.I64(wm_floor_);
+    w.I64(last_cwm_);
+    for (const WindowPtr& win : windows_) win->SerializeState(w);
+    w.U64(results_.size());
+    for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    r.Tag(0x41545245);
+    const uint64_t n = r.U64();
+    if (n > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    buffer_.clear();
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+      buffer_.push_back(state::DeserializeTuple(r));
+    }
+    const uint64_t ntrees = r.U64();
+    if (ntrees != trees_.size()) {
+      r.Fail();
+      return;
+    }
+    for (FlatFat& tree : trees_) tree.Deserialize(r);
+    evicted_count_ = r.I64();
+    max_ts_ = r.I64();
+    last_wm_ = r.I64();
+    wm_floor_ = r.I64();
+    last_cwm_ = r.I64();
+    for (const WindowPtr& win : windows_) win->DeserializeState(r);
+    const uint64_t m = r.U64();
+    if (m > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    results_.clear();
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      results_.push_back(DeserializeWindowResult(r));
+    }
+  }
+
  private:
   void TriggerAll(Time wm);
   void Evict(Time wm);
@@ -51,6 +106,7 @@ class AggregateTreeOperator : public WindowOperator {
   int64_t evicted_count_ = 0;
   Time max_ts_ = kNoTime;
   Time last_wm_ = kNoTime;
+  Time wm_floor_ = kNoTime;  // initial last_wm_
   int64_t last_cwm_ = 0;
   std::vector<WindowResult> results_;
 };

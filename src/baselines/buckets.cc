@@ -219,7 +219,10 @@ void BucketsOperator::ProcessTuple(const Tuple& t) {
   const bool in_order = max_ts_ == kNoTime || t.ts >= max_ts_;
   const bool late = last_wm_ != kNoTime && t.ts <= last_wm_;
   if (late && t.ts < last_wm_ - allowed_lateness_) return;
-  if (last_wm_ == kNoTime) last_wm_ = t.ts - 1;
+  if (last_wm_ == kNoTime) {
+    last_wm_ = t.ts - 1;
+    wm_floor_ = last_wm_;
+  }
 
   std::vector<std::pair<size_t, std::vector<std::pair<Time, Time>>>> changed;
   for (size_t w = 0; w < windows_.size(); ++w) {
@@ -256,10 +259,11 @@ void BucketsOperator::ProcessTuple(const Tuple& t) {
   if (in_order) max_ts_ = t.ts;
 
   // Allowed-lateness updates: buckets the late tuple landed in that were
-  // already emitted.
+  // already emitted. Windows ending at or before the watermark floor (the
+  // first observed point in time) were never emitted and must not resurface.
   for (auto& [w, wins] : changed) {
     for (const auto& [s, e] : wins) {
-      if (e <= last_wm_) EmitBucket(w, s, /*update=*/true, e);
+      if (e <= last_wm_ && e > wm_floor_) EmitBucket(w, s, /*update=*/true, e);
     }
   }
   if (late && !t.is_punctuation) {
@@ -271,7 +275,7 @@ void BucketsOperator::ProcessTuple(const Tuple& t) {
           EmitBucket(w, cs, true, ce);
         }
       } else if (dynamic_cast<SessionWindow*>(windows_[w].get()) == nullptr) {
-        windows_[w]->TriggerWindows(c, t.ts, last_wm_);
+        windows_[w]->TriggerWindows(c, std::max(t.ts, wm_floor_), last_wm_);
         for (const auto& [s, e] : c.windows) {
           if (s <= t.ts) EmitBucket(w, s, true, e);
         }
@@ -285,6 +289,7 @@ void BucketsOperator::ProcessTuple(const Tuple& t) {
 void BucketsOperator::ProcessWatermark(Time wm) {
   if (last_wm_ == kNoTime) {
     last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+    wm_floor_ = last_wm_;
   }
   TriggerAll(wm);
 }

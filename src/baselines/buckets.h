@@ -52,6 +52,101 @@ class BucketsOperator : public WindowOperator {
 
   size_t TotalBuckets() const;
 
+  bool SupportsSnapshot() const override { return true; }
+
+  void SerializeState(state::Writer& w) const override {
+    w.Tag(0x424B5453);  // "BKTS"
+    w.U64(buckets_.size());
+    for (const auto& per_window : buckets_) {
+      w.U64(per_window.size());
+      for (const auto& [start, b] : per_window) {
+        w.I64(start);
+        w.I64(b.start);
+        w.I64(b.end);
+        w.U64(b.count);
+        w.U64(b.aggs.size());
+        for (const Partial& p : b.aggs) p.Serialize(w);
+        w.U64(b.tuples.size());
+        for (const Tuple& t : b.tuples) state::SerializeTuple(w, t);
+      }
+    }
+    w.U64(count_buffer_.size());
+    for (const Tuple& t : count_buffer_) state::SerializeTuple(w, t);
+    w.I64(evicted_count_);
+    w.I64(max_ts_);
+    w.I64(last_wm_);
+    w.I64(wm_floor_);
+    w.I64(last_cwm_);
+    for (const WindowPtr& win : windows_) win->SerializeState(w);
+    w.U64(results_.size());
+    for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    r.Tag(0x424B5453);
+    const uint64_t nwin = r.U64();
+    if (nwin != buckets_.size()) {
+      r.Fail();
+      return;
+    }
+    for (auto& per_window : buckets_) {
+      per_window.clear();
+      const uint64_t nb = r.U64();
+      if (nb > r.remaining()) {
+        r.Fail();
+        return;
+      }
+      for (uint64_t i = 0; i < nb && r.ok(); ++i) {
+        const Time key = r.I64();
+        Bucket b;
+        b.start = r.I64();
+        b.end = r.I64();
+        b.count = r.U64();
+        const uint64_t na = r.U64();
+        if (na > r.remaining()) {
+          r.Fail();
+          return;
+        }
+        b.aggs.resize(static_cast<size_t>(na));
+        for (Partial& p : b.aggs) p.Deserialize(r);
+        const uint64_t nt = r.U64();
+        if (nt > r.remaining()) {
+          r.Fail();
+          return;
+        }
+        b.tuples.reserve(static_cast<size_t>(nt));
+        for (uint64_t j = 0; j < nt && r.ok(); ++j) {
+          b.tuples.push_back(state::DeserializeTuple(r));
+        }
+        per_window.emplace(key, std::move(b));
+      }
+    }
+    const uint64_t nc = r.U64();
+    if (nc > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    count_buffer_.clear();
+    for (uint64_t i = 0; i < nc && r.ok(); ++i) {
+      count_buffer_.push_back(state::DeserializeTuple(r));
+    }
+    evicted_count_ = r.I64();
+    max_ts_ = r.I64();
+    last_wm_ = r.I64();
+    wm_floor_ = r.I64();
+    last_cwm_ = r.I64();
+    for (const WindowPtr& win : windows_) win->DeserializeState(r);
+    const uint64_t m = r.U64();
+    if (m > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    results_.clear();
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      results_.push_back(DeserializeWindowResult(r));
+    }
+  }
+
  private:
   struct Bucket {
     Time start = 0;
@@ -84,6 +179,7 @@ class BucketsOperator : public WindowOperator {
   int64_t evicted_count_ = 0;
   Time max_ts_ = kNoTime;
   Time last_wm_ = kNoTime;
+  Time wm_floor_ = kNoTime;  // initial last_wm_
   int64_t last_cwm_ = 0;
   std::vector<WindowResult> results_;
 };

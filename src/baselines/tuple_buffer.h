@@ -34,6 +34,50 @@ class TupleBufferOperator : public WindowOperator {
 
   size_t BufferedTuples() const { return buffer_.size(); }
 
+  bool SupportsSnapshot() const override { return true; }
+
+  void SerializeState(state::Writer& w) const override {
+    w.Tag(0x54425546);  // "TBUF"
+    w.U64(buffer_.size());
+    for (const Tuple& t : buffer_) state::SerializeTuple(w, t);
+    w.I64(evicted_count_);
+    w.I64(max_ts_);
+    w.I64(last_wm_);
+    w.I64(wm_floor_);
+    w.I64(last_cwm_);
+    for (const WindowPtr& win : windows_) win->SerializeState(w);
+    w.U64(results_.size());
+    for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    r.Tag(0x54425546);
+    const uint64_t n = r.U64();
+    if (n > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    buffer_.clear();
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+      buffer_.push_back(state::DeserializeTuple(r));
+    }
+    evicted_count_ = r.I64();
+    max_ts_ = r.I64();
+    last_wm_ = r.I64();
+    wm_floor_ = r.I64();
+    last_cwm_ = r.I64();
+    for (const WindowPtr& win : windows_) win->DeserializeState(r);
+    const uint64_t m = r.U64();
+    if (m > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    results_.clear();
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      results_.push_back(DeserializeWindowResult(r));
+    }
+  }
+
  private:
   void TriggerAll(Time wm);
   void Evict(Time wm);
@@ -50,6 +94,7 @@ class TupleBufferOperator : public WindowOperator {
   int64_t evicted_count_ = 0;  // ranks dropped off the front (count measure)
   Time max_ts_ = kNoTime;
   Time last_wm_ = kNoTime;
+  Time wm_floor_ = kNoTime;  // initial last_wm_: no windows end at or before
   int64_t last_cwm_ = 0;
   std::vector<WindowResult> results_;
 };

@@ -42,9 +42,12 @@ Slice AggregateStore::MakeSlice(Time start, Time end) {
     Slice s = std::move(free_slices_.back());
     free_slices_.pop_back();
     s.Reset(start, end, fns_.size());
+    if (track_last_ts_) s.EnableLastTsTracking();
     return s;
   }
-  return Slice(start, end, fns_.size());
+  Slice s(start, end, fns_.size());
+  if (track_last_ts_) s.EnableLastTsTracking();
+  return s;
 }
 
 void AggregateStore::Retire(Slice&& s) {
@@ -173,6 +176,50 @@ size_t AggregateStore::MemoryBytes() const {
   for (const Slice& s : slices_) bytes += s.MemoryBytes();
   for (const FlatFat& tree : trees_) bytes += tree.MemoryBytes();
   return bytes;
+}
+
+void AggregateStore::Serialize(state::Writer& w) const {
+  w.Tag(0x53544F52);  // "STOR"
+  w.Bool(track_last_ts_);
+  w.U64(total_tuples_);
+  w.U64(slices_created_);
+  w.U64(slices_.size());
+  for (const Slice& s : slices_) s.Serialize(w);
+  w.U64(trees_.size());
+  for (const FlatFat& tree : trees_) tree.Serialize(w);
+}
+
+void AggregateStore::Deserialize(state::Reader& r) {
+  r.Tag(0x53544F52);
+  track_last_ts_ = r.Bool();
+  total_tuples_ = r.U64();
+  slices_created_ = r.U64();
+  const uint64_t ns = r.U64();
+  if (ns > r.remaining()) {
+    r.Fail();
+    return;
+  }
+  slices_.clear();
+  free_slices_.clear();
+  for (uint64_t i = 0; i < ns && r.ok(); ++i) {
+    slices_.emplace_back(0, 0, fns_.size());
+    slices_.back().Deserialize(r);
+  }
+  const uint64_t ntrees = r.U64();
+  if (mode_ == StoreMode::kEager) {
+    if (ntrees != fns_.size()) {
+      r.Fail();
+      return;
+    }
+    trees_.clear();
+    trees_.reserve(fns_.size());
+    for (size_t a = 0; a < fns_.size() && r.ok(); ++a) {
+      trees_.emplace_back(fns_[a]);
+      trees_[a].Deserialize(r);
+    }
+  } else if (ntrees != 0) {
+    r.Fail();
+  }
 }
 
 void AggregateStore::RebuildTrees() {

@@ -107,6 +107,19 @@ class AggregateStore : public StreamStateView {
 
   size_t MemoryBytes() const;
 
+  /// All slices created by this store maintain last-timestamp side partials
+  /// (see Slice::EnableLastTsTracking). Enabled by the slicing operator for
+  /// in-order FCF workloads without tuple retention so punctuation edges can
+  /// split occupied timestamps exactly.
+  void EnableLastTsTracking() { track_last_ts_ = true; }
+  bool TracksLastTs() const { return track_last_ts_; }
+
+  /// Snapshot support: serializes slices, eager trees, and counters. The
+  /// freelist is a pure performance cache and is skipped; mode/functions are
+  /// construction parameters re-established by the restoring operator.
+  void Serialize(state::Writer& w) const;
+  void Deserialize(state::Reader& r);
+
  private:
   void RebuildTrees();
 
@@ -126,6 +139,7 @@ class AggregateStore : public StreamStateView {
 
   StoreMode mode_;
   std::vector<AggregateFunctionPtr> fns_;
+  bool track_last_ts_ = false;
   std::deque<Slice> slices_;
   std::vector<Slice> free_slices_;  // recycled slices (capacity preserved)
   std::vector<FlatFat> trees_;  // eager mode: one per aggregation

@@ -58,6 +58,23 @@ class CountLane {
   const AggregateStore& store() const { return store_; }
   size_t MemoryBytes() const { return store_.MemoryBytes(); }
 
+  /// Snapshot support. The trigger early-out cache is reset to "unknown" on
+  /// restore; NeedsTrigger lazily recomputes it from last_cwm_, which is
+  /// behaviorally identical.
+  void Serialize(state::Writer& w) const {
+    store_.Serialize(w);
+    w.I64(total_count_);
+    w.I64(evicted_ranks_);
+    w.I64(last_cwm_);
+  }
+  void Deserialize(state::Reader& r) {
+    store_.Deserialize(r);
+    total_count_ = r.I64();
+    evicted_ranks_ = r.I64();
+    last_cwm_ = r.I64();
+    next_trigger_rank_ = kNoTime;
+  }
+
  private:
   /// Smallest count edge > rank over all count windows.
   int64_t NextEdge(int64_t rank) const;

@@ -7,6 +7,7 @@
 
 #include "aggregates/aggregate_function.h"
 #include "common/memory.h"
+#include "state/serde.h"
 
 namespace scotty {
 
@@ -121,6 +122,36 @@ class FlatFat {
     for (const Partial& p : tree_) bytes += MemoryModel::kTreeNodeBytes + p.DynamicBytes();
     for (const Partial& p : leaves_) bytes += p.DynamicBytes();
     return bytes;
+  }
+
+  /// Snapshot support. The full physical layout (capacity, offset, every
+  /// leaf and inner node) is serialized rather than rebuilt on restore:
+  /// inner-node floating-point values depend on the tree's growth history,
+  /// so a rebuild could differ in the last bit for non-exact functions while
+  /// the serialized copy is bit-identical by construction.
+  void Serialize(state::Writer& w) const {
+    w.U64(capacity_);
+    w.U64(offset_);
+    w.U64(size_);
+    for (const Partial& p : leaves_) p.Serialize(w);
+    for (const Partial& p : tree_) p.Serialize(w);
+  }
+
+  void Deserialize(state::Reader& r) {
+    capacity_ = static_cast<size_t>(r.U64());
+    offset_ = static_cast<size_t>(r.U64());
+    size_ = static_cast<size_t>(r.U64());
+    if (capacity_ > r.remaining()) {  // each partial needs >= 1 byte
+      r.Fail();
+      capacity_ = offset_ = size_ = 0;
+      leaves_.clear();
+      tree_.clear();
+      return;
+    }
+    leaves_.assign(capacity_, Partial{});
+    for (Partial& p : leaves_) p.Deserialize(r);
+    tree_.assign(capacity_, Partial{});
+    for (Partial& p : tree_) p.Deserialize(r);
   }
 
  private:

@@ -80,6 +80,14 @@ void GeneralSlicingOperator::RefreshLanes() {
     count_lane_ =
         std::make_unique<CountLane>(opts_.store_mode, &queries_, &stats_);
   }
+  // In-order FCF workloads without tuple storage: keep a last-timestamp side
+  // partial per slice so an FCF edge (punctuation, frame break) that lands
+  // exactly on the open slice's newest timestamp splits exactly instead of
+  // mis-assigning the same-timestamp tuples (see Slice::CanSplitAtTrackedLast).
+  if (time_store_ && opts_.stream_in_order && !queries_.StoreTuples() &&
+      queries_.chars.any_fcf_window) {
+    time_store_->EnableLastTsTracking();
+  }
   // Rebind context-aware windows and refresh caches after query changes.
   ca_windows_.clear();
   cf_trigger_heap_ = {};
@@ -120,6 +128,8 @@ void GeneralSlicingOperator::ProcessTuple(const Tuple& t) {
     // Baseline for the first trigger: windows ending before the first tuple
     // are empty and not reported.
     last_wm_ = t.ts - 1;
+    wm_floor_ = last_wm_;
+    if (window_mgr_) window_mgr_->SetWatermarkFloor(wm_floor_);
   }
 
   if (time_store_) {
@@ -262,6 +272,8 @@ void GeneralSlicingOperator::ProcessWatermark(Time wm) {
   if (last_wm_ == kNoTime) {
     // No windows before the first observed point in time.
     last_wm_ = max_ts_ == kNoTime ? wm : std::min(wm, max_ts_ - 1);
+    wm_floor_ = last_wm_;
+    if (window_mgr_) window_mgr_->SetWatermarkFloor(wm_floor_);
   }
   TriggerAll(wm);
 }
@@ -357,6 +369,172 @@ size_t GeneralSlicingOperator::MemoryUsageBytes() const {
 std::string GeneralSlicingOperator::Name() const {
   return opts_.store_mode == StoreMode::kLazy ? "general-slicing-lazy"
                                               : "general-slicing-eager";
+}
+
+namespace {
+constexpr uint32_t kOperatorTag = 0x47534F50;  // "GSOP"
+}  // namespace
+
+void GeneralSlicingOperator::SerializeState(state::Writer& w) const {
+  w.Tag(kOperatorTag);
+  w.Bool(initialized_);
+  if (!initialized_) return;
+
+  // Query-set fingerprint: restore requires the same windows and
+  // aggregations in the same order. Removed windows serialize as absent.
+  w.U32(static_cast<uint32_t>(queries_.windows.size()));
+  for (const WindowPtr& win : queries_.windows) {
+    w.Bool(win != nullptr);
+    if (win) w.Str(win->Name());
+  }
+  w.U32(static_cast<uint32_t>(queries_.aggs.size()));
+  for (const AggregateFunctionPtr& fn : queries_.aggs) w.Str(fn->Name());
+
+  w.U64(stats_.tuples_processed);
+  w.U64(stats_.out_of_order_tuples);
+  w.U64(stats_.late_tuples);
+  w.U64(stats_.dropped_tuples);
+  w.U64(stats_.slice_merges);
+  w.U64(stats_.slice_splits);
+  w.U64(stats_.slice_recomputes);
+  w.U64(stats_.count_shifts);
+  w.U64(stats_.windows_emitted);
+  w.U64(stats_.window_updates_emitted);
+
+  w.I64(max_ts_);
+  w.I64(last_wm_);
+  w.I64(wm_floor_);
+  w.I64(last_cwm_);
+
+  // Window-internal context (sessions, punctuation edges, frames).
+  for (const WindowPtr& win : queries_.windows) {
+    if (win) win->SerializeState(w);
+  }
+  w.U64(win_prev_wm_.size());
+  for (Time t : win_prev_wm_) w.I64(t);
+
+  w.Bool(time_store_ != nullptr);
+  if (time_store_) {
+    time_store_->Serialize(w);
+    slicer_->Serialize(w);
+  }
+  w.Bool(count_lane_ != nullptr);
+  if (count_lane_) count_lane_->Serialize(w);
+
+  w.U64(results_.size());
+  for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+}
+
+void GeneralSlicingOperator::DeserializeState(state::Reader& r) {
+  r.Tag(kOperatorTag);
+  const bool was_initialized = r.Bool();
+  if (!r.ok() || !was_initialized) return;
+
+  const uint32_t nwin = r.U32();
+  if (nwin != queries_.windows.size()) {
+    r.Fail();
+    return;
+  }
+  for (const WindowPtr& win : queries_.windows) {
+    const bool present = r.Bool();
+    if (present != (win != nullptr) ||
+        (present && r.Str() != win->Name())) {
+      r.Fail();
+      return;
+    }
+  }
+  const uint32_t nagg = r.U32();
+  if (nagg != queries_.aggs.size()) {
+    r.Fail();
+    return;
+  }
+  for (const AggregateFunctionPtr& fn : queries_.aggs) {
+    if (r.Str() != fn->Name()) {
+      r.Fail();
+      return;
+    }
+  }
+  if (!r.ok()) return;
+
+  stats_.tuples_processed = r.U64();
+  stats_.out_of_order_tuples = r.U64();
+  stats_.late_tuples = r.U64();
+  stats_.dropped_tuples = r.U64();
+  stats_.slice_merges = r.U64();
+  stats_.slice_splits = r.U64();
+  stats_.slice_recomputes = r.U64();
+  stats_.count_shifts = r.U64();
+  stats_.windows_emitted = r.U64();
+  stats_.window_updates_emitted = r.U64();
+
+  max_ts_ = r.I64();
+  last_wm_ = r.I64();
+  wm_floor_ = r.I64();
+  last_cwm_ = r.I64();
+
+  for (const WindowPtr& win : queries_.windows) {
+    if (win) win->DeserializeState(r);
+  }
+  if (!r.ok()) return;
+
+  // Recreate lanes and bindings. The restored window context above makes
+  // Recache and GetNextEdge exact.
+  initialized_ = true;
+  RefreshLanes();
+  if (window_mgr_) window_mgr_->SetWatermarkFloor(wm_floor_);
+
+  const uint64_t nprev = r.U64();
+  if (nprev != win_prev_wm_.size()) {
+    r.Fail();
+    return;
+  }
+  for (Time& t : win_prev_wm_) t = r.I64();
+
+  // Reconstruct the CF trigger heap from the per-window trigger progress.
+  // RefreshLanes seeded every entry with {kNoTime, wid}, which would visit
+  // all CF windows on the next watermark in window-id order; the original
+  // operator pops them in edge order, and emission order is part of the
+  // bit-identical restore contract. The heap is a pure function of
+  // win_prev_wm_: a window triggered at wm was re-pushed with edge
+  // GetNextEdge(wm).
+  cf_trigger_heap_ = {};
+  for (size_t i = 0; i < queries_.windows.size(); ++i) {
+    const WindowPtr& win = queries_.windows[i];
+    if (!win || !QuerySet::OnTimeLane(win)) continue;
+    if (dynamic_cast<ContextAwareWindow*>(win.get()) != nullptr) continue;
+    const Time prev = win_prev_wm_[i];
+    cf_trigger_heap_.push(
+        {prev == kNoTime ? kNoTime : win->GetNextEdge(prev),
+         static_cast<int>(i)});
+  }
+
+  const bool had_time_store = r.Bool();
+  if (had_time_store != (time_store_ != nullptr)) {
+    r.Fail();
+    return;
+  }
+  if (time_store_) {
+    time_store_->Deserialize(r);
+    slicer_->Deserialize(r);
+  }
+  const bool had_count_lane = r.Bool();
+  if (had_count_lane != (count_lane_ != nullptr)) {
+    r.Fail();
+    return;
+  }
+  if (count_lane_) count_lane_->Deserialize(r);
+
+  const uint64_t nres = r.U64();
+  if (nres > r.remaining()) {
+    r.Fail();
+    return;
+  }
+  results_.clear();
+  results_.reserve(static_cast<size_t>(nres));
+  for (uint64_t i = 0; i < nres && r.ok(); ++i) {
+    results_.push_back(DeserializeWindowResult(r));
+  }
+  next_trigger_edge_ = kNoTime;  // lazily recomputed on the next tuple
 }
 
 }  // namespace scotty

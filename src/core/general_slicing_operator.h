@@ -97,6 +97,16 @@ class GeneralSlicingOperator : public WindowOperator {
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
+  /// Snapshot support: the full operator state (slices with their partials,
+  /// slicer position, window context, trigger progress, pending results) is
+  /// serialized so a freshly constructed operator with the same query set
+  /// resumes bit-identically. The restore target must have the same windows,
+  /// aggregations, and options registered (in the same order) as the source
+  /// had at snapshot time; a fingerprint in the stream detects mismatches.
+  bool SupportsSnapshot() const override { return true; }
+  void SerializeState(state::Writer& w) const override;
+  void DeserializeState(state::Reader& r) override;
+
   const QuerySet& queries() const { return queries_; }
   const OperatorStats& stats() const { return stats_; }
   const AggregateStore* time_store() const { return time_store_.get(); }
@@ -117,6 +127,7 @@ class GeneralSlicingOperator : public WindowOperator {
   bool has_ca_windows_ = false;
   Time max_ts_ = kNoTime;
   Time last_wm_ = kNoTime;
+  Time wm_floor_ = kNoTime;  // initial last_wm_: no windows end at or before
   int64_t last_cwm_ = 0;
   Time next_trigger_edge_ = kNoTime;  // early-out cache for per-tuple triggers
 

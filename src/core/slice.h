@@ -9,6 +9,7 @@
 #include "common/memory.h"
 #include "common/time.h"
 #include "common/tuple.h"
+#include "state/serde.h"
 
 namespace scotty {
 
@@ -110,8 +111,40 @@ class Slice {
   /// retained tuples.
   size_t MemoryBytes() const;
 
+  /// Enables last-timestamp side partials: alongside the full per-slice
+  /// partial the slice maintains a fold of all tuples with ts < t_last
+  /// (prefix) and a fold of the tuples exactly at t_last. This lets SplitAt
+  /// cut exactly at an occupied timestamp WITHOUT retaining tuples — the fix
+  /// for the in-order FCF punctuation-after-data mis-split (ROADMAP item 1).
+  /// Costs one extra Combine per tuple per function, so the slicing operator
+  /// only turns it on for in-order FCF workloads that skip tuple storage.
+  void EnableLastTsTracking() { track_last_ts_ = true; }
+  bool TracksLastTs() const { return track_last_ts_; }
+
+  /// True when SplitAt(t) can split exactly despite tuples at t_last == t
+  /// and no stored tuples, courtesy of the side partials.
+  bool CanSplitAtTrackedLast(Time t) const {
+    return track_last_ts_ && tuples_.empty() && !empty() && t == t_last_ &&
+           t_first_ < t;
+  }
+
+  /// Snapshot support: full state including side partials and retained
+  /// tuples. Deserialize replaces this slice's contents entirely.
+  void Serialize(state::Writer& w) const;
+  void Deserialize(state::Reader& r);
+
  private:
   void RawInsertSorted(const Tuple& t);
+  void TrackTuple(const Tuple& t, const std::vector<AggregateFunctionPtr>& fns);
+  void MergeTrackingWith(const Slice& other,
+                         const std::vector<AggregateFunctionPtr>& fns);
+  void DisableTracking() {
+    track_last_ts_ = false;
+    prefix_aggs_.clear();
+    last_aggs_.clear();
+    prev_ts_ = kNoTime;
+    last_count_ = 0;
+  }
 
   void NoteTuple(const Tuple& t) {
     if (t_first_ == kNoTime || t.ts < t_first_) t_first_ = t.ts;
@@ -126,6 +159,17 @@ class Slice {
   uint64_t tuple_count_ = 0;
   std::vector<Partial> aggs_;
   std::vector<Tuple> tuples_;  // sorted by (ts, seq) when retained
+
+  // Last-timestamp side partials (EnableLastTsTracking). Invariant while
+  // tracking and non-empty: combining prefix_aggs_ with last_aggs_ yields
+  // the same fold as aggs_; prev_ts_ is the largest tuple ts < t_last_;
+  // last_count_ counts tuples exactly at t_last_. Out-of-order arrival
+  // silently disables tracking (the gate only enables it on in-order paths).
+  bool track_last_ts_ = false;
+  std::vector<Partial> prefix_aggs_;  // fold of tuples with ts < t_last_
+  std::vector<Partial> last_aggs_;    // fold of tuples with ts == t_last_
+  Time prev_ts_ = kNoTime;
+  uint64_t last_count_ = 0;
 };
 
 }  // namespace scotty

@@ -69,7 +69,8 @@ void SliceManager::EnsureEdge(Time t) {
   if (idx == AggregateStore::kNpos) return;  // uncovered: nothing spans t
   Slice& s = store_->At(idx);
   if (s.start() == t) return;  // boundary already exists
-  if (!s.tuples().empty() || s.empty() || s.t_last() < t || s.t_first() >= t) {
+  if (!s.tuples().empty() || s.empty() || s.t_last() < t || s.t_first() >= t ||
+      s.CanSplitAtTrackedLast(t)) {
     store_->SplitAt(idx, t);
     ++stats_->slice_splits;
     if (!store_->At(idx).tuples().empty()) ++stats_->slice_recomputes;

@@ -63,6 +63,11 @@ class StreamSlicer {
 
   Time next_edge() const { return next_edge_; }
 
+  /// Snapshot support: the slicer's only state is the cached edge (store and
+  /// query set are wiring re-established on restore).
+  void Serialize(state::Writer& w) const { w.I64(next_edge_); }
+  void Deserialize(state::Reader& r) { next_edge_ = r.I64(); }
+
  private:
   /// min over time-lane windows of the next edge after ts.
   Time ComputeNextEdge(Time ts) const {

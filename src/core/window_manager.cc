@@ -1,5 +1,7 @@
 #include "core/window_manager.h"
 
+#include <algorithm>
+
 namespace scotty {
 
 namespace {
@@ -73,9 +75,11 @@ void WindowManager::EmitLateUpdates(Time ts, Time last_wm,
     if (!QuerySet::OnTimeLane(win)) continue;
     if (skip && w < skip->size() && (*skip)[w]) continue;
     Collector c;
-    // Already-emitted windows end in (ts, last_wm]; of those, the ones
-    // containing the late tuple have start <= ts.
-    win->TriggerWindows(c, ts, last_wm);
+    // Already-emitted windows end in (max(ts, floor), last_wm]; of those,
+    // the ones containing the late tuple have start <= ts. The floor clamp
+    // keeps windows from before the first observed point in time — which no
+    // trigger ever emitted — from appearing as "updates".
+    win->TriggerWindows(c, std::max(ts, wm_floor_), last_wm);
     for (const auto& [s, e] : c.windows) {
       if (s > ts) continue;
       EmitAllAggs(static_cast<int>(w), s, e, /*is_update=*/true, out);
@@ -89,6 +93,7 @@ void WindowManager::EmitChangedWindows(
   if (last_wm == kNoTime) return;
   for (const auto& [s, e] : wins) {
     if (e > last_wm) continue;  // not emitted yet; the next trigger covers it
+    if (wm_floor_ != kNoTime && e <= wm_floor_) continue;  // before the stream
     EmitAllAggs(window_id, s, e, /*is_update=*/true, out);
   }
 }

@@ -27,6 +27,11 @@ class WindowManager {
         slice_mgr_(slice_mgr),
         stats_(stats) {}
 
+  /// Windows ending at or before the floor were never emitted (the stream's
+  /// first observed point in time initializes the watermark) and never will
+  /// be: late-update and changed-window emission must not resurrect them.
+  void SetWatermarkFloor(Time floor) { wm_floor_ = floor; }
+
   /// Triggers all time-lane windows with end in (prev_wm, curr_wm].
   void Trigger(Time prev_wm, Time curr_wm, std::vector<WindowResult>* out);
 
@@ -61,6 +66,7 @@ class WindowManager {
   QuerySet* queries_;
   SliceManager* slice_mgr_;
   OperatorStats* stats_;
+  Time wm_floor_ = kNoTime;
 };
 
 }  // namespace scotty

@@ -12,6 +12,8 @@
 #include "common/time.h"
 #include "common/tuple.h"
 #include "common/value.h"
+#include "state/serde.h"
+#include "state/serde_types.h"
 
 namespace scotty {
 
@@ -37,6 +39,28 @@ inline std::ostream& operator<<(std::ostream& os, const WindowResult& r) {
   return os << "Window{w=" << r.window_id << ", a=" << r.agg_id << ", ["
             << r.start << "," << r.end << "), value=" << r.value
             << (r.is_update ? ", update" : "") << "}";
+}
+
+inline void SerializeWindowResult(state::Writer& w, const WindowResult& r) {
+  w.U32(static_cast<uint32_t>(r.window_id));
+  w.U32(static_cast<uint32_t>(r.agg_id));
+  w.I64(r.start);
+  w.I64(r.end);
+  state::SerializeValue(w, r.value);
+  w.I64(r.key);
+  w.Bool(r.is_update);
+}
+
+inline WindowResult DeserializeWindowResult(state::Reader& r) {
+  WindowResult res;
+  res.window_id = static_cast<int>(r.U32());
+  res.agg_id = static_cast<int>(r.U32());
+  res.start = r.I64();
+  res.end = r.I64();
+  res.value = state::DeserializeValue(r);
+  res.key = r.I64();
+  res.is_update = r.Bool();
+  return res;
 }
 
 /// Common interface of all window-aggregation operators: the general slicing
@@ -88,6 +112,16 @@ class WindowOperator {
   virtual size_t MemoryUsageBytes() const = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Snapshot support. Operators that can checkpoint their full state
+  /// override all three; SerializeState writes a self-contained byte
+  /// representation of the live state, DeserializeState restores it onto a
+  /// freshly constructed operator with the *same* query set and options.
+  /// Restore is bit-identical: replaying the remaining stream after a
+  /// restore yields byte-for-byte the same results as an uninterrupted run.
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void SerializeState(state::Writer& w) const { (void)w; }
+  virtual void DeserializeState(state::Reader& r) { (void)r; }
 };
 
 }  // namespace scotty

@@ -1,0 +1,335 @@
+#include "runtime/checkpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+namespace scotty {
+
+namespace {
+
+int64_t CrashAfterFromEnv() {
+  const char* env = std::getenv("SCOTTY_CRASH_AFTER");
+  if (env == nullptr || *env == '\0') return -1;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) return -1;
+  return static_cast<int64_t>(v);
+}
+
+/// Operator names may be cached lazily (KeyedWindowOperator reports
+/// "keyed" until its first per-key operator exists, "keyed-<inner>" after),
+/// so a fresh factory instance can legitimately report a prefix of the
+/// snapshotted name.
+bool NamesCompatible(const std::string& snapshotted, const std::string& fresh) {
+  if (snapshotted == fresh) return true;
+  return snapshotted.size() > fresh.size() &&
+         snapshotted.compare(0, fresh.size(), fresh) == 0;
+}
+
+}  // namespace
+
+CheckpointCoordinator::CheckpointCoordinator(CheckpointOptions opts)
+    : opts_(std::move(opts)), crash_after_(CrashAfterFromEnv()) {}
+
+std::string CheckpointCoordinator::OnBarrier(const WindowOperator& op,
+                                             state::CheckpointMetadata meta) {
+  if (!op.SupportsSnapshot()) return "";
+  state::Writer w;
+  op.SerializeState(w);
+  return OnBarrierBytes(op.Name(), w.Take(), meta);
+}
+
+std::string CheckpointCoordinator::OnBarrierBytes(
+    const std::string& operator_name, const std::vector<uint8_t>& state,
+    state::CheckpointMetadata meta) {
+  meta.barrier_index = barrier_index_;
+  const std::vector<uint8_t> blob =
+      state::BuildSnapshot(meta, operator_name, state);
+  const std::string path = opts_.directory + "/" + opts_.prefix + "-" +
+                           std::to_string(barrier_index_) + ".snap";
+  if (!state::WriteSnapshotFile(path, blob)) return "";
+  ++barrier_index_;
+  last_path_ = path;
+  // Retention: the new snapshot is durable (fsync + rename), so snapshots
+  // older than the retention window can go. Several files are kept, not
+  // one, so recovery has somewhere to fall back to if the newest turns out
+  // torn or corrupt on read-back.
+  if (opts_.retain > 0 && barrier_index_ > static_cast<uint64_t>(opts_.retain)) {
+    const uint64_t evict =
+        barrier_index_ - 1 - static_cast<uint64_t>(opts_.retain);
+    const std::string old = opts_.directory + "/" + opts_.prefix + "-" +
+                            std::to_string(evict) + ".snap";
+    std::remove(old.c_str());
+  }
+  if (crash_after_ >= 0 && static_cast<int64_t>(barrier_index_) ==
+                               crash_after_) {
+    // Injected crash: the snapshot file is fully persisted (rename done),
+    // nothing after this point runs — no destructors, no flushes. The
+    // recovery driver must rebuild everything from the file alone.
+    std::_Exit(42);
+  }
+  return path;
+}
+
+RestoredOperator RestoreOperator(const std::string& path,
+                                 const OperatorFactory& factory) {
+  RestoredOperator out;
+  std::vector<uint8_t> blob;
+  if (!state::ReadSnapshotFile(path, &blob)) {
+    out.error = "cannot read snapshot file: " + path;
+    return out;
+  }
+  std::vector<uint8_t> st;
+  if (!state::ParseSnapshot(blob, &out.meta, &out.operator_name, &st)) {
+    out.error = "snapshot container validation failed: " + path;
+    return out;
+  }
+  out.op = factory();
+  if (out.op == nullptr) {
+    out.error = "operator factory returned null";
+    return out;
+  }
+  if (!NamesCompatible(out.operator_name, out.op->Name())) {
+    out.error = "operator mismatch: snapshot holds '" + out.operator_name +
+                "', factory built '" + out.op->Name() + "'";
+    out.op.reset();
+    return out;
+  }
+  state::Reader r(st);
+  out.op->DeserializeState(r);
+  if (!r.ok() || !r.AtEnd()) {
+    out.error = "operator state decode failed (fingerprint mismatch or "
+                "corrupt payload)";
+    out.op.reset();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::vector<std::string> ListSnapshots(const std::string& directory,
+                                       const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(directory, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string name = e.path().filename().string();
+    // Match `<prefix>-<digits>.snap` exactly; .tmp leftovers and foreign
+    // files are not recovery candidates.
+    if (name.size() <= prefix.size() + 6) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name[prefix.size()] != '-') continue;
+    if (name.compare(name.size() - 5, 5, ".snap") != 0) continue;
+    const std::string digits =
+        name.substr(prefix.size() + 1, name.size() - prefix.size() - 6);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                       e.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [idx, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+RecoveredOperator RecoverNewestValid(const std::string& directory,
+                                     const std::string& prefix,
+                                     const OperatorFactory& factory) {
+  RecoveredOperator out;
+  const std::vector<std::string> candidates = ListSnapshots(directory, prefix);
+  out.candidates = candidates.size();
+  std::string errors;
+  for (const std::string& path : candidates) {
+    RestoredOperator r = RestoreOperator(path, factory);
+    if (r.ok) {
+      out.restored = std::move(r);
+      out.path_used = path;
+      return out;
+    }
+    // Torn, truncated, or corrupt: remember why and fall back to the next
+    // older snapshot. Every subsequent success reports fell_back=true so
+    // callers/tests can observe that the fallback path actually ran.
+    out.fell_back = true;
+    if (!errors.empty()) errors += "; ";
+    errors += path + ": " + r.error;
+  }
+  out.restored.error = candidates.empty()
+                           ? "no snapshot files in " + directory
+                           : "no valid snapshot (" + errors + ")";
+  return out;
+}
+
+namespace {
+
+/// Shared driver loop for the initial run and the resumed continuation:
+/// identical tuple/watermark cadence to RunPipeline, plus a checkpoint
+/// barrier after every watermark's results were drained. Supports both the
+/// per-tuple and the batched ingestion interleaving; blocks never straddle
+/// a watermark injection point, so the operator state observed at each
+/// barrier — and therefore every snapshot file — is byte-identical between
+/// the two.
+void DrivePipeline(TupleSource& src, WindowOperator& op, uint64_t start_index,
+                   uint64_t max_tuples, const PipelineOptions& opts,
+                   CheckpointCoordinator* coord, Time max_ts,
+                   CheckpointedPipelineReport* out, const ResultSink& sink) {
+  auto drain = [&] {
+    for (const WindowResult& r : op.TakeResults()) {
+      ++out->report.results;
+      if (r.is_update) ++out->report.updates;
+      if (sink) sink(r);
+    }
+  };
+  auto barrier = [&](uint64_t next_index, Time wm) {
+    if (coord == nullptr) return;
+    state::CheckpointMetadata meta;
+    meta.source_offset = next_index;
+    meta.next_seq = next_index;
+    meta.max_ts = max_ts;
+    meta.last_wm = wm;
+    const std::string path = coord->OnBarrier(op, meta);
+    if (!path.empty()) {
+      ++out->checkpoints;
+      out->last_checkpoint = path;
+    }
+  };
+  Tuple t;
+  if (opts.batch_size <= 1) {
+    for (uint64_t i = start_index; i < max_tuples && src.Next(&t); ++i) {
+      op.ProcessTuple(t);
+      max_ts = std::max(max_ts, t.ts);
+      ++out->report.tuples;
+      if (opts.watermark_every > 0 && (i + 1) % opts.watermark_every == 0) {
+        const Time wm = max_ts - opts.watermark_delay;
+        op.ProcessWatermark(wm);
+        // Results MUST leave the operator before the barrier: a snapshot
+        // taken with undrained results would re-emit them after restore,
+        // duplicating output the consumer already saw.
+        drain();
+        barrier(i + 1, wm);
+      }
+    }
+  } else {
+    std::vector<Tuple> buf;
+    buf.reserve(opts.batch_size);
+    bool more = true;
+    uint64_t i = start_index;
+    while (more && i < max_tuples) {
+      uint64_t limit = std::min(opts.batch_size, max_tuples - i);
+      if (opts.watermark_every > 0) {
+        limit = std::min(limit, opts.watermark_every - i % opts.watermark_every);
+      }
+      buf.clear();
+      while (buf.size() < limit && (more = src.Next(&t))) {
+        buf.push_back(t);
+        max_ts = std::max(max_ts, t.ts);
+      }
+      if (buf.empty()) break;
+      op.ProcessTupleBatch(buf);
+      i += buf.size();
+      out->report.tuples += buf.size();
+      if (opts.watermark_every > 0 && i % opts.watermark_every == 0) {
+        const Time wm = max_ts - opts.watermark_delay;
+        op.ProcessWatermark(wm);
+        drain();
+        barrier(i, wm);
+      }
+    }
+  }
+  if (max_ts != kNoTime) op.ProcessWatermark(max_ts);
+  drain();
+}
+
+}  // namespace
+
+CheckpointedPipelineReport RunCheckpointedPipeline(
+    TupleSource& src, WindowOperator& op, uint64_t max_tuples,
+    const PipelineOptions& opts, CheckpointCoordinator& coord,
+    const ResultSink& sink) {
+  CheckpointedPipelineReport out;
+  const auto start = std::chrono::steady_clock::now();
+  DrivePipeline(src, op, 0, max_tuples, opts, &coord, kNoTime, &out, sink);
+  out.report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+namespace {
+
+/// Shared resume tail: fast-forward the source past the snapshot's offset,
+/// continue the barrier numbering, and replay the remainder.
+bool ResumeFromRestored(RestoredOperator restored, TupleSource& src,
+                        uint64_t max_tuples, const PipelineOptions& opts,
+                        CheckpointCoordinator* coord, const ResultSink& sink,
+                        CheckpointedPipelineReport* report,
+                        std::unique_ptr<WindowOperator>* op,
+                        std::string* error) {
+  Tuple t;
+  uint64_t skipped = 0;
+  while (skipped < restored.meta.source_offset && src.Next(&t)) ++skipped;
+  if (skipped != restored.meta.source_offset) {
+    *error = "source exhausted before the checkpoint offset";
+    return false;
+  }
+  if (coord != nullptr) coord->SetBarrierIndex(restored.meta.barrier_index + 1);
+  const auto start = std::chrono::steady_clock::now();
+  DrivePipeline(src, *restored.op, restored.meta.source_offset, max_tuples,
+                opts, coord, restored.meta.max_ts, report, sink);
+  report->report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *op = std::move(restored.op);
+  return true;
+}
+
+}  // namespace
+
+ResumedPipeline RestorePipeline(const std::string& snapshot_path,
+                                const OperatorFactory& factory,
+                                TupleSource& src, uint64_t max_tuples,
+                                const PipelineOptions& opts,
+                                CheckpointCoordinator* coord,
+                                const ResultSink& sink) {
+  ResumedPipeline out;
+  RestoredOperator restored = RestoreOperator(snapshot_path, factory);
+  if (!restored.ok) {
+    out.error = std::move(restored.error);
+    return out;
+  }
+  out.ok = ResumeFromRestored(std::move(restored), src, max_tuples, opts,
+                              coord, sink, &out.report, &out.op, &out.error);
+  return out;
+}
+
+RecoveredPipeline RecoverPipeline(const std::string& directory,
+                                  const std::string& prefix,
+                                  const OperatorFactory& factory,
+                                  TupleSource& src, uint64_t max_tuples,
+                                  const PipelineOptions& opts,
+                                  CheckpointCoordinator* coord,
+                                  const ResultSink& sink) {
+  RecoveredPipeline out;
+  RecoveredOperator rec = RecoverNewestValid(directory, prefix, factory);
+  out.fell_back = rec.fell_back;
+  out.path_used = rec.path_used;
+  if (!rec.restored.ok) {
+    out.error = std::move(rec.restored.error);
+    return out;
+  }
+  out.ok =
+      ResumeFromRestored(std::move(rec.restored), src, max_tuples, opts,
+                         coord, sink, &out.report, &out.op, &out.error);
+  return out;
+}
+
+}  // namespace scotty

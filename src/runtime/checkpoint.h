@@ -1,0 +1,186 @@
+#ifndef SCOTTY_RUNTIME_CHECKPOINT_H_
+#define SCOTTY_RUNTIME_CHECKPOINT_H_
+
+// Checkpoint/restore subsystem (DESIGN.md §7).
+//
+// The CheckpointCoordinator snapshots a window operator at watermark-aligned
+// barriers: a barrier sits immediately after ProcessWatermark returned and
+// the produced results were drained downstream, so a snapshot never captures
+// a half-applied trigger sweep. Restoring the snapshot onto a freshly
+// constructed operator (same query set, same options) and replaying the
+// remainder of the stream yields byte-for-byte the same results as the
+// uninterrupted run — the differential fuzzer's --checkpoint dimension and
+// the crash-injection sweep both enforce exactly this.
+//
+// Crash injection: when the environment variable SCOTTY_CRASH_AFTER=<n> is
+// set, the process exits hard (std::_Exit) immediately after the n-th
+// checkpoint file is persisted — after the rename, so the file on disk is
+// always a complete, checksummed snapshot. A driver then restarts from that
+// file and must recover without loss or duplication.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/window_operator.h"
+#include "datagen/generators.h"
+#include "runtime/pipeline.h"
+#include "state/snapshot.h"
+
+namespace scotty {
+
+using OperatorFactory = std::function<std::unique_ptr<WindowOperator>()>;
+
+/// Observer for every result the checkpointed driver drains. Results pass
+/// through the sink BEFORE the barrier snapshot is taken, so a sink that
+/// durably records them sees exactly the results a downstream consumer had
+/// at crash time — the crash-injection sweep diffs these logs against an
+/// uninterrupted run.
+using ResultSink = std::function<void(const WindowResult&)>;
+
+struct CheckpointOptions {
+  /// Directory snapshot files are written into (must exist).
+  std::string directory = ".";
+  /// File name prefix; files are `<prefix>-<barrier_index>.snap`.
+  std::string prefix = "ckpt";
+  /// Keep this many most-recent snapshot files; older ones are deleted
+  /// after each barrier persists. More than one is retained so recovery can
+  /// fall back when the newest file is torn or corrupt. 0 keeps everything.
+  int retain = 3;
+};
+
+/// Takes watermark-aligned snapshots and persists them via the versioned
+/// container format of state/snapshot.h. One coordinator can serve a run
+/// and its resumed continuation: the barrier index keeps counting up.
+class CheckpointCoordinator {
+ public:
+  explicit CheckpointCoordinator(CheckpointOptions opts);
+
+  /// Snapshots `op` at a barrier. `meta` carries the stream progress (source
+  /// offset, seq counter, watermark); the barrier index is filled in by the
+  /// coordinator. Returns the persisted file path, or "" on failure.
+  /// Honors SCOTTY_CRASH_AFTER (see file comment).
+  std::string OnBarrier(const WindowOperator& op,
+                        state::CheckpointMetadata meta);
+
+  /// Same barrier protocol for state that was serialized elsewhere (the
+  /// parallel executor serializes each worker inside its own thread and
+  /// hands the combined bytes here). Applies retention and crash injection
+  /// exactly like the operator overload.
+  std::string OnBarrierBytes(const std::string& operator_name,
+                             const std::vector<uint8_t>& state,
+                             state::CheckpointMetadata meta);
+
+  uint64_t checkpoints_taken() const { return barrier_index_; }
+  const std::string& last_path() const { return last_path_; }
+
+  /// Continue counting from a restored barrier index (resume path).
+  void SetBarrierIndex(uint64_t idx) { barrier_index_ = idx; }
+
+ private:
+  CheckpointOptions opts_;
+  uint64_t barrier_index_ = 0;
+  std::string last_path_;
+  int64_t crash_after_ = -1;  // from SCOTTY_CRASH_AFTER; -1 = disabled
+};
+
+/// Result of restoring an operator from a snapshot file.
+struct RestoredOperator {
+  std::unique_ptr<WindowOperator> op;
+  state::CheckpointMetadata meta;
+  std::string operator_name;
+  bool ok = false;
+  std::string error;
+};
+
+/// Reads `path`, validates the container, constructs a fresh operator via
+/// `factory` (which must register the same windows/aggregations the
+/// snapshotted operator had), and restores its state. A name or fingerprint
+/// mismatch fails cleanly instead of producing a half-restored operator.
+RestoredOperator RestoreOperator(const std::string& path,
+                                 const OperatorFactory& factory);
+
+/// Snapshot files `<prefix>-<index>.snap` found in `directory`, sorted by
+/// barrier index descending (newest first). Ignores temp files and
+/// non-matching names.
+std::vector<std::string> ListSnapshots(const std::string& directory,
+                                       const std::string& prefix);
+
+/// Recovery entry point: restores from the NEWEST snapshot in `directory`
+/// that validates end-to-end (container checksum, operator name, state
+/// decode), falling back to older files when newer ones are torn, truncated,
+/// or corrupt. `fell_back` reports that at least one newer file was
+/// rejected; `path_used` names the file that won. Returns ok=false only
+/// when no snapshot file validates (the caller then starts from scratch).
+struct RecoveredOperator {
+  RestoredOperator restored;
+  std::string path_used;
+  bool fell_back = false;
+  size_t candidates = 0;  // snapshot files considered
+};
+RecoveredOperator RecoverNewestValid(const std::string& directory,
+                                     const std::string& prefix,
+                                     const OperatorFactory& factory);
+
+struct CheckpointedPipelineReport {
+  PipelineReport report;
+  uint64_t checkpoints = 0;
+  std::string last_checkpoint;
+};
+
+/// RunPipeline with a barrier after every injected watermark: identical
+/// tuple/watermark sequence to the plain driver, plus one snapshot per
+/// watermark. Honors PipelineOptions::batch_size — batched blocks never
+/// straddle a watermark boundary, so the barrier observes exactly the state
+/// the per-tuple driver would have had and the snapshot files are
+/// byte-identical between the two interleavings.
+CheckpointedPipelineReport RunCheckpointedPipeline(
+    TupleSource& src, WindowOperator& op, uint64_t max_tuples,
+    const PipelineOptions& opts, CheckpointCoordinator& coord,
+    const ResultSink& sink = nullptr);
+
+/// Resumes a checkpointed pipeline: restores the operator from
+/// `snapshot_path` via `factory`, skips the tuples the snapshot already
+/// covered, and replays the remainder of `src` with the same watermark
+/// cadence RunCheckpointedPipeline would have used (continuing to take
+/// checkpoints through `coord`). The union of results drained before the
+/// crash and results produced by the resumed run equals the uninterrupted
+/// run's results exactly. Returns ok=false (with op=nullptr) if the
+/// snapshot fails validation.
+struct ResumedPipeline {
+  CheckpointedPipelineReport report;
+  std::unique_ptr<WindowOperator> op;
+  bool ok = false;
+  std::string error;
+};
+
+ResumedPipeline RestorePipeline(const std::string& snapshot_path,
+                                const OperatorFactory& factory,
+                                TupleSource& src, uint64_t max_tuples,
+                                const PipelineOptions& opts,
+                                CheckpointCoordinator* coord,
+                                const ResultSink& sink = nullptr);
+
+/// RestorePipeline from the newest VALID snapshot in a directory (see
+/// RecoverNewestValid): tries files newest-first, falls back past torn or
+/// corrupt ones, and only fails when no file validates. `fell_back` on the
+/// result reports that the newest file was rejected.
+struct RecoveredPipeline {
+  CheckpointedPipelineReport report;
+  std::unique_ptr<WindowOperator> op;
+  bool ok = false;
+  bool fell_back = false;
+  std::string path_used;
+  std::string error;
+};
+RecoveredPipeline RecoverPipeline(const std::string& directory,
+                                  const std::string& prefix,
+                                  const OperatorFactory& factory,
+                                  TupleSource& src, uint64_t max_tuples,
+                                  const PipelineOptions& opts,
+                                  CheckpointCoordinator* coord,
+                                  const ResultSink& sink = nullptr);
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_CHECKPOINT_H_

@@ -1,6 +1,7 @@
 #ifndef SCOTTY_RUNTIME_KEYED_OPERATOR_H_
 #define SCOTTY_RUNTIME_KEYED_OPERATOR_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <span>
@@ -117,6 +118,55 @@ class KeyedWindowOperator : public WindowOperator {
   const WindowOperator* ForKey(int64_t key) const {
     auto it = operators_.find(key);
     return it == operators_.end() ? nullptr : it->second.get();
+  }
+
+  bool SupportsSnapshot() const override { return true; }
+
+  /// Keys are serialized in sorted order so the snapshot bytes are a pure
+  /// function of the logical state (the unordered_map's iteration order is
+  /// not). Each per-key operator's state is written inline; restore creates
+  /// the operator through the factory and hands it the same byte range.
+  void SerializeState(state::Writer& w) const override {
+    w.Tag(0x4B455944);  // "KEYD"
+    w.I64(last_wm_);
+    std::vector<int64_t> keys;
+    keys.reserve(operators_.size());
+    for (const auto& [key, op] : operators_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.U64(keys.size());
+    for (int64_t key : keys) {
+      w.I64(key);
+      operators_.at(key)->SerializeState(w);
+    }
+    w.U64(results_.size());
+    for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    r.Tag(0x4B455944);
+    last_wm_ = r.I64();
+    const uint64_t nkeys = r.U64();
+    if (nkeys > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    operators_.clear();
+    for (uint64_t i = 0; i < nkeys && r.ok(); ++i) {
+      const int64_t key = r.I64();
+      std::unique_ptr<WindowOperator> op = factory_();
+      if (inner_name_.empty()) inner_name_ = op->Name();
+      op->DeserializeState(r);
+      operators_.emplace(key, std::move(op));
+    }
+    const uint64_t m = r.U64();
+    if (m > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    results_.clear();
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      results_.push_back(DeserializeWindowResult(r));
+    }
   }
 
  private:

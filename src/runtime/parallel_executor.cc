@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "state/serde.h"
+
 namespace scotty {
 
 SpscQueue::SpscQueue(size_t capacity)
@@ -154,13 +156,74 @@ void ParallelExecutor::PushWatermark(Time wm) {
 }
 
 void ParallelExecutor::Finish() {
-  assert(started_);
+  if (!started_ || finished_) return;
   FlushAllStaging();
   SpscQueue::Item stop;
   stop.kind = SpscQueue::Item::Kind::kStop;
   for (auto& q : queues_) q->Push(stop);
   for (std::thread& t : workers_) t.join();
   finished_ = true;
+}
+
+std::vector<uint8_t> ParallelExecutor::SnapshotAtBarrier() {
+  assert(started_ && !finished_);
+  for (const auto& op : operators_) {
+    if (!op->SupportsSnapshot()) return {};
+  }
+  snap_slots_.assign(queues_.size(), {});
+  snap_remaining_.store(queues_.size(), std::memory_order_release);
+  // Staged tuples precede the barrier, exactly like PushWatermark.
+  FlushAllStaging();
+  SpscQueue::Item item;
+  item.kind = SpscQueue::Item::Kind::kSnapshot;
+  for (auto& q : queues_) q->Push(item);
+  while (snap_remaining_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  // Combine per-worker states into one length-prefixed blob. Worker count
+  // is recorded so restore can reject a topology mismatch.
+  state::Writer w;
+  w.U64(snap_slots_.size());
+  for (const std::vector<uint8_t>& s : snap_slots_) {
+    w.U64(s.size());
+    w.Bytes(s.data(), s.size());
+  }
+  snap_slots_.clear();
+  return w.Take();
+}
+
+bool ParallelExecutor::RestoreOperators(const std::vector<uint8_t>& blob,
+                                        std::string* error) {
+  assert(!started_);
+  auto fail = [&](const std::string& why) {
+    // Never leave a half-restored topology behind: rebuild every operator
+    // fresh so the executor stays usable for a from-scratch run.
+    for (auto& op : operators_) op = factory_();
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  state::Reader r(blob);
+  const uint64_t workers = r.U64();
+  if (!r.ok() || workers != operators_.size()) {
+    return fail("worker count mismatch: snapshot has " +
+                std::to_string(workers) + ", executor has " +
+                std::to_string(operators_.size()));
+  }
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    const uint64_t size = r.U64();
+    if (!r.ok() || size > r.remaining()) {
+      return fail("worker " + std::to_string(i) + " state truncated");
+    }
+    std::vector<uint8_t> st(size);
+    r.Bytes(st.data(), st.size());
+    state::Reader worker_r(st);
+    operators_[i]->DeserializeState(worker_r);
+    if (!worker_r.ok() || !worker_r.AtEnd()) {
+      return fail("worker " + std::to_string(i) + " state decode failed");
+    }
+  }
+  if (!r.AtEnd()) return fail("trailing bytes after worker states");
+  return true;
 }
 
 void ParallelExecutor::WorkerLoop(size_t i) {
@@ -197,6 +260,17 @@ void ParallelExecutor::WorkerLoop(size_t i) {
           results += drained.size();
           ++k;
           break;
+        case SpscQueue::Item::Kind::kSnapshot: {
+          // Serialize between two items of this worker's own stream: the
+          // state captured here is exactly the state a sequential run of
+          // this worker's item sequence would have at this point.
+          state::Writer w;
+          op.SerializeState(w);
+          snap_slots_[i] = w.Take();
+          snap_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+          ++k;
+          break;
+        }
         case SpscQueue::Item::Kind::kStop:
           drained.clear();
           op.TakeResultsInto(&drained);

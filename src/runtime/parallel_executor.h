@@ -28,7 +28,7 @@ class SpscQueue {
   explicit SpscQueue(size_t capacity = 1 << 14);
 
   struct Item {
-    enum class Kind : uint8_t { kTuple, kWatermark, kStop };
+    enum class Kind : uint8_t { kTuple, kWatermark, kSnapshot, kStop };
     Kind kind = Kind::kTuple;
     Tuple tuple{};
     Time watermark = kNoTime;
@@ -96,8 +96,29 @@ class ParallelExecutor {
   /// Routes a block of tuples through the per-worker staging buffers.
   void PushBatch(std::span<const Tuple> tuples);
   void PushWatermark(Time wm);
-  /// Sends stop markers, drains, and joins all workers.
+  /// Sends stop markers, drains, and joins all workers. Idempotent: a
+  /// second call (e.g. the destructor after an error-path Finish) is a
+  /// no-op, so error handling can always call Finish unconditionally.
   void Finish();
+
+  /// Snapshot barrier (DESIGN.md §7): broadcasts a barrier marker to every
+  /// worker queue — after flushing staged tuples, so the barrier sits at
+  /// the exact point of the item stream the caller chose (canonically right
+  /// after PushWatermark) — then blocks until every worker has serialized
+  /// its operator at that point. Each worker state is serialized inside its
+  /// own thread between two items, never concurrently with processing, so
+  /// the captured state is exactly what a sequential per-worker run would
+  /// have had. Returns one combined length-prefixed blob; empty on failure
+  /// (an operator without snapshot support).
+  std::vector<uint8_t> SnapshotAtBarrier();
+
+  /// Restores every worker operator from a blob produced by
+  /// SnapshotAtBarrier on an executor with the same worker count and
+  /// factory. Must be called before Start(). On any decode failure all
+  /// operators are rebuilt fresh from the factory (never half-restored) and
+  /// false is returned with `*error` set.
+  bool RestoreOperators(const std::vector<uint8_t>& blob,
+                        std::string* error = nullptr);
 
   uint64_t TotalResults() const { return total_results_.load(); }
   size_t MemoryUsageBytes() const;
@@ -119,6 +140,12 @@ class ParallelExecutor {
   std::atomic<uint64_t> total_results_{0};
   bool started_ = false;
   bool finished_ = false;
+  // In-flight snapshot barrier: the producer parks on snap_remaining_ while
+  // each worker serializes into its slot. Only one barrier is in flight at
+  // a time (SnapshotAtBarrier blocks), so plain slots + one atomic counter
+  // (release on the worker side, acquire on the producer side) suffice.
+  std::vector<std::vector<uint8_t>> snap_slots_;
+  std::atomic<size_t> snap_remaining_{0};
 };
 
 }  // namespace scotty

@@ -80,4 +80,49 @@ PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
   return report;
 }
 
+ParallelPipelineReport RunPipelineParallel(
+    TupleSource& src, ParallelExecutor& exec, uint64_t max_tuples,
+    const PipelineOptions& opts,
+    const std::vector<uint8_t>* restore_snapshot) {
+  ParallelPipelineReport out;
+  if (restore_snapshot != nullptr) {
+    std::string err;
+    if (!exec.RestoreOperators(*restore_snapshot, &err)) {
+      // Failed before Start(): no worker threads exist, nothing to join.
+      out.ok = false;
+      out.error = "restore failed: " + err;
+      return out;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  exec.Start();
+  try {
+    Tuple t;
+    Time max_ts = kNoTime;
+    for (uint64_t i = 0; i < max_tuples && src.Next(&t); ++i) {
+      exec.Push(t);
+      max_ts = std::max(max_ts, t.ts);
+      ++out.report.tuples;
+      if (opts.watermark_every > 0 && (i + 1) % opts.watermark_every == 0) {
+        exec.PushWatermark(max_ts - opts.watermark_delay);
+      }
+    }
+    if (max_ts != kNoTime) exec.PushWatermark(max_ts);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  } catch (...) {
+    out.ok = false;
+    out.error = "unknown exception while feeding the pipeline";
+  }
+  // Unconditional: stop markers + join, also on the exception path. The
+  // workers drain whatever was queued before the failure, so no thread is
+  // left spinning on a queue nobody feeds.
+  exec.Finish();
+  out.report.results = exec.TotalResults();
+  const auto end = std::chrono::steady_clock::now();
+  out.report.seconds = std::chrono::duration<double>(end - start).count();
+  return out;
+}
+
 }  // namespace scotty

@@ -2,9 +2,12 @@
 #define SCOTTY_RUNTIME_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/window_operator.h"
 #include "datagen/generators.h"
+#include "runtime/parallel_executor.h"
 
 namespace scotty {
 
@@ -42,6 +45,30 @@ struct PipelineReport {
 /// result counts. Sends one final watermark at the maximum event time.
 PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
                            uint64_t max_tuples, const PipelineOptions& opts);
+
+/// RunPipeline outcome when worker threads are involved: `ok`/`error`
+/// report feed-side failures (a throwing source, a failed state restore)
+/// AFTER the workers were drained and joined — the parallel driver never
+/// returns with threads still running, whatever the error path.
+struct ParallelPipelineReport {
+  PipelineReport report;
+  bool ok = true;
+  std::string error;
+};
+
+/// Parallel twin of RunPipeline: feeds the source through a key-partitioned
+/// ParallelExecutor (not yet started; this function starts it) with the
+/// same tuple/watermark cadence, then drains and joins the workers. If
+/// `restore_snapshot` is non-null, every worker operator is first restored
+/// from the blob (produced by ParallelExecutor::SnapshotAtBarrier); a
+/// restore failure is surfaced in the returned status with no threads
+/// started. If the source throws mid-stream, the workers are still stopped
+/// and joined before the error is returned — an abandoned executor with
+/// live threads would otherwise block forever in its destructor.
+ParallelPipelineReport RunPipelineParallel(
+    TupleSource& src, ParallelExecutor& exec, uint64_t max_tuples,
+    const PipelineOptions& opts,
+    const std::vector<uint8_t>* restore_snapshot = nullptr);
 
 }  // namespace scotty
 

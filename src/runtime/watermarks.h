@@ -5,6 +5,7 @@
 
 #include "common/time.h"
 #include "common/tuple.h"
+#include "state/serde.h"
 
 namespace scotty {
 
@@ -19,6 +20,11 @@ class WatermarkPolicy {
   /// Called for every tuple in arrival order; returns a watermark timestamp
   /// to emit after this tuple, or kNoTime.
   virtual Time OnTuple(const Tuple& t) = 0;
+
+  /// Snapshot support: progress counters so a restored pipeline emits the
+  /// same watermarks at the same stream positions as an uninterrupted run.
+  virtual void Serialize(state::Writer& w) const { (void)w; }
+  virtual void Deserialize(state::Reader& r) { (void)r; }
 };
 
 /// Emits max_event_time - fixed_delay every `interval` tuples: the standard
@@ -33,6 +39,15 @@ class PeriodicWatermarks : public WatermarkPolicy {
     max_ts_ = std::max(max_ts_, t.ts);
     if (++count_ % interval_ != 0) return kNoTime;
     return max_ts_ == kNoTime ? kNoTime : max_ts_ - delay_;
+  }
+
+  void Serialize(state::Writer& w) const override {
+    w.U64(count_);
+    w.I64(max_ts_);
+  }
+  void Deserialize(state::Reader& r) override {
+    count_ = r.U64();
+    max_ts_ = r.I64();
   }
 
  private:
@@ -75,6 +90,17 @@ class AdaptiveWatermarks : public WatermarkPolicy {
   }
 
   Time observed_delay() const { return observed_delay_; }
+
+  void Serialize(state::Writer& w) const override {
+    w.I64(observed_delay_);
+    w.U64(count_);
+    w.I64(max_ts_);
+  }
+  void Deserialize(state::Reader& r) override {
+    observed_delay_ = r.I64();
+    count_ = r.U64();
+    max_ts_ = r.I64();
+  }
 
  private:
   uint64_t interval_;

@@ -1,0 +1,141 @@
+#ifndef SCOTTY_STATE_SERDE_H_
+#define SCOTTY_STATE_SERDE_H_
+
+// Binary serialization primitives for operator snapshots.
+//
+// Writer appends fixed-width little-endian fields to a byte buffer; Reader
+// consumes them in the same order. Doubles travel as their raw IEEE-754 bit
+// pattern so restored partials are bit-identical to the originals — the
+// checkpoint contract is exact equality, not approximate equality.
+//
+// Reader never throws and never reads out of bounds: any underflow or tag
+// mismatch latches `ok() == false` and every subsequent read returns zero.
+// Callers check `ok()` once at the end instead of after every field, which
+// keeps Deserialize implementations as flat as their Serialize twins.
+//
+// Tag(x) writes/checks a 32-bit sentinel. Sprinkled between sections, tags
+// turn a desynchronized decode (e.g. a version-skewed field) into an
+// immediate, localized failure instead of garbage state.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scotty {
+namespace state {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) { AppendLE(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLE(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Raw byte run (caller encodes the length separately).
+  void Bytes(const uint8_t* p, size_t n) { buf_.insert(buf_.end(), p, p + n); }
+  void Tag(uint32_t t) { U32(t); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendLE(const void* p, size_t n) {
+    // Serialize little-endian regardless of host order.
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    uint64_t v = 0;
+    std::memcpy(&v, b, n);
+    for (size_t i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() { return static_cast<uint32_t>(ReadLE(4)); }
+  uint64_t U64() { return ReadLE(8); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Bool() { return U8() != 0; }
+  /// Raw byte run; zero-fills `out` (and poisons the reader) on underflow.
+  void Bytes(uint8_t* out, size_t n) {
+    if (!Need(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!Need(n)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+  /// Consumes a sentinel written with Writer::Tag; a mismatch poisons the
+  /// reader so the caller's final ok() check fails.
+  void Tag(uint32_t expect) {
+    if (U32() != expect) ok_ = false;
+  }
+
+  void Fail() { ok_ = false; }
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  uint64_t ReadLE(size_t n) {
+    if (!Need(n)) return 0;
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace state
+}  // namespace scotty
+
+#endif  // SCOTTY_STATE_SERDE_H_

@@ -1,0 +1,104 @@
+#ifndef SCOTTY_STATE_SERDE_TYPES_H_
+#define SCOTTY_STATE_SERDE_TYPES_H_
+
+// Serialization helpers for the small common value types shared by every
+// operator's snapshot code (tuples in retained buffers, final Values in
+// pending result queues).
+
+#include "common/tuple.h"
+#include "common/value.h"
+#include "state/serde.h"
+
+namespace scotty {
+namespace state {
+
+inline void SerializeTuple(Writer& w, const Tuple& t) {
+  w.I64(t.ts);
+  w.F64(t.value);
+  w.I64(t.key);
+  w.U64(t.seq);
+  w.Bool(t.is_punctuation);
+}
+
+inline Tuple DeserializeTuple(Reader& r) {
+  Tuple t;
+  t.ts = r.I64();
+  t.value = r.F64();
+  t.key = r.I64();
+  t.seq = r.U64();
+  t.is_punctuation = r.Bool();
+  return t;
+}
+
+inline void SerializeValue(Writer& w, const Value& v) {
+  if (v.IsEmpty()) {
+    w.U8(0);
+  } else if (v.IsInt()) {
+    w.U8(1);
+    w.I64(v.AsInt());
+  } else if (v.IsDouble()) {
+    w.U8(2);
+    w.F64(v.AsDouble());
+  } else if (v.IsM4()) {
+    w.U8(3);
+    const M4Result& m = v.AsM4();
+    w.F64(m.min);
+    w.F64(m.max);
+    w.F64(m.first);
+    w.F64(m.last);
+  } else if (v.IsArg()) {
+    w.U8(4);
+    const ArgResult& a = v.AsArg();
+    w.F64(a.value);
+    w.I64(a.arg);
+  } else {
+    w.U8(5);
+    const std::vector<double>& seq = v.AsSequence();
+    w.U64(seq.size());
+    for (double x : seq) w.F64(x);
+  }
+}
+
+inline Value DeserializeValue(Reader& r) {
+  switch (r.U8()) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(r.I64());
+    case 2:
+      return Value(r.F64());
+    case 3: {
+      M4Result m;
+      m.min = r.F64();
+      m.max = r.F64();
+      m.first = r.F64();
+      m.last = r.F64();
+      return Value(m);
+    }
+    case 4: {
+      ArgResult a;
+      a.value = r.F64();
+      a.arg = r.I64();
+      return Value(a);
+    }
+    case 5: {
+      const uint64_t n = r.U64();
+      if (n > r.remaining()) {
+        r.Fail();
+        return Value();
+      }
+      std::vector<double> seq;
+      seq.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n && r.ok(); ++i) seq.push_back(r.F64());
+      return Value(std::move(seq));
+    }
+    default:
+      r.Fail();
+      return Value();
+  }
+}
+
+}  // namespace state
+}  // namespace scotty
+
+#endif  // SCOTTY_STATE_SERDE_TYPES_H_

@@ -1,0 +1,157 @@
+#include "state/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace scotty {
+namespace state {
+
+namespace {
+
+constexpr uint32_t kMetaTag = 0x4D455441;   // "META"
+constexpr uint32_t kStateTag = 0x53544154;  // "STAT"
+
+}  // namespace
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<uint8_t> BuildSnapshot(const CheckpointMetadata& meta,
+                                   const std::string& operator_name,
+                                   const std::vector<uint8_t>& state) {
+  Writer payload;
+  payload.Tag(kMetaTag);
+  payload.U64(meta.source_offset);
+  payload.U64(meta.next_seq);
+  payload.I64(meta.max_ts);
+  payload.I64(meta.last_wm);
+  payload.U64(meta.barrier_index);
+  payload.Str(operator_name);
+  payload.Tag(kStateTag);
+  payload.U64(state.size());
+  const std::vector<uint8_t>& p0 = payload.bytes();
+
+  Writer out;
+  for (char c : kSnapshotMagic) out.U8(static_cast<uint8_t>(c));
+  out.U32(kSnapshotFormatVersion);
+  out.U64(p0.size() + state.size());
+  // Checksum covers the whole payload: header fields and state bytes.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const uint8_t* d, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= d[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(p0.data(), p0.size());
+  mix(state.data(), state.size());
+  out.U64(h);
+
+  std::vector<uint8_t> blob = out.Take();
+  blob.insert(blob.end(), p0.begin(), p0.end());
+  blob.insert(blob.end(), state.begin(), state.end());
+  return blob;
+}
+
+bool ParseSnapshot(const std::vector<uint8_t>& blob, CheckpointMetadata* meta,
+                   std::string* operator_name, std::vector<uint8_t>* state) {
+  Reader r(blob);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.U8());
+  if (!r.ok() || std::memcmp(magic, kSnapshotMagic, 8) != 0) return false;
+  if (r.U32() != kSnapshotFormatVersion) return false;
+  const uint64_t payload_size = r.U64();
+  const uint64_t checksum = r.U64();
+  if (!r.ok() || payload_size != r.remaining()) return false;
+  if (Fnv1a64(blob.data() + (blob.size() - payload_size), payload_size) !=
+      checksum) {
+    return false;
+  }
+
+  CheckpointMetadata m;
+  r.Tag(kMetaTag);
+  m.source_offset = r.U64();
+  m.next_seq = r.U64();
+  m.max_ts = r.I64();
+  m.last_wm = r.I64();
+  m.barrier_index = r.U64();
+  std::string name = r.Str();
+  r.Tag(kStateTag);
+  const uint64_t state_size = r.U64();
+  if (!r.ok() || state_size != r.remaining()) return false;
+
+  *meta = m;
+  *operator_name = std::move(name);
+  state->assign(blob.end() - static_cast<ptrdiff_t>(state_size), blob.end());
+  return true;
+}
+
+bool WriteSnapshotFile(const std::string& path,
+                       const std::vector<uint8_t>& blob) {
+  // Atomic persistence: write the whole blob to a temp file, fsync it, then
+  // rename over the target. A crash at any point leaves either the old file
+  // or the new one — never a torn mix — and the fsync before the rename
+  // guarantees the data reaches disk before the name does. (A reader that
+  // still finds a torn file, e.g. from a media error, is caught by the
+  // container checksum and falls back to an older snapshot.)
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  size_t done = 0;
+  while (done < blob.size()) {
+    const ssize_t n =
+        ::write(fd, blob.data() + done, blob.size() - done);
+    if (n < 0) {
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself (the directory entry).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool ReadSnapshotFile(const std::string& path, std::vector<uint8_t>* blob) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamsize size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0);
+  blob->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(blob->data()), size);
+  return static_cast<bool>(in);
+}
+
+}  // namespace state
+}  // namespace scotty

@@ -1,0 +1,70 @@
+#ifndef SCOTTY_STATE_SNAPSHOT_H_
+#define SCOTTY_STATE_SNAPSHOT_H_
+
+// Versioned, checksummed snapshot container (DESIGN.md §7).
+//
+// Layout of a snapshot blob / file:
+//
+//   offset  size  field
+//   0       8     magic "SCTYSNAP"
+//   8       4     format version (little-endian u32)
+//   12      8     payload size in bytes (little-endian u64)
+//   20      8     FNV-1a 64 checksum of the payload (little-endian u64)
+//   28      n     payload
+//
+// The payload itself starts with checkpoint metadata (source offset, seq
+// counter, barrier index) and the operator's Name(), then the opaque
+// operator state produced by WindowOperator::SerializeState. Parsing
+// verifies magic, version, size, and checksum before any state bytes are
+// interpreted, so a truncated or bit-flipped file fails loudly up front.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "state/serde.h"
+
+namespace scotty {
+namespace state {
+
+inline constexpr char kSnapshotMagic[8] = {'S', 'C', 'T', 'Y',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Pipeline-level progress recorded alongside operator state, enough to
+/// resume the source stream exactly where the checkpoint was taken.
+struct CheckpointMetadata {
+  uint64_t source_offset = 0;  // tuples consumed from the source so far
+  uint64_t next_seq = 0;       // next tuple sequence number to assign
+  Time max_ts = kNoTime;       // max event time observed
+  Time last_wm = kNoTime;      // last watermark fed to the operator
+  uint64_t barrier_index = 0;  // how many checkpoints preceded this one
+};
+
+/// FNV-1a 64-bit checksum.
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+
+/// Wraps (metadata, operator name, state bytes) in the container format.
+std::vector<uint8_t> BuildSnapshot(const CheckpointMetadata& meta,
+                                   const std::string& operator_name,
+                                   const std::vector<uint8_t>& state);
+
+/// Verifies the container (magic, version, size, checksum) and splits it
+/// back into metadata + operator name + state bytes. Returns false without
+/// touching outputs on any validation failure.
+bool ParseSnapshot(const std::vector<uint8_t>& blob, CheckpointMetadata* meta,
+                   std::string* operator_name, std::vector<uint8_t>* state);
+
+/// Atomic-ish file persistence: write to `<path>.tmp`, then rename. Returns
+/// false on I/O failure.
+bool WriteSnapshotFile(const std::string& path,
+                       const std::vector<uint8_t>& blob);
+
+/// Reads a snapshot file whole. Returns false if missing/unreadable.
+bool ReadSnapshotFile(const std::string& path, std::vector<uint8_t>* blob);
+
+}  // namespace state
+}  // namespace scotty
+
+#endif  // SCOTTY_STATE_SNAPSHOT_H_

@@ -1,14 +1,18 @@
 #include "testing/differential.h"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "aggregates/registry.h"
 #include "baselines/aggregate_tree.h"
 #include "baselines/buckets.h"
 #include "baselines/tuple_buffer.h"
 #include "core/general_slicing_operator.h"
+#include "testing/fault_injector.h"
 #include "testing/harness.h"
 #include "testing/oracle.h"
 
@@ -63,6 +67,17 @@ std::unique_ptr<Op> MakeBaseline(const DifferentialConfig& cfg) {
   return op;
 }
 
+/// Per-technique scratch directory for crash-recovery runs: unique per
+/// process so parallel fuzz shards never collide, removed by the runner.
+std::string CrashScratchDir(const std::string& technique) {
+  namespace fs = std::filesystem;
+  const fs::path p =
+      fs::temp_directory_path() /
+      ("scotty-crash-" + std::to_string(static_cast<long>(::getpid()))) /
+      technique;
+  return p.string();
+}
+
 std::string Describe(const ResultKey& key) {
   std::ostringstream os;
   os << "(w=" << std::get<0>(key) << ", a=" << std::get<1>(key) << ", ["
@@ -97,6 +112,8 @@ std::string DifferentialConfig::ToFlags() const {
   flag("burst-len", stream.burst_length, def.burst_length);
   flag("wm-every", wm_every, 0);
   flag("batch", batch, 0);
+  flag("checkpoint", checkpoint, 0);
+  flag("crash", crash, 0);
   return os.str();
 }
 
@@ -107,22 +124,17 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     return outcome;
   }
 
-  // In-order fast-path eligibility: sorted arrival, and no punctuation
-  // marker behind a same-timestamp data tuple. The FCF no-storage
-  // optimization (paper Fig. 5) folds each in-order tuple immediately, so a
-  // punctuation edge arriving after a data tuple with the same timestamp is
-  // retroactive: the tuple belongs right of the edge but cannot be unmixed
-  // from the closed slice. All tuple-storing techniques handle it.
+  // In-order fast-path eligibility: sorted arrival. Same-timestamp
+  // punctuation behind a data tuple is fine now — under the FCF no-storage
+  // optimization (paper Fig. 5) the store tracks a side partial for the
+  // last timestamp of each slice, so a retroactive punctuation edge at
+  // t == t_last splits exactly without tuple retention.
   Time last_ts = 0;
   bool sorted = true;
-  bool data_at_ts = false;  // a data tuple at the running max timestamp
   for (size_t i = 0; i < stream.size(); ++i) {
     const Tuple& t = stream[i];
     last_ts = std::max(last_ts, t.ts);
     if (i > 0 && t.ts < stream[i - 1].ts) sorted = false;
-    if (i == 0 || t.ts > stream[i - 1].ts) data_at_ts = false;
-    if (t.is_punctuation && data_at_ts) sorted = false;
-    data_at_ts |= !t.is_punctuation;
   }
   Time session_slack = 0;
   for (const WindowSpec& w : cfg.windows) {
@@ -133,11 +145,139 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
   const Time final_wm = last_ts + session_slack + 100;
   const Time wm_lag = cfg.stream.MaxLateness() + 1;
 
+  bool has_punct_window = false;
+  bool has_lastn_window = false;
+  bool has_frames_window = false;
+  for (const WindowSpec& w : cfg.windows) {
+    has_punct_window |= w.kind == WindowSpec::Kind::kPunctuation;
+    has_lastn_window |= w.kind == WindowSpec::Kind::kLastNEveryT;
+    has_frames_window |= w.kind == WindowSpec::Kind::kThresholdFrame;
+  }
+
   struct Run {
     std::string name;
     std::map<ResultKey, Value> results;
   };
   std::vector<Run> runs;
+
+  // Checkpointed twins: each snapshot-capable technique is re-run with a
+  // snapshot / teardown / restore cycle at tuple index `ckpt_at` and must
+  // reproduce its own uninterrupted results EXACTLY — restore is
+  // bit-identical by contract, so even the order-dependent floating-point
+  // aggregations (stddev, geometric-mean) may not drift by one ulp.
+  size_t ckpt_at = 0;
+  if (cfg.checkpoint > 0) {
+    ckpt_at = static_cast<size_t>(cfg.checkpoint);
+  } else if (cfg.checkpoint < 0) {
+    // --checkpoint=-1: a seed-derived mid-stream index, so sweep drivers can
+    // force checkpointing across many seeds without fixing one cut point.
+    const uint64_t h = (cfg.stream.seed + 1) * 0x9E3779B97F4A7C15ULL;
+    ckpt_at = 1 + static_cast<size_t>((h >> 33) % stream.size());
+  }
+  auto check_ckpt = [&](const std::string& name, const auto& factory,
+                        const std::map<ResultKey, Value>& expected) {
+    if (cfg.checkpoint == 0) return true;
+    std::map<ResultKey, Value> got;
+    std::string err;
+    if (!RunToFinalResultsCheckpointed(factory, stream, final_wm, cfg.wm_every,
+                                       wm_lag, ckpt_at, &got, &err)) {
+      outcome.ok = false;
+      outcome.detail = name + "-checkpointed: " + err;
+      return false;
+    }
+    for (const auto& [key, expected_v] : expected) {
+      ++outcome.comparisons;
+      const auto it = got.find(key);
+      if (it == got.end() || !(it->second == expected_v)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << name << "-checkpointed vs " << name << " at " << Describe(key)
+           << ": ";
+        if (it == got.end()) {
+          os << "missing (expected " << expected_v << ")";
+        } else {
+          os << it->second << " vs " << expected_v;
+        }
+        outcome.detail = os.str();
+        return false;
+      }
+    }
+    for (const auto& [key, value] : got) {
+      if (!expected.count(key)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << name << "-checkpointed reported extra window " << Describe(key)
+           << " = " << value;
+        outcome.detail = os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Crash-recovered twins: kill the run mid-stream, possibly damage the
+  // newest snapshot file, recover, replay — the merged downstream view must
+  // equal the unfaulted run exactly (same bit-identical-restore argument as
+  // the checkpointed twins). The fault plan is derived from the stream seed
+  // so a (seed, crash) pair replays the identical damage; --crash=N only
+  // overrides the kill point.
+  FaultPlan crash_plan;
+  if (cfg.crash != 0) {
+    crash_plan = MakeFaultPlan(cfg.stream.seed ^ 0xC2B2AE3D27D4EB4FULL,
+                               stream.size());
+    if (cfg.crash > 0) {
+      crash_plan.crash_index = std::min<uint64_t>(
+          static_cast<uint64_t>(cfg.crash), stream.size());
+    }
+  }
+  auto check_crash = [&](const std::string& name, const auto& factory,
+                         const std::map<ResultKey, Value>& expected) {
+    if (cfg.crash == 0) return true;
+    std::map<ResultKey, Value> got;
+    std::string err;
+    if (!RunToFinalResultsCrashRecovered(factory, stream, final_wm,
+                                         cfg.wm_every, wm_lag, crash_plan,
+                                         CrashScratchDir(name), &got, &err)) {
+      outcome.ok = false;
+      outcome.detail = name + "-crashed: " + err;
+      return false;
+    }
+    for (const auto& [key, expected_v] : expected) {
+      ++outcome.comparisons;
+      const auto it = got.find(key);
+      if (it == got.end() || !(it->second == expected_v)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << name << "-crashed vs " << name << " at " << Describe(key)
+           << ": ";
+        if (it == got.end()) {
+          os << "missing (expected " << expected_v << ")";
+        } else {
+          os << it->second << " vs " << expected_v;
+        }
+        outcome.detail = os.str();
+        return false;
+      }
+    }
+    for (const auto& [key, value] : got) {
+      if (!expected.count(key)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << name << "-crashed reported extra window " << Describe(key)
+           << " = " << value;
+        outcome.detail = os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+  // Both persistence twins (snapshot/restore cycle, crash/recover cycle)
+  // for one technique, sharing its uninterrupted results as the oracle.
+  auto check_persist = [&](const std::string& name, const auto& factory,
+                           const std::map<ResultKey, Value>& expected) {
+    return check_ckpt(name, factory, expected) &&
+           check_crash(name, factory, expected);
+  };
 
   auto lazy = MakeSlicing(cfg, StoreMode::kLazy, false);
   runs.push_back({"slicing-lazy", RunToFinalResults(*lazy, stream, final_wm,
@@ -148,15 +288,30 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
         "harness: watermark lag dropped tuples; MaxLateness() bound violated";
     return outcome;
   }
+  if (!check_persist("slicing-lazy",
+                  [&] { return MakeSlicing(cfg, StoreMode::kLazy, false); },
+                  runs.back().results)) {
+    return outcome;
+  }
 
   auto eager = MakeSlicing(cfg, StoreMode::kEager, false);
   runs.push_back({"slicing-eager", RunToFinalResults(*eager, stream, final_wm,
                                                      cfg.wm_every, wm_lag)});
+  if (!check_persist("slicing-eager",
+                  [&] { return MakeSlicing(cfg, StoreMode::kEager, false); },
+                  runs.back().results)) {
+    return outcome;
+  }
   if (sorted) {
     auto in_order = MakeSlicing(cfg, StoreMode::kLazy, true);
     runs.push_back({"slicing-inorder",
                     RunToFinalResults(*in_order, stream, final_wm,
                                       cfg.wm_every, wm_lag)});
+    if (!check_persist("slicing-inorder",
+                    [&] { return MakeSlicing(cfg, StoreMode::kLazy, true); },
+                    runs.back().results)) {
+      return outcome;
+    }
   }
   if (cfg.batch > 0) {
     // Batched ingestion must be bit-identical to the per-tuple path (the
@@ -182,25 +337,41 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
                                                cfg.wm_every, wm_lag, bs)});
     }
   }
-  {
+  // The baselines drive ProcessContext/TriggerWindows directly and never
+  // Bind a StreamStateView, so "last N" windows (which resolve their start
+  // through NthRecentTupleTime on the view) only run on the slicing store.
+  // Threshold frames need no view and work everywhere but buckets.
+  if (!has_lastn_window) {
     auto op = MakeBaseline<TupleBufferOperator>(cfg);
     runs.push_back({"tuple-buffer", RunToFinalResults(*op, stream, final_wm,
                                                       cfg.wm_every, wm_lag)});
+    if (!check_persist("tuple-buffer",
+                    [&] { return MakeBaseline<TupleBufferOperator>(cfg); },
+                    runs.back().results)) {
+      return outcome;
+    }
   }
-  {
+  if (!has_lastn_window) {
     auto op = MakeBaseline<AggregateTreeOperator>(cfg);
     runs.push_back({"aggregate-tree",
                     RunToFinalResults(*op, stream, final_wm, cfg.wm_every,
                                       wm_lag)});
+    if (!check_persist("aggregate-tree",
+                    [&] { return MakeBaseline<AggregateTreeOperator>(cfg); },
+                    runs.back().results)) {
+      return outcome;
+    }
   }
-  bool has_punct_window = false;
-  for (const WindowSpec& w : cfg.windows) {
-    has_punct_window |= w.kind == WindowSpec::Kind::kPunctuation;
-  }
-  if (!has_punct_window) {  // buckets support tumbling/sliding/session only
+  // Buckets model tumbling/sliding/session window IDs only.
+  if (!has_punct_window && !has_lastn_window && !has_frames_window) {
     auto op = MakeBaseline<BucketsOperator>(cfg);
     runs.push_back({"buckets", RunToFinalResults(*op, stream, final_wm,
                                                  cfg.wm_every, wm_lag)});
+    if (!check_persist("buckets",
+                    [&] { return MakeBaseline<BucketsOperator>(cfg); },
+                    runs.back().results)) {
+      return outcome;
+    }
   }
   {
     // The oracle sees the same seq numbers the operators saw.
@@ -257,9 +428,10 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
 
   const int num_windows = 1 + static_cast<int>(rng.NextBounded(3));
   bool has_punct_window = false;
+  bool has_frames_window = false;
   for (int i = 0; i < num_windows; ++i) {
     WindowSpec w;
-    switch (rng.NextBounded(6)) {
+    switch (rng.NextBounded(8)) {
       case 0:
         w.kind = WindowSpec::Kind::kTumbling;
         w.length = 5 + static_cast<Time>(rng.NextBounded(56));
@@ -285,6 +457,16 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
         w.length = 3 + static_cast<Time>(rng.NextBounded(22));
         w.slide = 1 + static_cast<Time>(
                           rng.NextBounded(static_cast<uint64_t>(w.length)));
+        break;
+      case 5:
+        w.kind = WindowSpec::Kind::kLastNEveryT;
+        w.length = 2 + static_cast<Time>(rng.NextBounded(14));  // N tuples
+        w.slide = 5 + static_cast<Time>(rng.NextBounded(41));   // period T
+        break;
+      case 6:
+        w.kind = WindowSpec::Kind::kThresholdFrame;
+        w.length = 1;  // threshold; re-drawn once value_range is known
+        has_frames_window = true;
         break;
       default:
         w.kind = WindowSpec::Kind::kPunctuation;
@@ -318,6 +500,20 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
   cfg.stream.gap_probability = kGapProb[rng.NextBounded(3)];
   cfg.stream.gap_length = 30 + static_cast<Time>(rng.NextBounded(51));
   cfg.stream.value_range = rng.NextBounded(2) == 0 ? 8 : 100;
+  for (WindowSpec& w : cfg.windows) {
+    if (w.kind == WindowSpec::Kind::kThresholdFrame) {
+      // A threshold inside the value range so both qualifying and breaking
+      // tuples actually occur.
+      w.length = 1 + static_cast<Time>(
+                         rng.NextBounded(cfg.stream.value_range));
+    }
+  }
+  if (has_frames_window && cfg.stream.step_lo == 0) {
+    // Frames classify per timestamp (a frame boundary is a timestamp, not a
+    // tuple); duplicate timestamps mixing qualifying and breaking tuples
+    // would make the boundary arrival-order dependent.
+    cfg.stream.step_lo = 1;
+  }
   static const double kOoo[] = {0.0, 0.05, 0.2, 0.4};
   cfg.stream.ooo_fraction = kOoo[rng.NextBounded(4)];
   static const Time kDelay[] = {4, 16, 60};
@@ -339,6 +535,15 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
   static const int kBatch[] = {1, 7, 64, 0};
   cfg.batch = kBatch[rng.NextBounded(4)];
   if (cfg.batch == 0) cfg.batch = std::max(1, num_tuples);
+  // Half the seeds also exercise the snapshot/restore cycle at a random
+  // mid-stream cut point (the other half keep the base sweep fast).
+  if (rng.NextBounded(2) == 0 && num_tuples > 1) {
+    cfg.checkpoint = 1 + static_cast<int>(rng.NextBounded(
+                             static_cast<uint64_t>(num_tuples - 1)));
+  }
+  // A quarter of the seeds also run the crash/recover cycle (kill point and
+  // snapshot fault seed-derived); the nightly lane forces it on everywhere.
+  if (rng.NextBounded(4) == 0 && num_tuples > 1) cfg.crash = -1;
   return cfg;
 }
 

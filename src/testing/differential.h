@@ -26,6 +26,22 @@ struct DifferentialConfig {
   /// path (ProcessTupleBatch) with blocks of this many tuples and require
   /// bit-identical final results. 0 disables the batched runs.
   int batch = 0;
+  /// Additionally run a checkpointed twin of every snapshot-capable
+  /// technique: snapshot the operator after this many tuples, tear it down,
+  /// restore a fresh instance from the bytes, replay the remainder, and
+  /// require results bit-identical to the same technique's uninterrupted
+  /// run (exact even for approx aggregations — restore reproduces the very
+  /// same partials). 0 disables the checkpointed runs.
+  int checkpoint = 0;
+  /// Additionally run a crash-recovered twin of every snapshot-capable
+  /// technique: checkpoint at every watermark barrier, kill the run at a
+  /// tuple index (> 0: exactly this index; -1: seed-derived), possibly tear
+  /// or corrupt the newest snapshot file (seed-derived fault), recover from
+  /// the newest snapshot that validates — falling back past damaged files,
+  /// from scratch when none is left — and replay the remainder. The merged
+  /// downstream view must equal the technique's unfaulted results exactly.
+  /// 0 disables the crash runs.
+  int crash = 0;
 
   /// Reproducer flags for `fuzz_differential` (everything non-default).
   std::string ToFlags() const;

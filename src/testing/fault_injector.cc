@@ -1,0 +1,212 @@
+#include "testing/fault_injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/rng.h"
+#include "runtime/checkpoint.h"
+
+namespace scotty {
+namespace testing {
+
+FaultPlan MakeFaultPlan(uint64_t seed, size_t num_tuples) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x94D049BB133111EBULL);
+  FaultPlan plan;
+  plan.crash_index =
+      num_tuples == 0 ? 0 : 1 + rng.NextBounded(static_cast<uint64_t>(num_tuples));
+  switch (rng.NextBounded(4)) {
+    case 0:
+    case 1:
+      plan.fault = SnapshotFault::kNone;
+      break;
+    case 2:
+      plan.fault = SnapshotFault::kTruncate;
+      break;
+    default:
+      plan.fault = SnapshotFault::kBitFlip;
+      break;
+  }
+  plan.fault_arg = rng.NextU64();
+  return plan;
+}
+
+bool ApplySnapshotFault(const std::string& path, const FaultPlan& plan) {
+  namespace fs = std::filesystem;
+  if (plan.fault == SnapshotFault::kNone) return true;
+  std::error_code ec;
+  const uintmax_t size = fs::file_size(path, ec);
+  if (ec) return false;
+  if (size == 0) return true;
+  if (plan.fault == SnapshotFault::kTruncate) {
+    // Torn write: the file ends mid-payload. Damage is applied in place —
+    // it models a sector-level tear that bypasses the temp+rename protocol.
+    fs::resize_file(path, plan.fault_arg % size, ec);
+    return !ec;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  const long off = static_cast<long>(plan.fault_arg % size);
+  unsigned char byte = 0;
+  bool ok =
+      std::fseek(f, off, SEEK_SET) == 0 && std::fread(&byte, 1, 1, f) == 1;
+  if (ok) {
+    byte ^= static_cast<unsigned char>(1u << ((plan.fault_arg >> 56) & 7));
+    ok = std::fseek(f, off, SEEK_SET) == 0 && std::fwrite(&byte, 1, 1, f) == 1;
+  }
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+void DrainInto(WindowOperator& op, std::map<ResultKey, Value>* out) {
+  for (const WindowResult& r : op.TakeResults()) {
+    (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+  }
+}
+
+}  // namespace
+
+bool RunToFinalResultsCrashRecovered(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const FaultPlan& plan, const std::string& scratch_dir,
+    std::map<ResultKey, Value>* out, std::string* error,
+    CrashRunStats* stats) {
+  namespace fs = std::filesystem;
+  out->clear();
+  std::error_code ec;
+  fs::remove_all(scratch_dir, ec);
+  ec.clear();
+  fs::create_directories(scratch_dir, ec);
+  if (ec) {
+    *error = "cannot create scratch dir " + scratch_dir;
+    return false;
+  }
+
+  CheckpointOptions copts;
+  copts.directory = scratch_dir;
+  copts.prefix = "ckpt";
+  copts.retain = 3;
+  CheckpointCoordinator coord(copts);
+
+  std::unique_ptr<WindowOperator> op = factory();
+  if (!op->SupportsSnapshot()) {
+    *error = "operator does not support snapshots";
+    return false;
+  }
+
+  // Phase one: run until the crash, checkpointing at every watermark
+  // barrier. `delivered` models output already durably consumed downstream
+  // (drained before each barrier, per the ResultSink contract).
+  std::map<ResultKey, Value> delivered;
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  const size_t n = tuples.size();
+  const size_t crash_at = std::min<size_t>(
+      static_cast<size_t>(plan.crash_index), n);
+  for (size_t i = 0; i < crash_at; ++i) {
+    Tuple t = tuples[i];
+    t.seq = seq++;
+    op->ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        op->ProcessWatermark(wm);
+        last_wm = wm;
+        DrainInto(*op, &delivered);
+        state::CheckpointMetadata meta;
+        meta.source_offset = i + 1;
+        meta.next_seq = seq;
+        meta.max_ts = max_ts;
+        meta.last_wm = last_wm;
+        if (coord.OnBarrier(*op, meta).empty()) {
+          *error = "checkpoint persist failed at tuple " + std::to_string(i + 1);
+          return false;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->barriers = coord.checkpoints_taken();
+  op.reset();  // the crash: all in-memory state is gone
+
+  const std::vector<std::string> snaps =
+      ListSnapshots(scratch_dir, copts.prefix);
+  if (!snaps.empty() && !ApplySnapshotFault(snaps.front(), plan)) {
+    *error = "fault application failed on " + snaps.front();
+    return false;
+  }
+
+  // Recovery: newest valid snapshot wins; from scratch when none validates.
+  size_t resume_at = 0;
+  seq = 0;
+  max_ts = kNoTime;
+  last_wm = kNoTime;
+  RecoveredOperator rec = RecoverNewestValid(scratch_dir, copts.prefix, factory);
+  if (rec.restored.ok) {
+    if (plan.fault != SnapshotFault::kNone && !snaps.empty() &&
+        rec.path_used == snaps.front()) {
+      *error = "a torn/corrupt snapshot validated: " + snaps.front();
+      return false;
+    }
+    op = std::move(rec.restored.op);
+    resume_at = static_cast<size_t>(rec.restored.meta.source_offset);
+    seq = rec.restored.meta.next_seq;
+    max_ts = rec.restored.meta.max_ts;
+    last_wm = rec.restored.meta.last_wm;
+    if (stats != nullptr) {
+      stats->fell_back = rec.fell_back;
+      stats->path_used = rec.path_used;
+    }
+  } else {
+    // From-scratch is only legitimate when every on-disk snapshot was
+    // damaged — i.e. at most the one file the plan faulted existed.
+    if (!snaps.empty() && plan.fault == SnapshotFault::kNone) {
+      *error = "recovery failed with intact snapshots: " + rec.restored.error;
+      return false;
+    }
+    if (snaps.size() >= 2) {
+      *error =
+          "fallback failed past the damaged newest snapshot: " +
+          rec.restored.error;
+      return false;
+    }
+    op = factory();
+    if (stats != nullptr) stats->recovered_from_scratch = true;
+  }
+
+  // Replay from the barrier (or from scratch) with the identical cadence.
+  std::map<ResultKey, Value> replayed;
+  for (size_t i = resume_at; i < n; ++i) {
+    Tuple t = tuples[i];
+    t.seq = seq++;
+    op->ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        op->ProcessWatermark(wm);
+        last_wm = wm;
+        DrainInto(*op, &replayed);
+      }
+    }
+  }
+  op->ProcessWatermark(final_wm);
+  DrainInto(*op, &replayed);
+
+  // Downstream merge: the recovered run re-emits every result from the
+  // barrier onward, so it overrides; entries final before the barrier were
+  // already delivered and are never contradicted.
+  *out = std::move(delivered);
+  for (const auto& [key, value] : replayed) (*out)[key] = value;
+
+  fs::remove_all(scratch_dir, ec);
+  return true;
+}
+
+}  // namespace testing
+}  // namespace scotty

@@ -1,0 +1,92 @@
+#ifndef SCOTTY_TESTING_FAULT_INJECTOR_H_
+#define SCOTTY_TESTING_FAULT_INJECTOR_H_
+
+// Fault injection for the checkpoint/recovery path (DESIGN.md §7).
+//
+// A FaultPlan fully determines one simulated failure: the process "dies" at
+// a random tuple index (in-memory operator state is discarded), and the
+// newest snapshot file on disk is optionally torn (truncated mid-payload)
+// or corrupted (single bit flip). RunToFinalResultsCrashRecovered then
+// recovers exactly like a production restart would — newest valid snapshot,
+// falling back past damaged files, from scratch when nothing validates —
+// replays the remainder of the stream, and returns the merged downstream
+// view. The differential fuzzer's --crash dimension requires that view to
+// be bit-identical to the same technique's unfaulted run.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testing/harness.h"
+
+namespace scotty {
+namespace testing {
+
+/// What happens to the newest snapshot file after the simulated crash.
+enum class SnapshotFault : uint8_t {
+  kNone,      ///< crash only; every snapshot file stays intact
+  kTruncate,  ///< cut the newest file short in place (torn write)
+  kBitFlip,   ///< flip one bit of the newest file (media corruption)
+};
+
+/// One deterministic failure scenario. `fault_arg` is raw RNG material the
+/// fault application derives its truncation point / flip offset from, so a
+/// (seed, num_tuples) pair replays the exact same damage.
+struct FaultPlan {
+  uint64_t crash_index = 0;  ///< crash fires just before this tuple index
+  SnapshotFault fault = SnapshotFault::kNone;
+  uint64_t fault_arg = 0;
+};
+
+/// Derives a plan from `seed`: crash index uniform in [1, num_tuples], and
+/// roughly half the seeds additionally damage the newest snapshot
+/// (truncation and bit flips equally likely).
+FaultPlan MakeFaultPlan(uint64_t seed, size_t num_tuples);
+
+/// Applies `plan.fault` to the file at `path` in place (no temp + rename —
+/// this models damage that bypasses the atomic-write protocol, e.g. a torn
+/// sector). kNone is a no-op. Returns false only on an I/O error; an empty
+/// file is left as is.
+bool ApplySnapshotFault(const std::string& path, const FaultPlan& plan);
+
+/// Observability for one crash-recovery run, mostly for tests.
+struct CrashRunStats {
+  uint64_t barriers = 0;  ///< checkpoints persisted before the crash
+  bool recovered_from_scratch = false;  ///< no snapshot validated
+  bool fell_back = false;  ///< a newer snapshot was rejected during recovery
+  std::string path_used;   ///< snapshot file recovery restored from
+};
+
+/// Crash-recovering twin of RunToFinalResults. Phase one runs a fresh
+/// operator from `factory` with the identical tuple/watermark cadence,
+/// persisting a snapshot through a CheckpointCoordinator (retain = 3) at
+/// every watermark barrier — results are drained BEFORE each barrier, so
+/// the `delivered` map models output a downstream consumer durably holds at
+/// crash time. At `plan.crash_index` the operator is destroyed, the newest
+/// snapshot file is damaged per the plan, and recovery restores from the
+/// newest snapshot that validates (or from scratch when none does) and
+/// replays the remainder. `*out` receives the downstream merge: delivered
+/// results overlaid by everything the recovered run emitted. The contract
+/// enforced by the --crash fuzz dimension: `*out` equals the unfaulted
+/// run's final results EXACTLY (restore is bit-identical, so even
+/// order-dependent floating-point aggregations may not drift).
+///
+/// `scratch_dir` is created fresh (any previous contents removed) and
+/// deleted again on success. Returns false with `*error` set on harness
+/// failures — including recovery invariant violations: recovery failing
+/// while intact snapshots exist, fallback failing past a single damaged
+/// file, or a damaged file validating.
+bool RunToFinalResultsCrashRecovered(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const FaultPlan& plan, const std::string& scratch_dir,
+    std::map<ResultKey, Value>* out, std::string* error,
+    CrashRunStats* stats = nullptr);
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_FAULT_INJECTOR_H_

@@ -2,7 +2,10 @@
 #define SCOTTY_TESTING_HARNESS_H_
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "common/tuple.h"
 #include "common/value.h"
 #include "core/window_operator.h"
+#include "state/snapshot.h"
 
 namespace scotty {
 namespace testing {
@@ -143,6 +147,89 @@ inline std::map<ResultKey, Value> RunToFinalResultsBatched(
   op.ProcessWatermark(final_wm);
   drain();
   return out;
+}
+
+/// Checkpointed twin of RunToFinalResults: runs a fresh operator from
+/// `factory` over the first `checkpoint_at` tuples with the identical
+/// tuple/watermark cadence, serializes its full state through the versioned
+/// snapshot container (state/snapshot.h), destroys it, restores a second
+/// fresh instance from the snapshot bytes, and replays the remainder. The
+/// returned final results must be bit-identical to RunToFinalResults over
+/// the whole stream — any difference is a snapshot/restore bug. Returns
+/// false (with *error set) if serialization or container validation fails.
+inline bool RunToFinalResultsCheckpointed(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    size_t checkpoint_at, std::map<ResultKey, Value>* out,
+    std::string* error) {
+  out->clear();
+  std::unique_ptr<WindowOperator> op = factory();
+  auto drain = [&] {
+    for (const WindowResult& r : op->TakeResults()) {
+      (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+    }
+  };
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  const size_t n = tuples.size();
+  checkpoint_at = std::min(checkpoint_at, n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == checkpoint_at) {
+      // Snapshot, tear down, restore onto a fresh instance. The harness
+      // locals (seq, max_ts, last_wm) survive on this side; everything the
+      // operator needs must survive through the snapshot bytes.
+      if (!op->SupportsSnapshot()) {
+        *error = "operator does not support snapshots";
+        return false;
+      }
+      state::Writer w;
+      op->SerializeState(w);
+      state::CheckpointMetadata meta;
+      meta.source_offset = i;
+      meta.next_seq = seq;
+      meta.max_ts = max_ts;
+      meta.last_wm = last_wm;
+      const std::vector<uint8_t> blob =
+          state::BuildSnapshot(meta, op->Name(), w.Take());
+      op.reset();
+      state::CheckpointMetadata meta2;
+      std::string name;
+      std::vector<uint8_t> st;
+      if (!state::ParseSnapshot(blob, &meta2, &name, &st)) {
+        *error = "snapshot container failed validation";
+        return false;
+      }
+      if (meta2.source_offset != i || meta2.next_seq != seq) {
+        *error = "snapshot metadata did not round-trip";
+        return false;
+      }
+      op = factory();
+      state::Reader r(st);
+      op->DeserializeState(r);
+      if (!r.ok() || !r.AtEnd()) {
+        *error = "operator state did not decode cleanly (ok=" +
+                 std::string(r.ok() ? "true" : "false") +
+                 ", leftover=" + std::to_string(r.remaining()) + " bytes)";
+        return false;
+      }
+    }
+    Tuple t = tuples[i];
+    t.seq = seq++;
+    op->ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        op->ProcessWatermark(wm);
+        last_wm = wm;
+        drain();
+      }
+    }
+  }
+  op->ProcessWatermark(final_wm);
+  drain();
+  return true;
 }
 
 }  // namespace testing

@@ -147,6 +147,62 @@ std::map<ResultKey, Value> OracleResults(
           if (e >= first_cut && e <= final_wm) emit_time_window(wid, s, e);
         }
         break;
+      case WindowSpec::Kind::kLastNEveryT: {
+        // "Last N tuples every T time units": ends at period multiples
+        // strictly after the first-arrival baseline; the start is the
+        // timestamp of the N-th most recent data tuple before the end
+        // (skipped while fewer than N exist). Mirrors
+        // LastNEveryTWindow::TriggerWindows over a complete store.
+        const Time period = spec.slide;
+        const int64_t nlast = spec.length;
+        for (Time end = ((first_cut - 1) / period + 1) * period;
+             end <= final_wm; end += period) {
+          const int64_t avail =
+              static_cast<int64_t>(LowerIdx(data, end));
+          if (avail < nlast) continue;
+          const Time start = data[static_cast<size_t>(avail - nlast)].ts;
+          emit_time_window(wid, start, end);
+        }
+        break;
+      }
+      case WindowSpec::Kind::kThresholdFrame: {
+        // Threshold frames: a frame opens at the first qualifying timestamp
+        // after a break (or stream start) and closes at the next break. The
+        // aggregate covers ALL data tuples in [start, end) — the slices do
+        // not filter by qualification. Mirrors
+        // ThresholdFrameWindow::TriggerWindows.
+        const double threshold = static_cast<double>(spec.length);
+        std::vector<Time> quals;
+        std::vector<Time> breaks;
+        for (const Tuple& t : data) {
+          (t.value >= threshold ? quals : breaks).push_back(t.ts);
+        }
+        auto dedup = [](std::vector<Time>* v) {
+          std::sort(v->begin(), v->end());
+          v->erase(std::unique(v->begin(), v->end()), v->end());
+        };
+        dedup(&quals);
+        dedup(&breaks);
+        auto last_below = [](const std::vector<Time>& v, Time t) {
+          auto it = std::lower_bound(v.begin(), v.end(), t);
+          return it == v.begin() ? kNoTime : *(it - 1);
+        };
+        auto first_above = [](const std::vector<Time>& v, Time t) {
+          auto it = std::upper_bound(v.begin(), v.end(), t);
+          return it == v.end() ? kMaxTime : *it;
+        };
+        for (Time q : quals) {
+          const Time prev_qual = last_below(quals, q);
+          const Time prev_break = last_below(breaks, q);
+          if (prev_qual != kNoTime && prev_qual > prev_break) continue;
+          const Time end = first_above(breaks, q);
+          if (end == kMaxTime) continue;  // frame still open
+          if (end >= first_cut && end <= final_wm) {
+            emit_time_window(wid, q, end);
+          }
+        }
+        break;
+      }
     }
   }
   return out;

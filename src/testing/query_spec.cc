@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "windows/frames.h"
+#include "windows/multi_measure.h"
 #include "windows/punctuation.h"
 #include "windows/session.h"
 #include "windows/sliding.h"
@@ -56,6 +58,12 @@ std::string WindowSpec::ToString() const {
     case Kind::kPunctuation:
       os << "punct";
       break;
+    case Kind::kLastNEveryT:
+      os << "lastn:" << length << ":" << slide;
+      break;
+    case Kind::kThresholdFrame:
+      os << "frames:" << length;
+      break;
   }
   return os.str();
 }
@@ -70,6 +78,11 @@ WindowPtr WindowSpec::Instantiate() const {
       return std::make_shared<SessionWindow>(length);
     case Kind::kPunctuation:
       return std::make_shared<PunctuationWindow>();
+    case Kind::kLastNEveryT:
+      return std::make_shared<LastNEveryTWindow>(length, slide);
+    case Kind::kThresholdFrame:
+      return std::make_shared<ThresholdFrameWindow>(
+          static_cast<double>(length));
   }
   return nullptr;
 }
@@ -94,6 +107,17 @@ bool WindowSpec::Parse(const std::string& text, WindowSpec* out) {
     }
     spec.kind = Kind::kSliding;
     if (head == "csliding") spec.measure = Measure::kCount;
+  } else if (head == "lastn") {
+    if (parts.size() != 3 || !ParsePositive(parts[1], &spec.length) ||
+        !ParsePositive(parts[2], &spec.slide)) {
+      return false;
+    }
+    spec.kind = Kind::kLastNEveryT;
+  } else if (head == "frames") {
+    if (parts.size() != 2 || !ParsePositive(parts[1], &spec.length)) {
+      return false;
+    }
+    spec.kind = Kind::kThresholdFrame;
   } else {
     return false;
   }

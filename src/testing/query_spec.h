@@ -24,13 +24,23 @@ namespace testing {
 ///   ctumbling:N      count tumbling, N tuples
 ///   csliding:N:S     count sliding, length N tuples, slide S tuples
 ///   punct            punctuation-delimited windows (FCF)
+///   lastn:N:T        FCA multi-measure "last N tuples every T time units"
+///   frames:V         threshold frames, qualifying value >= V (FCF)
 struct WindowSpec {
-  enum class Kind { kTumbling, kSliding, kSession, kPunctuation };
+  enum class Kind {
+    kTumbling,
+    kSliding,
+    kSession,
+    kPunctuation,
+    kLastNEveryT,
+    kThresholdFrame,
+  };
 
   Kind kind = Kind::kTumbling;
   Measure measure = Measure::kEventTime;  // kCount for count windows
-  Time length = 10;  // tumbling length / sliding length / session gap
-  Time slide = 0;    // sliding windows only
+  Time length = 10;  // tumbling length / sliding length / session gap /
+                     // lastn N / frames threshold
+  Time slide = 0;    // sliding windows (slide) and lastn (period T)
 
   std::string ToString() const;
   /// Fresh, stateless-as-of-yet window object for one operator instance.

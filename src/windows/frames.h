@@ -174,6 +174,28 @@ class ThresholdFrameWindow : public ContextAwareWindow {
     return "frames(v>=" + std::to_string(threshold_) + ")";
   }
 
+  void SerializeState(state::Writer& w) const override {
+    w.I64(max_ts_);
+    w.U64(quals_.size());
+    for (Time t : quals_) w.I64(t);
+    w.U64(breaks_.size());
+    for (Time t : breaks_) w.I64(t);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    max_ts_ = r.I64();
+    for (std::vector<Time>* v : {&quals_, &breaks_}) {
+      const uint64_t n = r.U64();
+      if (n > r.remaining()) {
+        r.Fail();
+        return;
+      }
+      v->clear();
+      v->reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n && r.ok(); ++i) v->push_back(r.I64());
+    }
+  }
+
  private:
   static void InsertSorted(std::vector<Time>* v, Time t) {
     v->insert(std::upper_bound(v->begin(), v->end(), t), t);

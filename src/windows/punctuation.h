@@ -31,7 +31,13 @@ class PunctuationWindow : public ContextAwareWindow {
 
   ContextModifications ProcessContext(const Tuple& t) override {
     ContextModifications mods;
-    const bool in_order = t.ts >= max_ts_;
+    // Strictly greater: a punctuation at exactly max_ts_ is retroactive too.
+    // A same-timestamp data tuple that arrived first may already have driven
+    // a trigger at t.ts (in-order mode treats every tuple as a watermark),
+    // so the window this edge closes must go through the changed-windows
+    // path — its end is at or before the passed watermark and the regular
+    // trigger scan will never revisit it.
+    const bool advanced = max_ts_ == kNoTime || t.ts > max_ts_;
     max_ts_ = std::max(max_ts_, t.ts);
     if (!t.is_punctuation) return mods;
 
@@ -44,11 +50,12 @@ class PunctuationWindow : public ContextAwareWindow {
     edges_.insert(it, t.ts);
 
     mods.split_edges.push_back(t.ts);
-    if (!in_order && has_prev && has_next) {
-      // The already-known window (prev_edge, next_edge) is retroactively cut
-      // in two; both pieces may need (re-)emission.
-      mods.changed_windows.push_back({prev_edge, t.ts});
-      mods.changed_windows.push_back({t.ts, next_edge});
+    if (!advanced) {
+      // A retroactive edge: the newly revealed window ending here, and (when
+      // the edge lands inside an already-known window) the right half, may
+      // both need (re-)emission.
+      if (has_prev) mods.changed_windows.push_back({prev_edge, t.ts});
+      if (has_next) mods.changed_windows.push_back({t.ts, next_edge});
     }
     return mods;
   }
@@ -95,6 +102,24 @@ class PunctuationWindow : public ContextAwareWindow {
   size_t EdgeCount() const { return edges_.size(); }
 
   std::string Name() const override { return "punctuation"; }
+
+  void SerializeState(state::Writer& w) const override {
+    w.I64(max_ts_);
+    w.U64(edges_.size());
+    for (Time e : edges_) w.I64(e);
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    max_ts_ = r.I64();
+    const uint64_t n = r.U64();
+    if (n > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    edges_.clear();
+    edges_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && r.ok(); ++i) edges_.push_back(r.I64());
+  }
 
  private:
   Measure measure_;

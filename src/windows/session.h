@@ -145,6 +145,32 @@ class SessionWindow : public ContextAwareWindow {
     return "session(" + std::to_string(gap_) + ")";
   }
 
+  void SerializeState(state::Writer& w) const override {
+    w.I64(max_ts_);
+    w.U64(sessions_.size());
+    for (const Session& s : sessions_) {
+      w.I64(s.start);
+      w.I64(s.last);
+    }
+  }
+
+  void DeserializeState(state::Reader& r) override {
+    max_ts_ = r.I64();
+    const uint64_t n = r.U64();
+    if (n > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    sessions_.clear();
+    sessions_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+      Session s;
+      s.start = r.I64();
+      s.last = r.I64();
+      sessions_.push_back(s);
+    }
+  }
+
  private:
   struct Session {
     Time start;  // timestamp of the earliest tuple

@@ -8,6 +8,7 @@
 
 #include "common/time.h"
 #include "common/tuple.h"
+#include "state/serde.h"
 
 namespace scotty {
 
@@ -107,6 +108,13 @@ class Window {
   /// Drops window-internal state (sessions, punctuation edges) that lies
   /// entirely before `t` (outside the allowed lateness).
   virtual void EvictState(Time t) { (void)t; }
+
+  /// Snapshot support: serializes window-internal context (open sessions,
+  /// punctuation edges, threshold frames). Context-free windows are
+  /// stateless — their edges are pure functions of the definition — so the
+  /// default writes/reads nothing.
+  virtual void SerializeState(state::Writer& w) const { (void)w; }
+  virtual void DeserializeState(state::Reader& r) { (void)r; }
 };
 
 using WindowPtr = std::shared_ptr<Window>;

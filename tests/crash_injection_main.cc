@@ -1,0 +1,222 @@
+// Crash-injection driver for the checkpoint/restore subsystem (DESIGN.md §7).
+//
+// Runs a deterministic workload through one windowing technique with a
+// checkpoint barrier at every injected watermark, appending every drained
+// result to a durable log (flushed line-by-line, because the injected crash
+// is std::_Exit — no destructors, no stdio flush). With SCOTTY_CRASH_AFTER=n
+// in the environment the process dies with exit code 42 right after the n-th
+// snapshot file is persisted; invoking the driver again with --resume picks
+// the newest snapshot in --dir, restores, and replays the remainder.
+//
+// Contract checked by scripts/crash_sweep.sh: for every technique and every
+// crash point, the concatenated log of (crashed run, resumed run) is
+// byte-identical to the log of an uninterrupted run — no window result is
+// lost, duplicated, or altered by recovery.
+//
+// Usage:
+//   crash_injection --technique=slicing-lazy --tuples=4096 --wm-every=256 \
+//       --dir=/tmp/ckpt --out=/tmp/results.log [--resume]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "aggregates/registry.h"
+#include "baselines/aggregate_tree.h"
+#include "baselines/buckets.h"
+#include "baselines/tuple_buffer.h"
+#include "core/general_slicing_operator.h"
+#include "datagen/generators.h"
+#include "runtime/checkpoint.h"
+#include "runtime/pipeline.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Args {
+  std::string technique = "slicing-lazy";
+  uint64_t tuples = 4096;
+  uint64_t wm_every = 256;
+  std::string dir = ".";
+  std::string out = "results.log";
+  bool resume = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const size_t n = std::strlen(name);
+      if (arg.compare(0, n, name) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = val("--technique")) {
+      a->technique = v;
+    } else if (const char* v = val("--tuples")) {
+      a->tuples = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--wm-every")) {
+      a->wm_every = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--dir")) {
+      a->dir = v;
+    } else if (const char* v = val("--out")) {
+      a->out = v;
+    } else if (arg == "--resume") {
+      a->resume = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void AddQueries(auto& op) {
+  op.AddAggregation(MakeAggregation("sum"));
+  op.AddAggregation(MakeAggregation("median"));
+  op.AddWindow(std::make_shared<TumblingWindow>(500));
+  op.AddWindow(std::make_shared<SlidingWindow>(1000, 250));
+  op.AddWindow(std::make_shared<SessionWindow>(300));
+}
+
+OperatorFactory MakeFactory(const std::string& technique) {
+  if (technique == "slicing-lazy" || technique == "slicing-eager" ||
+      technique == "slicing-inorder") {
+    GeneralSlicingOperator::Options o;
+    o.stream_in_order = technique == "slicing-inorder";
+    o.allowed_lateness = o.stream_in_order ? 0 : 2000;
+    o.store_mode = technique == "slicing-eager" ? StoreMode::kEager
+                                                : StoreMode::kLazy;
+    return [o] {
+      auto op = std::make_unique<GeneralSlicingOperator>(o);
+      AddQueries(*op);
+      return op;
+    };
+  }
+  if (technique == "tuple-buffer") {
+    return [] {
+      auto op = std::make_unique<TupleBufferOperator>(false, 2000);
+      AddQueries(*op);
+      return op;
+    };
+  }
+  if (technique == "aggregate-tree") {
+    return [] {
+      auto op = std::make_unique<AggregateTreeOperator>(false, 2000);
+      AddQueries(*op);
+      return op;
+    };
+  }
+  if (technique == "buckets") {
+    return [] {
+      auto op = std::make_unique<BucketsOperator>(
+          false, 2000, BucketsOperator::BucketKind::kAuto);
+      AddQueries(*op);
+      return op;
+    };
+  }
+  return nullptr;
+}
+
+/// Newest snapshot = highest barrier index in the file name.
+std::string NewestSnapshot(const std::string& dir, const std::string& prefix) {
+  std::string best;
+  int64_t best_idx = -1;
+  if (!fs::is_directory(dir)) return best;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + 6 ||
+        name.compare(0, prefix.size() + 1, prefix + "-") != 0 ||
+        name.compare(name.size() - 5, 5, ".snap") != 0) {
+      continue;
+    }
+    const std::string mid =
+        name.substr(prefix.size() + 1, name.size() - prefix.size() - 6);
+    char* end = nullptr;
+    const int64_t idx = std::strtoll(mid.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (idx > best_idx) {
+      best_idx = idx;
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+int Run(const Args& a) {
+  OperatorFactory factory = MakeFactory(a.technique);
+  if (!factory) {
+    std::fprintf(stderr, "unknown technique: %s\n", a.technique.c_str());
+    return 2;
+  }
+
+  // Append on resume, truncate on a fresh run. std::endl per line: the log
+  // must be on disk before the barrier that could kill the process.
+  std::ofstream log(a.out, a.resume ? std::ios::app : std::ios::trunc);
+  if (!log) {
+    std::fprintf(stderr, "cannot open log: %s\n", a.out.c_str());
+    return 2;
+  }
+  ResultSink sink = [&log](const WindowResult& r) {
+    uint64_t bits;
+    const double num = r.value.Numeric();
+    std::memcpy(&bits, &num, sizeof(bits));
+    log << r.key << ' ' << r.window_id << ' ' << r.agg_id << ' ' << r.start
+        << ' ' << r.end << ' ' << (r.is_update ? 1 : 0) << ' ' << std::hex
+        << bits << std::dec << std::endl;
+  };
+
+  SensorStream src(SensorStream::Machine());
+  PipelineOptions popts;
+  popts.watermark_every = a.wm_every;
+  popts.watermark_delay = 100;
+  CheckpointCoordinator coord({.directory = a.dir, .prefix = "ckpt"});
+
+  if (!a.resume) {
+    auto op = factory();
+    const CheckpointedPipelineReport rep =
+        RunCheckpointedPipeline(src, *op, a.tuples, popts, coord, sink);
+    std::printf("run: tuples=%llu results=%llu checkpoints=%llu\n",
+                static_cast<unsigned long long>(rep.report.tuples),
+                static_cast<unsigned long long>(rep.report.results),
+                static_cast<unsigned long long>(rep.checkpoints));
+    return 0;
+  }
+
+  const std::string snap = NewestSnapshot(a.dir, "ckpt");
+  if (snap.empty()) {
+    std::fprintf(stderr, "no snapshot to resume from in %s\n", a.dir.c_str());
+    return 2;
+  }
+  const ResumedPipeline resumed =
+      RestorePipeline(snap, factory, src, a.tuples, popts, &coord, sink);
+  if (!resumed.ok) {
+    std::fprintf(stderr, "restore failed: %s\n", resumed.error.c_str());
+    return 1;
+  }
+  std::printf("resumed from %s: tuples=%llu results=%llu checkpoints=%llu\n",
+              snap.c_str(),
+              static_cast<unsigned long long>(resumed.report.report.tuples),
+              static_cast<unsigned long long>(resumed.report.report.results),
+              static_cast<unsigned long long>(resumed.report.checkpoints));
+  return 0;
+}
+
+}  // namespace
+}  // namespace scotty
+
+int main(int argc, char** argv) {
+  scotty::Args args;
+  if (!scotty::ParseArgs(argc, argv, &args)) return 2;
+  return scotty::Run(args);
+}

@@ -52,7 +52,8 @@ constexpr const char* kKnownFlags[] = {
     "seed",       "tuples",     "runs",      "verbose",    "no-shrink",
     "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
-    "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch"};
+    "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch",
+    "checkpoint", "crash"};
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +125,18 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
   }
   if (flags.Has("batch")) {
     cfg->batch = static_cast<int>(flags.Int("batch", cfg->batch));
+  }
+  if (flags.Has("checkpoint")) {
+    // N > 0: snapshot/restore at tuple N. -1: seed-derived random cut point
+    // (forces the checkpoint dimension on for a whole sweep). 0: off.
+    cfg->checkpoint = static_cast<int>(flags.Int("checkpoint",
+                                                 cfg->checkpoint));
+  }
+  if (flags.Has("crash")) {
+    // N > 0: kill the run at tuple N. -1: seed-derived kill point and
+    // snapshot fault (forces the crash-recovery dimension on for a whole
+    // sweep — the nightly lane runs 500 seeds this way). 0: off.
+    cfg->crash = static_cast<int>(flags.Int("crash", cfg->crash));
   }
 }
 

@@ -1,0 +1,557 @@
+// Crash-consistency machinery around the snapshot subsystem: snapshot file
+// retention, newest-valid recovery with fallback past damaged files,
+// batched-vs-per-tuple snapshot file identity, parallel-executor snapshot
+// barriers, error-path draining of the parallel pipeline driver, and the
+// fault injector itself.
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "datagen/generators.h"
+#include "runtime/checkpoint.h"
+#include "runtime/parallel_executor.h"
+#include "runtime/pipeline.h"
+#include "state/snapshot.h"
+#include "testing/fault_injector.h"
+#include "tests/test_util.h"
+#include "windows/session.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::ApplySnapshotFault;
+using testing::CrashRunStats;
+using testing::FaultPlan;
+using testing::MakeFaultPlan;
+using testing::RunToFinalResultsCrashRecovered;
+using testing::SnapshotFault;
+using testutil::ResultKey;
+using testutil::RunToFinalResults;
+using testutil::T;
+
+std::string TempDir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Replayable in-memory source: every instance yields the same tuples, so a
+/// "restarted process" can be modeled by constructing a fresh one.
+class VectorSource : public TupleSource {
+ public:
+  explicit VectorSource(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// A source that throws mid-stream — models an ingestion failure the
+/// parallel driver must survive without leaking worker threads.
+class ThrowingSource : public TupleSource {
+ public:
+  explicit ThrowingSource(uint64_t throw_at) : throw_at_(throw_at) {}
+  bool Next(Tuple* out) override {
+    if (produced_ == throw_at_) throw std::runtime_error("source failed");
+    *out = T(static_cast<Time>(produced_), 1.0, produced_,
+             static_cast<int64_t>(produced_ % 5));
+    ++produced_;
+    return true;
+  }
+
+ private:
+  uint64_t throw_at_;
+  uint64_t produced_ = 0;
+};
+
+std::vector<Tuple> MakeStream(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Time ts = static_cast<Time>(i * 2);
+    if (i % 13 == 0) ts += 9;  // mild disorder within a bounded delay
+    out.push_back(T(ts, 0.25 * static_cast<double>(i % 31) - 2.0,
+                    /*seq=*/0, static_cast<int64_t>(i % 7)));
+  }
+  return out;
+}
+
+OperatorFactory SlicingFactory() {
+  return [] {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = 1000;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    op->AddAggregation(MakeAggregation("sum"));
+    op->AddAggregation(MakeAggregation("median"));  // holistic partials
+    op->AddWindow(std::make_shared<TumblingWindow>(50));
+    op->AddWindow(std::make_shared<SlidingWindow>(80, 30));
+    op->AddWindow(std::make_shared<SessionWindow>(8));
+    return op;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Retention.
+
+TEST(CheckpointRetention, KeepsOnlyNewestFiles) {
+  const std::string dir = TempDir("retention");
+  VectorSource src(MakeStream(512));
+  auto op = SlicingFactory()();
+  PipelineOptions popts;
+  popts.watermark_every = 64;
+  popts.watermark_delay = 20;
+  CheckpointCoordinator coord({.directory = dir, .prefix = "r", .retain = 2});
+  const CheckpointedPipelineReport rep =
+      RunCheckpointedPipeline(src, *op, 512, popts, coord);
+  ASSERT_EQ(rep.checkpoints, 8u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(fs::exists(dir + "/r-" + std::to_string(i) + ".snap")) << i;
+  }
+  EXPECT_TRUE(fs::exists(dir + "/r-6.snap"));
+  EXPECT_TRUE(fs::exists(dir + "/r-7.snap"));
+}
+
+TEST(CheckpointRetention, ZeroKeepsEverything) {
+  const std::string dir = TempDir("retention_all");
+  VectorSource src(MakeStream(512));
+  auto op = SlicingFactory()();
+  PipelineOptions popts;
+  popts.watermark_every = 64;
+  popts.watermark_delay = 20;
+  CheckpointCoordinator coord({.directory = dir, .prefix = "r", .retain = 0});
+  RunCheckpointedPipeline(src, *op, 512, popts, coord);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(fs::exists(dir + "/r-" + std::to_string(i) + ".snap")) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Newest-valid recovery with fallback.
+
+TEST(RecoverNewestValid, ListsSortsAndFiltersSnapshotFiles) {
+  const std::string dir = TempDir("listing");
+  const std::vector<uint8_t> blob = {1, 2, 3};
+  for (int i : {0, 2, 10}) {
+    ASSERT_TRUE(state::WriteSnapshotFile(
+        dir + "/s-" + std::to_string(i) + ".snap", blob));
+  }
+  // Foreign names and leftover temp files must be ignored.
+  ASSERT_TRUE(state::WriteSnapshotFile(dir + "/other-3.snap", blob));
+  ASSERT_TRUE(state::WriteSnapshotFile(dir + "/s-4.snap.tmp", blob));
+  ASSERT_TRUE(state::WriteSnapshotFile(dir + "/s-x.snap", blob));
+  const std::vector<std::string> got = ListSnapshots(dir, "s");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].ends_with("s-10.snap"));
+  EXPECT_TRUE(got[1].ends_with("s-2.snap"));
+  EXPECT_TRUE(got[2].ends_with("s-0.snap"));
+}
+
+struct RecoverySetup {
+  std::string dir;
+  std::vector<std::string> snaps;  // newest first
+};
+
+/// Runs a checkpointed pipeline that leaves several snapshot files behind.
+RecoverySetup MakeSnapshots(const std::string& leaf) {
+  RecoverySetup setup;
+  setup.dir = TempDir(leaf);
+  VectorSource src(MakeStream(512));
+  auto op = SlicingFactory()();
+  PipelineOptions popts;
+  popts.watermark_every = 64;
+  popts.watermark_delay = 20;
+  CheckpointCoordinator coord(
+      {.directory = setup.dir, .prefix = "ckpt", .retain = 3});
+  RunCheckpointedPipeline(src, *op, 512, popts, coord);
+  setup.snaps = ListSnapshots(setup.dir, "ckpt");
+  return setup;
+}
+
+TEST(RecoverNewestValid, PicksNewestWhenAllIntact) {
+  const RecoverySetup setup = MakeSnapshots("recover_intact");
+  ASSERT_EQ(setup.snaps.size(), 3u);
+  RecoveredOperator rec =
+      RecoverNewestValid(setup.dir, "ckpt", SlicingFactory());
+  ASSERT_TRUE(rec.restored.ok) << rec.restored.error;
+  EXPECT_FALSE(rec.fell_back);
+  EXPECT_EQ(rec.path_used, setup.snaps.front());
+  EXPECT_EQ(rec.candidates, 3u);
+  EXPECT_EQ(rec.restored.meta.barrier_index, 7u);
+}
+
+TEST(RecoverNewestValid, FallsBackPastTornNewest) {
+  const RecoverySetup setup = MakeSnapshots("recover_torn");
+  ASSERT_EQ(setup.snaps.size(), 3u);
+  // Tear the newest file to half its size — a torn write.
+  fs::resize_file(setup.snaps[0], fs::file_size(setup.snaps[0]) / 2);
+  RecoveredOperator rec =
+      RecoverNewestValid(setup.dir, "ckpt", SlicingFactory());
+  ASSERT_TRUE(rec.restored.ok) << rec.restored.error;
+  EXPECT_TRUE(rec.fell_back);
+  EXPECT_EQ(rec.path_used, setup.snaps[1]);
+  EXPECT_EQ(rec.restored.meta.barrier_index, 6u);
+}
+
+TEST(RecoverNewestValid, FallsBackPastTwoDamagedFiles) {
+  const RecoverySetup setup = MakeSnapshots("recover_two");
+  ASSERT_EQ(setup.snaps.size(), 3u);
+  fs::resize_file(setup.snaps[0], 5);
+  FaultPlan flip;
+  flip.fault = SnapshotFault::kBitFlip;
+  flip.fault_arg = 40;  // somewhere in the payload
+  ASSERT_TRUE(ApplySnapshotFault(setup.snaps[1], flip));
+  RecoveredOperator rec =
+      RecoverNewestValid(setup.dir, "ckpt", SlicingFactory());
+  ASSERT_TRUE(rec.restored.ok) << rec.restored.error;
+  EXPECT_TRUE(rec.fell_back);
+  EXPECT_EQ(rec.path_used, setup.snaps[2]);
+}
+
+TEST(RecoverNewestValid, FailsWhenNothingValidates) {
+  const RecoverySetup setup = MakeSnapshots("recover_none");
+  for (const std::string& p : setup.snaps) fs::resize_file(p, 3);
+  RecoveredOperator rec =
+      RecoverNewestValid(setup.dir, "ckpt", SlicingFactory());
+  EXPECT_FALSE(rec.restored.ok);
+  EXPECT_EQ(rec.candidates, 3u);
+  EXPECT_TRUE(rec.fell_back);
+
+  RecoveredOperator empty =
+      RecoverNewestValid(TempDir("recover_empty"), "ckpt", SlicingFactory());
+  EXPECT_FALSE(empty.restored.ok);
+  EXPECT_EQ(empty.candidates, 0u);
+}
+
+TEST(RecoverNewestValid, RecoverPipelineResumesPastDamage) {
+  const RecoverySetup setup = MakeSnapshots("recover_pipeline");
+  ASSERT_EQ(setup.snaps.size(), 3u);
+  fs::resize_file(setup.snaps[0], fs::file_size(setup.snaps[0]) - 7);
+  VectorSource src(MakeStream(512));
+  PipelineOptions popts;
+  popts.watermark_every = 64;
+  popts.watermark_delay = 20;
+  CheckpointCoordinator coord(
+      {.directory = setup.dir, .prefix = "resumed", .retain = 0});
+  RecoveredPipeline rec =
+      RecoverPipeline(setup.dir, "ckpt", SlicingFactory(), src, 512, popts,
+                      &coord);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_TRUE(rec.fell_back);
+  EXPECT_EQ(rec.path_used, setup.snaps[1]);
+  // Snapshot 6 covers 7 barriers' worth of tuples (offset 448): 64 remain.
+  EXPECT_EQ(rec.report.report.tuples, 512u - 448u);
+}
+
+// ---------------------------------------------------------------------------
+// Batched and per-tuple checkpointed drivers persist identical bytes.
+
+TEST(CheckpointBatched, SnapshotFilesBitIdenticalAcrossInterleavings) {
+  const std::vector<Tuple> stream = MakeStream(640);
+  PipelineOptions base;
+  base.watermark_every = 64;
+  base.watermark_delay = 20;
+  auto run = [&](const std::string& leaf, uint64_t batch) {
+    const std::string dir = TempDir(leaf);
+    VectorSource src(stream);
+    auto op = SlicingFactory()();
+    PipelineOptions popts = base;
+    popts.batch_size = batch;
+    CheckpointCoordinator coord(
+        {.directory = dir, .prefix = "b", .retain = 0});
+    RunCheckpointedPipeline(src, *op, stream.size(), popts, coord);
+    return dir;
+  };
+  const std::string per_tuple = run("ckpt_per_tuple", 0);
+  for (uint64_t batch : {uint64_t{7}, uint64_t{64}, uint64_t{1000}}) {
+    const std::string batched = run("ckpt_batch_" + std::to_string(batch),
+                                    batch);
+    const std::vector<std::string> a = ListSnapshots(per_tuple, "b");
+    const std::vector<std::string> b = ListSnapshots(batched, "b");
+    ASSERT_EQ(a.size(), b.size()) << "batch=" << batch;
+    ASSERT_EQ(a.size(), 10u);
+    for (size_t i = 0; i < a.size(); ++i) {
+      std::vector<uint8_t> ba, bb;
+      ASSERT_TRUE(state::ReadSnapshotFile(a[i], &ba));
+      ASSERT_TRUE(state::ReadSnapshotFile(b[i], &bb));
+      EXPECT_EQ(ba, bb) << "batch=" << batch << " file " << a[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel executor: snapshot barrier + restore.
+
+std::function<std::unique_ptr<WindowOperator>()> ParallelFactory() {
+  return [] {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = 1000;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    op->AddAggregation(MakeAggregation("sum"));
+    op->AddWindow(std::make_shared<TumblingWindow>(40));
+    op->AddWindow(std::make_shared<SessionWindow>(8));
+    return op;
+  };
+}
+
+TEST(ParallelSnapshot, BarrierPlusRestoreLosesAndDuplicatesNothing) {
+  const std::vector<Tuple> stream = MakeStream(2048);
+  constexpr size_t kWorkers = 4;
+  constexpr uint64_t kWmEvery = 256;
+  constexpr uint64_t kCut = 1024;
+  auto feed = [&](ParallelExecutor& exec, size_t from, size_t to) {
+    Time max_ts = kNoTime;
+    for (size_t i = 0; i < to; ++i) {
+      // Walk the prefix for max_ts continuity, but only push [from, to).
+      max_ts = std::max(max_ts, stream[i].ts);
+      if (i < from) continue;
+      Tuple t = stream[i];
+      t.seq = i;
+      exec.Push(t);
+      if ((i + 1) % kWmEvery == 0) exec.PushWatermark(max_ts - 20);
+    }
+    if (to == stream.size()) exec.PushWatermark(max_ts + 100);
+  };
+
+  // Uninterrupted run.
+  ParallelExecutor full(kWorkers, ParallelFactory());
+  full.Start();
+  feed(full, 0, stream.size());
+  full.Finish();
+
+  // Interrupted run: barrier at the kCut watermark, then "crash".
+  ParallelExecutor head(kWorkers, ParallelFactory());
+  head.Start();
+  feed(head, 0, kCut);
+  const std::vector<uint8_t> blob = head.SnapshotAtBarrier();
+  ASSERT_FALSE(blob.empty());
+  head.Finish();
+
+  // Restore onto a fresh executor and replay the remainder.
+  ParallelExecutor tail(kWorkers, ParallelFactory());
+  ASSERT_TRUE(tail.RestoreOperators(blob));
+  tail.Start();
+  feed(tail, kCut, stream.size());
+  tail.Finish();
+
+  EXPECT_GT(full.TotalResults(), 0u);
+  EXPECT_EQ(head.TotalResults() + tail.TotalResults(), full.TotalResults());
+}
+
+TEST(ParallelSnapshot, RestoreRejectsMismatchAndGarbage) {
+  ParallelExecutor src(3, ParallelFactory());
+  src.Start();
+  src.Push(T(5, 1.0, 0, 1));
+  src.PushWatermark(4);
+  const std::vector<uint8_t> blob = src.SnapshotAtBarrier();
+  ASSERT_FALSE(blob.empty());
+  src.Finish();
+
+  std::string err;
+  ParallelExecutor wrong_count(2, ParallelFactory());
+  EXPECT_FALSE(wrong_count.RestoreOperators(blob, &err));
+  EXPECT_NE(err.find("worker count"), std::string::npos) << err;
+
+  ParallelExecutor truncated(3, ParallelFactory());
+  std::vector<uint8_t> cut(blob.begin(), blob.begin() + blob.size() / 2);
+  EXPECT_FALSE(truncated.RestoreOperators(cut, &err));
+
+  ParallelExecutor garbage(3, ParallelFactory());
+  EXPECT_FALSE(garbage.RestoreOperators({0xDE, 0xAD, 0xBE, 0xEF}, &err));
+
+  // A rejected restore leaves the executor usable from scratch.
+  garbage.Start();
+  garbage.Push(T(1, 1.0, 0, 0));
+  garbage.PushWatermark(100);
+  garbage.Finish();
+  EXPECT_GT(garbage.TotalResults(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pipeline driver error paths.
+
+TEST(RunPipelineParallel, CleanRunReportsOk) {
+  VectorSource src(MakeStream(1000));
+  ParallelExecutor exec(3, ParallelFactory());
+  PipelineOptions popts;
+  popts.watermark_every = 128;
+  popts.watermark_delay = 20;
+  const ParallelPipelineReport rep =
+      RunPipelineParallel(src, exec, 1000, popts);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.report.tuples, 1000u);
+  EXPECT_GT(rep.report.results, 0u);
+}
+
+TEST(RunPipelineParallel, ThrowingSourceStillJoinsWorkers) {
+  ThrowingSource src(300);
+  ParallelExecutor exec(3, ParallelFactory());
+  PipelineOptions popts;
+  popts.watermark_every = 128;
+  const ParallelPipelineReport rep =
+      RunPipelineParallel(src, exec, 1000, popts);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("source failed"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.report.tuples, 300u);
+  // The workers were joined: the executor can be destroyed safely and the
+  // tuples pushed before the failure were fully processed.
+  EXPECT_GT(exec.TotalResults(), 0u);
+}
+
+TEST(RunPipelineParallel, BadRestoreSurfacesStatusWithoutStarting) {
+  VectorSource src(MakeStream(100));
+  ParallelExecutor exec(3, ParallelFactory());
+  PipelineOptions popts;
+  const std::vector<uint8_t> garbage = {1, 2, 3};
+  const ParallelPipelineReport rep =
+      RunPipelineParallel(src, exec, 100, popts, &garbage);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("restore failed"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.report.tuples, 0u);
+  // No threads were started; the executor is still usable from scratch.
+  const ParallelPipelineReport again =
+      RunPipelineParallel(src, exec, 100, popts);
+  EXPECT_TRUE(again.ok) << again.error;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector.
+
+TEST(FaultInjector, PlanIsDeterministicAndInRange) {
+  const FaultPlan a = MakeFaultPlan(77, 500);
+  const FaultPlan b = MakeFaultPlan(77, 500);
+  EXPECT_EQ(a.crash_index, b.crash_index);
+  EXPECT_EQ(a.fault, b.fault);
+  EXPECT_EQ(a.fault_arg, b.fault_arg);
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan p = MakeFaultPlan(seed, 500);
+    EXPECT_GE(p.crash_index, 1u);
+    EXPECT_LE(p.crash_index, 500u);
+  }
+}
+
+TEST(FaultInjector, TruncateAndBitFlipDamageTheFile) {
+  const std::string dir = TempDir("fault_files");
+  const std::string path = dir + "/f.snap";
+  const std::vector<uint8_t> blob(256, 0x5A);
+  ASSERT_TRUE(state::WriteSnapshotFile(path, blob));
+
+  FaultPlan none;
+  none.fault = SnapshotFault::kNone;
+  ASSERT_TRUE(ApplySnapshotFault(path, none));
+  EXPECT_EQ(fs::file_size(path), 256u);
+
+  FaultPlan flip;
+  flip.fault = SnapshotFault::kBitFlip;
+  flip.fault_arg = 100;
+  ASSERT_TRUE(ApplySnapshotFault(path, flip));
+  EXPECT_EQ(fs::file_size(path), 256u);
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(state::ReadSnapshotFile(path, &back));
+  size_t diffs = 0;
+  for (size_t i = 0; i < back.size(); ++i) diffs += back[i] != 0x5A;
+  EXPECT_EQ(diffs, 1u);
+
+  FaultPlan cut;
+  cut.fault = SnapshotFault::kTruncate;
+  cut.fault_arg = 100;
+  ASSERT_TRUE(ApplySnapshotFault(path, cut));
+  EXPECT_EQ(fs::file_size(path), 100u);
+}
+
+void ExpectCrashRecoveredMatches(const FaultPlan& plan, int wm_every,
+                                 CrashRunStats* stats) {
+  const std::vector<Tuple> stream = MakeStream(400);
+  Time max_ts = kNoTime;
+  for (const Tuple& t : stream) max_ts = std::max(max_ts, t.ts);
+  const Time final_wm = max_ts + 100;
+  const Time wm_lag = 20;
+  const OperatorFactory factory = SlicingFactory();
+
+  std::unique_ptr<WindowOperator> plain = factory();
+  const auto expected =
+      RunToFinalResults(*plain, stream, final_wm, wm_every, wm_lag);
+
+  std::map<ResultKey, Value> got;
+  std::string err;
+  ASSERT_TRUE(RunToFinalResultsCrashRecovered(
+      factory, stream, final_wm, wm_every, wm_lag, plan,
+      TempDir("crash_run"), &got, &err, stats))
+      << err;
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FaultInjector, CrashWithoutFaultRecoversFromNewest) {
+  FaultPlan plan;
+  plan.crash_index = 300;
+  plan.fault = SnapshotFault::kNone;
+  CrashRunStats stats;
+  ExpectCrashRecoveredMatches(plan, /*wm_every=*/32, &stats);
+  EXPECT_GT(stats.barriers, 0u);
+  EXPECT_FALSE(stats.recovered_from_scratch);
+  EXPECT_FALSE(stats.fell_back);
+}
+
+TEST(FaultInjector, TornNewestFallsBackAndStillMatches) {
+  FaultPlan plan;
+  plan.crash_index = 300;
+  plan.fault = SnapshotFault::kTruncate;
+  plan.fault_arg = 33;
+  CrashRunStats stats;
+  ExpectCrashRecoveredMatches(plan, /*wm_every=*/32, &stats);
+  EXPECT_FALSE(stats.recovered_from_scratch);
+  EXPECT_TRUE(stats.fell_back);
+}
+
+TEST(FaultInjector, CorruptNewestFallsBackAndStillMatches) {
+  FaultPlan plan;
+  plan.crash_index = 390;
+  plan.fault = SnapshotFault::kBitFlip;
+  plan.fault_arg = 0xAB00000000000123ULL;
+  CrashRunStats stats;
+  ExpectCrashRecoveredMatches(plan, /*wm_every=*/32, &stats);
+  EXPECT_FALSE(stats.recovered_from_scratch);
+  EXPECT_TRUE(stats.fell_back);
+}
+
+TEST(FaultInjector, CrashBeforeAnyBarrierReplaysFromScratch) {
+  FaultPlan plan;
+  plan.crash_index = 10;  // before the first wm_every=32 barrier
+  plan.fault = SnapshotFault::kNone;
+  CrashRunStats stats;
+  ExpectCrashRecoveredMatches(plan, /*wm_every=*/32, &stats);
+  EXPECT_EQ(stats.barriers, 0u);
+  EXPECT_TRUE(stats.recovered_from_scratch);
+}
+
+TEST(FaultInjector, SingleSnapshotDamagedReplaysFromScratch) {
+  FaultPlan plan;
+  plan.crash_index = 40;  // exactly one barrier (at 32) has fired
+  plan.fault = SnapshotFault::kTruncate;
+  plan.fault_arg = 20;
+  CrashRunStats stats;
+  ExpectCrashRecoveredMatches(plan, /*wm_every=*/32, &stats);
+  EXPECT_EQ(stats.barriers, 1u);
+  EXPECT_TRUE(stats.recovered_from_scratch);
+}
+
+}  // namespace
+}  // namespace scotty

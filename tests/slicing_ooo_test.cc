@@ -172,13 +172,20 @@ TEST(SlicingOoo, EagerModeMatchesLazyUnderOutOfOrder) {
 TEST(SlicingOoo, OutOfOrderTupleBeforeFirstSliceCreatesOne) {
   GeneralSlicingOperator op(OooOpts(/*lateness=*/1000));
   op.AddAggregation(MakeAggregation("sum"));
+  op.AddWindow(std::make_shared<TumblingWindow>(30));
   op.AddWindow(std::make_shared<TumblingWindow>(10));
   op.ProcessTuple(T(25, 1, 0));
   op.ProcessTuple(T(3, 2, 1));  // before every existing slice
-  op.ProcessWatermark(30);
+  op.ProcessWatermark(40);
   auto fin = FinalResults(op.TakeResults());
-  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 10}]), 2.0);
-  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 20, 30}]), 1.0);
+  // The early tuple lands in a freshly created slice and is aggregated into
+  // every window ending after the initial watermark (24, one before the
+  // first arrival).
+  EXPECT_DOUBLE_EQ(Num(fin[{0, 0, 0, 30}]), 3.0);
+  EXPECT_DOUBLE_EQ(Num(fin[{1, 0, 20, 30}]), 1.0);
+  // Windows ending at or before the initial watermark were never triggered;
+  // a late tuple must not resurrect them as "updates" to results nobody saw.
+  EXPECT_EQ(fin.count({1, 0, 0, 10}), 0u);
 }
 
 TEST(SlicingOoo, WatermarksAreMonotonic) {
