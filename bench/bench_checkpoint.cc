@@ -70,20 +70,31 @@ double MedianMs(std::vector<double>& samples) {
   return samples[samples.size() / 2];
 }
 
-/// End-to-end ingestion throughput with checkpointing off vs on: the same
-/// pipeline (one barrier per injected watermark, every 1024 tuples) either
-/// skips snapshots entirely or persists one per barrier through the full
-/// atomic-write protocol (serialize + checksum + temp file + fsync +
-/// rename), retaining the 3 newest. The gap between the two rows is the
-/// total cost of crash consistency at this cadence — dominated by fsync,
-/// not by serialization (compare with the serialize-ms rows above).
+/// End-to-end ingestion throughput with checkpointing off vs on, across the
+/// three persistence modes and three barrier cadences (one barrier per
+/// injected watermark, every 256/1024/4096 tuples, retaining the 3 newest
+/// bases):
+///   - sync-full:         a full snapshot per barrier through the atomic-write
+///                        protocol (serialize + checksum + temp file + fsync +
+///                        rename), on the ingestion thread;
+///   - async-full:        the same full snapshots, persisted by the background
+///                        thread with group-commit fsync;
+///   - async-incremental: a full base every 8th barrier, dirty-slice deltas
+///                        appended to the base's log segment in between, all
+///                        persisted asynchronously.
+/// The gap between off and sync-full is the total cost of crash consistency
+/// at a given cadence — dominated by fsync, not serialization (compare with
+/// the serialize-ms rows above). Async moves that cost off the ingestion
+/// thread; incremental shrinks the bytes that cross it. Rows at the default
+/// 1024-tuple cadence keep their bare labels; the tighter/looser cadences
+/// carry an "@N" suffix.
 void RunPipelineOverhead() {
   constexpr uint64_t kTuples = 150'000;
   constexpr int kReps = 3;
+  constexpr uint64_t kCadences[] = {256, 1024, 4096};
   const std::string dir =
       (std::filesystem::temp_directory_path() / "scotty_bench_ckpt").string();
   std::filesystem::create_directories(dir);
-  PipelineOptions popts;  // watermark_every = 1024, the runtime default
   // Lazy slicing only: this section measures the cost of the persistence
   // protocol, which is technique-independent (serialize + fsync per
   // barrier); the per-technique serialize cost is already covered above.
@@ -96,35 +107,109 @@ void RunPipelineOverhead() {
                            /*allowed_lateness=*/2000, CheckpointWindows(),
                            {"sum", "median"});
     };
-    std::vector<double> off_tps, on_tps;
-    for (int i = 0; i < kReps; ++i) {
-      {
+    struct Mode {
+      const char* label;
+      bool async;
+      bool incremental;
+    };
+    const Mode kModes[] = {{"checkpointing-on", false, false},  // sync-full
+                           {"checkpointing-async-full", true, false},
+                           {"checkpointing-async-incremental", true, true}};
+    for (uint64_t cadence : kCadences) {
+      PipelineOptions popts;
+      popts.watermark_every = cadence;
+      // The off run is re-measured per cadence: the watermark/result cadence
+      // itself affects throughput, so each overhead row compares against an
+      // off run with identical windowing work.
+      const std::string suffix =
+          cadence == 1024 ? "" : "@" + std::to_string(cadence);
+      std::vector<double> off_tps;
+      for (int i = 0; i < kReps; ++i) {
         SensorStream src = make_src();
         auto op = make_op();
         const PipelineReport rep = RunPipeline(src, *op, kTuples, popts);
         off_tps.push_back(rep.TuplesPerSecond());
       }
-      {
-        SensorStream src = make_src();
-        auto op = make_op();
-        CheckpointCoordinator coord(
-            {.directory = dir, .prefix = TechniqueName(tech), .retain = 3});
-        const CheckpointedPipelineReport rep =
-            RunCheckpointedPipeline(src, *op, kTuples, popts, coord);
-        on_tps.push_back(rep.report.TuplesPerSecond());
+      const double off = MedianMs(off_tps);  // medians, not actually ms here
+      EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
+              "checkpointing-off" + suffix, off, "tuples/s");
+      for (const Mode& mode : kModes) {
+        std::vector<double> on_tps;
+        for (int i = 0; i < kReps; ++i) {
+          SensorStream src = make_src();
+          auto op = make_op();
+          CheckpointOptions copts;
+          copts.directory = dir;
+          copts.prefix = TechniqueName(tech);
+          copts.retain = 3;
+          copts.async = mode.async;
+          copts.incremental = mode.incremental;
+          CheckpointCoordinator coord(copts);
+          const CheckpointedPipelineReport rep =
+              RunCheckpointedPipeline(src, *op, kTuples, popts, coord);
+          on_tps.push_back(rep.report.TuplesPerSecond());
+        }
+        const double on = MedianMs(on_tps);
+        EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
+                mode.label + suffix, on, "tuples/s");
+        const std::string overhead_label =
+            (mode.async ? std::string("overhead-") + (mode.label + 14)
+                        : std::string("overhead")) +
+            suffix;
+        EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
+                overhead_label, off > 0 ? (off - on) / off * 100.0 : 0.0, "%");
       }
     }
-    const double off = MedianMs(off_tps);  // medians, not actually ms here
-    const double on = MedianMs(on_tps);
-    EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
-            "checkpointing-off", off, "tuples/s");
-    EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
-            "checkpointing-on", on, "tuples/s");
-    EmitRow("checkpoint", std::string(TechniqueName(tech)) + "/pipeline",
-            "overhead", off > 0 ? (off - on) / off * 100.0 : 0.0, "%");
   }
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+/// Incremental snapshot size: a delta (dirty slices inline, clean slices as
+/// start-time references, eager trees as layout only) vs the full snapshot
+/// of the same state, after one barrier interval (1024 tuples) of new data
+/// on a steady-state operator. The ratio is the payload reduction every
+/// non-base barrier enjoys. The slicing techniques are the only ones with
+/// incremental support (their state is slice-structured); buckets rides the
+/// default full-payload delta, so its ~1.0x row quantifies what a
+/// differential format for the tuple-retaining stores would have to beat.
+void RunDeltaSize() {
+  constexpr uint64_t kTuples = 12'000;
+  for (Technique tech : {Technique::kLazySlicing, Technique::kEagerSlicing,
+                         Technique::kBuckets}) {
+    std::unique_ptr<WindowOperator> op = MakeLoaded(tech, kTuples);
+    state::Writer full;
+    op->SerializeState(full);
+    op->MarkSnapshotClean();
+
+    // One barrier interval of new tuples, then the delta for that barrier.
+    SensorStream inner(SensorStream::Football());
+    OutOfOrderInjector::Options ooo;
+    ooo.fraction = 0.2;
+    ooo.max_delay = 2000;
+    OutOfOrderInjector src(&inner, ooo);
+    Tuple t;
+    uint64_t skip = 0;
+    while (skip < kTuples && src.Next(&t)) ++skip;
+    Time max_ts = kNoTime;
+    for (uint64_t i = 0; i < 1024 && src.Next(&t); ++i) {
+      op->ProcessTuple(t);
+      if (t.ts > max_ts) max_ts = t.ts;
+    }
+    op->ProcessWatermark(max_ts - 2000);
+    op->TakeResults();
+    state::Writer delta;
+    op->SerializeDelta(delta);
+
+    const double full_bytes = static_cast<double>(full.Take().size());
+    const double delta_bytes = static_cast<double>(delta.Take().size());
+    const std::string series =
+        std::string(TechniqueName(tech)) + "/incremental";
+    EmitRow("checkpoint", series, "full-snapshot-bytes", full_bytes, "bytes");
+    EmitRow("checkpoint", series, "delta-bytes", delta_bytes, "bytes");
+    EmitRow("checkpoint", series, "delta-to-full",
+            full_bytes > 0 ? delta_bytes / full_bytes : 0.0, "x");
+  }
 }
 
 void Run() {
@@ -179,6 +264,7 @@ void Run() {
     EmitRow("checkpoint", TechniqueName(tech), "restore-ms", MedianMs(res_ms),
             "ms");
   }
+  RunDeltaSize();
   RunPipelineOverhead();
 }
 

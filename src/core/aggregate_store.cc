@@ -1,6 +1,7 @@
 #include "core/aggregate_store.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <utility>
 
@@ -220,6 +221,119 @@ void AggregateStore::Deserialize(state::Reader& r) {
   } else if (ntrees != 0) {
     r.Fail();
   }
+}
+
+void AggregateStore::SerializeDelta(state::Writer& w) const {
+  w.Tag(0x53444C54);  // "SDLT"
+  w.Bool(track_last_ts_);
+  w.U64(total_tuples_);
+  w.U64(slices_created_);
+  w.U64(slices_.size());
+  for (const Slice& s : slices_) {
+    if (s.snapshot_dirty()) {
+      w.U8(1);
+      s.Serialize(w);
+    } else {
+      w.U8(0);
+      w.I64(s.start());
+    }
+  }
+  w.U64(trees_.size());
+  for (const FlatFat& tree : trees_) {
+    w.U64(tree.capacity());
+    w.U64(tree.offset());
+    w.U64(tree.size());
+  }
+}
+
+void AggregateStore::ApplyDelta(state::Reader& r) {
+  r.Tag(0x53444C54);
+  const bool track = r.Bool();
+  const uint64_t total = r.U64();
+  const uint64_t created = r.U64();
+  const uint64_t ns = r.U64();
+  if (!r.ok() || ns > r.remaining()) {
+    r.Fail();
+    return;
+  }
+  std::deque<Slice> next;
+  for (uint64_t i = 0; i < ns && r.ok(); ++i) {
+    const uint8_t dirty = r.U8();
+    if (dirty == 1) {
+      next.emplace_back(0, 0, fns_.size());
+      next.back().Deserialize(r);
+    } else if (dirty == 0) {
+      const Time start = r.I64();
+      if (!r.ok()) return;
+      const size_t idx = FindByStart(start);
+      // A clean reference must resolve to an untouched slice of the
+      // previous epoch; anything else means a barrier is missing between
+      // this delta and the state it is being applied to.
+      if (idx == kNpos || slices_[idx].start() != start ||
+          slices_[idx].snapshot_dirty()) {
+        r.Fail();
+        return;
+      }
+      next.push_back(slices_[idx]);
+    } else {
+      r.Fail();
+      return;
+    }
+  }
+  const uint64_t ntrees = r.U64();
+  if (!r.ok()) return;
+  std::vector<std::array<uint64_t, 3>> layouts;
+  if (mode_ == StoreMode::kEager) {
+    if (ntrees != fns_.size()) {
+      r.Fail();
+      return;
+    }
+    layouts.reserve(static_cast<size_t>(ntrees));
+    for (uint64_t a = 0; a < ntrees; ++a) {
+      const uint64_t cap = r.U64();
+      const uint64_t off = r.U64();
+      const uint64_t size = r.U64();
+      if (!r.ok() || size != next.size()) {
+        r.Fail();
+        return;
+      }
+      layouts.push_back({cap, off, size});
+    }
+  } else if (ntrees != 0) {
+    r.Fail();
+    return;
+  }
+
+  track_last_ts_ = track;
+  total_tuples_ = total;
+  slices_created_ = created;
+  slices_ = std::move(next);
+  free_slices_.clear();
+  if (mode_ == StoreMode::kEager) {
+    trees_.clear();
+    trees_.reserve(fns_.size());
+    for (size_t a = 0; a < fns_.size(); ++a) {
+      trees_.emplace_back(fns_[a]);
+      const bool ok = trees_[a].RestoreFromLayout(
+          static_cast<size_t>(layouts[a][0]), static_cast<size_t>(layouts[a][1]),
+          static_cast<size_t>(layouts[a][2]),
+          [&](size_t i) -> const Partial& { return slices_[i].agg(a); });
+      if (!ok) {
+        r.Fail();
+        return;
+      }
+    }
+  }
+}
+
+void AggregateStore::MarkAllClean() {
+  for (Slice& s : slices_) s.MarkSnapshotClean();
+}
+
+size_t AggregateStore::DirtySliceCount() const {
+  size_t n = 0;
+  for (const Slice& s : slices_) n += s.snapshot_dirty() ? 1 : 0;
+  return n;
 }
 
 void AggregateStore::RebuildTrees() {

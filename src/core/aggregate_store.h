@@ -120,6 +120,23 @@ class AggregateStore : public StreamStateView {
   void Serialize(state::Writer& w) const;
   void Deserialize(state::Reader& r);
 
+  /// Incremental snapshot support. SerializeDelta writes the counters, the
+  /// full slice *sequence* — dirty slices inline, clean slices as start-time
+  /// references — and only the (capacity, offset, size) layout of each eager
+  /// tree: clean slices and tree contents are guaranteed bit-identical to
+  /// their image in the previous barrier, so the delta omits them.
+  /// ApplyDelta transforms this store (which must hold the previous
+  /// barrier's state, all slices clean) into the next barrier's state;
+  /// an unresolvable or still-dirty clean reference — a delta gap — poisons
+  /// the reader and leaves the store untouched. MarkAllClean clears every
+  /// slice's dirty bit once a barrier has serialized the store.
+  void SerializeDelta(state::Writer& w) const;
+  void ApplyDelta(state::Reader& r);
+  void MarkAllClean();
+
+  /// Number of slices whose dirty bit is set (observability for benches).
+  size_t DirtySliceCount() const;
+
  private:
   void RebuildTrees();
 

@@ -29,6 +29,8 @@ class FlatFat {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  size_t offset() const { return offset_; }
 
   /// Appends a leaf at the end.
   void Append(Partial leaf) {
@@ -152,6 +154,36 @@ class FlatFat {
     for (Partial& p : leaves_) p.Deserialize(r);
     tree_.assign(capacity_, Partial{});
     for (Partial& p : tree_) p.Deserialize(r);
+  }
+
+  /// Incremental-snapshot restore: reconstructs the exact physical layout
+  /// (capacity, offset, size), filling live leaves from `leaf(i)` for
+  /// logical index i in [0, size) and identity elsewhere, then recomputes
+  /// every inner node bottom-up in Rebuild's order. Production mutations
+  /// keep dead leaf slots at identity and every inner node equal to
+  /// combine(identity, left, right) of its current children, so the result
+  /// is bit-identical to serializing the full physical layout — which is
+  /// why a delta snapshot only needs to record (capacity, offset, size).
+  /// Returns false (leaving the tree empty) on an inconsistent layout.
+  template <typename LeafFn>
+  bool RestoreFromLayout(size_t capacity, size_t offset, size_t size,
+                         LeafFn&& leaf) {
+    leaves_.clear();
+    tree_.clear();
+    capacity_ = offset_ = size_ = 0;
+    if (capacity == 0) return offset == 0 && size == 0;
+    if ((capacity & (capacity - 1)) != 0 || offset > capacity ||
+        size > capacity - offset) {
+      return false;
+    }
+    capacity_ = capacity;
+    offset_ = offset;
+    size_ = size;
+    leaves_.assign(capacity_, Partial{});
+    for (size_t i = 0; i < size_; ++i) leaves_[offset_ + i] = leaf(i);
+    tree_.assign(capacity_, Partial{});
+    for (size_t node = capacity_ - 1; node >= 1; --node) RecomputeNode(node);
+    return true;
   }
 
  private:

@@ -66,7 +66,7 @@ void GeneralSlicingOperator::EnsureInitialized() {
   RefreshLanes();
 }
 
-void GeneralSlicingOperator::RefreshLanes() {
+void GeneralSlicingOperator::RefreshLanes(bool recache_edges) {
   if (queries_.HasTimeLane() && !time_store_) {
     time_store_ = std::make_unique<AggregateStore>(opts_.store_mode,
                                                    queries_.aggs);
@@ -105,7 +105,7 @@ void GeneralSlicingOperator::RefreshLanes() {
     }
   }
   has_ca_windows_ = !ca_windows_.empty();
-  if (slicer_ && max_ts_ != kNoTime) slicer_->Recache(max_ts_);
+  if (recache_edges && slicer_ && max_ts_ != kNoTime) slicer_->Recache(max_ts_);
   if (count_lane_) count_lane_->InvalidateTriggerCache();
   next_trigger_edge_ = kNoTime;  // recompute on next trigger check
 }
@@ -376,6 +376,33 @@ constexpr uint32_t kOperatorTag = 0x47534F50;  // "GSOP"
 }  // namespace
 
 void GeneralSlicingOperator::SerializeState(state::Writer& w) const {
+  SerializeImpl(w, /*delta=*/false);
+}
+
+void GeneralSlicingOperator::SerializeDelta(state::Writer& w) const {
+  w.U8(kIncrementalDelta);
+  SerializeImpl(w, /*delta=*/true);
+}
+
+void GeneralSlicingOperator::ApplyDelta(state::Reader& r) {
+  const uint8_t kind = r.U8();
+  if (kind == kFullDelta) {
+    DeserializeState(r);
+    return;
+  }
+  if (kind != kIncrementalDelta) {
+    r.Fail();
+    return;
+  }
+  DeserializeImpl(r, /*delta=*/true);
+}
+
+void GeneralSlicingOperator::MarkSnapshotClean() {
+  if (time_store_) time_store_->MarkAllClean();
+}
+
+void GeneralSlicingOperator::SerializeImpl(state::Writer& w,
+                                           bool delta) const {
   w.Tag(kOperatorTag);
   w.Bool(initialized_);
   if (!initialized_) return;
@@ -415,7 +442,11 @@ void GeneralSlicingOperator::SerializeState(state::Writer& w) const {
 
   w.Bool(time_store_ != nullptr);
   if (time_store_) {
-    time_store_->Serialize(w);
+    if (delta) {
+      time_store_->SerializeDelta(w);
+    } else {
+      time_store_->Serialize(w);
+    }
     slicer_->Serialize(w);
   }
   w.Bool(count_lane_ != nullptr);
@@ -426,6 +457,10 @@ void GeneralSlicingOperator::SerializeState(state::Writer& w) const {
 }
 
 void GeneralSlicingOperator::DeserializeState(state::Reader& r) {
+  DeserializeImpl(r, /*delta=*/false);
+}
+
+void GeneralSlicingOperator::DeserializeImpl(state::Reader& r, bool delta) {
   r.Tag(kOperatorTag);
   const bool was_initialized = r.Bool();
   if (!r.ok() || !was_initialized) return;
@@ -477,10 +512,13 @@ void GeneralSlicingOperator::DeserializeState(state::Reader& r) {
   }
   if (!r.ok()) return;
 
-  // Recreate lanes and bindings. The restored window context above makes
-  // Recache and GetNextEdge exact.
+  // Recreate lanes and bindings, but do NOT recache slice edges: the
+  // slicer's cached edge and the open slice's provisional end are restored
+  // verbatim from the payload below. Recaching here would mutate the store
+  // before its bytes are read — in delta mode that dirties the previous
+  // epoch's open slice and invalidates the delta's clean references to it.
   initialized_ = true;
-  RefreshLanes();
+  RefreshLanes(/*recache_edges=*/false);
   if (window_mgr_) window_mgr_->SetWatermarkFloor(wm_floor_);
 
   const uint64_t nprev = r.U64();
@@ -514,7 +552,11 @@ void GeneralSlicingOperator::DeserializeState(state::Reader& r) {
     return;
   }
   if (time_store_) {
-    time_store_->Deserialize(r);
+    if (delta) {
+      time_store_->ApplyDelta(r);
+    } else {
+      time_store_->Deserialize(r);
+    }
     slicer_->Deserialize(r);
   }
   const bool had_count_lane = r.Bool();

@@ -107,6 +107,16 @@ class GeneralSlicingOperator : public WindowOperator {
   void SerializeState(state::Writer& w) const override;
   void DeserializeState(state::Reader& r) override;
 
+  /// Incremental snapshots: a delta carries the (small) control state in
+  /// full — stats, trigger progress, window contexts, slicer, count lane,
+  /// pending results — but the slice store, which dominates snapshot size,
+  /// as an AggregateStore delta (dirty slices inline, clean slices as
+  /// references, eager trees as layout only).
+  bool SupportsIncrementalSnapshot() const override { return true; }
+  void SerializeDelta(state::Writer& w) const override;
+  void ApplyDelta(state::Reader& r) override;
+  void MarkSnapshotClean() override;
+
   const QuerySet& queries() const { return queries_; }
   const OperatorStats& stats() const { return stats_; }
   const AggregateStore* time_store() const { return time_store_.get(); }
@@ -115,7 +125,9 @@ class GeneralSlicingOperator : public WindowOperator {
 
  private:
   void EnsureInitialized();
-  void RefreshLanes();
+  void RefreshLanes(bool recache_edges = true);
+  void SerializeImpl(state::Writer& w, bool delta) const;
+  void DeserializeImpl(state::Reader& r, bool delta);
   void TriggerAll(Time wm);
   void Evict(Time wm);
   Time NextTriggerEdge() const;

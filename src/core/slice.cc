@@ -20,6 +20,7 @@ void Slice::AddTuple(const Tuple& t,
                      const std::vector<AggregateFunctionPtr>& fns,
                      bool store_tuple) {
   assert(fns.size() == aggs_.size());
+  dirty_ = true;
   if (track_last_ts_) TrackTuple(t, fns);
   for (size_t i = 0; i < fns.size(); ++i) {
     fns[i]->Combine(aggs_[i], fns[i]->Lift(t));
@@ -58,6 +59,7 @@ void Slice::AddTupleBatch(std::span<const Tuple> batch,
                           bool store_tuples) {
   if (batch.empty()) return;
   assert(fns.size() == aggs_.size());
+  dirty_ = true;
   bool noted = false;
   if (track_last_ts_) {
     // TrackTuple reads the slice metadata of the state *before* each tuple,
@@ -89,6 +91,7 @@ void Slice::AddTupleBatch(std::span<const Tuple> batch,
 }
 
 void Slice::Reset(Time start, Time end, size_t num_aggs) {
+  dirty_ = true;
   start_ = start;
   end_ = end;
   t_first_ = t_last_ = kNoTime;
@@ -104,6 +107,7 @@ void Slice::Reset(Time start, Time end, size_t num_aggs) {
 }
 
 void Slice::RecomputeFromTuples(const std::vector<AggregateFunctionPtr>& fns) {
+  dirty_ = true;
   for (size_t i = 0; i < fns.size(); ++i) {
     Partial acc;
     for (const Tuple& t : tuples_) fns[i]->Combine(acc, fns[i]->Lift(t));
@@ -113,6 +117,7 @@ void Slice::RecomputeFromTuples(const std::vector<AggregateFunctionPtr>& fns) {
 
 void Slice::MergeWith(const Slice& other,
                       const std::vector<AggregateFunctionPtr>& fns) {
+  dirty_ = true;
   if (track_last_ts_ || other.track_last_ts_) MergeTrackingWith(other, fns);
   end_ = std::max(end_, other.end_);
   start_ = std::min(start_, other.start_);
@@ -175,6 +180,7 @@ void Slice::MergeTrackingWith(const Slice& other,
 
 Slice Slice::SplitAt(Time t, const std::vector<AggregateFunctionPtr>& fns) {
   assert(start_ < t && t < end_);
+  dirty_ = true;
   Slice right(t, end_, aggs_.size());
   right.track_last_ts_ = track_last_ts_;
   end_ = t;
@@ -265,6 +271,7 @@ Slice Slice::SplitAt(Time t, const std::vector<AggregateFunctionPtr>& fns) {
 
 Tuple Slice::PopLastTuple() {
   assert(!tuples_.empty());
+  dirty_ = true;
   Tuple t = tuples_.back();
   tuples_.pop_back();
   --tuple_count_;
@@ -277,6 +284,7 @@ Tuple Slice::PopLastTuple() {
 }
 
 void Slice::InsertTupleOnly(const Tuple& t) {
+  dirty_ = true;
   RawInsertSorted(t);
   NoteTuple(t);
 }
@@ -315,6 +323,7 @@ void Slice::Serialize(state::Writer& w) const {
 }
 
 void Slice::Deserialize(state::Reader& r) {
+  dirty_ = true;
   start_ = r.I64();
   end_ = r.I64();
   t_first_ = r.I64();

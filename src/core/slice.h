@@ -34,8 +34,23 @@ class Slice {
   uint64_t tuple_count() const { return tuple_count_; }
   bool empty() const { return tuple_count_ == 0; }
 
-  void set_start(Time s) { start_ = s; }
-  void set_end(Time e) { end_ = e; }
+  void set_start(Time s) {
+    start_ = s;
+    dirty_ = true;
+  }
+  void set_end(Time e) {
+    end_ = e;
+    dirty_ = true;
+  }
+
+  /// Incremental-checkpoint dirty bit: set by every mutation (construction
+  /// included), cleared by the store after a barrier serializes this slice.
+  /// A clean slice is guaranteed bit-identical to its image in the previous
+  /// barrier's snapshot, so delta snapshots reference it by start time
+  /// instead of re-serializing it.
+  bool snapshot_dirty() const { return dirty_; }
+  void MarkSnapshotClean() { dirty_ = false; }
+  void MarkSnapshotDirty() { dirty_ = true; }
 
   const Partial& agg(size_t i) const { return aggs_[i]; }
   Partial& mutable_agg(size_t i) { return aggs_[i]; }
@@ -98,13 +113,17 @@ class Slice {
 
   /// Replaces the partial of aggregation `i` (used by incremental
   /// invert-based updates).
-  void SetAgg(size_t i, Partial p) { aggs_[i] = std::move(p); }
+  void SetAgg(size_t i, Partial p) {
+    aggs_[i] = std::move(p);
+    dirty_ = true;
+  }
 
   /// Drops tuple storage (when adaptivity decides tuples are no longer
   /// needed after a query was removed).
   void DropTuples() {
     tuples_.clear();
     tuples_.shrink_to_fit();
+    dirty_ = true;
   }
 
   /// Accounted bytes: metadata + fixed partials + dynamic partial storage +
@@ -118,7 +137,10 @@ class Slice {
   /// for the in-order FCF punctuation-after-data mis-split (ROADMAP item 1).
   /// Costs one extra Combine per tuple per function, so the slicing operator
   /// only turns it on for in-order FCF workloads that skip tuple storage.
-  void EnableLastTsTracking() { track_last_ts_ = true; }
+  void EnableLastTsTracking() {
+    track_last_ts_ = true;
+    dirty_ = true;
+  }
   bool TracksLastTs() const { return track_last_ts_; }
 
   /// True when SplitAt(t) can split exactly despite tuples at t_last == t
@@ -170,6 +192,10 @@ class Slice {
   std::vector<Partial> last_aggs_;    // fold of tuples with ts == t_last_
   Time prev_ts_ = kNoTime;
   uint64_t last_count_ = 0;
+
+  // Mutated-since-last-barrier flag (see snapshot_dirty). Fresh slices are
+  // dirty by construction.
+  bool dirty_ = true;
 };
 
 }  // namespace scotty

@@ -122,6 +122,34 @@ class WindowOperator {
   virtual bool SupportsSnapshot() const { return false; }
   virtual void SerializeState(state::Writer& w) const { (void)w; }
   virtual void DeserializeState(state::Reader& r) { (void)r; }
+
+  /// Incremental snapshot support. A delta payload transforms the state of
+  /// the previous barrier into this one's; recovery replays a full base
+  /// snapshot plus every delta in barrier order, then calls
+  /// FinishDeltaRestore once. Operators with real dirty tracking override
+  /// the four methods below; the defaults transparently degrade to a
+  /// self-contained payload (a kFullDelta marker followed by the full
+  /// state), so every snapshot-capable operator works under incremental
+  /// checkpointing. MarkSnapshotClean is invoked after a barrier has
+  /// serialized this operator (full or delta form alike), establishing the
+  /// "clean = unchanged since last barrier" invariant the next delta builds
+  /// on.
+  static constexpr uint8_t kFullDelta = 0;
+  static constexpr uint8_t kIncrementalDelta = 1;
+  virtual bool SupportsIncrementalSnapshot() const { return false; }
+  virtual void SerializeDelta(state::Writer& w) const {
+    w.U8(kFullDelta);
+    SerializeState(w);
+  }
+  virtual void ApplyDelta(state::Reader& r) {
+    if (r.U8() != kFullDelta) {
+      r.Fail();
+      return;
+    }
+    DeserializeState(r);
+  }
+  virtual void MarkSnapshotClean() {}
+  virtual void FinishDeltaRestore() {}
 };
 
 }  // namespace scotty

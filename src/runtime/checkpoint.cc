@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 namespace scotty {
@@ -30,49 +31,344 @@ bool NamesCompatible(const std::string& snapshotted, const std::string& fresh) {
          snapshotted.compare(0, fresh.size(), fresh) == 0;
 }
 
+std::string DlogPathForSnap(const std::string& snap_path) {
+  constexpr char kSnap[] = ".snap";
+  constexpr size_t kSnapLen = sizeof(kSnap) - 1;
+  if (snap_path.size() <= kSnapLen ||
+      snap_path.compare(snap_path.size() - kSnapLen, kSnapLen, kSnap) != 0) {
+    return "";
+  }
+  return snap_path.substr(0, snap_path.size() - kSnapLen) + ".dlog";
+}
+
 }  // namespace
 
 CheckpointCoordinator::CheckpointCoordinator(CheckpointOptions opts)
-    : opts_(std::move(opts)), crash_after_(CrashAfterFromEnv()) {}
+    : opts_(std::move(opts)), crash_after_(CrashAfterFromEnv()) {
+  if (opts_.async) {
+    persist_thread_ = std::thread([this] { PersistThreadMain(); });
+  }
+}
 
-std::string CheckpointCoordinator::OnBarrier(const WindowOperator& op,
+CheckpointCoordinator::~CheckpointCoordinator() {
+  if (persist_thread_.joinable()) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!abandoned_) {
+        idle_cv_.wait(lk, [this] { return queue_.empty() && !busy_; });
+      }
+      stop_ = true;
+    }
+    cv_.notify_all();
+    persist_thread_.join();
+  }
+  dlog_.Close();
+}
+
+std::string CheckpointCoordinator::PathPrefix() const {
+  return opts_.directory + "/" + opts_.prefix;
+}
+
+std::string CheckpointCoordinator::SnapPath(uint64_t idx) const {
+  return PathPrefix() + "-" + std::to_string(idx) + ".snap";
+}
+
+bool CheckpointCoordinator::NeedBase() const {
+  if (!opts_.incremental || opts_.full_snapshot_every <= 1) return true;
+  if (!have_base_ || need_new_base_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return barriers_since_base_ >= opts_.full_snapshot_every - 1;
+}
+
+std::string CheckpointCoordinator::OnBarrier(WindowOperator& op,
                                              state::CheckpointMetadata meta) {
   if (!op.SupportsSnapshot()) return "";
+  if (health() == CheckpointHealth::kFailed) return "";
+  if (NeedBase()) {
+    state::Writer w;
+    op.SerializeState(w);
+    // Marking clean right after serializing is what makes the NEXT delta's
+    // "unchanged since last barrier" references valid. It is safe even if
+    // this barrier is later dropped or its persist fails: every such event
+    // forces the next barrier to be a full base, which does not rely on
+    // cleanliness.
+    op.MarkSnapshotClean();
+    return OnBarrierBytes(op.Name(), w.Take(), meta);
+  }
   state::Writer w;
-  op.SerializeState(w);
-  return OnBarrierBytes(op.Name(), w.Take(), meta);
+  op.SerializeDelta(w);
+  op.MarkSnapshotClean();
+  PersistJob job;
+  job.index = barrier_index_;
+  job.is_base = false;
+  meta.barrier_index = barrier_index_;
+  job.meta = meta;
+  job.name = op.Name();
+  job.delta = w.Take();
+  ++barriers_since_base_;
+  return Submit(std::move(job));
 }
 
 std::string CheckpointCoordinator::OnBarrierBytes(
     const std::string& operator_name, const std::vector<uint8_t>& state,
     state::CheckpointMetadata meta) {
+  if (health() == CheckpointHealth::kFailed) return "";
   meta.barrier_index = barrier_index_;
-  const std::vector<uint8_t> blob =
-      state::BuildSnapshot(meta, operator_name, state);
-  const std::string path = opts_.directory + "/" + opts_.prefix + "-" +
-                           std::to_string(barrier_index_) + ".snap";
-  if (!state::WriteSnapshotFile(path, blob)) return "";
-  ++barrier_index_;
-  last_path_ = path;
-  // Retention: the new snapshot is durable (fsync + rename), so snapshots
-  // older than the retention window can go. Several files are kept, not
-  // one, so recovery has somewhere to fall back to if the newest turns out
-  // torn or corrupt on read-back.
-  if (opts_.retain > 0 && barrier_index_ > static_cast<uint64_t>(opts_.retain)) {
-    const uint64_t evict =
-        barrier_index_ - 1 - static_cast<uint64_t>(opts_.retain);
-    const std::string old = opts_.directory + "/" + opts_.prefix + "-" +
-                            std::to_string(evict) + ".snap";
-    std::remove(old.c_str());
+  PersistJob job;
+  job.index = barrier_index_;
+  job.is_base = true;
+  job.path = SnapPath(barrier_index_);
+  job.blob = state::BuildSnapshot(meta, operator_name, state);
+  barriers_since_base_ = 0;
+  have_base_ = true;
+  last_base_index_ = barrier_index_;
+  need_new_base_.store(false, std::memory_order_relaxed);
+  return Submit(std::move(job));
+}
+
+std::string CheckpointCoordinator::Submit(PersistJob job) {
+  const std::string target =
+      job.is_base ? job.path
+                  : state::DeltaLogPath(PathPrefix(), last_base_index_);
+  if (!opts_.async) {
+    const bool is_base = job.is_base;
+    bool ok = ProcessJob(job);
+    // Synchronous barriers are durable before they return: each delta
+    // append is committed (fsync'd) individually instead of group-committed.
+    if (ok && !is_base) ok = CommitAppends();
+    if (!ok) return "";
+    ++barrier_index_;
+    return target;
   }
-  if (crash_after_ >= 0 && static_cast<int64_t>(barrier_index_) ==
-                               crash_after_) {
-    // Injected crash: the snapshot file is fully persisted (rename done),
-    // nothing after this point runs — no destructors, no flushes. The
-    // recovery driver must rebuild everything from the file alone.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (abandoned_) return "";
+    if (queue_.size() >= opts_.async_queue_depth) {
+      // Never block the pipeline on a slow disk: shed this barrier and
+      // force the next one to re-establish a full base.
+      barriers_dropped_.fetch_add(1, std::memory_order_relaxed);
+      need_new_base_.store(true, std::memory_order_relaxed);
+      return "";
+    }
+    queue_.push_back(std::move(job));
+    ++barrier_index_;
+  }
+  cv_.notify_one();
+  return target;
+}
+
+void CheckpointCoordinator::Flush() {
+  if (!persist_thread_.joinable()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && !busy_; });
+}
+
+void CheckpointCoordinator::Abandon() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    abandoned_ = true;
+    barriers_dropped_.fetch_add(queue_.size(), std::memory_order_relaxed);
+    queue_.clear();
+  }
+  cv_.notify_all();
+}
+
+const std::string& CheckpointCoordinator::last_path() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_path_;
+}
+
+void CheckpointCoordinator::PersistThreadMain() {
+  for (;;) {
+    std::deque<PersistJob> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) break;
+        continue;
+      }
+      batch.swap(queue_);
+      busy_ = true;
+    }
+    // Group commit: every job of the batch is processed (bases are fully
+    // persisted in place; deltas are appended), then one fsync commits all
+    // appended records together.
+    for (PersistJob& job : batch) ProcessJob(job);
+    CommitAppends();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+bool CheckpointCoordinator::ProcessJob(PersistJob& job) {
+  if (job.is_base) {
+    // Records appended to the previous segment must be committed before the
+    // new base exists so each segment's durable prefix is in barrier order.
+    CommitAppends();
+    if (!PersistBaseWithRetry(job)) {
+      NoteFailure();
+      need_new_base_.store(true, std::memory_order_relaxed);
+      drop_until_base_ = true;
+      return false;
+    }
+    NoteSuccess();
+    bases_persisted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_path_ = job.path;
+    }
+    drop_until_base_ = false;
+    dlog_.Close();
+    segment_ok_ = false;
+    seg_records_ = 0;
+    if (opts_.incremental && opts_.full_snapshot_every > 1) {
+      segment_ok_ =
+          dlog_.Open(state::DeltaLogPath(PathPrefix(), job.index), job.index);
+      if (!segment_ok_) {
+        // The base is durable, only the delta lane is unavailable: keep
+        // running, force the next barrier to be a base again.
+        need_new_base_.store(true, std::memory_order_relaxed);
+      }
+    }
+    bases_.push_back(job.index);
+    PruneBases();
+    NoteBarrierDurable(1);
+    return true;
+  }
+  // Delta job.
+  const uint64_t expected = dlog_.base_index() + 1 + seg_records_;
+  if (drop_until_base_ || !segment_ok_ || job.index != expected) {
+    // A failed or dropped barrier upstream broke the epoch chain; anything
+    // until the next base would be an out-of-epoch record, so shed it.
+    barriers_dropped_.fetch_add(1, std::memory_order_relaxed);
+    need_new_base_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  if (!AppendDeltaWithRetry(job)) {
+    NoteFailure();
+    segment_ok_ = false;
+    drop_until_base_ = true;
+    need_new_base_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  ++seg_records_;
+  deltas_persisted_.fetch_add(1, std::memory_order_relaxed);
+  unsynced_.push_back(job.index);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_path_ = dlog_.path();
+  }
+  return true;
+}
+
+bool CheckpointCoordinator::PersistBaseWithRetry(const PersistJob& job) {
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
+    }
+    const bool injected = failure_hook_ && failure_hook_(job.index, true);
+    if (!injected && state::WriteSnapshotFile(job.path, job.blob)) return true;
+  }
+  return false;
+}
+
+bool CheckpointCoordinator::AppendDeltaWithRetry(const PersistJob& job) {
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
+    }
+    const bool injected = failure_hook_ && failure_hook_(job.index, false);
+    if (injected) continue;
+    if (dlog_.Append(job.meta, job.name, job.delta)) return true;
+    // A failed append may have written partial bytes; the segment is no
+    // longer extendable, so retrying the append would corrupt the chain.
+    return false;
+  }
+  return false;
+}
+
+bool CheckpointCoordinator::CommitAppends() {
+  if (unsynced_.empty()) return true;
+  const size_t n = unsynced_.size();
+  unsynced_.clear();
+  bool ok = false;
+  for (int attempt = 0; attempt <= opts_.max_retries && !ok; ++attempt) {
+    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
+    }
+    ok = dlog_.Sync();
+  }
+  if (!ok) {
+    // One failure event for the whole group: the appended records' on-disk
+    // fate is unknown, so the segment is closed off and recovery will use
+    // whatever checksummed prefix actually reached the disk.
+    NoteFailure();
+    barriers_dropped_.fetch_add(n, std::memory_order_relaxed);
+    segment_ok_ = false;
+    drop_until_base_ = true;
+    need_new_base_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  NoteSuccess();
+  NoteBarrierDurable(n);
+  return true;
+}
+
+void CheckpointCoordinator::NoteBarrierDurable(uint64_t count) {
+  const uint64_t before =
+      durable_barriers_.fetch_add(count, std::memory_order_relaxed);
+  if (crash_after_ >= 0 &&
+      before < static_cast<uint64_t>(crash_after_) &&
+      before + count >= static_cast<uint64_t>(crash_after_)) {
+    // Injected crash: the barrier's file is fully persisted (rename or
+    // fsync done), nothing after this point runs — no destructors, no
+    // flushes. The recovery driver must rebuild everything from the files
+    // alone.
     std::_Exit(42);
   }
-  return path;
+}
+
+void CheckpointCoordinator::NoteSuccess() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  int h = health_.load(std::memory_order_relaxed);
+  if (h != static_cast<int>(CheckpointHealth::kFailed)) {
+    health_.store(static_cast<int>(CheckpointHealth::kHealthy),
+                  std::memory_order_relaxed);
+  }
+}
+
+void CheckpointCoordinator::NoteFailure() {
+  persist_failures_.fetch_add(1, std::memory_order_relaxed);
+  const int consecutive =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (consecutive >= opts_.max_consecutive_failures) {
+    health_.store(static_cast<int>(CheckpointHealth::kFailed),
+                  std::memory_order_relaxed);
+  } else if (health_.load(std::memory_order_relaxed) !=
+             static_cast<int>(CheckpointHealth::kFailed)) {
+    health_.store(static_cast<int>(CheckpointHealth::kDegraded),
+                  std::memory_order_relaxed);
+  }
+}
+
+void CheckpointCoordinator::PruneBases() {
+  if (opts_.retain <= 0) return;
+  while (bases_.size() > static_cast<size_t>(opts_.retain)) {
+    const uint64_t evict = bases_.front();
+    bases_.pop_front();
+    // A segment's records only extend its own base, so the pair is removed
+    // together and no surviving delta can reference a deleted base.
+    std::remove(SnapPath(evict).c_str());
+    std::remove(state::DeltaLogPath(PathPrefix(), evict).c_str());
+  }
 }
 
 RestoredOperator RestoreOperator(const std::string& path,
@@ -111,6 +407,58 @@ RestoredOperator RestoreOperator(const std::string& path,
   return out;
 }
 
+RestoredOperator RestoreOperatorWithDeltas(const std::string& path,
+                                           const OperatorFactory& factory,
+                                           size_t max_deltas,
+                                           size_t* deltas_applied,
+                                           bool* delta_tail_rejected) {
+  if (deltas_applied != nullptr) *deltas_applied = 0;
+  if (delta_tail_rejected != nullptr) *delta_tail_rejected = false;
+  RestoredOperator out = RestoreOperator(path, factory);
+  if (!out.ok || max_deltas == 0) return out;
+  const std::string dlog_path = DlogPathForSnap(path);
+  if (dlog_path.empty()) return out;
+  std::error_code ec;
+  if (!std::filesystem::exists(dlog_path, ec)) return out;  // base-only
+  // The base was just deserialized, i.e. it IS the previous barrier's
+  // image: establish the clean state the first delta's references assume.
+  out.op->MarkSnapshotClean();
+  state::DeltaLogContents log;
+  if (!state::ReadDeltaLog(dlog_path, &log) ||
+      log.base_index != out.meta.barrier_index) {
+    // Segment present but unusable (damaged header) or stale (left behind
+    // by an older incarnation at the same path): recover from the base
+    // alone.
+    if (delta_tail_rejected != nullptr) *delta_tail_rejected = true;
+    return out;
+  }
+  bool rejected = log.torn;
+  size_t applied = 0;
+  for (size_t k = 0; k < log.records.size() && applied < max_deltas; ++k) {
+    const state::DeltaRecord& rec = log.records[k];
+    state::Reader r(rec.state);
+    out.op->ApplyDelta(r);
+    if (!r.ok() || !r.AtEnd()) {
+      // The record validated as a container but its payload does not apply
+      // (delta gap, fingerprint drift). A failed apply may leave the
+      // operator half-mutated, so rebuild from scratch replaying only the
+      // prefix that is known to apply cleanly.
+      RestoredOperator redo = RestoreOperatorWithDeltas(
+          path, factory, applied, deltas_applied, nullptr);
+      if (delta_tail_rejected != nullptr) *delta_tail_rejected = true;
+      return redo;
+    }
+    out.op->MarkSnapshotClean();
+    out.meta = rec.meta;
+    ++applied;
+  }
+  if (applied > 0) out.op->FinishDeltaRestore();
+  if (applied < log.records.size()) rejected = true;  // max_deltas cap hit
+  if (deltas_applied != nullptr) *deltas_applied = applied;
+  if (delta_tail_rejected != nullptr) *delta_tail_rejected = rejected;
+  return out;
+}
+
 std::vector<std::string> ListSnapshots(const std::string& directory,
                                        const std::string& prefix) {
   namespace fs = std::filesystem;
@@ -119,8 +467,8 @@ std::vector<std::string> ListSnapshots(const std::string& directory,
   for (const fs::directory_entry& e : fs::directory_iterator(directory, ec)) {
     if (!e.is_regular_file(ec)) continue;
     const std::string name = e.path().filename().string();
-    // Match `<prefix>-<digits>.snap` exactly; .tmp leftovers and foreign
-    // files are not recovery candidates.
+    // Match `<prefix>-<digits>.snap` exactly; .tmp leftovers, .dlog
+    // segments, and foreign files are not recovery candidates.
     if (name.size() <= prefix.size() + 6) continue;
     if (name.compare(0, prefix.size(), prefix) != 0) continue;
     if (name[prefix.size()] != '-') continue;
@@ -150,10 +498,15 @@ RecoveredOperator RecoverNewestValid(const std::string& directory,
   out.candidates = candidates.size();
   std::string errors;
   for (const std::string& path : candidates) {
-    RestoredOperator r = RestoreOperator(path, factory);
+    size_t applied = 0;
+    bool tail_rejected = false;
+    RestoredOperator r = RestoreOperatorWithDeltas(path, factory, SIZE_MAX,
+                                                   &applied, &tail_rejected);
     if (r.ok) {
       out.restored = std::move(r);
       out.path_used = path;
+      out.deltas_applied = applied;
+      out.delta_tail_rejected = tail_rejected;
       return out;
     }
     // Torn, truncated, or corrupt: remember why and fall back to the next
@@ -247,6 +600,10 @@ void DrivePipeline(TupleSource& src, WindowOperator& op, uint64_t start_index,
   }
   if (max_ts != kNoTime) op.ProcessWatermark(max_ts);
   drain();
+  // Settle async persists before handing control back: the report's
+  // last_checkpoint is durable (or accounted as failed/dropped) once this
+  // returns, and no background thread touches checkpoint files afterwards.
+  if (coord != nullptr) coord->Flush();
 }
 
 }  // namespace
@@ -301,7 +658,8 @@ ResumedPipeline RestorePipeline(const std::string& snapshot_path,
                                 CheckpointCoordinator* coord,
                                 const ResultSink& sink) {
   ResumedPipeline out;
-  RestoredOperator restored = RestoreOperator(snapshot_path, factory);
+  RestoredOperator restored =
+      RestoreOperatorWithDeltas(snapshot_path, factory);
   if (!restored.ok) {
     out.error = std::move(restored.error);
     return out;

@@ -12,19 +12,44 @@
 // uninterrupted run — the differential fuzzer's --checkpoint dimension and
 // the crash-injection sweep both enforce exactly this.
 //
+// Three persistence modes compose (CheckpointOptions):
+//
+//  - Full + synchronous (default, the original behavior): every barrier
+//    writes a complete checksummed snapshot file and fsyncs before the
+//    barrier returns.
+//  - Incremental: a barrier serializes only state changed since the last
+//    barrier (WindowOperator::SerializeDelta) into an append-only delta-log
+//    segment (state/delta_log.h) riding alongside the last full "base"
+//    snapshot; every `full_snapshot_every`-th barrier — and the first one
+//    after any persist hiccup — compacts by writing a fresh base and
+//    rotating the segment. Recovery replays base + the valid delta prefix.
+//  - Asynchronous: the hot path serializes (copy-on-snapshot) and hands the
+//    bytes to a background persist thread with a bounded queue;
+//    group-commit batches adjacent delta appends under one fsync. Persist
+//    failures retry with backoff; after `max_consecutive_failures` the
+//    coordinator flips CheckpointHealth to kFailed and stops checkpointing
+//    while the pipeline keeps running at full speed.
+//
 // Crash injection: when the environment variable SCOTTY_CRASH_AFTER=<n> is
 // set, the process exits hard (std::_Exit) immediately after the n-th
-// checkpoint file is persisted — after the rename, so the file on disk is
-// always a complete, checksummed snapshot. A driver then restarts from that
-// file and must recover without loss or duplication.
+// barrier becomes durable (post-rename for bases, post-fsync for delta
+// records), so the files on disk are always complete, checksummed prefixes.
+// A driver then restarts from them and must recover without loss or
+// duplication.
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/window_operator.h"
 #include "datagen/generators.h"
 #include "runtime/pipeline.h"
+#include "state/delta_log.h"
 #include "state/snapshot.h"
 
 namespace scotty {
@@ -38,50 +63,178 @@ using OperatorFactory = std::function<std::unique_ptr<WindowOperator>()>;
 /// uninterrupted run.
 using ResultSink = std::function<void(const WindowResult&)>;
 
+/// Degradation state machine: kHealthy until a persist fails; kDegraded
+/// while failures are happening but recovery to kHealthy is still possible
+/// (a success resets it); kFailed (terminal) after
+/// `max_consecutive_failures` — checkpointing stops, the pipeline runs on.
+enum class CheckpointHealth { kHealthy, kDegraded, kFailed };
+
+/// Test/fuzz hook: return true to make this persist attempt fail as if the
+/// underlying I/O failed. Called once per attempt (so retries re-consult
+/// it) from the persist context — the background thread in async mode.
+using PersistFailureHook =
+    std::function<bool(uint64_t barrier_index, bool is_base)>;
+
 struct CheckpointOptions {
   /// Directory snapshot files are written into (must exist).
   std::string directory = ".";
-  /// File name prefix; files are `<prefix>-<barrier_index>.snap`.
+  /// File name prefix; bases are `<prefix>-<barrier_index>.snap`, their
+  /// delta segments `<prefix>-<barrier_index>.dlog`.
   std::string prefix = "ckpt";
-  /// Keep this many most-recent snapshot files; older ones are deleted
-  /// after each barrier persists. More than one is retained so recovery can
-  /// fall back when the newest file is torn or corrupt. 0 keeps everything.
+  /// Keep this many most-recent base snapshots; older bases are deleted
+  /// TOGETHER with their delta segment after each new base persists (a
+  /// segment's records only ever extend its own base, so pruning pairs
+  /// never strands a live delta). More than one is retained so recovery
+  /// can fall back when the newest base or its segment is damaged.
+  /// 0 keeps everything.
   int retain = 3;
+  /// Persist on a background thread instead of the barrier path.
+  bool async = false;
+  /// Bounded depth of the async persist queue. A barrier arriving at a
+  /// full queue is dropped (never blocks the pipeline); the next barrier
+  /// is then forced to be a full base so the on-disk chain stays
+  /// consistent.
+  size_t async_queue_depth = 8;
+  /// Serialize deltas between full snapshots (see file comment).
+  bool incremental = false;
+  /// Every Nth barrier writes a full base (compaction cadence); <= 1
+  /// disables deltas even when `incremental` is set.
+  uint64_t full_snapshot_every = 8;
+  /// Extra attempts per persist operation on failure.
+  int max_retries = 2;
+  /// Backoff before retry k is `retry_backoff_ms * k` milliseconds.
+  int retry_backoff_ms = 1;
+  /// Consecutive failed barriers before health turns kFailed (terminal).
+  int max_consecutive_failures = 5;
 };
 
 /// Takes watermark-aligned snapshots and persists them via the versioned
-/// container format of state/snapshot.h. One coordinator can serve a run
-/// and its resumed continuation: the barrier index keeps counting up.
+/// container format of state/snapshot.h (full) and the delta-log format of
+/// state/delta_log.h (incremental). One coordinator can serve a run and its
+/// resumed continuation: the barrier index keeps counting up.
 class CheckpointCoordinator {
  public:
   explicit CheckpointCoordinator(CheckpointOptions opts);
 
+  /// Blocking shutdown: completes all queued persists (unless Abandon was
+  /// called first), stops the persist thread, closes the open segment.
+  ~CheckpointCoordinator();
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
   /// Snapshots `op` at a barrier. `meta` carries the stream progress (source
   /// offset, seq counter, watermark); the barrier index is filled in by the
-  /// coordinator. Returns the persisted file path, or "" on failure.
+  /// coordinator. In incremental mode this serializes a delta (unless a
+  /// base is due) and marks the operator clean. Returns the file the
+  /// barrier targets — already durable in sync mode, scheduled in async
+  /// mode — or "" when the barrier was skipped (unsupported operator,
+  /// kFailed health, full async queue) or failed synchronously.
   /// Honors SCOTTY_CRASH_AFTER (see file comment).
-  std::string OnBarrier(const WindowOperator& op,
-                        state::CheckpointMetadata meta);
+  std::string OnBarrier(WindowOperator& op, state::CheckpointMetadata meta);
 
   /// Same barrier protocol for state that was serialized elsewhere (the
   /// parallel executor serializes each worker inside its own thread and
-  /// hands the combined bytes here). Applies retention and crash injection
-  /// exactly like the operator overload.
+  /// hands the combined bytes here). Always persists a full base.
   std::string OnBarrierBytes(const std::string& operator_name,
                              const std::vector<uint8_t>& state,
                              state::CheckpointMetadata meta);
 
-  uint64_t checkpoints_taken() const { return barrier_index_; }
-  const std::string& last_path() const { return last_path_; }
+  /// Blocks until every queued persist completed (successfully or not).
+  /// No-op in sync mode.
+  void Flush();
 
-  /// Continue counting from a restored barrier index (resume path).
+  /// Drops all queued persists (the in-flight one, if any, still completes
+  /// — an append or rename is never torn by abandonment) and stops taking
+  /// new barriers. Used to simulate a crash or shed work on shutdown.
+  void Abandon();
+
+  uint64_t checkpoints_taken() const { return barrier_index_; }
+  const std::string& last_path() const;
+
+  CheckpointHealth health() const {
+    return static_cast<CheckpointHealth>(health_.load());
+  }
+  uint64_t persist_failures() const { return persist_failures_.load(); }
+  uint64_t barriers_dropped() const { return barriers_dropped_.load(); }
+  uint64_t bases_persisted() const { return bases_persisted_.load(); }
+  uint64_t deltas_persisted() const { return deltas_persisted_.load(); }
+
+  /// Continue counting from a restored barrier index (resume path). The
+  /// first barrier after a resume is always a full base: the coordinator
+  /// has no open segment to extend.
   void SetBarrierIndex(uint64_t idx) { barrier_index_ = idx; }
 
+  /// Installs a persist-failure injection hook. Must be set before the
+  /// first barrier.
+  void SetPersistFailureHook(PersistFailureHook hook) {
+    failure_hook_ = std::move(hook);
+  }
+
  private:
+  struct PersistJob {
+    uint64_t index = 0;
+    bool is_base = true;
+    std::string path;            // base: target .snap path
+    std::vector<uint8_t> blob;   // base: full snapshot container
+    state::CheckpointMetadata meta;  // delta record fields
+    std::string name;
+    std::vector<uint8_t> delta;
+  };
+
+  std::string SnapPath(uint64_t idx) const;
+  std::string PathPrefix() const;  // directory + "/" + prefix
+  bool NeedBase() const;
+  std::string Submit(PersistJob job);
+
+  // Persist context (the caller thread in sync mode, the background thread
+  // in async mode — never both).
+  void PersistThreadMain();
+  bool ProcessJob(PersistJob& job);
+  bool PersistBaseWithRetry(const PersistJob& job);
+  bool AppendDeltaWithRetry(const PersistJob& job);
+  bool CommitAppends();
+  void NoteBarrierDurable(uint64_t count);
+  void NoteSuccess();
+  void NoteFailure();
+  void PruneBases();
+
   CheckpointOptions opts_;
   uint64_t barrier_index_ = 0;
-  std::string last_path_;
+  uint64_t barriers_since_base_ = 0;
+  uint64_t last_base_index_ = 0;
+  bool have_base_ = false;
   int64_t crash_after_ = -1;  // from SCOTTY_CRASH_AFTER; -1 = disabled
+  PersistFailureHook failure_hook_;
+
+  std::atomic<bool> need_new_base_{false};
+  std::atomic<uint64_t> persist_failures_{0};
+  std::atomic<uint64_t> barriers_dropped_{0};
+  std::atomic<uint64_t> bases_persisted_{0};
+  std::atomic<uint64_t> deltas_persisted_{0};
+  std::atomic<uint64_t> durable_barriers_{0};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<int> health_{static_cast<int>(CheckpointHealth::kHealthy)};
+
+  // Persist-context state; unsynchronized because exactly one context owns
+  // it (see above).
+  state::DeltaLogWriter dlog_;
+  bool segment_ok_ = false;
+  bool drop_until_base_ = false;
+  uint64_t seg_records_ = 0;  // records appended to the open segment
+  std::deque<uint64_t> bases_;
+  std::deque<uint64_t> unsynced_;  // delta indices appended, not yet fsync'd
+
+  // Async machinery.
+  std::thread persist_thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // work available / stop
+  std::condition_variable idle_cv_;  // queue drained + not busy
+  std::deque<PersistJob> queue_;
+  std::string last_path_;
+  bool busy_ = false;
+  bool stop_ = false;
+  bool abandoned_ = false;
 };
 
 /// Result of restoring an operator from a snapshot file.
@@ -100,23 +253,42 @@ struct RestoredOperator {
 RestoredOperator RestoreOperator(const std::string& path,
                                  const OperatorFactory& factory);
 
+/// RestoreOperator, then replay the base's delta-log segment
+/// (`<path with .snap → .dlog>`) if one exists: every valid,
+/// epoch-continuous record is applied in barrier order (stopping hard at
+/// the first torn, corrupt, or out-of-epoch record) and the returned meta
+/// reflects the LAST applied barrier. `deltas_applied` and
+/// `delta_tail_rejected` (both optional) report how far the replay got and
+/// whether a damaged tail was discarded. `max_deltas` caps the replay
+/// (SIZE_MAX = all) — recovery uses it to re-replay a clean prefix after a
+/// record fails to apply.
+RestoredOperator RestoreOperatorWithDeltas(const std::string& path,
+                                           const OperatorFactory& factory,
+                                           size_t max_deltas = SIZE_MAX,
+                                           size_t* deltas_applied = nullptr,
+                                           bool* delta_tail_rejected = nullptr);
+
 /// Snapshot files `<prefix>-<index>.snap` found in `directory`, sorted by
-/// barrier index descending (newest first). Ignores temp files and
-/// non-matching names.
+/// barrier index descending (newest first). Ignores temp files, delta
+/// segments, and non-matching names.
 std::vector<std::string> ListSnapshots(const std::string& directory,
                                        const std::string& prefix);
 
-/// Recovery entry point: restores from the NEWEST snapshot in `directory`
-/// that validates end-to-end (container checksum, operator name, state
-/// decode), falling back to older files when newer ones are torn, truncated,
-/// or corrupt. `fell_back` reports that at least one newer file was
-/// rejected; `path_used` names the file that won. Returns ok=false only
-/// when no snapshot file validates (the caller then starts from scratch).
+/// Recovery entry point: restores from the NEWEST base snapshot in
+/// `directory` that validates end-to-end (container checksum, operator
+/// name, state decode), replays its delta segment, and falls back to older
+/// bases when newer ones are torn, truncated, or corrupt. `fell_back`
+/// reports that at least one newer base was rejected; `path_used` names the
+/// base that won; `deltas_applied`/`delta_tail_rejected` describe the delta
+/// replay on top of it. Returns ok=false only when no base validates (the
+/// caller then starts from scratch).
 struct RecoveredOperator {
   RestoredOperator restored;
   std::string path_used;
   bool fell_back = false;
-  size_t candidates = 0;  // snapshot files considered
+  size_t candidates = 0;       // base snapshot files considered
+  size_t deltas_applied = 0;   // delta records replayed on the chosen base
+  bool delta_tail_rejected = false;  // damaged/out-of-epoch tail discarded
 };
 RecoveredOperator RecoverNewestValid(const std::string& directory,
                                      const std::string& prefix,
@@ -133,20 +305,22 @@ struct CheckpointedPipelineReport {
 /// watermark. Honors PipelineOptions::batch_size — batched blocks never
 /// straddle a watermark boundary, so the barrier observes exactly the state
 /// the per-tuple driver would have had and the snapshot files are
-/// byte-identical between the two interleavings.
+/// byte-identical between the two interleavings. Flushes the coordinator
+/// before returning, so async persists are settled when this returns.
 CheckpointedPipelineReport RunCheckpointedPipeline(
     TupleSource& src, WindowOperator& op, uint64_t max_tuples,
     const PipelineOptions& opts, CheckpointCoordinator& coord,
     const ResultSink& sink = nullptr);
 
 /// Resumes a checkpointed pipeline: restores the operator from
-/// `snapshot_path` via `factory`, skips the tuples the snapshot already
-/// covered, and replays the remainder of `src` with the same watermark
-/// cadence RunCheckpointedPipeline would have used (continuing to take
-/// checkpoints through `coord`). The union of results drained before the
-/// crash and results produced by the resumed run equals the uninterrupted
-/// run's results exactly. Returns ok=false (with op=nullptr) if the
-/// snapshot fails validation.
+/// `snapshot_path` via `factory` (replaying its delta segment, if any),
+/// skips the tuples the recovered barrier already covered, and replays the
+/// remainder of `src` with the same watermark cadence
+/// RunCheckpointedPipeline would have used (continuing to take checkpoints
+/// through `coord`). The union of results drained before the crash and
+/// results produced by the resumed run equals the uninterrupted run's
+/// results exactly. Returns ok=false (with op=nullptr) if the snapshot
+/// fails validation.
 struct ResumedPipeline {
   CheckpointedPipelineReport report;
   std::unique_ptr<WindowOperator> op;
@@ -162,9 +336,10 @@ ResumedPipeline RestorePipeline(const std::string& snapshot_path,
                                 const ResultSink& sink = nullptr);
 
 /// RestorePipeline from the newest VALID snapshot in a directory (see
-/// RecoverNewestValid): tries files newest-first, falls back past torn or
-/// corrupt ones, and only fails when no file validates. `fell_back` on the
-/// result reports that the newest file was rejected.
+/// RecoverNewestValid): tries bases newest-first, replays delta segments,
+/// falls back past torn or corrupt files, and only fails when no base
+/// validates. `fell_back` on the result reports that the newest base was
+/// rejected.
 struct RecoveredPipeline {
   CheckpointedPipelineReport report;
   std::unique_ptr<WindowOperator> op;

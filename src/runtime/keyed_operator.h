@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -124,19 +125,21 @@ class KeyedWindowOperator : public WindowOperator {
 
   /// Keys are serialized in sorted order so the snapshot bytes are a pure
   /// function of the logical state (the unordered_map's iteration order is
-  /// not). Each per-key operator's state is written inline; restore creates
-  /// the operator through the factory and hands it the same byte range.
+  /// not). Each per-key operator's state is written as a length-prefixed
+  /// opaque byte range (format v2): the prefix lets rescaling restore and
+  /// keyed deltas re-partition or skip a key's state without decoding it.
   void SerializeState(state::Writer& w) const override {
     w.Tag(0x4B455944);  // "KEYD"
+    w.U8(kKeyedFormatVersion);
     w.I64(last_wm_);
-    std::vector<int64_t> keys;
-    keys.reserve(operators_.size());
-    for (const auto& [key, op] : operators_) keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
+    std::vector<int64_t> keys = SortedKeys();
     w.U64(keys.size());
     for (int64_t key : keys) {
       w.I64(key);
-      operators_.at(key)->SerializeState(w);
+      state::Writer inner;
+      operators_.at(key)->SerializeState(inner);
+      w.U64(inner.bytes().size());
+      w.Bytes(inner.bytes().data(), inner.bytes().size());
     }
     w.U64(results_.size());
     for (const WindowResult& res : results_) SerializeWindowResult(w, res);
@@ -144,6 +147,10 @@ class KeyedWindowOperator : public WindowOperator {
 
   void DeserializeState(state::Reader& r) override {
     r.Tag(0x4B455944);
+    if (r.U8() != kKeyedFormatVersion) {
+      r.Fail();
+      return;
+    }
     last_wm_ = r.I64();
     const uint64_t nkeys = r.U64();
     if (nkeys > r.remaining()) {
@@ -151,11 +158,24 @@ class KeyedWindowOperator : public WindowOperator {
       return;
     }
     operators_.clear();
+    dirty_keys_.clear();
     for (uint64_t i = 0; i < nkeys && r.ok(); ++i) {
       const int64_t key = r.I64();
+      const uint64_t len = r.U64();
+      if (!r.ok() || len > r.remaining()) {
+        r.Fail();
+        return;
+      }
+      std::vector<uint8_t> bytes(static_cast<size_t>(len));
+      r.Bytes(bytes.data(), bytes.size());
       std::unique_ptr<WindowOperator> op = factory_();
       if (inner_name_.empty()) inner_name_ = op->Name();
-      op->DeserializeState(r);
+      state::Reader inner(bytes);
+      op->DeserializeState(inner);
+      if (!inner.ok() || !inner.AtEnd()) {
+        r.Fail();
+        return;
+      }
       operators_.emplace(key, std::move(op));
     }
     const uint64_t m = r.U64();
@@ -169,12 +189,195 @@ class KeyedWindowOperator : public WindowOperator {
     }
   }
 
+  /// Incremental snapshots: a delta serializes only keys whose operator saw
+  /// tuples since the last barrier. Watermark broadcasts deliberately do
+  /// NOT dirty a key — a clean key's post-watermark state is reconstructed
+  /// by FinishDeltaRestore, which re-broadcasts the restored watermark;
+  /// triggering is idempotent and cumulative, so the catch-up leaves every
+  /// clean key bit-identical to an uninterrupted run (re-emitted window
+  /// results duplicate already-delivered values, which the at-least-once
+  /// delivery contract absorbs).
+  bool SupportsIncrementalSnapshot() const override { return true; }
+
+  void SerializeDelta(state::Writer& w) const override {
+    w.U8(kIncrementalDelta);
+    w.Tag(0x4B455944);  // "KEYD"
+    w.U8(kKeyedFormatVersion);
+    w.I64(last_wm_);
+    std::vector<int64_t> keys = SortedKeys();
+    w.U64(keys.size());
+    for (int64_t key : keys) {
+      const bool dirty = dirty_keys_.count(key) != 0;
+      w.I64(key);
+      w.Bool(dirty);
+      if (!dirty) continue;
+      state::Writer inner;
+      operators_.at(key)->SerializeState(inner);
+      w.U64(inner.bytes().size());
+      w.Bytes(inner.bytes().data(), inner.bytes().size());
+    }
+    w.U64(results_.size());
+    for (const WindowResult& res : results_) SerializeWindowResult(w, res);
+  }
+
+  void ApplyDelta(state::Reader& r) override {
+    const uint8_t kind = r.U8();
+    if (kind == kFullDelta) {
+      DeserializeState(r);
+      return;
+    }
+    if (kind != kIncrementalDelta) {
+      r.Fail();
+      return;
+    }
+    r.Tag(0x4B455944);
+    if (r.U8() != kKeyedFormatVersion) {
+      r.Fail();
+      return;
+    }
+    const Time wm = r.I64();
+    const uint64_t nkeys = r.U64();
+    if (!r.ok() || nkeys > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    std::unordered_map<int64_t, std::unique_ptr<WindowOperator>> next;
+    next.reserve(static_cast<size_t>(nkeys));
+    for (uint64_t i = 0; i < nkeys && r.ok(); ++i) {
+      const int64_t key = r.I64();
+      const bool dirty = r.Bool();
+      if (!r.ok()) return;
+      if (dirty) {
+        const uint64_t len = r.U64();
+        if (!r.ok() || len > r.remaining()) {
+          r.Fail();
+          return;
+        }
+        std::vector<uint8_t> bytes(static_cast<size_t>(len));
+        r.Bytes(bytes.data(), bytes.size());
+        std::unique_ptr<WindowOperator> op = factory_();
+        if (inner_name_.empty()) inner_name_ = op->Name();
+        state::Reader inner(bytes);
+        op->DeserializeState(inner);
+        if (!inner.ok() || !inner.AtEnd()) {
+          r.Fail();
+          return;
+        }
+        next.emplace(key, std::move(op));
+      } else {
+        // A clean reference must resolve against the previous epoch's
+        // state; a missing key means a barrier is missing in between.
+        auto it = operators_.find(key);
+        if (it == operators_.end()) {
+          r.Fail();
+          return;
+        }
+        next.emplace(key, std::move(it->second));
+        operators_.erase(it);
+      }
+    }
+    const uint64_t m = r.U64();
+    if (!r.ok() || m > r.remaining()) {
+      r.Fail();
+      return;
+    }
+    std::vector<WindowResult> res;
+    res.reserve(static_cast<size_t>(m));
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      res.push_back(DeserializeWindowResult(r));
+    }
+    if (!r.ok()) return;
+    last_wm_ = wm;
+    operators_ = std::move(next);
+    results_ = std::move(res);
+    dirty_keys_.clear();
+  }
+
+  void MarkSnapshotClean() override {
+    dirty_keys_.clear();
+    for (auto& [key, op] : operators_) op->MarkSnapshotClean();
+  }
+
+  /// Catch-up after the last delta was applied: clean keys were restored to
+  /// their state at an older barrier; re-broadcasting the restored
+  /// watermark advances them through the exact triggers/evictions they
+  /// performed live (idempotent for keys already at the watermark).
+  void FinishDeltaRestore() override {
+    if (last_wm_ == kNoTime) return;
+    ProcessWatermark(last_wm_);
+  }
+
+  /// Rescaling support: the decomposed v2 full-state payload. `keys` holds
+  /// each per-key operator's opaque serialized bytes, re-partitionable
+  /// across workers without decoding.
+  struct KeyedStateParts {
+    Time last_wm = kNoTime;
+    std::vector<std::pair<int64_t, std::vector<uint8_t>>> keys;
+    std::vector<WindowResult> results;
+  };
+
+  /// Splits a SerializeState payload into parts. Returns false (without
+  /// touching `out`) if the bytes are not a well-formed v2 keyed state.
+  static bool ParseKeyedState(const std::vector<uint8_t>& bytes,
+                              KeyedStateParts* out) {
+    state::Reader r(bytes);
+    r.Tag(0x4B455944);
+    if (r.U8() != kKeyedFormatVersion) return false;
+    KeyedStateParts parts;
+    parts.last_wm = r.I64();
+    const uint64_t nkeys = r.U64();
+    if (!r.ok() || nkeys > r.remaining()) return false;
+    parts.keys.reserve(static_cast<size_t>(nkeys));
+    for (uint64_t i = 0; i < nkeys && r.ok(); ++i) {
+      const int64_t key = r.I64();
+      const uint64_t len = r.U64();
+      if (!r.ok() || len > r.remaining()) return false;
+      std::vector<uint8_t> kb(static_cast<size_t>(len));
+      r.Bytes(kb.data(), kb.size());
+      parts.keys.emplace_back(key, std::move(kb));
+    }
+    const uint64_t m = r.U64();
+    if (!r.ok() || m > r.remaining()) return false;
+    parts.results.reserve(static_cast<size_t>(m));
+    for (uint64_t i = 0; i < m && r.ok(); ++i) {
+      parts.results.push_back(DeserializeWindowResult(r));
+    }
+    if (!r.ok() || !r.AtEnd()) return false;
+    *out = std::move(parts);
+    return true;
+  }
+
+  /// Inverse of ParseKeyedState: reassembles a v2 full-state payload
+  /// (sorting keys, so the output is canonical regardless of input order).
+  static std::vector<uint8_t> BuildKeyedState(KeyedStateParts parts) {
+    std::sort(parts.keys.begin(), parts.keys.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    state::Writer w;
+    w.Tag(0x4B455944);
+    w.U8(kKeyedFormatVersion);
+    w.I64(parts.last_wm);
+    w.U64(parts.keys.size());
+    for (const auto& [key, kb] : parts.keys) {
+      w.I64(key);
+      w.U64(kb.size());
+      w.Bytes(kb.data(), kb.size());
+    }
+    w.U64(parts.results.size());
+    for (const WindowResult& res : parts.results) SerializeWindowResult(w, res);
+    return w.Take();
+  }
+
  private:
   /// Same-key runs at least this long skip the scratch regrouping and go
   /// straight to the inner operator as a subspan.
   static constexpr size_t kMinDirectRun = 16;
 
+  static constexpr uint8_t kKeyedFormatVersion = 2;
+
+  /// OperatorFor is reached exclusively from the tuple paths, so it is the
+  /// single point where a key turns dirty for incremental snapshots.
   WindowOperator& OperatorFor(int64_t key) {
+    dirty_keys_.insert(key);
     auto it = operators_.find(key);
     if (it == operators_.end()) {
       it = operators_.emplace(key, factory_()).first;
@@ -186,10 +389,19 @@ class KeyedWindowOperator : public WindowOperator {
     return *it->second;
   }
 
+  std::vector<int64_t> SortedKeys() const {
+    std::vector<int64_t> keys;
+    keys.reserve(operators_.size());
+    for (const auto& [key, op] : operators_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
   Factory factory_;
   std::unordered_map<int64_t, std::unique_ptr<WindowOperator>> operators_;
   std::unordered_map<int64_t, std::vector<Tuple>> groups_;  // batch scratch
   std::vector<int64_t> group_order_;                        // batch scratch
+  std::unordered_set<int64_t> dirty_keys_;  // keys with tuples since barrier
   std::vector<WindowResult> results_;
   std::string inner_name_;
   Time last_wm_ = kNoTime;

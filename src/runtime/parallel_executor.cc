@@ -5,9 +5,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "runtime/keyed_operator.h"
 #include "state/serde.h"
 
 namespace scotty {
+
+namespace {
+
+// Combined parallel snapshot blob: tag + version + worker count + one
+// length-prefixed state per worker. The tag makes foreign bytes fail fast;
+// the version gates format evolution (v2 added rescaled restore).
+constexpr uint32_t kParallelSnapshotTag = 0x50534E50;  // "PSNP"
+constexpr uint8_t kParallelSnapshotVersion = 2;
+
+}  // namespace
 
 SpscQueue::SpscQueue(size_t capacity)
     : ring_(capacity), mask_(capacity - 1) {
@@ -181,15 +192,11 @@ std::vector<uint8_t> ParallelExecutor::SnapshotAtBarrier() {
     std::this_thread::yield();
   }
   // Combine per-worker states into one length-prefixed blob. Worker count
-  // is recorded so restore can reject a topology mismatch.
-  state::Writer w;
-  w.U64(snap_slots_.size());
-  for (const std::vector<uint8_t>& s : snap_slots_) {
-    w.U64(s.size());
-    w.Bytes(s.data(), s.size());
-  }
+  // is recorded so restore can re-partition (keyed state) or reject (any
+  // other) a topology mismatch.
+  std::vector<uint8_t> blob = BuildParallelSnapshotBlob(snap_slots_);
   snap_slots_.clear();
-  return w.Take();
+  return blob;
 }
 
 bool ParallelExecutor::RestoreOperators(const std::vector<uint8_t>& blob,
@@ -202,27 +209,119 @@ bool ParallelExecutor::RestoreOperators(const std::vector<uint8_t>& blob,
     if (error != nullptr) *error = why;
     return false;
   };
-  state::Reader r(blob);
-  const uint64_t workers = r.U64();
-  if (!r.ok() || workers != operators_.size()) {
-    return fail("worker count mismatch: snapshot has " +
-                std::to_string(workers) + ", executor has " +
-                std::to_string(operators_.size()));
+  std::vector<std::vector<uint8_t>> states;
+  std::string parse_err;
+  if (!ParseParallelSnapshotBlob(blob, &states, &parse_err)) {
+    return fail(parse_err);
+  }
+  if (states.size() != operators_.size()) {
+    // Rescaled restore: W → W′ works when (and only when) the states are
+    // keyed, because keyed state decomposes into per-key units that re-route
+    // with the same hash live tuples use.
+    std::string why;
+    std::vector<std::vector<uint8_t>> rescaled;
+    if (!RepartitionKeyedStates(states, operators_.size(), &rescaled, &why)) {
+      return fail("worker count mismatch: snapshot has " +
+                  std::to_string(states.size()) + ", executor has " +
+                  std::to_string(operators_.size()) + "; " + why);
+    }
+    states = std::move(rescaled);
   }
   for (size_t i = 0; i < operators_.size(); ++i) {
-    const uint64_t size = r.U64();
-    if (!r.ok() || size > r.remaining()) {
-      return fail("worker " + std::to_string(i) + " state truncated");
-    }
-    std::vector<uint8_t> st(size);
-    r.Bytes(st.data(), st.size());
-    state::Reader worker_r(st);
+    state::Reader worker_r(states[i]);
     operators_[i]->DeserializeState(worker_r);
     if (!worker_r.ok() || !worker_r.AtEnd()) {
       return fail("worker " + std::to_string(i) + " state decode failed");
     }
   }
+  return true;
+}
+
+std::vector<uint8_t> BuildParallelSnapshotBlob(
+    const std::vector<std::vector<uint8_t>>& worker_states) {
+  state::Writer w;
+  w.Tag(kParallelSnapshotTag);
+  w.U8(kParallelSnapshotVersion);
+  w.U64(worker_states.size());
+  for (const std::vector<uint8_t>& s : worker_states) {
+    w.U64(s.size());
+    w.Bytes(s.data(), s.size());
+  }
+  return w.Take();
+}
+
+bool ParseParallelSnapshotBlob(const std::vector<uint8_t>& blob,
+                               std::vector<std::vector<uint8_t>>* out,
+                               std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  state::Reader r(blob);
+  r.Tag(kParallelSnapshotTag);
+  const uint8_t version = r.U8();
+  if (!r.ok() || version != kParallelSnapshotVersion) {
+    return fail("not a parallel snapshot blob (bad tag or version)");
+  }
+  const uint64_t workers = r.U64();
+  if (!r.ok() || workers == 0 || workers > r.remaining()) {
+    return fail("parallel snapshot header corrupt");
+  }
+  std::vector<std::vector<uint8_t>> states(static_cast<size_t>(workers));
+  for (size_t i = 0; i < states.size(); ++i) {
+    const uint64_t size = r.U64();
+    if (!r.ok() || size > r.remaining()) {
+      return fail("worker " + std::to_string(i) + " state truncated");
+    }
+    states[i].resize(static_cast<size_t>(size));
+    r.Bytes(states[i].data(), states[i].size());
+  }
   if (!r.AtEnd()) return fail("trailing bytes after worker states");
+  *out = std::move(states);
+  return true;
+}
+
+bool RepartitionKeyedStates(
+    const std::vector<std::vector<uint8_t>>& worker_states,
+    size_t new_workers, std::vector<std::vector<uint8_t>>* out,
+    std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (new_workers == 0) return fail("cannot re-partition onto zero workers");
+  std::vector<KeyedWindowOperator::KeyedStateParts> buckets(new_workers);
+  Time last_wm = kNoTime;
+  for (size_t i = 0; i < worker_states.size(); ++i) {
+    KeyedWindowOperator::KeyedStateParts parts;
+    if (!KeyedWindowOperator::ParseKeyedState(worker_states[i], &parts)) {
+      return fail("worker " + std::to_string(i) +
+                  " state is not a keyed payload (non-keyed operator state "
+                  "cannot be re-partitioned)");
+    }
+    // Watermarks were broadcast, so all workers agree except ones that
+    // never saw one; merge to the furthest progress.
+    last_wm = std::max(last_wm, parts.last_wm);
+    for (auto& kv : parts.keys) {
+      const size_t w = ParallelExecutor::WorkerIndexForKey(kv.first,
+                                                           new_workers);
+      buckets[w].keys.push_back(std::move(kv));
+    }
+    for (auto& res : parts.results) {
+      // Pending (undrained) results re-emit from whichever worker owns the
+      // key after the rescale — exactly once, like the tuples that formed
+      // them would.
+      const size_t w =
+          ParallelExecutor::WorkerIndexForKey(res.key, new_workers);
+      buckets[w].results.push_back(std::move(res));
+    }
+  }
+  out->clear();
+  out->reserve(new_workers);
+  for (KeyedWindowOperator::KeyedStateParts& b : buckets) {
+    b.last_wm = last_wm;
+    out->push_back(KeyedWindowOperator::BuildKeyedState(std::move(b)));
+  }
   return true;
 }
 

@@ -108,15 +108,20 @@ class ParallelExecutor {
   /// its operator at that point. Each worker state is serialized inside its
   /// own thread between two items, never concurrently with processing, so
   /// the captured state is exactly what a sequential per-worker run would
-  /// have had. Returns one combined length-prefixed blob; empty on failure
-  /// (an operator without snapshot support).
+  /// have had. Returns one combined tagged v2 blob (worker count +
+  /// length-prefixed per-worker states); empty on failure (an operator
+  /// without snapshot support).
   std::vector<uint8_t> SnapshotAtBarrier();
 
   /// Restores every worker operator from a blob produced by
-  /// SnapshotAtBarrier on an executor with the same worker count and
-  /// factory. Must be called before Start(). On any decode failure all
-  /// operators are rebuilt fresh from the factory (never half-restored) and
-  /// false is returned with `*error` set.
+  /// SnapshotAtBarrier. Must be called before Start(). When the blob's
+  /// worker count differs from this executor's, the per-worker states are
+  /// re-partitioned onto the new topology (rescaled restore) — possible
+  /// exactly when every worker ran a KeyedWindowOperator, whose state
+  /// decomposes into per-key units that re-route by the same hash used for
+  /// live tuples; non-keyed states still fail with a worker-count mismatch.
+  /// On any decode failure all operators are rebuilt fresh from the factory
+  /// (never half-restored) and false is returned with `*error` set.
   bool RestoreOperators(const std::vector<uint8_t>& blob,
                         std::string* error = nullptr);
 
@@ -124,6 +129,15 @@ class ParallelExecutor {
   size_t MemoryUsageBytes() const;
   size_t num_workers() const { return workers_.size(); }
   const Options& options() const { return opts_; }
+
+  /// The key-routing function: which of `workers` queues a key hashes to.
+  /// Exposed so rescaled restore (and its tests) re-bucket per-key state
+  /// with the exact same placement live tuples will use afterwards.
+  static size_t WorkerIndexForKey(int64_t key, size_t workers) {
+    return static_cast<size_t>(
+               static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL >> 32) %
+           workers;
+  }
 
  private:
   void WorkerLoop(size_t i);
@@ -147,6 +161,33 @@ class ParallelExecutor {
   std::vector<std::vector<uint8_t>> snap_slots_;
   std::atomic<size_t> snap_remaining_{0};
 };
+
+/// Assembles per-worker serialized states into the combined tagged blob
+/// format SnapshotAtBarrier produces (tag + version + count + one
+/// length-prefixed state per worker). Exposed so deterministic harnesses
+/// can build topology blobs without running worker threads.
+std::vector<uint8_t> BuildParallelSnapshotBlob(
+    const std::vector<std::vector<uint8_t>>& worker_states);
+
+/// Inverse of BuildParallelSnapshotBlob: validates the tag/version/framing
+/// and splits the blob back into per-worker states. Returns false with
+/// `*error` set on foreign or truncated bytes.
+bool ParseParallelSnapshotBlob(const std::vector<uint8_t>& blob,
+                               std::vector<std::vector<uint8_t>>* out,
+                               std::string* error);
+
+/// Re-partitions per-worker keyed operator states (the decoded payloads of
+/// a SnapshotAtBarrier blob taken with W workers) onto `new_workers`
+/// buckets: every state must parse as a KeyedWindowOperator v2 payload; the
+/// per-key units and pending results are re-routed by
+/// ParallelExecutor::WorkerIndexForKey and reassembled into one canonical
+/// state per new worker (empty workers get an empty keyed state carrying
+/// the merged watermark). Returns false with `*error` set when any state is
+/// not keyed — non-keyed operator state has no per-key decomposition.
+bool RepartitionKeyedStates(
+    const std::vector<std::vector<uint8_t>>& worker_states,
+    size_t new_workers, std::vector<std::vector<uint8_t>>* out,
+    std::string* error);
 
 }  // namespace scotty
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "runtime/checkpoint.h"
+
 namespace scotty {
 
 namespace {
@@ -83,7 +85,8 @@ PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
 ParallelPipelineReport RunPipelineParallel(
     TupleSource& src, ParallelExecutor& exec, uint64_t max_tuples,
     const PipelineOptions& opts,
-    const std::vector<uint8_t>* restore_snapshot) {
+    const std::vector<uint8_t>* restore_snapshot,
+    CheckpointCoordinator* coord) {
   ParallelPipelineReport out;
   if (restore_snapshot != nullptr) {
     std::string err;
@@ -99,12 +102,30 @@ ParallelPipelineReport RunPipelineParallel(
   try {
     Tuple t;
     Time max_ts = kNoTime;
-    for (uint64_t i = 0; i < max_tuples && src.Next(&t); ++i) {
+    uint64_t i = 0;
+    for (; i < max_tuples && src.Next(&t); ++i) {
       exec.Push(t);
       max_ts = std::max(max_ts, t.ts);
       ++out.report.tuples;
       if (opts.watermark_every > 0 && (i + 1) % opts.watermark_every == 0) {
-        exec.PushWatermark(max_ts - opts.watermark_delay);
+        const Time wm = max_ts - opts.watermark_delay;
+        exec.PushWatermark(wm);
+        if (coord != nullptr) {
+          // Barrier right after the watermark, like the single-threaded
+          // checkpointed driver: the combined blob captures every worker
+          // between two items of its own stream.
+          const std::vector<uint8_t> blob = exec.SnapshotAtBarrier();
+          if (!blob.empty()) {
+            state::CheckpointMetadata meta;
+            meta.source_offset = i + 1;
+            meta.next_seq = i + 1;
+            meta.max_ts = max_ts;
+            meta.last_wm = wm;
+            if (!coord->OnBarrierBytes("parallel", blob, meta).empty()) {
+              ++out.checkpoints;
+            }
+          }
+        }
       }
     }
     if (max_ts != kNoTime) exec.PushWatermark(max_ts);
@@ -119,6 +140,10 @@ ParallelPipelineReport RunPipelineParallel(
   // workers drain whatever was queued before the failure, so no thread is
   // left spinning on a queue nobody feeds.
   exec.Finish();
+  // Only after the workers are down: settle the coordinator, so an
+  // in-flight async persist is completed (or was explicitly abandoned by
+  // the caller) before control returns and the executor can be destroyed.
+  if (coord != nullptr) coord->Flush();
   out.report.results = exec.TotalResults();
   const auto end = std::chrono::steady_clock::now();
   out.report.seconds = std::chrono::duration<double>(end - start).count();

@@ -46,12 +46,15 @@ struct PipelineReport {
 PipelineReport RunPipeline(TupleSource& src, WindowOperator& op,
                            uint64_t max_tuples, const PipelineOptions& opts);
 
+class CheckpointCoordinator;
+
 /// RunPipeline outcome when worker threads are involved: `ok`/`error`
 /// report feed-side failures (a throwing source, a failed state restore)
 /// AFTER the workers were drained and joined — the parallel driver never
 /// returns with threads still running, whatever the error path.
 struct ParallelPipelineReport {
   PipelineReport report;
+  uint64_t checkpoints = 0;  ///< barriers accepted by the coordinator
   bool ok = true;
   std::string error;
 };
@@ -62,13 +65,20 @@ struct ParallelPipelineReport {
 /// `restore_snapshot` is non-null, every worker operator is first restored
 /// from the blob (produced by ParallelExecutor::SnapshotAtBarrier); a
 /// restore failure is surfaced in the returned status with no threads
-/// started. If the source throws mid-stream, the workers are still stopped
-/// and joined before the error is returned — an abandoned executor with
-/// live threads would otherwise block forever in its destructor.
+/// started. If `coord` is non-null, a snapshot barrier is taken after every
+/// injected watermark and handed to the coordinator (full combined blob via
+/// OnBarrierBytes). If the source throws mid-stream, the workers are still
+/// stopped and joined before the error is returned — an abandoned executor
+/// with live threads would otherwise block forever in its destructor.
+/// Shutdown ordering is fixed on every path, including errors: workers are
+/// joined first, then the coordinator is flushed, so no async persist is
+/// left in flight and every scheduled checkpoint file is either durable or
+/// accounted as dropped/failed when this returns.
 ParallelPipelineReport RunPipelineParallel(
     TupleSource& src, ParallelExecutor& exec, uint64_t max_tuples,
     const PipelineOptions& opts,
-    const std::vector<uint8_t>* restore_snapshot = nullptr);
+    const std::vector<uint8_t>* restore_snapshot = nullptr,
+    CheckpointCoordinator* coord = nullptr);
 
 }  // namespace scotty
 

@@ -12,6 +12,7 @@
 #include "baselines/buckets.h"
 #include "baselines/tuple_buffer.h"
 #include "core/general_slicing_operator.h"
+#include "runtime/keyed_operator.h"
 #include "testing/fault_injector.h"
 #include "testing/harness.h"
 #include "testing/oracle.h"
@@ -85,6 +86,14 @@ std::string Describe(const ResultKey& key) {
   return os.str();
 }
 
+std::string DescribeKeyed(const KeyedResultKey& key) {
+  std::ostringstream os;
+  os << "(k=" << std::get<0>(key) << ", w=" << std::get<1>(key)
+     << ", a=" << std::get<2>(key) << ", [" << std::get<3>(key) << ","
+     << std::get<4>(key) << "))";
+  return os.str();
+}
+
 }  // namespace
 
 std::string DifferentialConfig::ToFlags() const {
@@ -114,6 +123,7 @@ std::string DifferentialConfig::ToFlags() const {
   flag("batch", batch, 0);
   flag("checkpoint", checkpoint, 0);
   flag("crash", crash, 0);
+  flag("rescale", rescale, 0);
   return os.str();
 }
 
@@ -278,6 +288,82 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     return check_ckpt(name, factory, expected) &&
            check_crash(name, factory, expected);
   };
+
+  // Rescaling crash twin: a keyed copy of the stream runs on W simulated
+  // workers, crashes, and recovers onto W' != W workers by re-partitioning
+  // per-key state out of the combined topology blob. The reference is one
+  // keyed operator over the whole stream — keys never interact and
+  // watermarks are broadcast, so any partitioning must reproduce it exactly
+  // (restore and re-partitioning move serialized per-key state verbatim).
+  if (cfg.rescale != 0) {
+    const uint64_t h =
+        (cfg.stream.seed ^ 0xA0761D6478BD642FULL) * 0x9E3779B97F4A7C15ULL;
+    const int64_t nkeys = 2 + static_cast<int64_t>((h >> 40) % 7);  // 2..8
+    std::vector<Tuple> keyed = stream;
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      keyed[i].key = static_cast<int64_t>(
+          (i * 0x9E3779B97F4A7C15ULL >> 33) % static_cast<uint64_t>(nkeys));
+    }
+    const size_t from = 1 + static_cast<size_t>((h >> 20) % 4);  // 1..4
+    size_t to = 1 + static_cast<size_t>((h >> 10) % 4);
+    if (to == from) to = from % 4 + 1;  // force an actual topology change
+    FaultPlan plan = MakeFaultPlan(cfg.stream.seed ^ 0x8B72E7F4F9A1C3D5ULL,
+                                   stream.size());
+    if (cfg.rescale > 0) {
+      plan.crash_index = std::min<uint64_t>(
+          static_cast<uint64_t>(cfg.rescale), stream.size());
+    }
+    auto keyed_factory = [&cfg]() -> std::unique_ptr<WindowOperator> {
+      return std::make_unique<KeyedWindowOperator>(
+          [&cfg] { return MakeSlicing(cfg, StoreMode::kLazy, false); });
+    };
+    std::map<KeyedResultKey, Value> expected;
+    std::map<KeyedResultKey, Value> got;
+    std::string err;
+    if (!RunKeyedToFinalResults(keyed_factory, keyed, final_wm, cfg.wm_every,
+                                wm_lag, &expected, &err)) {
+      outcome.ok = false;
+      outcome.detail = "keyed reference: " + err;
+      return outcome;
+    }
+    if (!RunKeyedRescaleCrashRecovered(keyed_factory, keyed, final_wm,
+                                       cfg.wm_every, wm_lag, plan,
+                                       CrashScratchDir("keyed-rescale"), from,
+                                       to, &got, &err)) {
+      outcome.ok = false;
+      outcome.detail = "keyed-rescaled (" + std::to_string(from) + "->" +
+                       std::to_string(to) + " workers): " + err;
+      return outcome;
+    }
+    for (const auto& [key, expected_v] : expected) {
+      ++outcome.comparisons;
+      const auto it = got.find(key);
+      if (it == got.end() || !(it->second == expected_v)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << "keyed-rescaled (" << from << "->" << to
+           << " workers) vs keyed at " << DescribeKeyed(key) << ": ";
+        if (it == got.end()) {
+          os << "missing (expected " << expected_v << ")";
+        } else {
+          os << it->second << " vs " << expected_v;
+        }
+        outcome.detail = os.str();
+        return outcome;
+      }
+    }
+    for (const auto& [key, value] : got) {
+      if (!expected.count(key)) {
+        outcome.ok = false;
+        std::ostringstream os;
+        os << "keyed-rescaled (" << from << "->" << to
+           << " workers) reported extra window " << DescribeKeyed(key)
+           << " = " << value;
+        outcome.detail = os.str();
+        return outcome;
+      }
+    }
+  }
 
   auto lazy = MakeSlicing(cfg, StoreMode::kLazy, false);
   runs.push_back({"slicing-lazy", RunToFinalResults(*lazy, stream, final_wm,
@@ -541,9 +627,13 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
     cfg.checkpoint = 1 + static_cast<int>(rng.NextBounded(
                              static_cast<uint64_t>(num_tuples - 1)));
   }
-  // A quarter of the seeds also run the crash/recover cycle (kill point and
-  // snapshot fault seed-derived); the nightly lane forces it on everywhere.
+  // A quarter of the seeds also run the crash/recover cycle (kill point,
+  // persistence mode, and snapshot/delta faults seed-derived); the nightly
+  // lane forces it on everywhere.
   if (rng.NextBounded(4) == 0 && num_tuples > 1) cfg.crash = -1;
+  // An eighth also run the rescaling crash twin (worker counts W -> W' and
+  // the fault plan seed-derived); the nightly rescaling lane forces it on.
+  if (rng.NextBounded(8) == 0 && num_tuples > 1) cfg.rescale = -1;
   return cfg;
 }
 

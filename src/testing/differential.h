@@ -42,6 +42,15 @@ struct DifferentialConfig {
   /// downstream view must equal the technique's unfaulted results exactly.
   /// 0 disables the crash runs.
   int crash = 0;
+  /// Additionally run the rescaling crash twin: a keyed copy of the stream
+  /// (partition keys assigned deterministically from the seed) runs on W
+  /// simulated workers checkpointing combined topology blobs, crashes
+  /// (> 0: at this tuple index; -1: seed-derived), and recovers onto
+  /// W' != W workers by re-partitioning per-key state — the merged
+  /// downstream view must equal a single keyed operator's results exactly.
+  /// W, W', the persistence mode, and any snapshot damage are seed-derived.
+  /// 0 disables the rescale runs.
+  int rescale = 0;
 
   /// Reproducer flags for `fuzz_differential` (everything non-default).
   std::string ToFlags() const;

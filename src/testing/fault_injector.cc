@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "runtime/checkpoint.h"
+#include "runtime/parallel_executor.h"
 
 namespace scotty {
 namespace testing {
@@ -29,34 +30,72 @@ FaultPlan MakeFaultPlan(uint64_t seed, size_t num_tuples) {
       break;
   }
   plan.fault_arg = rng.NextU64();
+  switch (rng.NextBounded(3)) {
+    case 0:
+      plan.mode = PersistMode::kSyncFull;
+      break;
+    case 1:
+      plan.mode = PersistMode::kSyncIncremental;
+      break;
+    default:
+      plan.mode = PersistMode::kAsyncIncremental;
+      break;
+  }
+  if (plan.mode != PersistMode::kSyncFull) {
+    // Delta-chain faults only exist where delta logs exist.
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        plan.delta_fault = DeltaFault::kNone;
+        break;
+      case 4:
+      case 5:
+        plan.delta_fault = DeltaFault::kTruncateTail;
+        break;
+      case 6:
+        plan.delta_fault = DeltaFault::kBitFlip;
+        break;
+      default:
+        plan.delta_fault = DeltaFault::kDropNewestBase;
+        break;
+    }
+  }
+  plan.delta_fault_arg = rng.NextU64();
   return plan;
 }
 
-bool ApplySnapshotFault(const std::string& path, const FaultPlan& plan) {
+bool ApplyFileFault(const std::string& path, SnapshotFault fault,
+                    uint64_t fault_arg) {
   namespace fs = std::filesystem;
-  if (plan.fault == SnapshotFault::kNone) return true;
+  if (fault == SnapshotFault::kNone) return true;
   std::error_code ec;
   const uintmax_t size = fs::file_size(path, ec);
   if (ec) return false;
   if (size == 0) return true;
-  if (plan.fault == SnapshotFault::kTruncate) {
+  if (fault == SnapshotFault::kTruncate) {
     // Torn write: the file ends mid-payload. Damage is applied in place —
     // it models a sector-level tear that bypasses the temp+rename protocol.
-    fs::resize_file(path, plan.fault_arg % size, ec);
+    fs::resize_file(path, fault_arg % size, ec);
     return !ec;
   }
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   if (f == nullptr) return false;
-  const long off = static_cast<long>(plan.fault_arg % size);
+  const long off = static_cast<long>(fault_arg % size);
   unsigned char byte = 0;
   bool ok =
       std::fseek(f, off, SEEK_SET) == 0 && std::fread(&byte, 1, 1, f) == 1;
   if (ok) {
-    byte ^= static_cast<unsigned char>(1u << ((plan.fault_arg >> 56) & 7));
+    byte ^= static_cast<unsigned char>(1u << ((fault_arg >> 56) & 7));
     ok = std::fseek(f, off, SEEK_SET) == 0 && std::fwrite(&byte, 1, 1, f) == 1;
   }
   std::fclose(f);
   return ok;
+}
+
+bool ApplySnapshotFault(const std::string& path, const FaultPlan& plan) {
+  return ApplyFileFault(path, plan.fault, plan.fault_arg);
 }
 
 namespace {
@@ -65,6 +104,68 @@ void DrainInto(WindowOperator& op, std::map<ResultKey, Value>* out) {
   for (const WindowResult& r : op.TakeResults()) {
     (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
   }
+}
+
+void DrainIntoKeyed(WindowOperator& op, std::map<KeyedResultKey, Value>* out) {
+  for (const WindowResult& r : op.TakeResults()) {
+    (*out)[{r.key, r.window_id, r.agg_id, r.start, r.end}] = r.value;
+  }
+}
+
+CheckpointOptions OptionsForMode(const std::string& scratch_dir,
+                                 PersistMode mode) {
+  CheckpointOptions copts;
+  copts.directory = scratch_dir;
+  copts.prefix = "ckpt";
+  copts.retain = 3;
+  switch (mode) {
+    case PersistMode::kSyncFull:
+      break;
+    case PersistMode::kSyncIncremental:
+      copts.incremental = true;
+      copts.full_snapshot_every = 4;
+      break;
+    case PersistMode::kAsyncIncremental:
+      copts.incremental = true;
+      copts.full_snapshot_every = 4;
+      copts.async = true;
+      copts.async_queue_depth = 8;
+      break;
+  }
+  return copts;
+}
+
+/// Post-crash damage to the incremental chain: the newest delta segment is
+/// torn/corrupted, or the newest base is deleted from under its deltas.
+/// No-op when the targeted file does not exist (e.g. sync-full mode).
+bool ApplyDeltaChainFault(const std::string& scratch_dir,
+                          const std::string& prefix, const FaultPlan& plan,
+                          std::string* error) {
+  if (plan.delta_fault == DeltaFault::kNone) return true;
+  const std::vector<std::string> snaps = ListSnapshots(scratch_dir, prefix);
+  if (snaps.empty()) return true;
+  const std::string newest = snaps.front();
+  if (plan.delta_fault == DeltaFault::kDropNewestBase) {
+    std::error_code ec;
+    std::filesystem::remove(newest, ec);
+    if (ec) {
+      *error = "cannot delete newest base " + newest;
+      return false;
+    }
+    return true;
+  }
+  const std::string dlog =
+      newest.substr(0, newest.size() - 5) + ".dlog";  // ".snap" -> ".dlog"
+  std::error_code ec;
+  if (!std::filesystem::exists(dlog, ec)) return true;
+  const SnapshotFault kind = plan.delta_fault == DeltaFault::kTruncateTail
+                                 ? SnapshotFault::kTruncate
+                                 : SnapshotFault::kBitFlip;
+  if (!ApplyFileFault(dlog, kind, plan.delta_fault_arg)) {
+    *error = "fault application failed on " + dlog;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -86,11 +187,7 @@ bool RunToFinalResultsCrashRecovered(
     return false;
   }
 
-  CheckpointOptions copts;
-  copts.directory = scratch_dir;
-  copts.prefix = "ckpt";
-  copts.retain = 3;
-  CheckpointCoordinator coord(copts);
+  const CheckpointOptions copts = OptionsForMode(scratch_dir, plan.mode);
 
   std::unique_ptr<WindowOperator> op = factory();
   if (!op->SupportsSnapshot()) {
@@ -100,7 +197,10 @@ bool RunToFinalResultsCrashRecovered(
 
   // Phase one: run until the crash, checkpointing at every watermark
   // barrier. `delivered` models output already durably consumed downstream
-  // (drained before each barrier, per the ResultSink contract).
+  // (drained before each barrier, per the ResultSink contract). The
+  // coordinator lives in this scope only: destroying it at the "crash" is
+  // how queued-but-unpersisted async barriers get lost, exactly like a real
+  // process death after Abandon.
   std::map<ResultKey, Value> delivered;
   uint64_t seq = 0;
   Time max_ts = kNoTime;
@@ -108,30 +208,44 @@ bool RunToFinalResultsCrashRecovered(
   const size_t n = tuples.size();
   const size_t crash_at = std::min<size_t>(
       static_cast<size_t>(plan.crash_index), n);
-  for (size_t i = 0; i < crash_at; ++i) {
-    Tuple t = tuples[i];
-    t.seq = seq++;
-    op->ProcessTuple(t);
-    max_ts = std::max(max_ts, t.ts);
-    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
-      const Time wm = max_ts - wm_lag;
-      if (wm > last_wm || last_wm == kNoTime) {
-        op->ProcessWatermark(wm);
-        last_wm = wm;
-        DrainInto(*op, &delivered);
-        state::CheckpointMetadata meta;
-        meta.source_offset = i + 1;
-        meta.next_seq = seq;
-        meta.max_ts = max_ts;
-        meta.last_wm = last_wm;
-        if (coord.OnBarrier(*op, meta).empty()) {
-          *error = "checkpoint persist failed at tuple " + std::to_string(i + 1);
-          return false;
+  {
+    CheckpointCoordinator coord(copts);
+    for (size_t i = 0; i < crash_at; ++i) {
+      Tuple t = tuples[i];
+      t.seq = seq++;
+      op->ProcessTuple(t);
+      max_ts = std::max(max_ts, t.ts);
+      if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+        const Time wm = max_ts - wm_lag;
+        if (wm > last_wm || last_wm == kNoTime) {
+          op->ProcessWatermark(wm);
+          last_wm = wm;
+          DrainInto(*op, &delivered);
+          state::CheckpointMetadata meta;
+          meta.source_offset = i + 1;
+          meta.next_seq = seq;
+          meta.max_ts = max_ts;
+          meta.last_wm = last_wm;
+          const std::string path = coord.OnBarrier(*op, meta);
+          // Only the async queue may legitimately shed a barrier; a
+          // synchronous persist failing here is a harness bug.
+          if (path.empty() && plan.mode != PersistMode::kAsyncIncremental) {
+            *error =
+                "checkpoint persist failed at tuple " + std::to_string(i + 1);
+            return false;
+          }
         }
       }
     }
+    if (stats != nullptr) stats->barriers = coord.checkpoints_taken();
+    if (plan.mode == PersistMode::kAsyncIncremental) {
+      // The crash catches the persist thread with whatever is queued:
+      // abandon the queue (lost forever), let the in-flight record finish
+      // (a real crash mid-write would leave a torn tail, which the
+      // delta-fault dimension models separately).
+      coord.Abandon();
+    }
   }
-  if (stats != nullptr) stats->barriers = coord.checkpoints_taken();
   op.reset();  // the crash: all in-memory state is gone
 
   const std::vector<std::string> snaps =
@@ -140,13 +254,20 @@ bool RunToFinalResultsCrashRecovered(
     *error = "fault application failed on " + snaps.front();
     return false;
   }
+  if (!ApplyDeltaChainFault(scratch_dir, copts.prefix, plan, error)) {
+    return false;
+  }
 
-  // Recovery: newest valid snapshot wins; from scratch when none validates.
+  // Recovery: newest valid base + its valid delta prefix wins; from scratch
+  // when none validates.
   size_t resume_at = 0;
   seq = 0;
   max_ts = kNoTime;
   last_wm = kNoTime;
   RecoveredOperator rec = RecoverNewestValid(scratch_dir, copts.prefix, factory);
+  const bool newest_base_damaged =
+      plan.fault != SnapshotFault::kNone ||
+      plan.delta_fault == DeltaFault::kDropNewestBase;
   if (rec.restored.ok) {
     if (plan.fault != SnapshotFault::kNone && !snaps.empty() &&
         rec.path_used == snaps.front()) {
@@ -161,11 +282,13 @@ bool RunToFinalResultsCrashRecovered(
     if (stats != nullptr) {
       stats->fell_back = rec.fell_back;
       stats->path_used = rec.path_used;
+      stats->deltas_applied = rec.deltas_applied;
+      stats->delta_tail_rejected = rec.delta_tail_rejected;
     }
   } else {
-    // From-scratch is only legitimate when every on-disk snapshot was
-    // damaged — i.e. at most the one file the plan faulted existed.
-    if (!snaps.empty() && plan.fault == SnapshotFault::kNone) {
+    // From-scratch is only legitimate when every on-disk base was damaged —
+    // i.e. at most the one file the plan faulted (or deleted) existed.
+    if (!snaps.empty() && !newest_base_damaged) {
       *error = "recovery failed with intact snapshots: " + rec.restored.error;
       return false;
     }
@@ -201,6 +324,240 @@ bool RunToFinalResultsCrashRecovered(
   // Downstream merge: the recovered run re-emits every result from the
   // barrier onward, so it overrides; entries final before the barrier were
   // already delivered and are never contradicted.
+  *out = std::move(delivered);
+  for (const auto& [key, value] : replayed) (*out)[key] = value;
+
+  fs::remove_all(scratch_dir, ec);
+  return true;
+}
+
+bool RunKeyedToFinalResults(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    std::map<KeyedResultKey, Value>* out, std::string* error) {
+  out->clear();
+  std::unique_ptr<WindowOperator> op = factory();
+  if (op == nullptr) {
+    *error = "factory returned null";
+    return false;
+  }
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  for (const Tuple& src : tuples) {
+    Tuple t = src;
+    t.seq = seq++;
+    op->ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        op->ProcessWatermark(wm);
+        last_wm = wm;
+        DrainIntoKeyed(*op, out);
+      }
+    }
+  }
+  op->ProcessWatermark(final_wm);
+  DrainIntoKeyed(*op, out);
+  return true;
+}
+
+bool RunKeyedRescaleCrashRecovered(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const FaultPlan& plan, const std::string& scratch_dir, size_t from_workers,
+    size_t to_workers, std::map<KeyedResultKey, Value>* out,
+    std::string* error, CrashRunStats* stats) {
+  namespace fs = std::filesystem;
+  out->clear();
+  if (from_workers == 0 || to_workers == 0) {
+    *error = "worker counts must be positive";
+    return false;
+  }
+  std::error_code ec;
+  fs::remove_all(scratch_dir, ec);
+  ec.clear();
+  fs::create_directories(scratch_dir, ec);
+  if (ec) {
+    *error = "cannot create scratch dir " + scratch_dir;
+    return false;
+  }
+  const CheckpointOptions copts = OptionsForMode(scratch_dir, plan.mode);
+
+  // Phase one: `from_workers` deterministic keyed workers. Routing and the
+  // per-worker item sequences are exactly what the threaded
+  // ParallelExecutor produces; running them inline makes the crash point
+  // and every barrier bit-reproducible from the seed.
+  std::vector<std::unique_ptr<WindowOperator>> workers;
+  workers.reserve(from_workers);
+  for (size_t w = 0; w < from_workers; ++w) {
+    workers.push_back(factory());
+    if (workers.back() == nullptr || !workers.back()->SupportsSnapshot()) {
+      *error = "factory must produce snapshot-capable operators";
+      return false;
+    }
+  }
+  std::map<KeyedResultKey, Value> delivered;
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  const size_t n = tuples.size();
+  const size_t crash_at =
+      std::min<size_t>(static_cast<size_t>(plan.crash_index), n);
+  {
+    CheckpointCoordinator coord(copts);
+    for (size_t i = 0; i < crash_at; ++i) {
+      Tuple t = tuples[i];
+      t.seq = seq++;
+      workers[ParallelExecutor::WorkerIndexForKey(t.key, from_workers)]
+          ->ProcessTuple(t);
+      max_ts = std::max(max_ts, t.ts);
+      if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+        const Time wm = max_ts - wm_lag;
+        if (wm > last_wm || last_wm == kNoTime) {
+          last_wm = wm;
+          for (auto& w : workers) {
+            w->ProcessWatermark(wm);
+            DrainIntoKeyed(*w, &delivered);
+          }
+          std::vector<std::vector<uint8_t>> states;
+          states.reserve(from_workers);
+          for (auto& w : workers) {
+            state::Writer sw;
+            w->SerializeState(sw);
+            states.push_back(sw.Take());
+          }
+          state::CheckpointMetadata meta;
+          meta.source_offset = i + 1;
+          meta.next_seq = seq;
+          meta.max_ts = max_ts;
+          meta.last_wm = last_wm;
+          const std::string path = coord.OnBarrierBytes(
+              "parallel", BuildParallelSnapshotBlob(states), meta);
+          if (path.empty() && plan.mode != PersistMode::kAsyncIncremental) {
+            *error =
+                "checkpoint persist failed at tuple " + std::to_string(i + 1);
+            return false;
+          }
+        }
+      }
+    }
+    if (stats != nullptr) stats->barriers = coord.checkpoints_taken();
+    if (plan.mode == PersistMode::kAsyncIncremental) coord.Abandon();
+  }
+  workers.clear();  // the crash
+
+  const std::vector<std::string> snaps =
+      ListSnapshots(scratch_dir, copts.prefix);
+  if (!snaps.empty() && !ApplySnapshotFault(snaps.front(), plan)) {
+    *error = "fault application failed on " + snaps.front();
+    return false;
+  }
+  if (!ApplyDeltaChainFault(scratch_dir, copts.prefix, plan, error)) {
+    return false;
+  }
+  const std::vector<std::string> after_fault =
+      ListSnapshots(scratch_dir, copts.prefix);
+
+  // Recovery onto `to_workers`: newest base whose combined blob validates
+  // end-to-end (container, framing, re-partition, per-worker decode) wins.
+  size_t resume_at = 0;
+  seq = 0;
+  max_ts = kNoTime;
+  last_wm = kNoTime;
+  bool recovered = false;
+  bool fell_back = false;
+  const bool newest_base_damaged =
+      plan.fault != SnapshotFault::kNone ||
+      plan.delta_fault == DeltaFault::kDropNewestBase;
+  for (const std::string& path : after_fault) {
+    std::vector<uint8_t> blob;
+    state::CheckpointMetadata meta;
+    std::string name;
+    std::vector<uint8_t> combined;
+    std::vector<std::vector<uint8_t>> states;
+    std::string why;
+    if (!state::ReadSnapshotFile(path, &blob) ||
+        !state::ParseSnapshot(blob, &meta, &name, &combined) ||
+        name != "parallel" ||
+        !ParseParallelSnapshotBlob(combined, &states, &why)) {
+      fell_back = true;
+      continue;
+    }
+    if (states.size() != to_workers &&
+        !RepartitionKeyedStates(states, to_workers, &states, &why)) {
+      fell_back = true;
+      continue;
+    }
+    std::vector<std::unique_ptr<WindowOperator>> fresh;
+    fresh.reserve(to_workers);
+    bool decoded = true;
+    for (size_t w = 0; w < to_workers && decoded; ++w) {
+      fresh.push_back(factory());
+      state::Reader r(states[w]);
+      fresh.back()->DeserializeState(r);
+      decoded = r.ok() && r.AtEnd();
+    }
+    if (!decoded) {
+      fell_back = true;
+      continue;
+    }
+    if (plan.fault != SnapshotFault::kNone && !snaps.empty() &&
+        path == snaps.front()) {
+      *error = "a torn/corrupt snapshot validated: " + path;
+      return false;
+    }
+    workers = std::move(fresh);
+    resume_at = static_cast<size_t>(meta.source_offset);
+    seq = meta.next_seq;
+    max_ts = meta.max_ts;
+    last_wm = meta.last_wm;
+    recovered = true;
+    if (stats != nullptr) {
+      stats->fell_back = fell_back;
+      stats->path_used = path;
+    }
+    break;
+  }
+  if (!recovered) {
+    if (!snaps.empty() && !newest_base_damaged) {
+      *error = "rescale recovery failed with intact snapshots";
+      return false;
+    }
+    if (snaps.size() >= 2) {
+      *error = "rescale fallback failed past the damaged newest snapshot";
+      return false;
+    }
+    workers.clear();
+    for (size_t w = 0; w < to_workers; ++w) workers.push_back(factory());
+    if (stats != nullptr) stats->recovered_from_scratch = true;
+  }
+
+  // Phase two: replay on the new topology.
+  std::map<KeyedResultKey, Value> replayed;
+  for (size_t i = resume_at; i < n; ++i) {
+    Tuple t = tuples[i];
+    t.seq = seq++;
+    workers[ParallelExecutor::WorkerIndexForKey(t.key, to_workers)]
+        ->ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        last_wm = wm;
+        for (auto& w : workers) {
+          w->ProcessWatermark(wm);
+          DrainIntoKeyed(*w, &replayed);
+        }
+      }
+    }
+  }
+  for (auto& w : workers) {
+    w->ProcessWatermark(final_wm);
+    DrainIntoKeyed(*w, &replayed);
+  }
+
   *out = std::move(delivered);
   for (const auto& [key, value] : replayed) (*out)[key] = value;
 

@@ -3,15 +3,22 @@
 
 // Fault injection for the checkpoint/recovery path (DESIGN.md §7).
 //
-// A FaultPlan fully determines one simulated failure: the process "dies" at
-// a random tuple index (in-memory operator state is discarded), and the
-// newest snapshot file on disk is optionally torn (truncated mid-payload)
-// or corrupted (single bit flip). RunToFinalResultsCrashRecovered then
-// recovers exactly like a production restart would — newest valid snapshot,
-// falling back past damaged files, from scratch when nothing validates —
-// replays the remainder of the stream, and returns the merged downstream
-// view. The differential fuzzer's --crash dimension requires that view to
-// be bit-identical to the same technique's unfaulted run.
+// A FaultPlan fully determines one simulated failure: the checkpoints are
+// persisted in one of three modes (sync-full, sync-incremental,
+// async-incremental), the process "dies" at a random tuple index
+// (in-memory operator state is discarded, queued async persists are
+// abandoned), and the on-disk checkpoint chain is optionally damaged — the
+// newest base snapshot torn (truncated mid-payload) or corrupted (single
+// bit flip), the newest delta-log segment torn or corrupted, or the newest
+// base deleted out from under its live deltas.
+// RunToFinalResultsCrashRecovered then recovers exactly like a production
+// restart would — newest valid base plus its valid delta prefix, falling
+// back past damaged files, from scratch when nothing validates — replays
+// the remainder of the stream, and returns the merged downstream view. The
+// differential fuzzer's --crash dimension requires that view to be
+// bit-identical to the same technique's unfaulted run, for every
+// persistence mode; its rescale twin additionally restores onto a
+// different worker count (RunKeyedRescaleCrashRecovered).
 
 #include <cstdint>
 #include <functional>
@@ -32,32 +39,62 @@ enum class SnapshotFault : uint8_t {
   kBitFlip,   ///< flip one bit of the newest file (media corruption)
 };
 
-/// One deterministic failure scenario. `fault_arg` is raw RNG material the
-/// fault application derives its truncation point / flip offset from, so a
-/// (seed, num_tuples) pair replays the exact same damage.
+/// What happens to the incremental-checkpoint files after the crash.
+enum class DeltaFault : uint8_t {
+  kNone,            ///< delta log stays intact
+  kTruncateTail,    ///< cut the newest delta-log segment short (torn append)
+  kBitFlip,         ///< flip one bit of the newest segment (corruption)
+  kDropNewestBase,  ///< delete the newest base .snap, orphaning its segment
+};
+
+/// How phase one persists its barriers — the three coordinator modes the
+/// crash sweep must all survive.
+enum class PersistMode : uint8_t {
+  kSyncFull,          ///< full snapshot, fsync on the barrier path
+  kSyncIncremental,   ///< base + deltas, each barrier durable before return
+  kAsyncIncremental,  ///< base + deltas on the background persist thread
+};
+
+/// One deterministic failure scenario. `fault_arg`/`delta_fault_arg` are
+/// raw RNG material the fault application derives truncation points / flip
+/// offsets from, so a (seed, num_tuples) pair replays the exact same
+/// damage.
 struct FaultPlan {
   uint64_t crash_index = 0;  ///< crash fires just before this tuple index
   SnapshotFault fault = SnapshotFault::kNone;
   uint64_t fault_arg = 0;
+  PersistMode mode = PersistMode::kSyncFull;
+  DeltaFault delta_fault = DeltaFault::kNone;
+  uint64_t delta_fault_arg = 0;
 };
 
-/// Derives a plan from `seed`: crash index uniform in [1, num_tuples], and
+/// Derives a plan from `seed`: crash index uniform in [1, num_tuples],
 /// roughly half the seeds additionally damage the newest snapshot
-/// (truncation and bit flips equally likely).
+/// (truncation and bit flips equally likely), persistence mode uniform over
+/// the three modes, and — in the incremental modes — roughly half the seeds
+/// additionally fault the delta chain (torn segment tail, segment bit flip,
+/// or a deleted base under live deltas).
 FaultPlan MakeFaultPlan(uint64_t seed, size_t num_tuples);
 
-/// Applies `plan.fault` to the file at `path` in place (no temp + rename —
+/// Applies a fault kind to an arbitrary file in place (no temp + rename —
 /// this models damage that bypasses the atomic-write protocol, e.g. a torn
 /// sector). kNone is a no-op. Returns false only on an I/O error; an empty
 /// file is left as is.
+bool ApplyFileFault(const std::string& path, SnapshotFault fault,
+                    uint64_t fault_arg);
+
+/// ApplyFileFault with `plan.fault`/`plan.fault_arg` (the newest-snapshot
+/// fault of the plan).
 bool ApplySnapshotFault(const std::string& path, const FaultPlan& plan);
 
 /// Observability for one crash-recovery run, mostly for tests.
 struct CrashRunStats {
-  uint64_t barriers = 0;  ///< checkpoints persisted before the crash
+  uint64_t barriers = 0;  ///< checkpoints scheduled before the crash
   bool recovered_from_scratch = false;  ///< no snapshot validated
   bool fell_back = false;  ///< a newer snapshot was rejected during recovery
   std::string path_used;   ///< snapshot file recovery restored from
+  uint64_t deltas_applied = 0;  ///< delta records replayed on the base
+  bool delta_tail_rejected = false;  ///< damaged delta tail was discarded
 };
 
 /// Crash-recovering twin of RunToFinalResults. Phase one runs a fresh
@@ -85,6 +122,38 @@ bool RunToFinalResultsCrashRecovered(
     const FaultPlan& plan, const std::string& scratch_dir,
     std::map<ResultKey, Value>* out, std::string* error,
     CrashRunStats* stats = nullptr);
+
+/// Result identity for keyed pipelines: ResultKey alone would collide
+/// across partition keys, so the key joins the tuple.
+using KeyedResultKey = std::tuple<int64_t, int, int, Time, Time>;
+
+/// Reference run for the rescaling harness: one keyed operator from
+/// `factory` over the whole stream with the harness cadence (identical to
+/// any worker partitioning, since keys never interact).
+bool RunKeyedToFinalResults(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    std::map<KeyedResultKey, Value>* out, std::string* error);
+
+/// Crash-recovery with a topology change: phase one runs `from_workers`
+/// deterministic keyed workers (tuples routed by
+/// ParallelExecutor::WorkerIndexForKey, watermarks broadcast — the exact
+/// item sequences the threaded executor produces), persisting a combined
+/// worker-state blob through a CheckpointCoordinator in `plan.mode` at
+/// every watermark barrier. At `plan.crash_index` the workers die, the
+/// newest snapshot is damaged per the plan, and recovery restores the
+/// newest valid blob onto `to_workers` fresh workers — re-partitioning
+/// per-key state when the counts differ — and replays the remainder.
+/// `*out` receives the downstream merge (delivered overlaid by replayed),
+/// which must equal RunKeyedToFinalResults on the same stream EXACTLY.
+/// `factory` must produce KeyedWindowOperator instances; anything else
+/// fails the re-partition step by design.
+bool RunKeyedRescaleCrashRecovered(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const FaultPlan& plan, const std::string& scratch_dir, size_t from_workers,
+    size_t to_workers, std::map<KeyedResultKey, Value>* out,
+    std::string* error, CrashRunStats* stats = nullptr);
 
 }  // namespace testing
 }  // namespace scotty

@@ -15,7 +15,17 @@
 //
 // Usage:
 //   crash_injection --technique=slicing-lazy --tuples=4096 --wm-every=256 \
-//       --dir=/tmp/ckpt --out=/tmp/results.log [--resume]
+//       --dir=/tmp/ckpt --out=/tmp/results.log [--resume] \
+//       [--mode=sync-full|async-full|async-incremental]
+//
+// --mode picks the persistence protocol. sync-full (the default) persists a
+// full snapshot on the barrier path, so the log and the snapshot advance in
+// lockstep and recovery is exactly-once (byte-identical concatenated logs).
+// The async modes persist on a background thread: SCOTTY_CRASH_AFTER then
+// kills the process from inside the persist thread while ingestion is
+// further ahead, so recovery replays a suffix the crashed run already
+// logged — at-least-once. crash_sweep.sh switches to a superset/no-
+// alteration comparison for those modes.
 
 #include <cstdint>
 #include <cstdio>
@@ -48,8 +58,24 @@ struct Args {
   uint64_t wm_every = 256;
   std::string dir = ".";
   std::string out = "results.log";
+  std::string mode = "sync-full";
   bool resume = false;
 };
+
+bool ApplyMode(const std::string& mode, CheckpointOptions* copts) {
+  if (mode == "sync-full") return true;
+  if (mode == "async-full") {
+    copts->async = true;
+    return true;
+  }
+  if (mode == "async-incremental") {
+    copts->async = true;
+    copts->incremental = true;
+    copts->full_snapshot_every = 4;
+    return true;
+  }
+  return false;
+}
 
 bool ParseArgs(int argc, char** argv, Args* a) {
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +97,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->dir = v;
     } else if (const char* v = val("--out")) {
       a->out = v;
+    } else if (const char* v = val("--mode")) {
+      a->mode = v;
     } else if (arg == "--resume") {
       a->resume = true;
     } else {
@@ -128,6 +156,22 @@ OperatorFactory MakeFactory(const std::string& technique) {
   return nullptr;
 }
 
+/// Drops an unterminated final line from the crashed run's log. The async
+/// crash fires from the persist thread while the ingestion thread may be
+/// mid-line; the torn line is past the durable snapshot's offset, so the
+/// resumed replay re-emits it whole.
+void TrimTornTail(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::ifstream in(path, std::ios::binary);
+  std::string content(static_cast<size_t>(size), '\0');
+  in.read(content.data(), static_cast<std::streamsize>(size));
+  if (!in || content.back() == '\n') return;
+  const size_t last_nl = content.find_last_of('\n');
+  fs::resize_file(path, last_nl == std::string::npos ? 0 : last_nl + 1, ec);
+}
+
 /// Newest snapshot = highest barrier index in the file name.
 std::string NewestSnapshot(const std::string& dir, const std::string& prefix) {
   std::string best;
@@ -162,6 +206,7 @@ int Run(const Args& a) {
 
   // Append on resume, truncate on a fresh run. std::endl per line: the log
   // must be on disk before the barrier that could kill the process.
+  if (a.resume) TrimTornTail(a.out);
   std::ofstream log(a.out, a.resume ? std::ios::app : std::ios::trunc);
   if (!log) {
     std::fprintf(stderr, "cannot open log: %s\n", a.out.c_str());
@@ -180,7 +225,14 @@ int Run(const Args& a) {
   PipelineOptions popts;
   popts.watermark_every = a.wm_every;
   popts.watermark_delay = 100;
-  CheckpointCoordinator coord({.directory = a.dir, .prefix = "ckpt"});
+  CheckpointOptions copts;
+  copts.directory = a.dir;
+  copts.prefix = "ckpt";
+  if (!ApplyMode(a.mode, &copts)) {
+    std::fprintf(stderr, "unknown mode: %s\n", a.mode.c_str());
+    return 2;
+  }
+  CheckpointCoordinator coord(copts);
 
   if (!a.resume) {
     auto op = factory();

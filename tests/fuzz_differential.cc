@@ -53,7 +53,7 @@ constexpr const char* kKnownFlags[] = {
     "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
     "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch",
-    "checkpoint", "crash"};
+    "checkpoint", "crash",      "rescale"};
 
 bool ParseFlags(int argc, char** argv, Flags* out) {
   for (int i = 1; i < argc; ++i) {
@@ -133,10 +133,18 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
                                                  cfg->checkpoint));
   }
   if (flags.Has("crash")) {
-    // N > 0: kill the run at tuple N. -1: seed-derived kill point and
-    // snapshot fault (forces the crash-recovery dimension on for a whole
-    // sweep — the nightly lane runs 500 seeds this way). 0: off.
+    // N > 0: kill the run at tuple N. -1: seed-derived kill point,
+    // persistence mode (sync-full / sync-incremental / async-incremental),
+    // and snapshot/delta-log fault (forces the crash-recovery dimension on
+    // for a whole sweep — the nightly lane runs 500 seeds this way). 0: off.
     cfg->crash = static_cast<int>(flags.Int("crash", cfg->crash));
+  }
+  if (flags.Has("rescale")) {
+    // Rescaling crash twin: keyed stream on W workers, crash, recover onto
+    // W' != W by re-partitioning per-key state. N > 0: crash at tuple N.
+    // -1: seed-derived crash point, worker counts, and faults (the nightly
+    // rescaling lane runs 500 seeds this way). 0: off.
+    cfg->rescale = static_cast<int>(flags.Int("rescale", cfg->rescale));
   }
 }
 
