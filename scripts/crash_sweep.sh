@@ -20,15 +20,22 @@
 #                        concatenated line exists somewhere in the reference
 #                        (no alteration or invention).
 #
-# Usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every] [mode]
+# When a corpus directory is given (6th argument), every one-line
+# reproducer in it is additionally replayed through the differential
+# harness's fault-injected crash dimension (fuzz_differential --crash=-1),
+# so the sweep exercises exactly the stream/query shapes the guided fuzzer
+# found interesting — not just the fixed crash_injection workload.
+#
+# Usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every] [mode] [corpus_dir]
 
 set -u
 
-BIN=${1:?usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every] [mode]}
+BIN=${1:?usage: crash_sweep.sh <crash_injection_binary> [workdir] [tuples] [wm_every] [mode] [corpus_dir]}
 WORK=${2:-$(mktemp -d)}
 TUPLES=${3:-4096}
 WM_EVERY=${4:-256}
 MODE=${5:-sync-full}
+CORPUS=${6:-}
 BARRIERS=$((TUPLES / WM_EVERY))
 
 TECHNIQUES="slicing-lazy slicing-eager slicing-inorder tuple-buffer aggregate-tree buckets"
@@ -108,6 +115,33 @@ for tech in $TECHNIQUES; do
   done
   echo "OK: $tech recovered at all $BARRIERS barriers ($MODE)"
 done
+
+# Corpus replay: run every reproducer line through the differential
+# harness's crash dimension. fuzz_differential is expected to live next to
+# the crash_injection binary (both build into build/tests/).
+if [ -n "$CORPUS" ] && [ -d "$CORPUS" ]; then
+  FUZZ="$(dirname "$BIN")/fuzz_differential"
+  if [ ! -x "$FUZZ" ]; then
+    echo "crash sweep: corpus dir given but $FUZZ not built" >&2
+    exit 1
+  fi
+  for repro in "$CORPUS"/*.repro; do
+    [ -e "$repro" ] || continue
+    line=$(grep -v '^[[:space:]]*#' "$repro" | grep -v '^[[:space:]]*$' | head -n 1)
+    [ -n "$line" ] || continue
+    total=$((total + 1))
+    case "$line" in
+      *--crash=*) extra="" ;;
+      *) extra="--crash=-1" ;;
+    esac
+    # shellcheck disable=SC2086
+    if ! "$FUZZ" $line $extra > /dev/null; then
+      echo "FAIL: corpus crash replay $(basename "$repro")"
+      failures=$((failures + 1))
+    fi
+  done
+  echo "OK: corpus crash replay ($(ls "$CORPUS"/*.repro 2>/dev/null | wc -l) reproducers)"
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "crash sweep: $failures/$total cases FAILED"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Coverage-guided differential fuzzing session with a persistent local
+# corpus (DESIGN.md §8).
+#
+# Wraps fuzz_differential --guided: seeds from the checked-in regression
+# reproducers (tests/corpus/regressions/) plus whatever a previous session
+# left in the corpus directory, runs for a wall-clock budget, and persists
+# every input that discovered new coverage back into the corpus — so
+# repeated invocations keep deepening the same corpus instead of starting
+# cold. Failing configs also land in the corpus as one-line reproducers.
+#
+# Coverage source: on a -DSCOTTY_COVERAGE=ON build the loop is guided by
+# SanitizerCoverage edge counts + the semantic feature map; on a plain
+# build it degrades to the semantic map alone (the [fuzz-stats] line says
+# which: edges=instrumented vs edges=semantic-only).
+#
+# Usage: guided_fuzz.sh <fuzz_differential_binary> [corpus_dir] [budget_s] [seed]
+
+set -u
+
+BIN=${1:?usage: guided_fuzz.sh <fuzz_differential_binary> [corpus_dir] [budget_s] [seed]}
+CORPUS=${2:-.fuzz-corpus}
+BUDGET=${3:-60}
+SEED=${4:-1}
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+REGRESSIONS="$ROOT/tests/corpus/regressions"
+
+mkdir -p "$CORPUS"
+echo "guided fuzz: corpus=$CORPUS budget=${BUDGET}s seed=$SEED"
+"$BIN" --guided --seed="$SEED" --time-budget-s="$BUDGET" \
+  --corpus="$CORPUS" --seed-corpus="$REGRESSIONS" \
+  --stats-json="$CORPUS/stats.json" --stats-series=guided
+rc=$?
+echo "guided fuzz: corpus now holds $(ls "$CORPUS"/*.repro 2>/dev/null | wc -l) entries"
+exit "$rc"

@@ -180,9 +180,11 @@ void BucketsOperator::ApplySessionMods(size_t w,
                                        const ContextModifications& mods) {
   auto& map = buckets_[w];
   for (const auto& [a, b] : mods.merged_ranges) {
-    // Merge all buckets whose start lies in [a, b) into one.
+    // Merge all buckets whose start lies in [a, b) into one. A session
+    // consisting only of punctuation markers has no bucket at all, so the
+    // range may be empty — never touch a bucket outside it.
     auto lo = map.lower_bound(a);
-    if (lo == map.end()) continue;
+    if (lo == map.end() || lo->first >= b) continue;
     Bucket merged = lo->second;
     auto it = std::next(lo);
     while (it != map.end() && it->first < b) {
@@ -205,8 +207,14 @@ void BucketsOperator::ApplySessionMods(size_t w,
   }
   for (const auto& r : mods.resizes) {
     auto it = map.find(r.locate);
-    if (it == map.end()) it = map.lower_bound(r.new_start);
-    if (it == map.end()) continue;
+    if (it == map.end()) {
+      // The session may have been re-keyed by an earlier merge; any bucket
+      // inside the resized extent is it (sessions are >= gap apart). If the
+      // session holds no data tuples yet (punctuation-only), there is no
+      // bucket — resizing must not capture a later session's bucket.
+      it = map.lower_bound(r.new_start);
+      if (it == map.end() || it->first >= r.new_end) continue;
+    }
     Bucket b = it->second;
     map.erase(it);
     b.start = std::min(b.start, r.new_start);

@@ -45,7 +45,13 @@ void CountLane::EnsureOpenSlice(int64_t rank) {
 
 void CountLane::Add(const Tuple& t, bool in_order,
                     std::vector<WindowResult>* out) {
-  if (in_order) {
+  // An out-of-order arrival with no count slice yet is still rank-wise
+  // first: a punctuation marker can advance the operator's max_ts before
+  // any data tuple exists (markers never enter the count lane), making the
+  // first data tuple "out of order" in event time. Count ranks only order
+  // data tuples, so the in-order path is exact — and the out-of-order path
+  // below must never run on an empty store (At(0) would be out of bounds).
+  if (in_order || store_.Empty()) {
     const int64_t rank = total_count_;
     EnsureOpenSlice(rank);
     Slice* cur = store_.Current();

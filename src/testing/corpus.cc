@@ -1,0 +1,159 @@
+#include "testing/corpus.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "testing/coverage.h"
+
+namespace scotty {
+namespace testing {
+
+namespace fs = std::filesystem;
+
+std::string Corpus::CanonicalLine(const DifferentialConfig& cfg) {
+  return cfg.ToFlags();
+}
+
+std::string Corpus::IdFor(const DifferentialConfig& cfg) {
+  const std::string line = CanonicalLine(cfg);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    Fnv1a64(line.data(), line.size())));
+  return buf;
+}
+
+size_t Corpus::LoadDir(const std::string& dir,
+                       std::vector<std::string>* errors) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  // Sorted load order so a run over the same corpus is deterministic
+  // regardless of directory-entry order.
+  std::set<std::string> paths;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".repro") paths.insert(de.path().string());
+  }
+  size_t added = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    std::string line;
+    bool parsed = false;
+    while (std::getline(in, line)) {
+      // First non-comment, non-blank line is the config; the rest of the
+      // file is free-form commentary (regression reproducers document
+      // their bug there).
+      size_t i = 0;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i == line.size() || line[i] == '#') continue;
+      DifferentialConfig cfg;
+      std::string err;
+      if (ParseConfigLine(line, &cfg, &err)) {
+        if (!Contains(cfg)) {
+          CorpusEntry entry;
+          entry.cfg = cfg;
+          entries_.push_back(std::move(entry));
+          ++added;
+        }
+      } else if (errors != nullptr) {
+        errors->push_back(path + ": " + err);
+      }
+      parsed = true;
+      break;
+    }
+    if (!parsed && errors != nullptr) {
+      errors->push_back(path + ": no config line");
+    }
+  }
+  return added;
+}
+
+void Corpus::Add(CorpusEntry entry) { entries_.push_back(std::move(entry)); }
+
+bool Corpus::Contains(const DifferentialConfig& cfg) const {
+  const std::string line = CanonicalLine(cfg);
+  for (const CorpusEntry& e : entries_) {
+    if (CanonicalLine(e.cfg) == line) return true;
+  }
+  return false;
+}
+
+bool Corpus::Persist(const std::string& dir, const CorpusEntry& entry,
+                     std::string* error) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string id = IdFor(entry.cfg);
+  const fs::path final_path = fs::path(dir) / (id + ".repro");
+  const fs::path tmp_path =
+      fs::path(dir) /
+      (id + ".tmp." + std::to_string(static_cast<long>(::getpid())));
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp_path.string();
+      return false;
+    }
+    out << CanonicalLine(entry.cfg) << "\n";
+    out << "# features=" << entry.new_features.size() << "\n";
+    if (!out.flush()) {
+      if (error != nullptr) *error = "short write " + tmp_path.string();
+      return false;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "rename " + tmp_path.string() + ": " + ec.message();
+    }
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Energy of one entry given the corpus-wide mean exec cost. Entries with
+// unknown cost (0) are treated as average; entries costlier than average
+// are damped linearly, floored so even the slowest input keeps a chance.
+double Energy(const CorpusEntry& e, double mean_cost_ms) {
+  double cost_factor = 1.0;
+  if (e.cost_ms > 0 && mean_cost_ms > 0) {
+    cost_factor = e.cost_ms / mean_cost_ms;
+    if (cost_factor < 0.25) cost_factor = 0.25;
+    if (cost_factor > 8.0) cost_factor = 8.0;
+  }
+  return (1.0 + static_cast<double>(e.children_admitted)) /
+         ((1.0 + static_cast<double>(e.picked)) * cost_factor);
+}
+
+}  // namespace
+
+size_t GuidedScheduler::PickParent(const Corpus& corpus) {
+  const auto& entries = corpus.entries();
+  double cost_sum = 0;
+  size_t cost_n = 0;
+  for (const CorpusEntry& e : entries) {
+    if (e.cost_ms > 0) {
+      cost_sum += e.cost_ms;
+      ++cost_n;
+    }
+  }
+  const double mean_cost = cost_n > 0 ? cost_sum / static_cast<double>(cost_n)
+                                      : 0;
+  double total = 0;
+  for (const CorpusEntry& e : entries) total += Energy(e, mean_cost);
+  double target = rng_.NextDouble() * total;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    target -= Energy(entries[i], mean_cost);
+    if (target <= 0) return i;
+  }
+  return entries.size() - 1;
+}
+
+}  // namespace testing
+}  // namespace scotty

@@ -1,0 +1,101 @@
+#ifndef SCOTTY_TESTING_CORPUS_H_
+#define SCOTTY_TESTING_CORPUS_H_
+
+// Persistent fuzz corpus for the guided differential loop (DESIGN.md §8).
+//
+// The on-disk format IS the reproducer format: one serialized
+// DifferentialConfig per file (the exact `--key=value` line ToFlags()
+// emits, `#` starting a comment), named `<fnv64-of-line>.repro`. That makes
+// every corpus entry pastable onto a `fuzz_differential` command line, lets
+// the checked-in regression reproducers double as fuzz seeds, and keeps the
+// format stable across code changes — new flags default, removed flags fail
+// loudly at load.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "testing/differential.h"
+
+namespace scotty {
+namespace testing {
+
+/// One corpus input plus its scheduling state.
+struct CorpusEntry {
+  DifferentialConfig cfg;
+  /// Map slots this entry newly covered when it was admitted — the keep-set
+  /// its minimization must preserve.
+  std::vector<uint32_t> new_features;
+  /// Times the scheduler picked this entry as a mutation parent.
+  uint64_t picked = 0;
+  /// Children of this entry that were themselves admitted — fecund parents
+  /// earn more energy.
+  uint64_t children_admitted = 0;
+  /// Measured execution cost of this input in milliseconds (0 = unknown,
+  /// treated as average). Expensive inputs pay an energy penalty so the
+  /// wall-clock budget is not monopolised by slow crash/rescale configs.
+  double cost_ms = 0;
+};
+
+/// In-memory corpus with load/persist against a directory of .repro files.
+class Corpus {
+ public:
+  /// Canonical serialized form of a config — the dedup key and file body.
+  static std::string CanonicalLine(const DifferentialConfig& cfg);
+
+  /// Stable entry id: fnv64 of the canonical line, in hex.
+  static std::string IdFor(const DifferentialConfig& cfg);
+
+  /// Loads every `*.repro` file under `dir` (non-recursive). Malformed
+  /// lines are reported to `errors` (one message per bad file) and skipped;
+  /// an unreadable or absent directory is not an error (fresh corpus).
+  /// Returns the number of entries added.
+  size_t LoadDir(const std::string& dir, std::vector<std::string>* errors);
+
+  /// Adds an entry (no dedup check — callers dedup via Contains()).
+  void Add(CorpusEntry entry);
+
+  /// True when a config with the same canonical line is already present.
+  bool Contains(const DifferentialConfig& cfg) const;
+
+  /// Writes `entry` to `dir/<id>.repro` (tmp file + rename, so a crashed
+  /// fuzz run never leaves a torn corpus file). Returns false on IO error.
+  bool Persist(const std::string& dir, const CorpusEntry& entry,
+               std::string* error) const;
+
+  std::vector<CorpusEntry>& entries() { return entries_; }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+/// Energy-biased parent selection: entries that recently produced admitted
+/// children are picked more often; every entry keeps a floor weight so the
+/// corpus never starves a region of the space.
+class GuidedScheduler {
+ public:
+  explicit GuidedScheduler(uint64_t seed) : rng_(seed) {}
+
+  /// Picks a parent index in `corpus` (which must be non-empty) with weight
+  ///   (1 + children_admitted) / ((1 + picked) * cost_factor)
+  /// where cost_factor scales with the entry's exec cost relative to the
+  /// corpus average: productive and under-explored entries float up,
+  /// exhausted ones decay toward the floor, and inputs several times more
+  /// expensive than average (crash/rescale dims, huge streams) are picked
+  /// proportionally less so features-per-second stays high.
+  size_t PickParent(const Corpus& corpus);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_CORPUS_H_

@@ -1,0 +1,90 @@
+#include "testing/coverage.h"
+
+// SanitizerCoverage hooks. This translation unit is compiled WITHOUT
+// -fsanitize-coverage (it lives in the uninstrumented scotty_coverage
+// target) so the hooks cannot recurse into themselves. The symbols are
+// defined unconditionally: in uninstrumented builds nothing calls them, and
+// in instrumented builds every basic block of the core library reports
+// here. Clang emits trace-pc-guard callbacks; GCC emits trace-pc.
+
+namespace scotty {
+namespace testing {
+
+CoverageMap::CoverageMap()
+    : feature_seen_(kMapSize), edge_counts_(kMapSize), global_(kMapSize, 0) {}
+
+CoverageMap& CoverageMap::Global() {
+  static CoverageMap map;
+  return map;
+}
+
+void CoverageMap::BeginRun() {
+  for (uint32_t i = 0; i < kMapSize; ++i) {
+    feature_seen_[i].store(0, std::memory_order_relaxed);
+    edge_counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t CoverageMap::EndRun(std::vector<uint32_t>* run_features) {
+  if (run_features != nullptr) run_features->clear();
+  size_t discovered = 0;
+  auto fold = [&](uint32_t idx) {
+    if (run_features != nullptr) run_features->push_back(idx);
+    if (global_[idx] == 0) {
+      global_[idx] = 1;
+      ++covered_count_;
+      ++discovered;
+    }
+  };
+  for (uint32_t i = 0; i < kMapSize; ++i) {
+    if (feature_seen_[i].load(std::memory_order_relaxed) != 0) fold(i);
+    const uint32_t count = edge_counts_[i].load(std::memory_order_relaxed);
+    if (count != 0) {
+      // Fold the bucketed count so revisiting an edge 100× vs once are
+      // different features (reuses Index() for avalanche over the pair).
+      const uint64_t id =
+          static_cast<uint64_t>(FeatureDomain::kEdge) * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(i) * 0xC2B2AE3D27D4EB4FULL +
+          Log2Bucket(count) * 0x165667B19E3779F9ULL;
+      fold(Index(id));
+    }
+  }
+  return discovered;
+}
+
+void CoverageMap::Reset() {
+  BeginRun();
+  global_.assign(kMapSize, 0);
+  covered_count_ = 0;
+}
+
+}  // namespace testing
+}  // namespace scotty
+
+extern "C" {
+
+// Clang trace-pc-guard: every edge owns a uint32 slot; the init callback
+// assigns each a distinct nonzero id once per module.
+void __sanitizer_cov_trace_pc_guard_init(uint32_t* start, uint32_t* stop) {
+  static uint32_t next_guard_id = 1;
+  if (start == stop || *start != 0) return;  // already initialized
+  for (uint32_t* g = start; g != stop; ++g) *g = next_guard_id++;
+  scotty::testing::CoverageMap::Global().NoteEdgeInstrumentation();
+}
+
+void __sanitizer_cov_trace_pc_guard(uint32_t* guard) {
+  scotty::testing::CoverageMap::Global().HitEdge(*guard);
+}
+
+// GCC trace-pc: no guard slots; the return address identifies the edge.
+// PCs are only stable within one process, which is all the guided loop
+// needs — the corpus persists inputs, never map indices.
+void __sanitizer_cov_trace_pc() {
+  auto& map = scotty::testing::CoverageMap::Global();
+  map.NoteEdgeInstrumentation();
+  const uintptr_t pc =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  map.HitEdge(static_cast<uint32_t>(pc >> 2));
+}
+
+}  // extern "C"

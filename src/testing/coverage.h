@@ -1,0 +1,167 @@
+#ifndef SCOTTY_TESTING_COVERAGE_H_
+#define SCOTTY_TESTING_COVERAGE_H_
+
+// In-process coverage map for the guided differential fuzzer (DESIGN.md §8).
+//
+// One fixed-size AFL-style feature bitmap fed from two sources:
+//
+//  1. Semantic features (always available, any build): the differential
+//     harness records (technique × window-kind) pairs, slice-count and
+//     split/merge buckets, fault-injection sites, delta-chain depths, and
+//     outcome shapes through CoverFeature(). These make guidance work even
+//     in uninstrumented builds, where edge coverage is invisible.
+//  2. SanitizerCoverage edges (builds configured with -DSCOTTY_COVERAGE=ON):
+//     the core `scotty` library is compiled with -fsanitize-coverage
+//     (trace-pc-guard under Clang, trace-pc under GCC) and every basic
+//     block reports into HitEdge(). Edge hit counts are bucketed by log2
+//     before folding into the map, so "loop ran 100×" and "loop ran once"
+//     are distinct features (the classic AFL counting refinement).
+//
+// The map itself is tiny (64K slots); collisions are accepted exactly as in
+// AFL — the map is a guidance signal, not a ground-truth profile. A fuzz
+// driver brackets each input with BeginRun()/EndRun(); EndRun() folds the
+// run-local hits into the global map and reports how many were new, which
+// is the corpus-admission signal.
+//
+// The hot paths (HitEdge/HitFeature) use relaxed atomics: instrumented code
+// may run inside the parallel executor's worker threads. Everything else
+// (Begin/EndRun, queries) is meant to be called from the single-threaded
+// fuzz scheduler.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scotty {
+namespace testing {
+
+/// Stable domain tags prefixing every semantic feature so different
+/// instrumentation sites never collide by accident. Values are part of the
+/// (in-process) feature identity only — never persisted.
+enum class FeatureDomain : uint64_t {
+  kEdge = 1,             ///< sanitizer-coverage edges (bucketed counts)
+  kTechniqueWindow,      ///< (technique, window kind) actually executed
+  kTechniqueOutcome,     ///< (technique, log2 #results) shape of the output
+  kSliceCount,           ///< (store, log2 slices created)
+  kSliceChurn,           ///< (store, log2 merges/splits/recomputes)
+  kStreamShape,          ///< disorder/burst/gap/punctuation regime
+  kWindowShape,          ///< (kind, log2 length, log2 slide) per query
+  kAggregation,          ///< aggregation name in the query set
+  kDimension,            ///< wm/batch/checkpoint/crash/rescale switches
+  kCrashSite,            ///< (persist mode, snapshot fault, delta fault)
+  kCrashRecovery,        ///< fallback/from-scratch/tail-rejected outcomes
+  kDeltaChain,           ///< log2 delta records applied on restore
+  kRescaleTopology,      ///< (from workers, to workers)
+};
+
+class CoverageMap {
+ public:
+  /// 64K feature slots — 64 KiB of run-local state, 64 KiB global. Small
+  /// enough to scan per run, big enough that semantic features essentially
+  /// never collide (edges collide occasionally; that is fine).
+  static constexpr uint32_t kMapSize = 1u << 16;
+
+  static CoverageMap& Global();
+
+  /// Records a semantic feature hit for the current run.
+  void HitFeature(uint64_t feature) {
+    Touch(feature_seen_, Index(feature));
+  }
+
+  /// Records one execution of an instrumented edge (sanitizer-coverage hot
+  /// path). Counts accumulate per run and are log2-bucketed by EndRun().
+  void HitEdge(uint32_t edge) {
+    edge_counts_[edge & (kMapSize - 1)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Clears the run-local state. Call before executing one fuzz input.
+  void BeginRun();
+
+  /// Folds the run-local hits (semantic features + bucketed edge counts)
+  /// into the global map. Returns how many map slots were newly covered;
+  /// when `run_features` is non-null it receives every slot this run hit
+  /// (new or not), which corpus minimization uses as a keep-set.
+  size_t EndRun(std::vector<uint32_t>* run_features = nullptr);
+
+  /// Number of globally covered map slots.
+  size_t CoveredCount() const { return covered_count_; }
+
+  /// Forgets all global and run-local coverage.
+  void Reset();
+
+  /// True when at least one sanitizer-coverage edge ever reported, i.e. the
+  /// binary was built with SCOTTY_COVERAGE instrumentation.
+  bool EdgeInstrumented() const {
+    return edges_ever_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks edge instrumentation as present (called by the sancov hooks).
+  void NoteEdgeInstrumentation() {
+    edges_ever_.store(true, std::memory_order_relaxed);
+  }
+
+  CoverageMap();
+  CoverageMap(const CoverageMap&) = delete;
+  CoverageMap& operator=(const CoverageMap&) = delete;
+
+ private:
+  static uint32_t Index(uint64_t feature) {
+    // SplitMix64 finalizer: full-avalanche so structured feature ids spread
+    // uniformly over the map.
+    feature ^= feature >> 30;
+    feature *= 0xBF58476D1CE4E5B9ULL;
+    feature ^= feature >> 27;
+    feature *= 0x94D049BB133111EBULL;
+    feature ^= feature >> 31;
+    return static_cast<uint32_t>(feature) & (kMapSize - 1);
+  }
+
+  static void Touch(std::vector<std::atomic<uint8_t>>& seen, uint32_t idx) {
+    if (seen[idx].load(std::memory_order_relaxed) == 0) {
+      seen[idx].store(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<std::atomic<uint8_t>> feature_seen_;   // run-local
+  std::vector<std::atomic<uint32_t>> edge_counts_;   // run-local
+  std::vector<uint8_t> global_;                      // cross-run bitmap
+  size_t covered_count_ = 0;
+  std::atomic<bool> edges_ever_{false};
+};
+
+/// Log2 bucket of a count: 0, 1, 2, ... so "how many" features distinguish
+/// orders of magnitude, not exact values (AFL's count classes).
+inline uint64_t Log2Bucket(uint64_t v) {
+  uint64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// FNV-1a 64-bit — stable string hash for technique/aggregation names used
+/// in feature identities and corpus entry ids.
+inline uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Records one semantic feature (domain, a, b) for the current run.
+inline void CoverFeature(FeatureDomain domain, uint64_t a, uint64_t b = 0) {
+  // Distinct odd multipliers keep the three components from cancelling.
+  const uint64_t id = static_cast<uint64_t>(domain) * 0x9E3779B97F4A7C15ULL +
+                      a * 0xC2B2AE3D27D4EB4FULL + b * 0x165667B19E3779F9ULL;
+  CoverageMap::Global().HitFeature(id);
+}
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_COVERAGE_H_

@@ -13,6 +13,7 @@
 #include "baselines/tuple_buffer.h"
 #include "core/general_slicing_operator.h"
 #include "runtime/keyed_operator.h"
+#include "testing/coverage.h"
 #include "testing/fault_injector.h"
 #include "testing/harness.h"
 #include "testing/oracle.h"
@@ -94,6 +95,102 @@ std::string DescribeKeyed(const KeyedResultKey& key) {
   return os.str();
 }
 
+uint64_t NameHash(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Semantic features of the config itself: the mutation engine's whole
+/// search space, so guidance can tell apart regimes (sorted vs OOO, window
+/// shapes, persistence dimensions) even before any operator runs.
+void CoverConfigFeatures(const DifferentialConfig& cfg, bool sorted) {
+  for (const WindowSpec& w : cfg.windows) {
+    const uint64_t kind = (static_cast<uint64_t>(w.kind) << 1) |
+                          (w.measure == Measure::kCount ? 1 : 0);
+    CoverFeature(FeatureDomain::kWindowShape, kind,
+                 Log2Bucket(static_cast<uint64_t>(w.length)) * 64 +
+                     Log2Bucket(static_cast<uint64_t>(w.slide) + 1));
+  }
+  for (const std::string& a : cfg.aggs) {
+    CoverFeature(FeatureDomain::kAggregation, NameHash(a));
+  }
+  const StreamSpec& s = cfg.stream;
+  CoverFeature(FeatureDomain::kStreamShape, 0,
+               (s.ooo_fraction > 0 ? 1u : 0u) |
+                   (s.burst_probability > 0 ? 2u : 0u) |
+                   (s.gap_probability > 0 ? 4u : 0u) |
+                   (s.punctuation_probability > 0 ? 8u : 0u) |
+                   (sorted ? 16u : 0u));
+  CoverFeature(FeatureDomain::kStreamShape, 1,
+               Log2Bucket(static_cast<uint64_t>(s.max_delay) + 1) * 64 +
+                   Log2Bucket(
+                       static_cast<uint64_t>(s.ooo_fraction * 100.0) + 1));
+  CoverFeature(FeatureDomain::kDimension, 0,
+               Log2Bucket(static_cast<uint64_t>(cfg.wm_every) + 1) * 64 +
+                   Log2Bucket(static_cast<uint64_t>(cfg.batch) + 1));
+  CoverFeature(FeatureDomain::kDimension, 1,
+               (cfg.checkpoint != 0 ? 1u : 0u) | (cfg.crash != 0 ? 2u : 0u) |
+                   (cfg.rescale != 0 ? 4u : 0u));
+  CoverFeature(FeatureDomain::kDimension, 2,
+               Log2Bucket(static_cast<uint64_t>(s.num_tuples)));
+}
+
+/// Per-technique features after a run: which window kinds the technique
+/// actually exercised, and — for the slicing operator — the slice-chain
+/// shape the stream drove it into (counts log2-bucketed, AFL style).
+void CoverTechniqueRun(const std::string& tech, const DifferentialConfig& cfg,
+                       const GeneralSlicingOperator* slicing) {
+  const uint64_t t = NameHash(tech);
+  for (const WindowSpec& w : cfg.windows) {
+    CoverFeature(FeatureDomain::kTechniqueWindow, t,
+                 static_cast<uint64_t>(w.kind));
+  }
+  if (slicing == nullptr) return;
+  const OperatorStats& st = slicing->stats();
+  if (slicing->time_store() != nullptr) {
+    CoverFeature(FeatureDomain::kSliceCount, t,
+                 Log2Bucket(slicing->time_store()->SlicesCreated()));
+  }
+  CoverFeature(FeatureDomain::kSliceChurn, t,
+               Log2Bucket(st.slice_merges + 1) * 64 +
+                   Log2Bucket(st.slice_splits + 1));
+  CoverFeature(FeatureDomain::kSliceChurn, t ^ 1,
+               Log2Bucket(st.slice_recomputes + 1) * 64 +
+                   Log2Bucket(st.count_shifts + 1));
+  CoverFeature(FeatureDomain::kTechniqueOutcome, t,
+               Log2Bucket(st.windows_emitted + 1) * 64 +
+                   Log2Bucket(st.window_updates_emitted + 1));
+  CoverFeature(FeatureDomain::kStreamShape, t,
+               Log2Bucket(st.out_of_order_tuples + 1) * 64 +
+                   Log2Bucket(st.late_tuples + 1));
+}
+
+/// Crash/rescale recovery features: persistence mode × injected faults is
+/// the fault-site matrix, and the recovery observables (fallback depth,
+/// delta-chain length, barrier count) are exactly the rare-path state the
+/// nightly random sweeps kept missing.
+void CoverCrashRun(const std::string& tech, const FaultPlan& plan,
+                   const CrashRunStats& stats, size_t num_tuples) {
+  const uint64_t t = NameHash(tech);
+  CoverFeature(FeatureDomain::kCrashSite, static_cast<uint64_t>(plan.mode),
+               static_cast<uint64_t>(plan.fault) * 8 +
+                   static_cast<uint64_t>(plan.delta_fault));
+  if (num_tuples > 0) {
+    // Crash position in eighths of the stream: early crashes (no barrier
+    // yet) and late crashes (deep chains) recover differently.
+    CoverFeature(FeatureDomain::kCrashSite,
+                 64 + static_cast<uint64_t>(plan.mode),
+                 plan.crash_index * 8 / num_tuples);
+  }
+  CoverFeature(FeatureDomain::kCrashRecovery, t,
+               (stats.recovered_from_scratch ? 1u : 0u) |
+                   (stats.fell_back ? 2u : 0u) |
+                   (stats.delta_tail_rejected ? 4u : 0u));
+  CoverFeature(FeatureDomain::kCrashRecovery, t ^ 1,
+               Log2Bucket(stats.barriers + 1));
+  CoverFeature(FeatureDomain::kDeltaChain, t,
+               Log2Bucket(stats.deltas_applied + 1));
+}
+
 }  // namespace
 
 std::string DifferentialConfig::ToFlags() const {
@@ -125,6 +222,133 @@ std::string DifferentialConfig::ToFlags() const {
   flag("crash", crash, 0);
   flag("rescale", rescale, 0);
   return os.str();
+}
+
+const std::vector<std::string>& FuzzAggregationNames() {
+  // Every aggregate class: distributive (sum/min/max), algebraic
+  // (avg/stddev/m4), holistic (median/p90), non-commutative (concat),
+  // non-invertible (sum-no-invert), arg/multiplicity trackers. The
+  // registry's order-sensitive pseudo aggregations (first/last) are
+  // deliberately absent: the oracle does not model arrival order.
+  static const std::vector<std::string> kNames = {
+      "sum",     "count",     "avg",       "min",
+      "max",     "median",    "p90",       "m4",
+      "arg-max", "arg-min",   "min-count", "max-count",
+      "stddev",  "sum-no-invert", "concat", "geometric-mean"};
+  return kNames;
+}
+
+bool ParseConfigLine(const std::string& line, DifferentialConfig* out,
+                     std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  DifferentialConfig cfg;
+  bool saw_any = false;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // comment runs to end of line
+    if (tok.rfind("--", 0) != 0) {
+      // Tolerate a leading program token so a pasted reproducer line
+      // ("fuzz_differential --seed=... ...") parses as-is.
+      if (!saw_any && tok.find('=') == std::string::npos) continue;
+      return fail("expected --key=value, got '" + tok + "'");
+    }
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      return fail("flag '" + tok + "' is missing '='");
+    }
+    const std::string key = tok.substr(2, eq - 2);
+    const std::string val = tok.substr(eq + 1);
+    saw_any = true;
+    auto parse_i64 = [&](int64_t* dst) {
+      size_t used = 0;
+      try {
+        *dst = std::stoll(val, &used);
+      } catch (...) {
+        return false;
+      }
+      return used == val.size();
+    };
+    auto parse_f64 = [&](double* dst) {
+      size_t used = 0;
+      try {
+        *dst = std::stod(val, &used);
+      } catch (...) {
+        return false;
+      }
+      return used == val.size();
+    };
+    int64_t i = 0;
+    double d = 0;
+    if (key == "seed") {
+      try {
+        cfg.stream.seed = std::stoull(val);
+      } catch (...) {
+        return fail("bad --seed=" + val);
+      }
+    } else if (key == "queries") {
+      if (!ParseWindowSpecs(val, &cfg.windows)) {
+        return fail("bad --queries=" + val);
+      }
+    } else if (key == "aggs") {
+      cfg.aggs.clear();
+      std::istringstream as(val);
+      std::string name;
+      while (std::getline(as, name, ',')) {
+        if (name.empty()) continue;
+        if (MakeAggregation(name) == nullptr) {
+          return fail("unknown aggregation '" + name + "'");
+        }
+        cfg.aggs.push_back(name);
+      }
+      if (cfg.aggs.empty()) return fail("empty --aggs");
+    } else if (key == "tuples" && parse_i64(&i) && i >= 0) {
+      cfg.stream.num_tuples = static_cast<int>(i);
+    } else if (key == "step-lo" && parse_i64(&i) && i >= 0) {
+      cfg.stream.step_lo = i;
+    } else if (key == "step-hi" && parse_i64(&i) && i >= 0) {
+      cfg.stream.step_hi = i;
+    } else if (key == "gap-prob" && parse_f64(&d) && d >= 0 && d <= 1) {
+      cfg.stream.gap_probability = d;
+    } else if (key == "gap-len" && parse_i64(&i) && i >= 0) {
+      cfg.stream.gap_length = i;
+    } else if (key == "value-range" && parse_i64(&i) && i > 0) {
+      cfg.stream.value_range = static_cast<uint64_t>(i);
+    } else if (key == "punct-prob" && parse_f64(&d) && d >= 0 && d <= 1) {
+      cfg.stream.punctuation_probability = d;
+    } else if (key == "ooo" && parse_f64(&d) && d >= 0 && d <= 1) {
+      cfg.stream.ooo_fraction = d;
+    } else if (key == "max-delay" && parse_i64(&i) && i >= 0) {
+      cfg.stream.max_delay = i;
+    } else if (key == "burst-prob" && parse_f64(&d) && d >= 0 && d <= 1) {
+      cfg.stream.burst_probability = d;
+    } else if (key == "burst-len" && parse_i64(&i) && i > 0) {
+      cfg.stream.burst_length = static_cast<int>(i);
+    } else if (key == "wm-every" && parse_i64(&i) && i >= 0) {
+      cfg.wm_every = static_cast<int>(i);
+    } else if (key == "batch" && parse_i64(&i) && i >= 0) {
+      cfg.batch = static_cast<int>(i);
+    } else if (key == "checkpoint" && parse_i64(&i) && i >= -1) {
+      cfg.checkpoint = static_cast<int>(i);
+    } else if (key == "crash" && parse_i64(&i) && i >= -1) {
+      cfg.crash = static_cast<int>(i);
+    } else if (key == "rescale" && parse_i64(&i) && i >= -1) {
+      cfg.rescale = static_cast<int>(i);
+    } else {
+      return fail("bad flag '" + tok + "'");
+    }
+  }
+  if (!saw_any) return fail("no flags on line");
+  if (cfg.windows.empty()) return fail("line has no --queries");
+  if (cfg.aggs.empty()) return fail("line has no --aggs");
+  if (cfg.stream.step_hi < cfg.stream.step_lo) {
+    return fail("--step-hi below --step-lo");
+  }
+  *out = cfg;
+  return true;
 }
 
 DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
@@ -163,6 +387,10 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     has_lastn_window |= w.kind == WindowSpec::Kind::kLastNEveryT;
     has_frames_window |= w.kind == WindowSpec::Kind::kThresholdFrame;
   }
+
+  // Feed the guided fuzzer's semantic coverage map (a no-op signal-wise
+  // unless a driver brackets this call with CoverageMap Begin/EndRun).
+  CoverConfigFeatures(cfg, sorted);
 
   struct Run {
     std::string name;
@@ -245,13 +473,16 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     if (cfg.crash == 0) return true;
     std::map<ResultKey, Value> got;
     std::string err;
+    CrashRunStats crash_stats;
     if (!RunToFinalResultsCrashRecovered(factory, stream, final_wm,
                                          cfg.wm_every, wm_lag, crash_plan,
-                                         CrashScratchDir(name), &got, &err)) {
+                                         CrashScratchDir(name), &got, &err,
+                                         &crash_stats)) {
       outcome.ok = false;
       outcome.detail = name + "-crashed: " + err;
       return false;
     }
+    CoverCrashRun(name, crash_plan, crash_stats, stream.size());
     for (const auto& [key, expected_v] : expected) {
       ++outcome.comparisons;
       const auto it = got.find(key);
@@ -320,6 +551,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     std::map<KeyedResultKey, Value> expected;
     std::map<KeyedResultKey, Value> got;
     std::string err;
+    CrashRunStats rescale_stats;
     if (!RunKeyedToFinalResults(keyed_factory, keyed, final_wm, cfg.wm_every,
                                 wm_lag, &expected, &err)) {
       outcome.ok = false;
@@ -329,12 +561,14 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     if (!RunKeyedRescaleCrashRecovered(keyed_factory, keyed, final_wm,
                                        cfg.wm_every, wm_lag, plan,
                                        CrashScratchDir("keyed-rescale"), from,
-                                       to, &got, &err)) {
+                                       to, &got, &err, &rescale_stats)) {
       outcome.ok = false;
       outcome.detail = "keyed-rescaled (" + std::to_string(from) + "->" +
                        std::to_string(to) + " workers): " + err;
       return outcome;
     }
+    CoverFeature(FeatureDomain::kRescaleTopology, from, to);
+    CoverCrashRun("keyed-rescale", plan, rescale_stats, stream.size());
     for (const auto& [key, expected_v] : expected) {
       ++outcome.comparisons;
       const auto it = got.find(key);
@@ -368,6 +602,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
   auto lazy = MakeSlicing(cfg, StoreMode::kLazy, false);
   runs.push_back({"slicing-lazy", RunToFinalResults(*lazy, stream, final_wm,
                                                     cfg.wm_every, wm_lag)});
+  CoverTechniqueRun("slicing-lazy", cfg, lazy.get());
   if (lazy->stats().dropped_tuples != 0) {
     outcome.ok = false;
     outcome.detail =
@@ -383,6 +618,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
   auto eager = MakeSlicing(cfg, StoreMode::kEager, false);
   runs.push_back({"slicing-eager", RunToFinalResults(*eager, stream, final_wm,
                                                      cfg.wm_every, wm_lag)});
+  CoverTechniqueRun("slicing-eager", cfg, eager.get());
   if (!check_persist("slicing-eager",
                   [&] { return MakeSlicing(cfg, StoreMode::kEager, false); },
                   runs.back().results)) {
@@ -393,6 +629,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     runs.push_back({"slicing-inorder",
                     RunToFinalResults(*in_order, stream, final_wm,
                                       cfg.wm_every, wm_lag)});
+    CoverTechniqueRun("slicing-inorder", cfg, in_order.get());
     if (!check_persist("slicing-inorder",
                     [&] { return MakeSlicing(cfg, StoreMode::kLazy, true); },
                     runs.back().results)) {
@@ -409,18 +646,21 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
       runs.push_back({"slicing-lazy-batched",
                       RunToFinalResultsBatched(*op, stream, final_wm,
                                                cfg.wm_every, wm_lag, bs)});
+      CoverTechniqueRun("slicing-lazy-batched", cfg, op.get());
     }
     {
       auto op = MakeSlicing(cfg, StoreMode::kEager, false);
       runs.push_back({"slicing-eager-batched",
                       RunToFinalResultsBatched(*op, stream, final_wm,
                                                cfg.wm_every, wm_lag, bs)});
+      CoverTechniqueRun("slicing-eager-batched", cfg, op.get());
     }
     if (sorted) {
       auto op = MakeSlicing(cfg, StoreMode::kLazy, true);
       runs.push_back({"slicing-inorder-batched",
                       RunToFinalResultsBatched(*op, stream, final_wm,
                                                cfg.wm_every, wm_lag, bs)});
+      CoverTechniqueRun("slicing-inorder-batched", cfg, op.get());
     }
   }
   // The baselines drive ProcessContext/TriggerWindows directly and never
@@ -431,6 +671,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     auto op = MakeBaseline<TupleBufferOperator>(cfg);
     runs.push_back({"tuple-buffer", RunToFinalResults(*op, stream, final_wm,
                                                       cfg.wm_every, wm_lag)});
+    CoverTechniqueRun("tuple-buffer", cfg, nullptr);
     if (!check_persist("tuple-buffer",
                     [&] { return MakeBaseline<TupleBufferOperator>(cfg); },
                     runs.back().results)) {
@@ -442,6 +683,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     runs.push_back({"aggregate-tree",
                     RunToFinalResults(*op, stream, final_wm, cfg.wm_every,
                                       wm_lag)});
+    CoverTechniqueRun("aggregate-tree", cfg, nullptr);
     if (!check_persist("aggregate-tree",
                     [&] { return MakeBaseline<AggregateTreeOperator>(cfg); },
                     runs.back().results)) {
@@ -453,6 +695,7 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
     auto op = MakeBaseline<BucketsOperator>(cfg);
     runs.push_back({"buckets", RunToFinalResults(*op, stream, final_wm,
                                                  cfg.wm_every, wm_lag)});
+    CoverTechniqueRun("buckets", cfg, nullptr);
     if (!check_persist("buckets",
                     [&] { return MakeBaseline<BucketsOperator>(cfg); },
                     runs.back().results)) {
@@ -562,18 +805,10 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
     cfg.windows.push_back(w);
   }
 
-  // Every aggregate class: distributive (sum/min/max), algebraic
-  // (avg/stddev/m4), holistic (median/p90), non-commutative (concat),
-  // non-invertible (sum-no-invert), arg/multiplicity trackers.
-  static const char* kAggs[] = {"sum",       "count",     "avg",
-                                "min",       "max",       "median",
-                                "p90",       "m4",        "arg-max",
-                                "arg-min",   "min-count", "max-count",
-                                "stddev",    "sum-no-invert",
-                                "concat",    "geometric-mean"};
+  const std::vector<std::string>& agg_names = FuzzAggregationNames();
   const size_t num_aggs = 1 + (rng.NextBounded(4) == 0 ? 1 : 0);
   while (cfg.aggs.size() < num_aggs) {
-    const char* pick = kAggs[rng.NextBounded(std::size(kAggs))];
+    const std::string& pick = agg_names[rng.NextBounded(agg_names.size())];
     bool dup = false;
     for (const std::string& a : cfg.aggs) dup |= a == pick;
     if (!dup) cfg.aggs.push_back(pick);
@@ -638,21 +873,27 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
 }
 
 DifferentialConfig Shrink(const DifferentialConfig& failing) {
-  auto fails = [](const DifferentialConfig& c) {
+  return ShrinkWhile(failing, [](const DifferentialConfig& c) {
     return !RunDifferential(c).ok;
-  };
-  DifferentialConfig best = failing;
+  });
+}
 
-  // Tuple-count bisection. The invariant "hi fails" holds throughout (hi is
-  // only replaced by a mid that failed), so the result replays even though
-  // failures are not strictly monotone in the prefix length.
+DifferentialConfig ShrinkWhile(
+    const DifferentialConfig& cfg,
+    const std::function<bool(const DifferentialConfig&)>& keeps) {
+  DifferentialConfig best = cfg;
+
+  // Tuple-count bisection. The invariant "`keeps` holds at hi" is
+  // maintained throughout (hi is only replaced by a mid where it held), so
+  // the result replays even though the predicate is not strictly monotone
+  // in the prefix length.
   int lo = 1;
   int hi = best.stream.num_tuples;
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
     DifferentialConfig c = best;
     c.stream.num_tuples = mid;
-    if (fails(c)) {
+    if (keeps(c)) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -663,12 +904,12 @@ DifferentialConfig Shrink(const DifferentialConfig& failing) {
   for (size_t i = best.windows.size(); i-- > 0 && best.windows.size() > 1;) {
     DifferentialConfig c = best;
     c.windows.erase(c.windows.begin() + static_cast<long>(i));
-    if (fails(c)) best = c;
+    if (keeps(c)) best = c;
   }
   for (size_t i = best.aggs.size(); i-- > 0 && best.aggs.size() > 1;) {
     DifferentialConfig c = best;
     c.aggs.erase(c.aggs.begin() + static_cast<long>(i));
-    if (fails(c)) best = c;
+    if (keeps(c)) best = c;
   }
   return best;
 }

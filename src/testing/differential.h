@@ -2,6 +2,7 @@
 #define SCOTTY_TESTING_DIFFERENTIAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,21 @@ struct DifferentialConfig {
   std::string ToFlags() const;
 };
 
+/// Parses a serialized config line — the exact format ToFlags() emits and
+/// the corpus/reproducer files store: space-separated `--key=value` flags,
+/// an optional leading `fuzz_differential` token, and `#` starting a
+/// comment. Unknown flags, malformed window specs, and unknown aggregation
+/// names fail with `*error` set; defaults fill everything not mentioned, so
+/// lines stay replayable even as RandomConfig's derivation evolves.
+bool ParseConfigLine(const std::string& line, DifferentialConfig* out,
+                     std::string* error);
+
+/// Aggregation names the fuzzer draws from: every class the registry
+/// provides whose results are deterministic under the harness's replay
+/// contract (the full registry additionally has order-sensitive pseudo
+/// aggregations like first/last that the oracle does not model).
+const std::vector<std::string>& FuzzAggregationNames();
+
 /// Outcome of one differential run across all applicable techniques.
 struct DifferentialOutcome {
   bool ok = true;
@@ -88,6 +104,16 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples);
 /// then drops windows and aggregations that are not needed for the failure.
 /// Returns the smallest still-failing config found.
 DifferentialConfig Shrink(const DifferentialConfig& failing);
+
+/// Generalized shrinker: same tuple-count bisection and window/aggregation
+/// dropping as Shrink, but preserving an arbitrary predicate. `keeps` must
+/// hold for `cfg` itself; every probe re-evaluates it, so the result is the
+/// smallest config found for which `keeps` still holds. Shrink() is
+/// ShrinkWhile with "still fails"; corpus minimization uses "still covers
+/// the features that made the input interesting".
+DifferentialConfig ShrinkWhile(
+    const DifferentialConfig& cfg,
+    const std::function<bool(const DifferentialConfig&)>& keeps);
 
 }  // namespace testing
 }  // namespace scotty

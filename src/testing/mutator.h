@@ -1,0 +1,42 @@
+#ifndef SCOTTY_TESTING_MUTATOR_H_
+#define SCOTTY_TESTING_MUTATOR_H_
+
+// Mutation engine over DifferentialConfig for the guided fuzz loop
+// (DESIGN.md §8). Operators mutate the *generator parameters* — stream
+// shape, query set, persistence dimensions — not raw tuple bytes: the
+// search space is the same (seed, spec) space RandomConfig draws from, so
+// every mutant stays a one-line replayable reproducer and the structural
+// invariants the harness assumes (frames need distinct timestamps, punct
+// windows need punctuation, slides fit their windows) are restored by
+// Sanitize() after every step.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "testing/differential.h"
+
+namespace scotty {
+namespace testing {
+
+/// Applies 1–3 random mutation operators to `cfg` (reseed, stream resize /
+/// retime / redisorder, value-range and punctuation shifts, window nudge /
+/// add / drop, aggregation add / swap, wm/batch/checkpoint/crash/rescale
+/// dimension shifts) and returns the sanitized mutant.
+DifferentialConfig Mutate(const DifferentialConfig& cfg, Rng& rng);
+
+/// Crossover: windows and aggregations spliced from both parents, stream
+/// and dimensions from one of them, sanitized.
+DifferentialConfig Splice(const DifferentialConfig& a,
+                          const DifferentialConfig& b, Rng& rng);
+
+/// Restores the invariants RandomConfig guarantees by construction; every
+/// mutation pipeline ends here so no operator has to reason about any other
+/// operator's damage. Clamps sizes, fixes step/slide/threshold ranges,
+/// couples punctuation probability to punct windows and disorder to
+/// max_delay, dedups aggregations.
+void Sanitize(DifferentialConfig* cfg);
+
+}  // namespace testing
+}  // namespace scotty
+
+#endif  // SCOTTY_TESTING_MUTATOR_H_

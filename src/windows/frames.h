@@ -74,6 +74,15 @@ class ThresholdFrameWindow : public ContextAwareWindow {
       const Time prev_break = LastBelow(breaks_, t.ts);
       if (prev_qual != kNoTime && prev_qual > prev_break) {
         mods.split_edges.push_back(t.ts);  // frame end edge
+        // Under per-tuple watermarking a same-ts marker may have advanced
+        // the watermark to t.ts before this break arrived; the trigger
+        // pass for (.., t.ts] has then already run and would never
+        // enumerate the frame this break just closed. Reporting the frame
+        // as changed emits it retroactively in exactly that case — the
+        // window manager skips changed windows the watermark has not
+        // reached, so the normal trigger path stays the sole emitter
+        // otherwise.
+        mods.changed_windows.push_back({FrameStartOf(prev_qual), t.ts});
       }
       return mods;
     }

@@ -1,0 +1,148 @@
+// Deterministic replay of the checked-in regression corpus
+// (tests/corpus/regressions/): one-line reproducers for every bug the
+// differential fuzzer has found, pinned as plain gtests so they can never
+// regress silently even when the nightly fuzz lanes are down. Each .repro
+// file documents its bug, the original failure signature, and the one-time
+// manual verification against a build with the fix reverted.
+//
+// The recache regression needs more than a PASS verdict: the recovery
+// fallback masks the bug (results stay correct, the delta chain is just
+// silently abandoned), so RecacheRegressionKeepsDeltaChainLive additionally
+// pins the applied-delta count through CrashRunStats.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <unistd.h>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "testing/corpus.h"
+#include "testing/differential.h"
+#include "testing/fault_injector.h"
+#include "testing/harness.h"
+
+namespace scotty {
+namespace testing {
+namespace {
+
+#ifndef SCOTTY_REGRESSION_CORPUS_DIR
+#error "SCOTTY_REGRESSION_CORPUS_DIR must point at tests/corpus/regressions"
+#endif
+
+std::string CorpusDir() { return SCOTTY_REGRESSION_CORPUS_DIR; }
+
+TEST(RegressionCorpus, DirectoryIsNonEmptyAndParses) {
+  Corpus corpus;
+  std::vector<std::string> errors;
+  const size_t n = corpus.LoadDir(CorpusDir(), &errors);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  EXPECT_GE(n, 3u) << "expected at least the three historical reproducers in "
+                   << CorpusDir();
+}
+
+TEST(RegressionCorpus, EveryReproducerPasses) {
+  Corpus corpus;
+  std::vector<std::string> errors;
+  ASSERT_GT(corpus.LoadDir(CorpusDir(), &errors), 0u);
+  ASSERT_TRUE(errors.empty());
+  for (const CorpusEntry& entry : corpus.entries()) {
+    const DifferentialOutcome o = RunDifferential(entry.cfg);
+    EXPECT_TRUE(o.ok) << "regression reproducer failed again: "
+                      << entry.cfg.ToFlags() << "\n  " << o.detail;
+    EXPECT_GT(o.comparisons, 0u) << entry.cfg.ToFlags();
+  }
+}
+
+// The DeserializeImpl slice-edge recache bug: restoring a base + delta
+// chain recached slice edges before the delta bytes were applied, which
+// dirtied the prior epoch's open slice and made every delta restore fall
+// back to base-only replay. Results stayed correct (that is what made it
+// silent), so this test replays the checked-in reproducer through the
+// crash-recovery harness directly and requires the delta chain to be LIVE:
+// at least one delta record actually applied, no fallback, no scratch
+// recovery. Verified once against a build with the fix reverted
+// (RefreshLanes() recaching during deserialize): deltas_applied drops to 0.
+TEST(RegressionCorpus, RecacheRegressionKeepsDeltaChainLive) {
+  const std::string path = CorpusDir() + "/recache-delta-chain.repro";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  DifferentialConfig cfg;
+  bool parsed = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string err;
+    ASSERT_TRUE(ParseConfigLine(line, &cfg, &err)) << err;
+    parsed = true;
+    break;
+  }
+  ASSERT_TRUE(parsed) << "no config line in " << path;
+
+  // Identical cadence and fault-plan derivation to the differential
+  // harness's --crash dimension (src/testing/differential.cc).
+  const std::vector<Tuple> stream = GenerateStream(cfg.stream);
+  ASSERT_FALSE(stream.empty());
+  Time last_ts = 0;
+  for (const Tuple& t : stream) last_ts = std::max(last_ts, t.ts);
+  const Time final_wm = last_ts + 100;
+  const Time wm_lag = cfg.stream.MaxLateness() + 1;
+  FaultPlan plan =
+      MakeFaultPlan(cfg.stream.seed ^ 0xC2B2AE3D27D4EB4FULL, stream.size());
+  // The reproducer seed was chosen so the derived plan is a clean
+  // incremental chain; assert that so a RandomConfig/fault-plan derivation
+  // change can't quietly turn this into a no-op test.
+  ASSERT_NE(plan.mode, PersistMode::kSyncFull);
+  ASSERT_EQ(plan.fault, SnapshotFault::kNone);
+  ASSERT_EQ(plan.delta_fault, DeltaFault::kNone);
+  ASSERT_GT(plan.crash_index, 300u);
+
+  auto factory = [&cfg]() -> std::unique_ptr<WindowOperator> {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = 1'000'000'000'000;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    for (const std::string& agg : cfg.aggs) {
+      op->AddAggregation(MakeAggregation(agg));
+    }
+    for (const WindowSpec& w : cfg.windows) op->AddWindow(w.Instantiate());
+    return op;
+  };
+
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("scotty-recache-regression-" +
+        std::to_string(static_cast<long>(::getpid()))))
+          .string();
+  std::map<ResultKey, Value> faulted;
+  std::string err;
+  CrashRunStats stats;
+  ASSERT_TRUE(RunToFinalResultsCrashRecovered(factory, stream, final_wm,
+                                              cfg.wm_every, wm_lag, plan,
+                                              scratch, &faulted, &err, &stats))
+      << err;
+
+  // The bug's signature: a dead delta chain behind a correct-looking run.
+  EXPECT_GT(stats.barriers, 1u);
+  EXPECT_GE(stats.deltas_applied, 1u)
+      << "delta restore silently degraded to base-only replay";
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_FALSE(stats.recovered_from_scratch);
+
+  // And the differential contract still holds: the merged view equals the
+  // unfaulted run exactly.
+  auto op = factory();
+  const std::map<ResultKey, Value> expected =
+      RunToFinalResults(*op, stream, final_wm, cfg.wm_every, wm_lag);
+  EXPECT_EQ(faulted, expected);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace scotty
