@@ -1,0 +1,118 @@
+// Scalar vs SIMD column-kernel microbenchmark (the EXPERIMENTS.md §9 table).
+//
+// Measures the raw fold kernels of aggregates/kernels.h — SumColumn,
+// MinColumn, MaxColumn, MonotoneRunLength — in every mode this binary+CPU
+// supports, over a column that fits in L1 (4096 elements) so the numbers
+// reflect kernel arithmetic, not memory bandwidth. Each (kernel, mode) pair
+// reports elements/s, best of several passes.
+//
+// Note the asymmetry the bit-identity contract forces: SumColumn keeps the
+// serial left-to-right fold in every mode (reassociation would change
+// rounding), so its "SIMD" rows measure dispatch overhead only and should
+// be flat; Min/Max fold lane-parallel and show the real vector win;
+// MonotoneRunLength vectorizes only under AVX2 (64-bit compares).
+//
+// Rows append to BENCH_throughput.json, figure `simd_kernels`.
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "aggregates/kernels.h"
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/tuple_batch.h"
+
+namespace scotty {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 4096;
+constexpr int kPasses = 5;
+constexpr double kPassSeconds = 0.15;
+
+alignas(kBatchAlignBytes) double g_values[kN];
+alignas(kBatchAlignBytes) Time g_ts[kN];
+
+/// Best-of-passes rate for one kernel closure. `fold` must return a value
+/// that depends on the data so the loop cannot be optimized away; the
+/// running checksum is printed once at the end for the same reason.
+double g_sink = 0.0;
+
+template <typename Fold>
+double MeasureElemsPerSecond(const Fold& fold) {
+  double best = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    uint64_t iters = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      g_sink += fold();
+      ++iters;
+      if ((iters & 0xFF) == 0) {
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      }
+    } while (elapsed < kPassSeconds);
+    const double rate = static_cast<double>(iters) * kN / elapsed;
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+void Run() {
+  PrintHeader("simd_kernels",
+              "column fold kernels, elements/s per dispatch mode");
+  Rng rng(2024);
+  Time t = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    g_values[i] = (static_cast<double>(rng.NextBounded(2000)) - 997.0) / 7.0;
+    t += static_cast<Time>(rng.NextBounded(3));
+    g_ts[i] = t;
+  }
+  const Time bound = std::numeric_limits<Time>::max();
+
+  for (const simd::KernelMode m :
+       {simd::KernelMode::kScalar, simd::KernelMode::kSse2,
+        simd::KernelMode::kAvx2}) {
+    simd::SetModeForTesting(m);
+    if (simd::ActiveMode() != m) continue;  // not supported by binary/CPU
+    const std::string mode = simd::ModeName(m);
+    EmitRow("simd_kernels", "sum/" + mode, std::to_string(kN),
+            MeasureElemsPerSecond(
+                [] { return simd::SumColumn(g_values, kN, 0.0); }),
+            "elems/s");
+    EmitRow("simd_kernels", "min/" + mode, std::to_string(kN),
+            MeasureElemsPerSecond([] {
+              return simd::MinColumn(
+                  g_values, kN, std::numeric_limits<double>::infinity());
+            }),
+            "elems/s");
+    EmitRow("simd_kernels", "max/" + mode, std::to_string(kN),
+            MeasureElemsPerSecond([] {
+              return simd::MaxColumn(
+                  g_values, kN, -std::numeric_limits<double>::infinity());
+            }),
+            "elems/s");
+    EmitRow("simd_kernels", "run-scan/" + mode, std::to_string(kN),
+            MeasureElemsPerSecond([bound] {
+              return static_cast<double>(
+                  simd::MonotoneRunLength(g_ts, kN, 0, bound));
+            }),
+            "elems/s");
+  }
+  simd::SetModeForTesting(simd::KernelMode::kAuto);
+  std::printf("# checksum %.6g\n", g_sink);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scotty
+
+int main() {
+  scotty::bench::Run();
+  return 0;
+}

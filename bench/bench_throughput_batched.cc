@@ -7,21 +7,33 @@
 // workload re-checks, and slice lookups across contiguous tuple runs and
 // folds values through the devirtualized LiftCombineBatch kernels.
 //
-// Series per store mode (lazy/eager):
-//   tuple-at-a-time    ProcessTuple per tuple (the pre-batching hot loop)
-//   batch-{64,256,1024} ProcessTupleBatch over blocks of that size
-//   speedup-batch-256  batch-256 tuples/s divided by tuple-at-a-time
+// Figures:
+//   throughput_batched   inline-generation rows, per store mode (lazy/eager):
+//     tuple-at-a-time         ProcessTuple per tuple (the pre-batching loop)
+//     batch-{64..4096}        ProcessTupleBatch over blocks of that size
+//     speedup-batch-256       batch-256 tuples/s over tuple-at-a-time
+//   throughput_soa       pre-generated replay rows (see bench_util.h for the
+//     methodology note), per store mode and layout:
+//     {aos,soa}-batch-{64..4096}  row-major replay vs columnar SoA replay
+//     soa-vs-aos-batch-1024       columnar speedup at the staging default
+//   throughput_parallel_preagg  (--parallel) shared-window executor with
+//     thread-local slice pre-aggregation, 1..4 workers. NOTE: scaling here
+//     is only meaningful on a multi-core host; see EXPERIMENTS.md.
 //
-// Results are appended to BENCH_throughput.json (see bench_json.h); the
-// committed baseline at the repo root records the measured speedup. The
-// batch sizes bracket the ParallelExecutor staging default (256).
+// Flags: --layout=aos|soa restricts the replay figure to one layout,
+// --parallel adds the worker sweep. Results are appended to
+// BENCH_throughput.json (see bench_json.h).
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "core/general_slicing_operator.h"
+#include "runtime/parallel_executor.h"
 
 namespace scotty {
 namespace bench {
@@ -33,6 +45,14 @@ namespace {
 constexpr uint64_t kMaxTuples = 20'000'000;
 constexpr double kMaxSeconds = 1.0;
 
+// Replay streams are materialized up front (~40 bytes/tuple AoS, ~33 SoA):
+// 4M tuples keeps the resident buffer under 200 MB while still giving the
+// >100M tuples/s columnar path tens of milliseconds per pass; passes repeat
+// until kReplayMinSeconds of measurement accumulate and the best pass wins.
+constexpr size_t kReplayTuples = 4'000'000;
+constexpr double kReplayMinSeconds = 0.3;
+constexpr int kReplayMaxPasses = 6;
+
 std::unique_ptr<WindowOperator> MakeOp(Technique tech, int windows) {
   return MakeTechnique(tech, /*stream_in_order=*/true, /*allowed_lateness=*/0,
                        DashboardTumblingWindows(windows), {"sum"});
@@ -42,7 +62,7 @@ void Run() {
   PrintHeader("throughput_batched",
               "batched vs per-tuple ingestion, in-order sum/tumbling");
   const std::vector<int> window_counts = {1, 10, 100, 1000};
-  const std::vector<size_t> batch_sizes = {64, 256, 1024};
+  const std::vector<size_t> batch_sizes = {64, 256, 1024, 2048, 4096};
   for (Technique tech : {Technique::kLazySlicing, Technique::kEagerSlicing}) {
     const std::string name = TechniqueName(tech);
     for (int n : window_counts) {
@@ -72,11 +92,153 @@ void Run() {
   }
 }
 
+/// Best-of-N replay: fresh operator per pass, pass time accumulates until
+/// the budget is spent, the fastest pass is reported (standard microbench
+/// practice — the best pass has the least scheduler/cache interference).
+template <typename MeasureOnce>
+double BestReplayRate(const MeasureOnce& measure) {
+  double best = 0.0;
+  double total_s = 0.0;
+  for (int pass = 0; pass < kReplayMaxPasses; ++pass) {
+    const ThroughputResult r = measure();
+    best = std::max(best, r.TuplesPerSecond());
+    total_s += r.seconds;
+    if (pass > 0 && total_s > kReplayMinSeconds) break;
+  }
+  return best;
+}
+
+void RunSoA(const std::string& layout) {
+  PrintHeader("throughput_soa",
+              "pre-generated replay, aos (row blocks) vs soa (column views)");
+  // Materialize once; both layouts replay the identical stream.
+  TupleBatchSoA soa(kReplayTuples);
+  std::vector<Tuple> aos;
+  {
+    SensorStream src(SensorStream::Football());
+    Tuple t;
+    if (layout != "soa") aos.reserve(kReplayTuples);
+    for (size_t i = 0; i < kReplayTuples && src.Next(&t); ++i) {
+      soa.PushBack(t);
+      if (layout != "soa") aos.push_back(t);
+    }
+  }
+  const std::vector<int> window_counts = {1, 10, 100};
+  const std::vector<size_t> batch_sizes = {64, 256, 1024, 2048, 4096};
+  for (Technique tech : {Technique::kLazySlicing, Technique::kEagerSlicing}) {
+    const std::string name = TechniqueName(tech);
+    for (int n : window_counts) {
+      double aos1024 = 0.0;
+      double soa1024 = 0.0;
+      for (size_t bs : batch_sizes) {
+        if (layout != "soa") {
+          const double rate = BestReplayRate([&] {
+            auto op = MakeOp(tech, n);
+            return MeasureThroughputReplayAoS(*op, aos, bs);
+          });
+          EmitRow("throughput_soa", name + "/aos-batch-" + std::to_string(bs),
+                  std::to_string(n), rate, "tuples/s");
+          if (bs == 1024) aos1024 = rate;
+        }
+        if (layout != "aos") {
+          const double rate = BestReplayRate([&] {
+            auto op = MakeOp(tech, n);
+            return MeasureThroughputReplaySoA(*op, soa, bs);
+          });
+          EmitRow("throughput_soa", name + "/soa-batch-" + std::to_string(bs),
+                  std::to_string(n), rate, "tuples/s");
+          if (bs == 1024) soa1024 = rate;
+        }
+      }
+      if (aos1024 > 0 && soa1024 > 0) {
+        EmitRow("throughput_soa", name + "/soa-vs-aos-batch-1024",
+                std::to_string(n), soa1024 / aos1024, "x");
+      }
+    }
+  }
+}
+
+void RunParallel() {
+  PrintHeader("throughput_parallel_preagg",
+              "shared-window executor, thread-local slice pre-aggregation");
+  // One shared 1000ms tumbling sum window; the pre-aggregation slice length
+  // (250ms) divides it, so local bucket edges line up with window edges.
+  TupleBatchSoA soa(kReplayTuples);
+  {
+    SensorStream src(SensorStream::Football());
+    Tuple t;
+    for (size_t i = 0; i < kReplayTuples && src.Next(&t); ++i) soa.PushBack(t);
+  }
+  const Time max_ts = soa.ts()[soa.size() - 1];
+  for (size_t workers = 1; workers <= 4; ++workers) {
+    ParallelExecutor::Options opts;
+    opts.shared_preagg = true;
+    opts.preagg_slice_len = 250;
+    opts.batch_size = 1024;
+    ParallelExecutor exec(
+        workers,
+        [] {
+          GeneralSlicingOperator::Options o;
+          o.stream_in_order = false;
+          auto op = std::make_unique<GeneralSlicingOperator>(o);
+          op->AddAggregation(MakeAggregation("sum"));
+          AddWindows(*op, DashboardTumblingWindows(1));
+          return std::unique_ptr<WindowOperator>(std::move(op));
+        },
+        opts);
+    exec.Start();
+    const auto start = std::chrono::steady_clock::now();
+    constexpr size_t kChunk = 4096;
+    constexpr size_t kWmEvery = 1 << 18;  // ~262k tuples between watermarks
+    size_t since_wm = 0;
+    for (size_t i = 0; i < soa.size();) {
+      const size_t len = std::min(kChunk, soa.size() - i);
+      exec.PushColumns(soa.Subview(i, len));
+      i += len;
+      since_wm += len;
+      if (since_wm >= kWmEvery) {
+        exec.PushWatermark(soa.ts()[i - 1] - 2000);
+        since_wm = 0;
+      }
+    }
+    exec.PushWatermark(max_ts);
+    exec.Finish();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = secs > 0 ? static_cast<double>(soa.size()) / secs : 0;
+    EmitRow("throughput_parallel_preagg", "workers", std::to_string(workers),
+            rate, "tuples/s");
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace scotty
 
-int main() {
-  scotty::bench::Run();
+int main(int argc, char** argv) {
+  std::string layout = "both";
+  bool parallel = false;
+  bool base = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--layout=", 9) == 0) {
+      layout = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = true;
+      base = false;  // --parallel alone runs only the worker sweep
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      parallel = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--layout=aos|soa] [--parallel] [--all]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (base) {
+    scotty::bench::Run();
+    scotty::bench::RunSoA(layout);
+  }
+  if (parallel) scotty::bench::RunParallel();
   return 0;
 }

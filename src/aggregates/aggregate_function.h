@@ -7,6 +7,7 @@
 
 #include "aggregates/partial.h"
 #include "common/tuple.h"
+#include "common/tuple_batch.h"
 #include "common/value.h"
 
 namespace scotty {
@@ -58,6 +59,19 @@ class AggregateFunction {
   virtual void LiftCombineBatch(std::span<const Tuple> batch,
                                 Partial& into) const {
     for (const Tuple& t : batch) Combine(into, Lift(t));
+  }
+
+  /// Columnar (SoA) variant of LiftCombineBatch: folds every tuple of the
+  /// view into `into`, exactly equivalent to Combine(into, Lift(t)) per
+  /// tuple in order. The built-in sum/count/min/max/avg overrides read the
+  /// value column directly through the vectorized kernels in
+  /// aggregates/kernels.h; this default materializes tuples one at a time
+  /// so every aggregation (arg-max reads ts, concat reads order, ...) works
+  /// on the SoA path unchanged. Same bit-for-bit fold-order contract as
+  /// LiftCombineBatch.
+  virtual void LiftCombineColumns(const TupleColumnsView& cols,
+                                  Partial& into) const {
+    for (size_t i = 0; i < cols.size; ++i) Combine(into, Lift(cols.Get(i)));
   }
 
   /// Transforms a partial aggregate into the final window aggregate.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "aggregates/aggregate_function.h"
+#include "aggregates/kernels.h"
 
 namespace scotty {
 
@@ -59,6 +60,24 @@ class AvgAggregation : public AggregateFunction {
       s.sum += batch[i].value;
       s.count += 1;
     }
+    into.Set(s);
+  }
+
+  /// Columnar kernel: serial sum fold over the value column plus an O(1)
+  /// count bump — same fold order as the per-tuple path.
+  void LiftCombineColumns(const TupleColumnsView& cols,
+                          Partial& into) const override {
+    if (cols.empty()) return;
+    size_t i = 0;
+    AvgState s;
+    if (into.IsIdentity()) {
+      s = AvgState{cols.value[0], 1};
+      i = 1;
+    } else {
+      s = into.Get<AvgState>();
+    }
+    s.sum = simd::SumColumn(cols.value + i, cols.size - i, s.sum);
+    s.count += static_cast<int64_t>(cols.size - i);
     into.Set(s);
   }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "aggregates/aggregate_function.h"
+#include "aggregates/kernels.h"
 
 namespace scotty {
 
@@ -50,6 +51,22 @@ class SumAggregation : public AggregateFunction {
     }
     for (; i < batch.size(); ++i) acc += batch[i].value;
     into.Set(acc);
+  }
+
+  /// Columnar kernel: serial fold over the dense value column (fold order —
+  /// and therefore rounding — is contractually identical to per-tuple).
+  void LiftCombineColumns(const TupleColumnsView& cols,
+                          Partial& into) const override {
+    if (cols.empty()) return;
+    size_t i = 0;
+    double acc;
+    if (into.IsIdentity()) {
+      acc = cols.value[0];
+      i = 1;
+    } else {
+      acc = into.Get<double>();
+    }
+    into.Set(simd::SumColumn(cols.value + i, cols.size - i, acc));
   }
 
   bool IsInvertible() const override { return true; }
@@ -98,6 +115,18 @@ class CountAggregation : public AggregateFunction {
                         Partial& into) const override {
     if (batch.empty()) return;
     const int64_t n = static_cast<int64_t>(batch.size());
+    if (into.IsIdentity()) {
+      into.Set(n);
+    } else {
+      into.Get<int64_t>() += n;
+    }
+  }
+
+  /// Columnar kernel: identical O(1) collapse; no column is even read.
+  void LiftCombineColumns(const TupleColumnsView& cols,
+                          Partial& into) const override {
+    if (cols.empty()) return;
+    const int64_t n = static_cast<int64_t>(cols.size);
     if (into.IsIdentity()) {
       into.Set(n);
     } else {
@@ -154,6 +183,22 @@ class MinAggregation : public AggregateFunction {
     into.Set(m);
   }
 
+  /// Columnar kernel: lane-parallel vector min (value-identical to the
+  /// serial fold; see the domain note in aggregates/kernels.h).
+  void LiftCombineColumns(const TupleColumnsView& cols,
+                          Partial& into) const override {
+    if (cols.empty()) return;
+    size_t i = 0;
+    double m;
+    if (into.IsIdentity()) {
+      m = cols.value[0];
+      i = 1;
+    } else {
+      m = into.Get<double>();
+    }
+    into.Set(simd::MinColumn(cols.value + i, cols.size - i, m));
+  }
+
   AggClass Class() const override { return AggClass::kDistributive; }
   std::string Name() const override { return "min"; }
 };
@@ -198,6 +243,21 @@ class MaxAggregation : public AggregateFunction {
     }
     for (; i < batch.size(); ++i) m = std::max(m, batch[i].value);
     into.Set(m);
+  }
+
+  /// Columnar kernel: lane-parallel vector max.
+  void LiftCombineColumns(const TupleColumnsView& cols,
+                          Partial& into) const override {
+    if (cols.empty()) return;
+    size_t i = 0;
+    double m;
+    if (into.IsIdentity()) {
+      m = cols.value[0];
+      i = 1;
+    } else {
+      m = into.Get<double>();
+    }
+    into.Set(simd::MaxColumn(cols.value + i, cols.size - i, m));
   }
 
   AggClass Class() const override { return AggClass::kDistributive; }

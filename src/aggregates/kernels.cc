@@ -1,0 +1,248 @@
+#include "aggregates/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#if !defined(SCOTTY_SIMD_DISABLED) && \
+    (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SCOTTY_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace scotty::simd {
+namespace {
+
+std::atomic<KernelMode> g_override{KernelMode::kAuto};
+
+double SumScalar(const double* v, size_t n, double acc) {
+  for (size_t i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+double MinScalar(const double* v, size_t n, double m) {
+  for (size_t i = 0; i < n; ++i) m = std::min(m, v[i]);
+  return m;
+}
+
+double MaxScalar(const double* v, size_t n, double m) {
+  for (size_t i = 0; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+size_t MonotoneRunScalar(const Time* ts, size_t n, Time last_ts, Time bound) {
+  Time prev = last_ts;
+  for (size_t i = 0; i < n; ++i) {
+    if (ts[i] < prev || ts[i] >= bound) return i;
+    prev = ts[i];
+  }
+  return n;
+}
+
+#if defined(SCOTTY_SIMD_X86)
+
+double MinSse2(const double* v, size_t n, double m) {
+  size_t i = 0;
+  if (n >= 4) {
+    __m128d m0 = _mm_set1_pd(m);
+    __m128d m1 = m0;
+    for (; i + 4 <= n; i += 4) {
+      m0 = _mm_min_pd(m0, _mm_loadu_pd(v + i));
+      m1 = _mm_min_pd(m1, _mm_loadu_pd(v + i + 2));
+    }
+    m0 = _mm_min_pd(m0, m1);
+    m = std::min(_mm_cvtsd_f64(m0),
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(m0, m0)));
+  }
+  for (; i < n; ++i) m = std::min(m, v[i]);
+  return m;
+}
+
+double MaxSse2(const double* v, size_t n, double m) {
+  size_t i = 0;
+  if (n >= 4) {
+    __m128d m0 = _mm_set1_pd(m);
+    __m128d m1 = m0;
+    for (; i + 4 <= n; i += 4) {
+      m0 = _mm_max_pd(m0, _mm_loadu_pd(v + i));
+      m1 = _mm_max_pd(m1, _mm_loadu_pd(v + i + 2));
+    }
+    m0 = _mm_max_pd(m0, m1);
+    m = std::max(_mm_cvtsd_f64(m0),
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(m0, m0)));
+  }
+  for (; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+// The build does not pass -mavx2 (the binary must run on SSE2-only hosts),
+// so AVX2 bodies are compiled per-function via the target attribute and
+// only ever called after a cpuid probe.
+__attribute__((target("avx2")))
+double MinAvx2(const double* v, size_t n, double m) {
+  size_t i = 0;
+  if (n >= 8) {
+    __m256d m0 = _mm256_set1_pd(m);
+    __m256d m1 = m0;
+    for (; i + 8 <= n; i += 8) {
+      m0 = _mm256_min_pd(m0, _mm256_loadu_pd(v + i));
+      m1 = _mm256_min_pd(m1, _mm256_loadu_pd(v + i + 4));
+    }
+    m0 = _mm256_min_pd(m0, m1);
+    __m128d lo = _mm256_castpd256_pd128(m0);
+    __m128d hi = _mm256_extractf128_pd(m0, 1);
+    lo = _mm_min_pd(lo, hi);
+    m = std::min(_mm_cvtsd_f64(lo),
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo)));
+  }
+  for (; i < n; ++i) m = std::min(m, v[i]);
+  return m;
+}
+
+__attribute__((target("avx2")))
+double MaxAvx2(const double* v, size_t n, double m) {
+  size_t i = 0;
+  if (n >= 8) {
+    __m256d m0 = _mm256_set1_pd(m);
+    __m256d m1 = m0;
+    for (; i + 8 <= n; i += 8) {
+      m0 = _mm256_max_pd(m0, _mm256_loadu_pd(v + i));
+      m1 = _mm256_max_pd(m1, _mm256_loadu_pd(v + i + 4));
+    }
+    m0 = _mm256_max_pd(m0, m1);
+    __m128d lo = _mm256_castpd256_pd128(m0);
+    __m128d hi = _mm256_extractf128_pd(m0, 1);
+    lo = _mm_max_pd(lo, hi);
+    m = std::max(_mm_cvtsd_f64(lo),
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo)));
+  }
+  for (; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+__attribute__((target("avx2")))
+size_t MonotoneRunAvx2(const Time* ts, size_t n, Time last_ts, Time bound) {
+  // cur >= bound  <=>  cur > bound - 1; bound == INT64_MIN would underflow
+  // but then no timestamp can be < bound at all.
+  if (bound == std::numeric_limits<Time>::min()) return 0;
+  const __m256i bound_m1 = _mm256_set1_epi64x(bound - 1);
+  size_t i = 0;
+  Time prev_last = last_ts;
+  for (; i + 4 <= n; i += 4) {
+    __m256i cur = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ts + i));
+    // prev = [prev_last, cur0, cur1, cur2]: lanes shifted up by one with the
+    // carried-in last timestamp in lane 0.
+    __m256i shifted = _mm256_permute4x64_epi64(cur, _MM_SHUFFLE(2, 1, 0, 0));
+    __m256i prev = _mm256_blend_epi32(
+        shifted, _mm256_set1_epi64x(prev_last), 0x03);
+    __m256i viol = _mm256_or_si256(_mm256_cmpgt_epi64(prev, cur),
+                                   _mm256_cmpgt_epi64(cur, bound_m1));
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(viol));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+    prev_last = ts[i + 3];
+  }
+  return i + MonotoneRunScalar(ts + i, n - i, prev_last, bound);
+}
+
+bool DetectAvx2() { return __builtin_cpu_supports("avx2"); }
+
+#endif  // SCOTTY_SIMD_X86
+
+}  // namespace
+
+KernelMode BestSupportedMode() {
+#if defined(SCOTTY_SIMD_X86)
+  static const KernelMode best =
+      DetectAvx2() ? KernelMode::kAvx2 : KernelMode::kSse2;
+  return best;
+#else
+  return KernelMode::kScalar;
+#endif
+}
+
+KernelMode ActiveMode() {
+  KernelMode o = g_override.load(std::memory_order_relaxed);
+  if (o == KernelMode::kAuto) return BestSupportedMode();
+  return std::min(o, BestSupportedMode());
+}
+
+void SetModeForTesting(KernelMode mode) {
+  g_override.store(mode, std::memory_order_relaxed);
+}
+
+const char* ModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kSse2:
+      return "sse2";
+    case KernelMode::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ParseMode(std::string_view name, KernelMode* out) {
+  if (name == "auto") {
+    *out = KernelMode::kAuto;
+  } else if (name == "scalar") {
+    *out = KernelMode::kScalar;
+  } else if (name == "sse2") {
+    *out = KernelMode::kSse2;
+  } else if (name == "avx2") {
+    *out = KernelMode::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double SumColumn(const double* v, size_t n, double acc) {
+  // All modes: serial fold, by contract (see kernels.h).
+  return SumScalar(v, n, acc);
+}
+
+double MinColumn(const double* v, size_t n, double m) {
+#if defined(SCOTTY_SIMD_X86)
+  switch (ActiveMode()) {
+    case KernelMode::kAvx2:
+      return MinAvx2(v, n, m);
+    case KernelMode::kSse2:
+      return MinSse2(v, n, m);
+    default:
+      break;
+  }
+#endif
+  return MinScalar(v, n, m);
+}
+
+double MaxColumn(const double* v, size_t n, double m) {
+#if defined(SCOTTY_SIMD_X86)
+  switch (ActiveMode()) {
+    case KernelMode::kAvx2:
+      return MaxAvx2(v, n, m);
+    case KernelMode::kSse2:
+      return MaxSse2(v, n, m);
+    default:
+      break;
+  }
+#endif
+  return MaxScalar(v, n, m);
+}
+
+size_t MonotoneRunLength(const Time* ts, size_t n, Time last_ts, Time bound) {
+#if defined(SCOTTY_SIMD_X86)
+  if (ActiveMode() == KernelMode::kAvx2) {
+    return MonotoneRunAvx2(ts, n, last_ts, bound);
+  }
+#endif
+  return MonotoneRunScalar(ts, n, last_ts, bound);
+}
+
+}  // namespace scotty::simd

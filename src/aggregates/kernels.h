@@ -1,0 +1,81 @@
+#ifndef SCOTTY_AGGREGATES_KERNELS_H_
+#define SCOTTY_AGGREGATES_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.h"
+
+/// Vectorized column fold kernels for the SoA batch path.
+///
+/// Dispatch is two-level:
+///  - Compile time: `-DSCOTTY_SIMD=OFF` (CMake) removes all vector code and
+///    every mode resolves to the portable scalar fold. Non-x86 targets get
+///    the same treatment automatically.
+///  - Run time: the best mode the CPU supports is picked once (SSE2 is part
+///    of the x86-64 baseline; AVX2 is probed via cpuid). Tests and the
+///    differential fuzzer can pin a specific mode with SetModeForTesting to
+///    cross-check kernels against each other and against the oracle.
+///
+/// Bit-identity contract (the invariant the differential fuzzer enforces):
+/// every kernel must produce results bit-identical to the scalar per-tuple
+/// fold in processing order. Concretely:
+///  - SumColumn NEVER reassociates floating-point adds: all modes keep the
+///    serial left-to-right fold. A lane-split sum would change rounding; a
+///    serial addsd chain already retires one element per FP-add latency
+///    (~750M elem/s at 3 GHz), far above stream ingest rates, so the SoA
+///    win comes from memory layout, not reassociation.
+///  - Min/MaxColumn do run lane-parallel (min/max selection over doubles is
+///    order-insensitive *by value* for finite, non-NaN inputs without mixed
+///    ±0.0 — the domain the generators produce and the scalar fallback
+///    remains the reference for anything outside it).
+///  - Count-style kernels are exact integer arithmetic.
+namespace scotty::simd {
+
+enum class KernelMode : uint8_t {
+  kAuto = 0,  // resolve to the best supported mode
+  kScalar = 1,
+  kSse2 = 2,
+  kAvx2 = 3,
+};
+
+/// Best mode this binary+CPU supports (kScalar when SCOTTY_SIMD=OFF or
+/// non-x86).
+KernelMode BestSupportedMode();
+
+/// The mode kernels actually run in: the test override if set (clamped to
+/// what is supported), else BestSupportedMode().
+KernelMode ActiveMode();
+
+/// Pin the kernel mode (kAuto clears the override). An unsupported request
+/// clamps down to BestSupportedMode() so corpus reproducer lines replay on
+/// any machine/build. Not thread-safe against concurrent kernel calls; test
+/// and fuzzer use only.
+void SetModeForTesting(KernelMode mode);
+
+const char* ModeName(KernelMode mode);
+/// Parses "auto" | "scalar" | "sse2" | "avx2". Returns false on anything
+/// else.
+bool ParseMode(std::string_view name, KernelMode* out);
+
+/// Serial left-to-right sum fold: acc + v[0] + v[1] + ... (never
+/// reassociated; see contract above).
+double SumColumn(const double* v, size_t n, double acc);
+
+/// Fold of std::min/std::max over the column seeded with m. Lane-parallel
+/// under SSE2/AVX2.
+double MinColumn(const double* v, size_t n, double m);
+double MaxColumn(const double* v, size_t n, double m);
+
+/// Length of the longest prefix of ts[0..n) that is non-decreasing starting
+/// from last_ts (ts[0] >= last_ts, ts[i] >= ts[i-1]) with every element
+/// < bound. This is the foldable-run scan of
+/// GeneralSlicingOperator::ProcessTupleColumns; AVX2 scans 4 timestamps per
+/// step (the required 64-bit compares predate nothing older than AVX2, so
+/// SSE2 mode uses the scalar scan).
+size_t MonotoneRunLength(const Time* ts, size_t n, Time last_ts, Time bound);
+
+}  // namespace scotty::simd
+
+#endif  // SCOTTY_AGGREGATES_KERNELS_H_

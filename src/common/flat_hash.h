@@ -1,0 +1,111 @@
+#ifndef SCOTTY_COMMON_FLAT_HASH_H_
+#define SCOTTY_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scotty {
+
+/// Open-addressing hash map from int64 keys to small values, used on the
+/// keyed batch hot path (key -> partition slot in the columnar shuffle).
+/// Layout is SoA — a dense key array probed with linear steps, values in a
+/// parallel array — so probes touch one contiguous cache line per step
+/// instead of an unordered_map node pointer chase, and the key array is
+/// amenable to vector compares. Clear() is O(1) via generation stamps,
+/// which matters because the keyed shuffle clears the map once per batch.
+///
+/// Not a general-purpose map: no erase, value type must be trivially
+/// copyable-ish, and the caller guarantees single-threaded use.
+template <typename V>
+class FlatKeyMap {
+ public:
+  explicit FlatKeyMap(size_t initial_capacity = 64) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    keys_.resize(cap);
+    values_.resize(cap);
+    gens_.resize(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// O(1): advances the generation stamp; slots from prior generations read
+  /// as empty. A full wrap of the 32-bit generation resets the stamps.
+  void Clear() {
+    size_ = 0;
+    if (++gen_ == 0) {
+      std::fill(gens_.begin(), gens_.end(), 0u);
+      gen_ = 1;
+    }
+  }
+
+  /// Returns the value slot for key, inserting `init` if absent.
+  /// `inserted` (optional) reports whether a new slot was created.
+  V& FindOrInsert(int64_t key, const V& init, bool* inserted = nullptr) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) Grow();
+    size_t i = Hash(key) & mask_;
+    while (true) {
+      if (gens_[i] != gen_) {
+        keys_[i] = key;
+        values_[i] = init;
+        gens_[i] = gen_;
+        ++size_;
+        if (inserted != nullptr) *inserted = true;
+        return values_[i];
+      }
+      if (keys_[i] == key) {
+        if (inserted != nullptr) *inserted = false;
+        return values_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns the value for key or nullptr.
+  V* Find(int64_t key) {
+    size_t i = Hash(key) & mask_;
+    while (true) {
+      if (gens_[i] != gen_) return nullptr;
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  static size_t Hash(int64_t key) {
+    uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(h >> 29);
+  }
+
+  void Grow() {
+    FlatKeyMap bigger(keys_.size() * 2);
+    bigger.gen_ = 1;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (gens_[i] == gen_) {
+        bigger.FindOrInsert(keys_[i], values_[i]);
+      }
+    }
+    keys_ = std::move(bigger.keys_);
+    values_ = std::move(bigger.values_);
+    gens_ = std::move(bigger.gens_);
+    mask_ = bigger.mask_;
+    gen_ = bigger.gen_;
+    // size_ unchanged.
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<V> values_;
+  std::vector<uint32_t> gens_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  uint32_t gen_ = 1;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_COMMON_FLAT_HASH_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <iterator>
 
+#include "aggregates/kernels.h"
+
 namespace scotty {
 
 GeneralSlicingOperator::GeneralSlicingOperator()
@@ -253,6 +255,99 @@ void GeneralSlicingOperator::ProcessTupleBatch(std::span<const Tuple> batch) {
     max_ts_ = run_last_ts;
     i = j;
   }
+}
+
+void GeneralSlicingOperator::ProcessTupleColumns(const TupleColumnsView& cols) {
+  EnsureInitialized();
+  const bool batchable =
+      time_store_ != nullptr && !has_ca_windows_ && count_lane_ == nullptr;
+  if (!batchable) {
+    for (size_t i = 0; i < cols.size; ++i) ProcessTuple(cols.Get(i));
+    return;
+  }
+
+  const bool store_tuples = queries_.StoreTuples();
+  // punct == nullptr is the producer's promise that the view is all data
+  // tuples; the run scan then needs no per-element punctuation test.
+  const bool no_punct = cols.punct == nullptr;
+  const size_t n = cols.size;
+  size_t i = 0;
+  while (i < n) {
+    // Same foldability gate as the AoS path (see ProcessTupleBatch).
+    Time bound = slicer_->next_edge();
+    if (opts_.stream_in_order) {
+      if (next_trigger_edge_ == kNoTime) next_trigger_edge_ = NextTriggerEdge();
+      bound = std::min(bound, next_trigger_edge_);
+    }
+    const Time first_ts = cols.ts[i];
+    const bool foldable = max_ts_ != kNoTime && last_wm_ != kNoTime &&
+                          !cols.IsPunct(i) && first_ts >= max_ts_ &&
+                          first_ts > last_wm_ && first_ts < bound;
+    if (!foldable) {
+      ProcessTuple(cols.Get(i));
+      ++i;
+      continue;
+    }
+    // Extend the run: vectorized monotone scan over the dense ts column
+    // when the view is punctuation-free, scalar scan with the punctuation
+    // test otherwise.
+    size_t run = 1;
+    if (no_punct) {
+      run += simd::MonotoneRunLength(cols.ts + i + 1, n - i - 1, first_ts,
+                                     bound);
+    } else {
+      Time run_last = first_ts;
+      size_t j = i + 1;
+      while (j < n && cols.punct[j] == 0 && cols.ts[j] >= run_last &&
+             cols.ts[j] < bound) {
+        run_last = cols.ts[j];
+        ++j;
+      }
+      run = j - i;
+    }
+    Slice* cur = time_store_->Current();
+    assert(cur != nullptr && "open slice must exist after the first tuple");
+    cur->AddTupleColumns(cols.Subview(i, run), time_store_->fns(),
+                         store_tuples);
+    time_store_->NoteTuplesAdded(run);
+    time_store_->OnSliceAggUpdated(time_store_->NumSlices() - 1);
+    stats_.tuples_processed += run;
+    max_ts_ = cols.ts[i + run - 1];
+    i += run;
+  }
+}
+
+void GeneralSlicingOperator::MergePreAggregatedSlice(
+    Time start, Time end, Time t_first, Time t_last, uint64_t count,
+    std::span<const Partial> partials) {
+  EnsureInitialized();
+  assert(time_store_ != nullptr && !has_ca_windows_ &&
+         count_lane_ == nullptr &&
+         "pre-aggregated merge only supports the context-free time lane");
+  assert(partials.size() == time_store_->fns().size());
+  if (count == 0) return;
+  // Find the slice starting at `start`; create it if the shared store has
+  // not seen this range yet. Merges from different workers may arrive in
+  // any bucket order, so creation must handle a mid-sequence gap.
+  size_t idx = time_store_->FindByStart(start);
+  Slice* s;
+  if (idx != AggregateStore::kNpos && time_store_->At(idx).start() == start) {
+    s = &time_store_->At(idx);
+    assert(s->end() == end && "merge bounds must align with slice edges");
+  } else {
+    const size_t pos = idx == AggregateStore::kNpos ? 0 : idx + 1;
+    s = &time_store_->InsertAt(pos, start, end);
+    idx = pos;
+  }
+  const auto& fns = time_store_->fns();
+  for (size_t i = 0; i < partials.size(); ++i) {
+    fns[i]->Combine(s->mutable_agg(i), partials[i]);
+  }
+  s->NoteTupleRange(t_first, t_last, count);
+  time_store_->NoteTuplesAdded(count);
+  time_store_->OnSliceAggUpdated(idx);
+  stats_.tuples_processed += count;
+  if (max_ts_ == kNoTime || t_last > max_ts_) max_ts_ = t_last;
 }
 
 Time GeneralSlicingOperator::NextTriggerEdge() const {

@@ -91,6 +91,29 @@ class GeneralSlicingOperator : public WindowOperator {
   /// calling ProcessTuple per element.
   void ProcessTupleBatch(std::span<const Tuple> batch) override;
 
+  /// Columnar (SoA) ingestion hot path: the same run splitting as
+  /// ProcessTupleBatch, but run ends are found by a vectorized monotone
+  /// scan over the dense ts column (aggregates/kernels.h) and runs fold
+  /// through the per-aggregation column kernels via Slice::AddTupleColumns.
+  /// Bit-identical to calling ProcessTuple per element.
+  void ProcessTupleColumns(const TupleColumnsView& cols) override;
+
+  /// Merges a pre-aggregated chunk produced by a thread-local slice store
+  /// (runtime/local_slice_store.h) into this operator's shared
+  /// AggregateStore: finds or creates the slice [start, end), combines the
+  /// given partials into it, and accounts the tuple metadata. Slice bounds
+  /// must align with this operator's slice edges (the executor derives both
+  /// from the same window specs). Only valid for the pure time-lane,
+  /// context-free workload shape (no sessions, no count measures) and for
+  /// commutative aggregations — cross-worker merge order is arbitrary, so
+  /// non-commutative folds and FP-rounding bit-identity across different
+  /// worker interleavings are out of scope by design (as in any parallel
+  /// pre-aggregation). The caller serializes calls (the executor holds its
+  /// merge mutex).
+  void MergePreAggregatedSlice(Time start, Time end, Time t_first,
+                               Time t_last, uint64_t count,
+                               std::span<const Partial> partials);
+
   void ProcessWatermark(Time wm) override;
   std::vector<WindowResult> TakeResults() override;
   void TakeResultsInto(std::vector<WindowResult>* out) override;

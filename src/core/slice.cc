@@ -90,6 +90,50 @@ void Slice::AddTupleBatch(std::span<const Tuple> batch,
   }
 }
 
+void Slice::AddTupleColumns(const TupleColumnsView& cols,
+                            const std::vector<AggregateFunctionPtr>& fns,
+                            bool store_tuples) {
+  if (cols.empty()) return;
+  assert(fns.size() == aggs_.size());
+  dirty_ = true;
+  if (track_last_ts_) {
+    // TrackTuple reads the slice state *before* each tuple; no batched
+    // shortcut exists, so materialize and interleave exactly like the AoS
+    // path.
+    for (size_t i = 0; i < cols.size; ++i) {
+      const Tuple t = cols.Get(i);
+      if (track_last_ts_) TrackTuple(t, fns);
+      NoteTuple(t);
+    }
+  } else {
+    // Monotone-run precondition: endpoints are the extrema.
+    assert(cols.ts[0] <= cols.ts[cols.size - 1]);
+    NoteTupleRange(cols.ts[0], cols.ts[cols.size - 1], cols.size);
+  }
+  for (size_t i = 0; i < fns.size(); ++i) {
+    fns[i]->LiftCombineColumns(cols, aggs_[i]);
+  }
+  if (store_tuples) {
+    tuples_.reserve(tuples_.size() + cols.size);
+    for (size_t i = 0; i < cols.size; ++i) {
+      const Tuple t = cols.Get(i);
+      if (tuples_.empty() || !TupleLess(t, tuples_.back())) {
+        tuples_.push_back(t);
+      } else {
+        RawInsertSorted(t);
+      }
+    }
+  }
+}
+
+void Slice::NoteTupleRange(Time first, Time last, uint64_t count) {
+  if (count == 0) return;
+  dirty_ = true;
+  if (t_first_ == kNoTime || first < t_first_) t_first_ = first;
+  if (t_last_ == kNoTime || last > t_last_) t_last_ = last;
+  tuple_count_ += count;
+}
+
 void Slice::Reset(Time start, Time end, size_t num_aggs) {
   dirty_ = true;
   start_ = start;

@@ -9,6 +9,7 @@
 #include "common/memory.h"
 #include "common/time.h"
 #include "common/tuple.h"
+#include "common/tuple_batch.h"
 #include "state/serde.h"
 
 namespace scotty {
@@ -75,6 +76,23 @@ class Slice {
   void AddTupleBatch(std::span<const Tuple> batch,
                      const std::vector<AggregateFunctionPtr>& fns,
                      bool store_tuples);
+
+  /// Columnar variant of AddTupleBatch for a MONOTONE run: the caller
+  /// guarantees the ts column is non-decreasing (the foldable-run splitter
+  /// establishes this). That precondition makes the metadata update O(1) —
+  /// t_first/t_last come straight from the run endpoints instead of a
+  /// per-tuple min/max pass — and aggregation reads the dense value column
+  /// through the SoA kernels (one LiftCombineColumns per function).
+  /// Bit-identical to AddTuple per element in column order.
+  void AddTupleColumns(const TupleColumnsView& cols,
+                       const std::vector<AggregateFunctionPtr>& fns,
+                       bool store_tuples);
+
+  /// Merges externally pre-aggregated tuple metadata (count, first/last
+  /// timestamps) without touching aggregates; the caller combines partials
+  /// separately. Used when a thread-local slice store merges a pre-folded
+  /// chunk into this shared slice.
+  void NoteTupleRange(Time first, Time last, uint64_t count);
 
   /// Reinitializes this slice for reuse as [start, end) with `num_aggs`
   /// identity partials, keeping the aggregate and tuple vector capacities

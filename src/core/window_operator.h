@@ -11,6 +11,7 @@
 
 #include "common/time.h"
 #include "common/tuple.h"
+#include "common/tuple_batch.h"
 #include "common/value.h"
 #include "state/serde.h"
 #include "state/serde_types.h"
@@ -83,6 +84,16 @@ class WindowOperator {
   /// bit-identical to the per-tuple path — the differential fuzzer checks.
   virtual void ProcessTupleBatch(std::span<const Tuple> batch) {
     for (const Tuple& t : batch) ProcessTuple(t);
+  }
+
+  /// Columnar (SoA) batch entry point: same semantics and bit-identity
+  /// contract as ProcessTupleBatch, but tuple data arrives as parallel
+  /// columns. The general slicing operator and the keyed wrapper override
+  /// this with layouts-native hot paths (vectorized run scans, per-key
+  /// column shuffles); the default materializes per tuple so every operator
+  /// accepts columnar input.
+  virtual void ProcessTupleColumns(const TupleColumnsView& cols) {
+    for (size_t i = 0; i < cols.size; ++i) ProcessTuple(cols.Get(i));
   }
 
   /// Processes a low-watermark: triggers all windows that ended at or before

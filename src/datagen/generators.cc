@@ -4,8 +4,11 @@
 
 namespace scotty {
 
-SensorStream::SensorStream(SensorConfig config) : config_(std::move(config)),
-                                                  rng_(config_.seed) {
+SensorStream::SensorStream(SensorConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      value_mod_(static_cast<uint64_t>(config_.distinct_values)),
+      key_mod_(static_cast<uint64_t>(config_.num_keys)) {
   const double tuples_per_gap =
       config_.rate_hz * 60.0 /
       (config_.session_gaps_per_minute > 0 ? config_.session_gaps_per_minute
@@ -57,10 +60,8 @@ bool SensorStream::Next(Tuple* out) {
   }
 
   out->ts = now_ms_;
-  out->value = static_cast<double>(
-      rng_.NextBounded(static_cast<uint64_t>(config_.distinct_values)));
-  out->key = static_cast<int64_t>(
-      rng_.NextBounded(static_cast<uint64_t>(config_.num_keys)));
+  out->value = static_cast<double>(value_mod_.Mod(rng_.NextU64()));
+  out->key = static_cast<int64_t>(key_mod_.Mod(rng_.NextU64()));
   out->seq = seq_++;
   out->is_punctuation = false;
   return true;

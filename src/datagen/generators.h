@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/fastmod.h"
 #include "common/rng.h"
 #include "common/tuple.h"
 
@@ -59,6 +60,10 @@ class SensorStream : public TupleSource {
  private:
   SensorConfig config_;
   Rng rng_;
+  // Precomputed magic-multiplier modulos for the two bounded draws taken per
+  // tuple. Bit-identical to `%` (see FastMod), so streams are unchanged.
+  FastMod value_mod_;
+  FastMod key_mod_;
   Time now_ms_ = 0;
   double carry_ms_ = 0.0;
   uint64_t seq_ = 0;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/window_operator.h"
 
 namespace scotty {
@@ -72,6 +73,74 @@ class KeyedWindowOperator : public WindowOperator {
         OperatorFor(key).ProcessTupleBatch(g);
         g.clear();  // keep capacity for the next batch
       }
+    }
+  }
+
+  /// Columnar batch path: a stable radix-style shuffle of the columns into
+  /// per-key partitions, replacing the AoS path's regrouping-by-copy of
+  /// whole 40-byte tuples. One pass maps each tuple's key to a dense
+  /// partition slot through the open-addressing FlatKeyMap (recording the
+  /// slot so the scatter needs no second hash probe), one pass scatters
+  /// each column into partition-contiguous scratch storage, then every
+  /// partition dispatches as a zero-copy subview through the inner
+  /// operator's columnar path. Per-key arrival order is preserved (the
+  /// scatter is stable), so results are bit-identical to per-tuple
+  /// processing.
+  void ProcessTupleColumns(const TupleColumnsView& cols) override {
+    const size_t n = cols.size;
+    if (n == 0) return;
+    key_slots_.Clear();
+    part_keys_.clear();
+    part_counts_.clear();
+    slot_ids_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      bool inserted = false;
+      uint32_t& slot = key_slots_.FindOrInsert(
+          cols.key[i], static_cast<uint32_t>(part_keys_.size()), &inserted);
+      if (inserted) {
+        part_keys_.push_back(cols.key[i]);
+        part_counts_.push_back(0);
+      }
+      ++part_counts_[slot];
+      slot_ids_[i] = slot;
+    }
+    if (part_keys_.size() == 1) {
+      // Single-key batch: forward the original view untouched.
+      OperatorFor(part_keys_[0]).ProcessTupleColumns(cols);
+      return;
+    }
+    // Exclusive prefix sum -> partition base offsets; cursors advance as
+    // the scatter fills each partition.
+    part_offsets_.resize(part_keys_.size());
+    size_t off = 0;
+    for (size_t p = 0; p < part_keys_.size(); ++p) {
+      part_offsets_[p] = off;
+      off += part_counts_[p];
+    }
+    const bool has_punct = cols.punct != nullptr;
+    scratch_ts_.resize(n);
+    scratch_value_.resize(n);
+    scratch_key_.resize(n);
+    scratch_seq_.resize(n);
+    if (has_punct) scratch_punct_.resize(n);
+    part_cursors_ = part_offsets_;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t d = part_cursors_[slot_ids_[i]]++;
+      scratch_ts_[d] = cols.ts[i];
+      scratch_value_[d] = cols.value[i];
+      scratch_key_[d] = cols.key[i];
+      scratch_seq_[d] = cols.seq[i];
+      if (has_punct) scratch_punct_[d] = cols.punct[i];
+    }
+    for (size_t p = 0; p < part_keys_.size(); ++p) {
+      const size_t base = part_offsets_[p];
+      TupleColumnsView part{scratch_ts_.data() + base,
+                            scratch_value_.data() + base,
+                            scratch_key_.data() + base,
+                            scratch_seq_.data() + base,
+                            has_punct ? scratch_punct_.data() + base : nullptr,
+                            part_counts_[p]};
+      OperatorFor(part_keys_[p]).ProcessTupleColumns(part);
     }
   }
 
@@ -401,6 +470,22 @@ class KeyedWindowOperator : public WindowOperator {
   std::unordered_map<int64_t, std::unique_ptr<WindowOperator>> operators_;
   std::unordered_map<int64_t, std::vector<Tuple>> groups_;  // batch scratch
   std::vector<int64_t> group_order_;                        // batch scratch
+
+  // Columnar shuffle scratch (ProcessTupleColumns): key -> dense partition
+  // slot, per-partition sizes/offsets, and partition-contiguous column
+  // storage. All reused across batches so the steady state allocates
+  // nothing.
+  FlatKeyMap<uint32_t> key_slots_{64};
+  std::vector<int64_t> part_keys_;     // partition slot -> key (first-seen)
+  std::vector<size_t> part_counts_;
+  std::vector<size_t> part_offsets_;
+  std::vector<size_t> part_cursors_;
+  std::vector<uint32_t> slot_ids_;     // per-tuple partition slot
+  std::vector<Time> scratch_ts_;
+  std::vector<double> scratch_value_;
+  std::vector<int64_t> scratch_key_;
+  std::vector<uint64_t> scratch_seq_;
+  std::vector<uint8_t> scratch_punct_;
   std::unordered_set<int64_t> dirty_keys_;  // keys with tuples since barrier
   std::vector<WindowResult> results_;
   std::string inner_name_;

@@ -4,8 +4,12 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iterator>
 
+#include "core/general_slicing_operator.h"
 #include "runtime/keyed_operator.h"
+#include "runtime/local_slice_store.h"
 #include "state/serde.h"
 
 namespace scotty {
@@ -21,71 +25,118 @@ constexpr uint8_t kParallelSnapshotVersion = 2;
 }  // namespace
 
 SpscQueue::SpscQueue(size_t capacity)
-    : ring_(capacity), mask_(capacity - 1) {
-  if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    : cap_(capacity), mask_(capacity - 1), ctrl_(kCtrlCapacity) {
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0 ||
+      capacity % kBatchAlignElems != 0) {
     std::fprintf(stderr,
-                 "SpscQueue: capacity must be a power of two, got %zu\n",
-                 capacity);
+                 "SpscQueue: capacity must be a power of two and a multiple "
+                 "of %zu, got %zu\n",
+                 kBatchAlignElems, capacity);
     std::abort();
   }
+  static_assert((kCtrlCapacity & (kCtrlCapacity - 1)) == 0);
+  ring_.Reserve(capacity);
 }
 
-void SpscQueue::Push(const Item& item) {
-  const uint64_t tail = tail_.load(std::memory_order_relaxed);
-  while (tail - head_cache_ >= ring_.size()) {
-    head_cache_ = head_.load(std::memory_order_acquire);
-    if (tail - head_cache_ >= ring_.size()) {
-      std::this_thread::yield();  // backpressure
-    }
+TupleColumnsView SpscQueue::RingView(size_t pos, size_t n) const {
+  // The ring's punct column is always materialized (CopyIn zero-fills when
+  // the producer had none), so the view can expose it unconditionally.
+  return TupleColumnsView{ring_.ts() + pos,  ring_.value() + pos,
+                          ring_.key() + pos, ring_.seq() + pos,
+                          ring_.punct() + pos, n};
+}
+
+void SpscQueue::CopyIn(size_t pos, const TupleColumnsView& v) {
+  std::memcpy(ring_.mutable_ts() + pos, v.ts, v.size * sizeof(Time));
+  std::memcpy(ring_.mutable_value() + pos, v.value, v.size * sizeof(double));
+  std::memcpy(ring_.mutable_key() + pos, v.key, v.size * sizeof(int64_t));
+  std::memcpy(ring_.mutable_seq() + pos, v.seq, v.size * sizeof(uint64_t));
+  if (v.punct != nullptr) {
+    std::memcpy(ring_.mutable_punct() + pos, v.punct, v.size);
+  } else {
+    std::memset(ring_.mutable_punct() + pos, 0, v.size);
   }
-  ring_[tail & mask_] = item;
-  tail_.store(tail + 1, std::memory_order_release);
 }
 
-bool SpscQueue::Pop(Item* out) {
-  const uint64_t head = head_.load(std::memory_order_relaxed);
-  if (head == tail_cache_) {
-    tail_cache_ = tail_.load(std::memory_order_acquire);
-    if (head == tail_cache_) return false;
-  }
-  *out = ring_[head & mask_];
-  head_.store(head + 1, std::memory_order_release);
-  return true;
-}
-
-void SpscQueue::PushBatch(const Item* items, size_t n) {
+void SpscQueue::PushTuples(const TupleColumnsView& cols) {
   size_t done = 0;
-  while (done < n) {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
-    uint64_t free = ring_.size() - (tail - head_cache_);
+  while (done < cols.size) {
+    const uint64_t tail = data_tail_.load(std::memory_order_relaxed);
+    uint64_t free = cap_ - (tail - data_head_cache_);
     while (free == 0) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      free = ring_.size() - (tail - head_cache_);
+      data_head_cache_ = data_head_.load(std::memory_order_acquire);
+      free = cap_ - (tail - data_head_cache_);
       if (free == 0) std::this_thread::yield();  // backpressure
     }
-    const size_t chunk = std::min(n - done, static_cast<size_t>(free));
-    for (size_t k = 0; k < chunk; ++k) {
-      ring_[(tail + k) & mask_] = items[done + k];
-    }
-    tail_.store(tail + chunk, std::memory_order_release);
+    const size_t chunk =
+        std::min(cols.size - done, static_cast<size_t>(free));
+    const size_t pos = static_cast<size_t>(tail) & mask_;
+    const size_t first = std::min(chunk, cap_ - pos);
+    CopyIn(pos, cols.Subview(done, first));
+    if (chunk > first) CopyIn(0, cols.Subview(done + first, chunk - first));
+    data_tail_.store(tail + chunk, std::memory_order_release);
     done += chunk;
   }
 }
 
-size_t SpscQueue::PopBatch(Item* out, size_t max_n) {
-  const uint64_t head = head_.load(std::memory_order_relaxed);
-  uint64_t avail = tail_cache_ - head;
+void SpscQueue::PushControl(Control c) {
+  // Stamp the boundary: everything pushed so far precedes this control.
+  c.data_pos = data_tail_.load(std::memory_order_relaxed);
+  const uint64_t tail = ctrl_tail_.load(std::memory_order_relaxed);
+  while (tail - ctrl_head_cache_ >= kCtrlCapacity) {
+    ctrl_head_cache_ = ctrl_head_.load(std::memory_order_acquire);
+    if (tail - ctrl_head_cache_ >= kCtrlCapacity) {
+      std::this_thread::yield();  // backpressure
+    }
+  }
+  ctrl_[static_cast<size_t>(tail) & (kCtrlCapacity - 1)] = c;
+  ctrl_tail_.store(tail + 1, std::memory_order_release);
+}
+
+size_t SpscQueue::PopTuples(TupleBatchSoA* out, size_t max_n) {
+  const uint64_t head = data_head_.load(std::memory_order_relaxed);
+  uint64_t avail = data_tail_cache_ - head;
   if (avail == 0) {
-    tail_cache_ = tail_.load(std::memory_order_acquire);
-    avail = tail_cache_ - head;
-    if (avail == 0) return 0;
+    data_tail_cache_ = data_tail_.load(std::memory_order_acquire);
+    avail = data_tail_cache_ - head;
   }
-  const size_t chunk = std::min(max_n, static_cast<size_t>(avail));
-  for (size_t k = 0; k < chunk; ++k) {
-    out[k] = ring_[(head + k) & mask_];
+  // Refresh the control cache AFTER the data cache (see the class comment):
+  // once the data acquire above observes tuples past some control's
+  // data_pos, this control acquire is guaranteed to observe that control,
+  // so the bound below can never be missed.
+  const uint64_t chead = ctrl_head_.load(std::memory_order_relaxed);
+  if (chead == ctrl_tail_cache_) {
+    ctrl_tail_cache_ = ctrl_tail_.load(std::memory_order_acquire);
   }
-  head_.store(head + chunk, std::memory_order_release);
-  return chunk;
+  if (chead != ctrl_tail_cache_) {
+    const uint64_t bound =
+        ctrl_[static_cast<size_t>(chead) & (kCtrlCapacity - 1)].data_pos;
+    assert(bound >= head && "consumed past a pending control boundary");
+    avail = std::min(avail, bound - head);
+  }
+  if (avail == 0) return 0;
+  const size_t n = std::min(max_n, static_cast<size_t>(avail));
+  const size_t pos = static_cast<size_t>(head) & mask_;
+  const size_t first = std::min(n, cap_ - pos);
+  out->AppendView(RingView(pos, first));
+  if (n > first) out->AppendView(RingView(0, n - first));
+  data_head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+bool SpscQueue::PopControl(Control* out) {
+  const uint64_t chead = ctrl_head_.load(std::memory_order_relaxed);
+  if (chead == ctrl_tail_cache_) {
+    ctrl_tail_cache_ = ctrl_tail_.load(std::memory_order_acquire);
+    if (chead == ctrl_tail_cache_) return false;
+  }
+  const Control& c = ctrl_[static_cast<size_t>(chead) & (kCtrlCapacity - 1)];
+  // Deliver only once every tuple pushed before the control is consumed,
+  // preserving the producer's exact tuple/control interleaving.
+  if (data_head_.load(std::memory_order_relaxed) < c.data_pos) return false;
+  *out = c;
+  ctrl_head_.store(chead + 1, std::memory_order_release);
+  return true;
 }
 
 ParallelExecutor::ParallelExecutor(
@@ -96,16 +147,33 @@ ParallelExecutor::ParallelExecutor(
 ParallelExecutor::ParallelExecutor(
     size_t num_workers,
     std::function<std::unique_ptr<WindowOperator>()> factory, Options opts)
-    : opts_(opts), factory_(std::move(factory)) {
-  for (size_t i = 0; i < num_workers; ++i) {
+    : opts_(opts), num_workers_(num_workers), factory_(std::move(factory)) {
+  assert(num_workers_ > 0);
+  if (opts_.shared_preagg) {
     operators_.push_back(factory_());
+    shared_op_ = dynamic_cast<GeneralSlicingOperator*>(operators_[0].get());
+    if (shared_op_ == nullptr || opts_.preagg_slice_len <= 0) {
+      std::fprintf(stderr,
+                   "ParallelExecutor: shared_preagg requires a "
+                   "GeneralSlicingOperator factory and a positive "
+                   "preagg_slice_len\n");
+      std::abort();
+    }
+    assert(shared_op_->queries().AllCommutative() &&
+           "shared pre-aggregation merges in arbitrary worker order");
+  } else {
+    for (size_t i = 0; i < num_workers_; ++i) {
+      operators_.push_back(factory_());
+    }
+  }
+  for (size_t i = 0; i < num_workers_; ++i) {
     queues_.push_back(std::make_unique<SpscQueue>(opts_.queue_capacity));
   }
-  staging_.resize(num_workers);
+  staging_.resize(num_workers_);
   if (opts_.batch_size > 1) {
-    for (auto& s : staging_) s.reserve(opts_.batch_size);
+    for (TupleBatchSoA& s : staging_) s.Reserve(opts_.batch_size);
   }
-  workers_.reserve(num_workers);
+  workers_.reserve(num_workers_);
 }
 
 ParallelExecutor::~ParallelExecutor() {
@@ -115,7 +183,7 @@ ParallelExecutor::~ParallelExecutor() {
 void ParallelExecutor::Start() {
   assert(!started_);
   started_ = true;
-  for (size_t i = 0; i < operators_.size(); ++i) {
+  for (size_t i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
@@ -123,16 +191,14 @@ void ParallelExecutor::Start() {
 size_t ParallelExecutor::WorkerFor(const Tuple& t) const {
   // Key partitioning: consistent routing keeps all tuples of a key on one
   // worker, so per-key window semantics are preserved.
-  return static_cast<size_t>(
-             static_cast<uint64_t>(t.key) * 0x9E3779B97F4A7C15ULL >> 32) %
-         queues_.size();
+  return WorkerIndexForKey(t.key, num_workers_);
 }
 
 void ParallelExecutor::FlushStaging(size_t w) {
-  std::vector<SpscQueue::Item>& s = staging_[w];
+  TupleBatchSoA& s = staging_[w];
   if (s.empty()) return;
-  queues_[w]->PushBatch(s.data(), s.size());
-  s.clear();
+  queues_[w]->PushTuples(s.View());
+  s.Clear();
 }
 
 void ParallelExecutor::FlushAllStaging() {
@@ -140,44 +206,89 @@ void ParallelExecutor::FlushAllStaging() {
 }
 
 void ParallelExecutor::Push(const Tuple& t) {
-  const size_t w = WorkerFor(t);
-  SpscQueue::Item item;
-  item.kind = SpscQueue::Item::Kind::kTuple;
-  item.tuple = t;
+  const size_t w = opts_.shared_preagg ? rr_worker_ : WorkerFor(t);
   if (opts_.batch_size <= 1) {
-    queues_[w]->Push(item);
+    const uint8_t punct = t.is_punctuation ? 1 : 0;
+    queues_[w]->PushTuples(
+        TupleColumnsView{&t.ts, &t.value, &t.key, &t.seq, &punct, 1});
+    if (opts_.shared_preagg) AdvanceRoundRobin();
     return;
   }
-  staging_[w].push_back(item);
-  if (staging_[w].size() >= opts_.batch_size) FlushStaging(w);
+  staging_[w].PushBack(t);
+  if (staging_[w].size() >= opts_.batch_size) {
+    FlushStaging(w);
+    if (opts_.shared_preagg) AdvanceRoundRobin();
+  }
 }
 
 void ParallelExecutor::PushBatch(std::span<const Tuple> tuples) {
   for (const Tuple& t : tuples) Push(t);
 }
 
+void ParallelExecutor::PushColumns(const TupleColumnsView& cols) {
+  if (!opts_.shared_preagg) {
+    if (opts_.batch_size <= 1) {
+      for (size_t i = 0; i < cols.size; ++i) Push(cols.Get(i));
+      return;
+    }
+    for (size_t i = 0; i < cols.size; ++i) {
+      const size_t w = WorkerIndexForKey(cols.key[i], num_workers_);
+      staging_[w].PushBack(cols.Get(i));
+      if (staging_[w].size() >= opts_.batch_size) FlushStaging(w);
+    }
+    return;
+  }
+  // Shared mode: tuple-to-worker placement is semantically free (buckets
+  // are keyed by timestamp, merges commute), so full chunks forward
+  // zero-copy from the caller's columns straight into the worker ring.
+  const size_t chunk_len = std::max<size_t>(size_t{1}, opts_.batch_size);
+  size_t i = 0;
+  while (i < cols.size) {
+    TupleBatchSoA& s = staging_[rr_worker_];
+    if (s.empty() && cols.size - i >= chunk_len) {
+      queues_[rr_worker_]->PushTuples(cols.Subview(i, chunk_len));
+      i += chunk_len;
+      AdvanceRoundRobin();
+      continue;
+    }
+    const size_t take = std::min(chunk_len - s.size(), cols.size - i);
+    s.AppendView(cols.Subview(i, take));
+    i += take;
+    if (s.size() >= chunk_len) {
+      FlushStaging(rr_worker_);
+      AdvanceRoundRobin();
+    }
+  }
+}
+
 void ParallelExecutor::PushWatermark(Time wm) {
   // Staged tuples precede the watermark in arrival order; transfer them
   // first so every worker observes the exact unbatched item sequence.
   FlushAllStaging();
-  SpscQueue::Item item;
-  item.kind = SpscQueue::Item::Kind::kWatermark;
-  item.watermark = wm;
-  for (auto& q : queues_) q->Push(item);
+  if (opts_.shared_preagg) {
+    // The barrier entry must exist before any worker can arrive at it.
+    std::lock_guard<std::mutex> lk(merge_mu_);
+    barriers_.push_back(Barrier{wm, num_workers_});
+  }
+  SpscQueue::Control c;
+  c.kind = SpscQueue::Control::Kind::kWatermark;
+  c.watermark = wm;
+  for (auto& q : queues_) q->PushControl(c);
 }
 
 void ParallelExecutor::Finish() {
   if (!started_ || finished_) return;
   FlushAllStaging();
-  SpscQueue::Item stop;
-  stop.kind = SpscQueue::Item::Kind::kStop;
-  for (auto& q : queues_) q->Push(stop);
+  SpscQueue::Control stop;
+  stop.kind = SpscQueue::Control::Kind::kStop;
+  for (auto& q : queues_) q->PushControl(stop);
   for (std::thread& t : workers_) t.join();
   finished_ = true;
 }
 
 std::vector<uint8_t> ParallelExecutor::SnapshotAtBarrier() {
   assert(started_ && !finished_);
+  if (opts_.shared_preagg) return {};  // see header: no capturable barrier
   for (const auto& op : operators_) {
     if (!op->SupportsSnapshot()) return {};
   }
@@ -185,9 +296,9 @@ std::vector<uint8_t> ParallelExecutor::SnapshotAtBarrier() {
   snap_remaining_.store(queues_.size(), std::memory_order_release);
   // Staged tuples precede the barrier, exactly like PushWatermark.
   FlushAllStaging();
-  SpscQueue::Item item;
-  item.kind = SpscQueue::Item::Kind::kSnapshot;
-  for (auto& q : queues_) q->Push(item);
+  SpscQueue::Control c;
+  c.kind = SpscQueue::Control::Kind::kSnapshot;
+  for (auto& q : queues_) q->PushControl(c);
   while (snap_remaining_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
@@ -326,59 +437,131 @@ bool RepartitionKeyedStates(
 }
 
 void ParallelExecutor::WorkerLoop(size_t i) {
+  if (opts_.shared_preagg) {
+    SharedWorkerLoop(i);
+    return;
+  }
   SpscQueue& q = *queues_[i];
   WindowOperator& op = *operators_[i];
   const size_t batch = std::max<size_t>(size_t{1}, opts_.batch_size);
-  std::vector<SpscQueue::Item> items(batch);
-  std::vector<Tuple> run;  // contiguous tuple run handed to the operator
-  run.reserve(batch);
+  TupleBatchSoA buf(batch);
   std::vector<WindowResult> drained;
   uint64_t results = 0;
+  SpscQueue::Control c;
   while (true) {
-    const size_t got = q.PopBatch(items.data(), batch);
-    if (got == 0) {
+    buf.Clear();
+    if (q.PopTuples(&buf, batch) > 0) {
+      // Straight from the SoA ring into the columnar ingestion hot path:
+      // the batch was never an array of structs at any point.
+      op.ProcessTupleColumns(buf.View());
+      continue;
+    }
+    if (!q.PopControl(&c)) {
       std::this_thread::yield();
       continue;
     }
-    size_t k = 0;
-    while (k < got) {
-      switch (items[k].kind) {
-        case SpscQueue::Item::Kind::kTuple: {
-          run.clear();
-          while (k < got && items[k].kind == SpscQueue::Item::Kind::kTuple) {
-            run.push_back(items[k].tuple);
-            ++k;
-          }
-          op.ProcessTupleBatch(run);
-          break;
-        }
-        case SpscQueue::Item::Kind::kWatermark:
-          op.ProcessWatermark(items[k].watermark);
+    switch (c.kind) {
+      case SpscQueue::Control::Kind::kWatermark:
+        op.ProcessWatermark(c.watermark);
+        drained.clear();
+        op.TakeResultsInto(&drained);
+        results += drained.size();
+        break;
+      case SpscQueue::Control::Kind::kSnapshot: {
+        // Serialize between two items of this worker's own stream: the
+        // state captured here is exactly the state a sequential run of
+        // this worker's item sequence would have at this point.
+        state::Writer w;
+        op.SerializeState(w);
+        snap_slots_[i] = w.Take();
+        snap_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+      case SpscQueue::Control::Kind::kStop:
+        drained.clear();
+        op.TakeResultsInto(&drained);
+        results += drained.size();
+        total_results_.fetch_add(results);
+        return;
+    }
+  }
+}
+
+void ParallelExecutor::SharedWorkerLoop(size_t i) {
+  SpscQueue& q = *queues_[i];
+  const size_t batch = std::max<size_t>(size_t{1}, opts_.batch_size);
+  TupleBatchSoA buf(batch);
+  // All heavy lifting happens here, unsynchronized: tuples fold into this
+  // worker's private buckets; only finished buckets cross the mutex.
+  ThreadLocalSliceStore local(opts_.preagg_slice_len,
+                              shared_op_->queries().aggs);
+  const auto merge = [&](const ThreadLocalSliceStore::Bucket& b) {
+    shared_op_->MergePreAggregatedSlice(b.start, b.end, b.t_first, b.t_last,
+                                        b.count, b.partials);
+  };
+  std::vector<WindowResult> drained;
+  uint64_t results = 0;
+  uint64_t my_barrier = 0;  // watermarks this worker has arrived at
+  SpscQueue::Control c;
+  while (true) {
+    buf.Clear();
+    if (q.PopTuples(&buf, batch) > 0) {
+      local.AddColumns(buf.View());
+      continue;
+    }
+    if (!q.PopControl(&c)) {
+      std::this_thread::yield();
+      continue;
+    }
+    switch (c.kind) {
+      case SpscQueue::Control::Kind::kWatermark: {
+        std::lock_guard<std::mutex> lk(merge_mu_);
+        local.DrainCompletedUpTo(c.watermark, merge);
+        Barrier& b =
+            barriers_[static_cast<size_t>(my_barrier - barriers_popped_)];
+        assert(b.wm == c.watermark);
+        ++my_barrier;
+        if (--b.remaining == 0) {
+          // Queues are FIFO and watermarks broadcast in order, so the last
+          // arrival always completes the FRONT barrier: every earlier one
+          // had all workers arrive before they could reach this one.
+          assert(my_barrier - 1 == barriers_popped_);
+          shared_op_->ProcessWatermark(b.wm);
           drained.clear();
-          op.TakeResultsInto(&drained);
+          shared_op_->TakeResultsInto(&drained);
           results += drained.size();
-          ++k;
-          break;
-        case SpscQueue::Item::Kind::kSnapshot: {
-          // Serialize between two items of this worker's own stream: the
-          // state captured here is exactly the state a sequential run of
-          // this worker's item sequence would have at this point.
-          state::Writer w;
-          op.SerializeState(w);
-          snap_slots_[i] = w.Take();
-          snap_remaining_.fetch_sub(1, std::memory_order_acq_rel);
-          ++k;
-          break;
+          shared_results_.insert(shared_results_.end(),
+                                 std::make_move_iterator(drained.begin()),
+                                 std::make_move_iterator(drained.end()));
+          barriers_.pop_front();
+          ++barriers_popped_;
         }
-        case SpscQueue::Item::Kind::kStop:
-          drained.clear();
-          op.TakeResultsInto(&drained);
-          results += drained.size();
-          total_results_.fetch_add(results);
-          return;
+        break;
+      }
+      case SpscQueue::Control::Kind::kSnapshot:
+        // Unsupported in shared mode (SnapshotAtBarrier returns early
+        // without broadcasting); acknowledge defensively so a producer can
+        // never park forever.
+        snap_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      case SpscQueue::Control::Kind::kStop: {
+        // Remaining buckets (past the last watermark) merge into the
+        // shared store so no data is lost; the caller finalizes via
+        // SharedOperator() after Finish().
+        std::lock_guard<std::mutex> lk(merge_mu_);
+        local.DrainAll(merge);
+        total_results_.fetch_add(results);
+        return;
       }
     }
   }
+}
+
+std::vector<WindowResult> ParallelExecutor::TakeSharedResults() {
+  std::lock_guard<std::mutex> lk(merge_mu_);
+  std::vector<WindowResult> out = std::move(shared_results_);
+  shared_results_.clear();
+  return out;
 }
 
 size_t ParallelExecutor::MemoryUsageBytes() const {

@@ -3,82 +3,145 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/tuple_batch.h"
 #include "core/window_operator.h"
 
 namespace scotty {
 
-/// Single-producer single-consumer ring buffer carrying tuples and
-/// watermarks between the source thread and one worker.
+class GeneralSlicingOperator;
+
+/// Single-producer single-consumer channel between the source thread and
+/// one worker, split into two rings:
 ///
-/// Both endpoints keep a cached copy of the other side's position and only
-/// refresh it (an acquire load on the shared atomic) when the cache says
-/// the queue is full/empty; combined with the block transfers of
-/// PushBatch/PopBatch this amortizes the atomic traffic to a handful of
-/// operations per batch instead of two per item.
+///  - a columnar (SoA) tuple data ring: five parallel column arrays, so a
+///    block of tuples transfers as five memcpys per ring segment (at most
+///    two segments when the block wraps) instead of one struct copy per
+///    tuple, and the consumer pops directly into a TupleBatchSoA that feeds
+///    WindowOperator::ProcessTupleColumns without any re-layout;
+///  - a small control ring for watermarks / snapshot barriers / stop
+///    markers. Each control is stamped with the data-ring position it was
+///    pushed at (`data_pos`), which restores the producer's exact
+///    tuple/control interleaving on the consumer side: PopTuples never
+///    returns tuples past the earliest pending control, and PopControl
+///    only delivers a control once the data before it is consumed.
+///
+/// Memory ordering: the producer release-publishes each ring's tail; the
+/// consumer refreshes its cached copy of the DATA tail before the CONTROL
+/// tail. A control stamped with data_pos = P is pushed (and its ctrl tail
+/// released) before any data beyond P is published, so by the time the
+/// consumer's data-tail acquire observes data past P, a subsequent
+/// control-tail acquire is guaranteed to observe the control — the consumer
+/// can never consume data across an unseen control boundary.
+///
+/// Both endpoints keep cached copies of the other side's positions and only
+/// refresh (acquire loads) when the cache says full/empty, amortizing the
+/// atomic traffic to a handful of operations per block.
 class SpscQueue {
  public:
-  /// `capacity` must be a power of two (the ring index is computed with a
-  /// mask); violating this aborts with a diagnostic.
+  /// `capacity` must be a power of two (ring indices are masked) and a
+  /// multiple of kBatchAlignElems (wrapped column segments then keep the
+  /// SoA alignment quantum); violating either aborts with a diagnostic.
   explicit SpscQueue(size_t capacity = 1 << 14);
 
-  struct Item {
-    enum class Kind : uint8_t { kTuple, kWatermark, kSnapshot, kStop };
-    Kind kind = Kind::kTuple;
-    Tuple tuple{};
+  struct Control {
+    enum class Kind : uint8_t { kWatermark, kSnapshot, kStop };
+    Kind kind = Kind::kWatermark;
     Time watermark = kNoTime;
+    /// Data-ring position this control was pushed at: every tuple with ring
+    /// position < data_pos precedes it in the stream. Stamped by
+    /// PushControl; callers never set it.
+    uint64_t data_pos = 0;
   };
 
-  size_t capacity() const { return ring_.size(); }
+  size_t capacity() const { return cap_; }
 
-  /// Blocks (spins + yields) while full.
-  void Push(const Item& item);
-  /// Returns false when empty.
-  bool Pop(Item* out);
+  /// Appends all tuples of the view to the data ring with per-column
+  /// segment memcpys; blocks (spins + yields) while full. A null punct
+  /// column is materialized as zeros in the ring.
+  void PushTuples(const TupleColumnsView& cols);
 
-  /// Pushes all `n` items in ring-sized chunks with one release store per
-  /// chunk; blocks (spins + yields) while the ring is full.
-  void PushBatch(const Item* items, size_t n);
-  /// Pops up to `max_n` items into `out` with one acquire load and one
-  /// release store; returns the number popped (0 when empty).
-  size_t PopBatch(Item* out, size_t max_n);
+  /// Appends a control marker at the current data position; blocks while
+  /// the control ring is full.
+  void PushControl(Control c);
+
+  /// Appends up to `max_n` tuples to `*out`, never crossing the earliest
+  /// pending control. Returns the number appended (0 when empty or when a
+  /// control is due first).
+  size_t PopTuples(TupleBatchSoA* out, size_t max_n);
+
+  /// Pops the next control, but only once every tuple pushed before it has
+  /// been consumed; returns false when no control is deliverable yet.
+  bool PopControl(Control* out);
 
  private:
-  std::vector<Item> ring_;
-  size_t mask_;
-  alignas(64) std::atomic<uint64_t> head_{0};  // consumer position
-  alignas(64) std::atomic<uint64_t> tail_{0};  // producer position
-  // Position caches, each owned exclusively by one side (producer caches the
-  // consumer's head, consumer caches the producer's tail). Both are always
-  // <= the true value, so capacity/occupancy estimates are conservative.
-  alignas(64) uint64_t head_cache_ = 0;  // producer-owned
-  alignas(64) uint64_t tail_cache_ = 0;  // consumer-owned
+  TupleColumnsView RingView(size_t pos, size_t n) const;
+  void CopyIn(size_t pos, const TupleColumnsView& v);
+
+  static constexpr size_t kCtrlCapacity = 256;  // power of two
+
+  size_t cap_ = 0;
+  size_t mask_ = 0;
+  TupleBatchSoA ring_;  // used as raw aligned column storage, size unused
+  std::vector<Control> ctrl_;
+  alignas(64) std::atomic<uint64_t> data_head_{0};  // consumer position
+  alignas(64) std::atomic<uint64_t> data_tail_{0};  // producer position
+  alignas(64) std::atomic<uint64_t> ctrl_head_{0};
+  alignas(64) std::atomic<uint64_t> ctrl_tail_{0};
+  // Position caches, each owned exclusively by one side. Always <= the true
+  // value, so capacity/occupancy estimates are conservative.
+  alignas(64) uint64_t data_head_cache_ = 0;  // producer-owned
+  uint64_t ctrl_head_cache_ = 0;              // producer-owned
+  alignas(64) uint64_t data_tail_cache_ = 0;  // consumer-owned
+  uint64_t ctrl_tail_cache_ = 0;              // consumer-owned
 };
 
-/// Key-partitioned parallel execution (paper Section 5.3,
-/// "Parallelization", and the scaling experiment of Section 6.4): tuples
-/// are routed to workers by key hash, watermarks are broadcast, and every
-/// worker runs an independent window-operator instance — the standard
-/// intra-node parallelism of Flink/Spark/Storm.
+/// Parallel execution of window aggregation (paper Section 5.3,
+/// "Parallelization", and the scaling experiment of Section 6.4) in one of
+/// two modes:
 ///
-/// Ingestion is batched on both sides of the queue: the producer stages
-/// tuples per worker and transfers them in blocks; each worker pops blocks
-/// and feeds contiguous tuple runs to WindowOperator::ProcessTupleBatch.
-/// Watermarks flush all staging buffers first, so the per-worker item order
-/// is identical to unbatched execution.
+///  - Key-partitioned (default): tuples route to workers by key hash,
+///    watermarks broadcast, every worker runs an independent operator —
+///    the standard intra-node parallelism of Flink/Spark/Storm.
+///  - Shared pre-aggregation (Options::shared_preagg, NebulaStream-style):
+///    ONE shared GeneralSlicingOperator; tuples route round-robin in
+///    chunks; each worker folds its share into thread-local slice buckets
+///    (runtime/local_slice_store.h) and only merges finished buckets into
+///    the shared operator at watermark boundaries, under a merge mutex.
+///    The last worker to arrive at a watermark triggers the shared
+///    operator and drains its results. Requires a context-free time-lane
+///    workload with commutative aggregations and a preagg_slice_len that
+///    divides every window length and slide.
+///
+/// Ingestion is columnar end to end: the producer stages tuples per worker
+/// in SoA batches, transfers them with per-column memcpys through the SPSC
+/// data ring, and workers feed the popped batches straight to
+/// ProcessTupleColumns. Watermarks flush all staging first, so the
+/// per-worker item order is identical to unbatched execution.
 class ParallelExecutor {
  public:
   struct Options {
-    /// Ring capacity per worker queue; must be a power of two.
+    /// Ring capacity per worker queue; must be a power of two and a
+    /// multiple of kBatchAlignElems.
     size_t queue_capacity = 1 << 14;
     /// Producer-side staging batch per worker (also the workers' pop batch).
     /// 0 or 1 disables staging: every tuple is pushed individually.
     size_t batch_size = 256;
+    /// Shared-operator pre-aggregation mode (see class comment). The
+    /// factory must produce a GeneralSlicingOperator whose aggregations are
+    /// all commutative.
+    bool shared_preagg = false;
+    /// Thread-local bucket length for shared_preagg; must be positive and
+    /// divide every window length and slide of the shared operator's
+    /// queries (bucket edges then cover all window edges).
+    Time preagg_slice_len = 0;
   };
 
   ParallelExecutor(size_t num_workers,
@@ -95,10 +158,17 @@ class ParallelExecutor {
   void Push(const Tuple& t);
   /// Routes a block of tuples through the per-worker staging buffers.
   void PushBatch(std::span<const Tuple> tuples);
+  /// Columnar ingestion: like PushBatch but reads the SoA columns directly
+  /// (no Tuple materialization on the producer side). In shared mode whole
+  /// sub-ranges forward zero-copy into the worker rings.
+  void PushColumns(const TupleColumnsView& cols);
   void PushWatermark(Time wm);
   /// Sends stop markers, drains, and joins all workers. Idempotent: a
   /// second call (e.g. the destructor after an error-path Finish) is a
   /// no-op, so error handling can always call Finish unconditionally.
+  /// In shared mode every worker merges its remaining local buckets into
+  /// the shared operator before exiting; windows past the last watermark
+  /// have NOT been triggered — finalize via SharedOperator().
   void Finish();
 
   /// Snapshot barrier (DESIGN.md §7): broadcasts a barrier marker to every
@@ -110,7 +180,8 @@ class ParallelExecutor {
   /// the captured state is exactly what a sequential per-worker run would
   /// have had. Returns one combined tagged v2 blob (worker count +
   /// length-prefixed per-worker states); empty on failure (an operator
-  /// without snapshot support).
+  /// without snapshot support, or shared pre-aggregation mode, whose
+  /// workers hold in-flight thread-local state no barrier point captures).
   std::vector<uint8_t> SnapshotAtBarrier();
 
   /// Restores every worker operator from a blob produced by
@@ -127,8 +198,18 @@ class ParallelExecutor {
 
   uint64_t TotalResults() const { return total_results_.load(); }
   size_t MemoryUsageBytes() const;
-  size_t num_workers() const { return workers_.size(); }
+  size_t num_workers() const { return num_workers_; }
   const Options& options() const { return opts_; }
+
+  /// Shared mode only: the one shared operator (null otherwise). Only
+  /// touch it before Start() or after Finish() — workers merge into it
+  /// concurrently in between.
+  GeneralSlicingOperator* SharedOperator() { return shared_op_; }
+
+  /// Shared mode only: moves out every result the shared operator emitted
+  /// at watermark barriers so far. Call after Finish() (workers append
+  /// concurrently while running).
+  std::vector<WindowResult> TakeSharedResults();
 
   /// The key-routing function: which of `workers` queues a key hashes to.
   /// Exposed so rescaled restore (and its tests) re-bucket per-key state
@@ -141,19 +222,40 @@ class ParallelExecutor {
 
  private:
   void WorkerLoop(size_t i);
+  void SharedWorkerLoop(size_t i);
   size_t WorkerFor(const Tuple& t) const;
   void FlushStaging(size_t w);
   void FlushAllStaging();
+  void AdvanceRoundRobin() { rr_worker_ = (rr_worker_ + 1) % num_workers_; }
 
   Options opts_;
+  size_t num_workers_ = 0;
   std::function<std::unique_ptr<WindowOperator>()> factory_;
   std::vector<std::unique_ptr<WindowOperator>> operators_;
+  GeneralSlicingOperator* shared_op_ = nullptr;  // shared mode only
   std::vector<std::unique_ptr<SpscQueue>> queues_;
-  std::vector<std::vector<SpscQueue::Item>> staging_;  // producer-owned
+  std::vector<TupleBatchSoA> staging_;  // producer-owned, one per worker
+  size_t rr_worker_ = 0;                // shared-mode chunk routing cursor
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> total_results_{0};
   bool started_ = false;
   bool finished_ = false;
+
+  // Shared mode: merge mutex serializing every access to shared_op_ while
+  // workers run, plus the per-watermark arrival barrier. A barrier entry is
+  // appended (under the mutex) before the watermark control is broadcast;
+  // workers arrive in watermark order (their queues are FIFO), so entries
+  // complete strictly front-to-back and the last arrival triggers the
+  // shared operator.
+  struct Barrier {
+    Time wm;
+    size_t remaining;
+  };
+  std::mutex merge_mu_;
+  std::deque<Barrier> barriers_;
+  uint64_t barriers_popped_ = 0;  // completed entries, = index of front
+  std::vector<WindowResult> shared_results_;
+
   // In-flight snapshot barrier: the producer parks on snap_remaining_ while
   // each worker serializes into its slot. Only one barrier is in flight at
   // a time (SnapshotAtBarrier blocks), so plain slots + one atomic counter

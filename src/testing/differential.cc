@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "aggregates/kernels.h"
 #include "aggregates/registry.h"
 #include "baselines/aggregate_tree.h"
 #include "baselines/buckets.h"
@@ -132,6 +133,11 @@ void CoverConfigFeatures(const DifferentialConfig& cfg, bool sorted) {
                    (cfg.rescale != 0 ? 4u : 0u));
   CoverFeature(FeatureDomain::kDimension, 2,
                Log2Bucket(static_cast<uint64_t>(s.num_tuples)));
+  simd::KernelMode km = simd::KernelMode::kAuto;
+  (void)simd::ParseMode(cfg.kernel, &km);
+  CoverFeature(FeatureDomain::kDimension, 3,
+               (cfg.layout == "soa" ? 1u : 0u) |
+                   (static_cast<uint64_t>(km) << 1));
 }
 
 /// Per-technique features after a run: which window kinds the technique
@@ -221,6 +227,8 @@ std::string DifferentialConfig::ToFlags() const {
   flag("checkpoint", checkpoint, 0);
   flag("crash", crash, 0);
   flag("rescale", rescale, 0);
+  flag("layout", layout, std::string("aos"));
+  flag("kernel", kernel, std::string("auto"));
   return os.str();
 }
 
@@ -337,6 +345,13 @@ bool ParseConfigLine(const std::string& line, DifferentialConfig* out,
       cfg.crash = static_cast<int>(i);
     } else if (key == "rescale" && parse_i64(&i) && i >= -1) {
       cfg.rescale = static_cast<int>(i);
+    } else if (key == "layout") {
+      if (val != "aos" && val != "soa") return fail("bad --layout=" + val);
+      cfg.layout = val;
+    } else if (key == "kernel") {
+      simd::KernelMode km;
+      if (!simd::ParseMode(val, &km)) return fail("bad --kernel=" + val);
+      cfg.kernel = val;
     } else {
       return fail("bad flag '" + tok + "'");
     }
@@ -663,6 +678,41 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
       CoverTechniqueRun("slicing-inorder-batched", cfg, op.get());
     }
   }
+  if (cfg.layout == "soa") {
+    // Columnar ingestion with the kernel dispatch pinned: the configured
+    // mode (clamped to what this binary/CPU supports) and, whenever that
+    // resolves to a vector mode, the scalar fallback too. Both must
+    // reproduce the per-tuple reference bit-for-bit — this is the fuzzer's
+    // SIMD bit-identity check, cross-validated against the oracle below.
+    simd::KernelMode want = simd::KernelMode::kAuto;
+    (void)simd::ParseMode(cfg.kernel, &want);
+    simd::SetModeForTesting(want);
+    const simd::KernelMode resolved = simd::ActiveMode();
+    std::vector<simd::KernelMode> modes = {resolved};
+    if (resolved != simd::KernelMode::kScalar) {
+      modes.push_back(simd::KernelMode::kScalar);
+    }
+    const size_t bs = cfg.batch > 0 ? static_cast<size_t>(cfg.batch) : 64;
+    for (const simd::KernelMode m : modes) {
+      simd::SetModeForTesting(m);
+      const std::string suffix = std::string("-soa-") + simd::ModeName(m);
+      {
+        auto op = MakeSlicing(cfg, StoreMode::kLazy, false);
+        runs.push_back({"slicing-lazy" + suffix,
+                        RunToFinalResultsColumns(*op, stream, final_wm,
+                                                 cfg.wm_every, wm_lag, bs)});
+        CoverTechniqueRun("slicing-lazy" + suffix, cfg, op.get());
+      }
+      if (sorted) {
+        auto op = MakeSlicing(cfg, StoreMode::kLazy, true);
+        runs.push_back({"slicing-inorder" + suffix,
+                        RunToFinalResultsColumns(*op, stream, final_wm,
+                                                 cfg.wm_every, wm_lag, bs)});
+        CoverTechniqueRun("slicing-inorder" + suffix, cfg, op.get());
+      }
+    }
+    simd::SetModeForTesting(simd::KernelMode::kAuto);
+  }
   // The baselines drive ProcessContext/TriggerWindows directly and never
   // Bind a StreamStateView, so "last N" windows (which resolve their start
   // through NthRecentTupleTime on the view) only run on the slicing store.
@@ -869,6 +919,14 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
   // An eighth also run the rescaling crash twin (worker counts W -> W' and
   // the fault plan seed-derived); the nightly rescaling lane forces it on.
   if (rng.NextBounded(8) == 0 && num_tuples > 1) cfg.rescale = -1;
+  // Half the seeds also run the columnar (SoA) ingestion path with a pinned
+  // kernel mode; the scalar fallback rides along automatically whenever the
+  // pinned mode resolves to a vector kernel.
+  if (rng.NextBounded(2) == 0) {
+    cfg.layout = "soa";
+    static const char* kKernels[] = {"auto", "scalar", "sse2", "avx2"};
+    cfg.kernel = kKernels[rng.NextBounded(4)];
+  }
   return cfg;
 }
 

@@ -52,6 +52,17 @@ struct DifferentialConfig {
   /// W, W', the persistence mode, and any snapshot damage are seed-derived.
   /// 0 disables the rescale runs.
   int rescale = 0;
+  /// Tuple delivery layout for the additional slicing runs: "aos" (default)
+  /// keeps only the row-major ProcessTupleBatch runs controlled by `batch`;
+  /// "soa" additionally transposes blocks into columnar TupleBatchSoA
+  /// batches and drives ProcessTupleColumns — the vectorized ingest path.
+  std::string layout = "aos";
+  /// Kernel mode pinned (via simd::SetModeForTesting) for the SoA runs:
+  /// "auto", "scalar", "sse2", or "avx2", clamped to what the binary/CPU
+  /// supports so reproducer lines replay anywhere. Whenever the resolved
+  /// mode is a vector mode, the scalar fallback is run alongside it — the
+  /// fuzzer checks SIMD vs scalar vs oracle bit-identity on every config.
+  std::string kernel = "auto";
 
   /// Reproducer flags for `fuzz_differential` (everything non-default).
   std::string ToFlags() const;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "aggregates/kernels.h"
+
 namespace scotty {
 namespace testing {
 
@@ -160,12 +162,20 @@ void Apply(Op op, DifferentialConfig* cfg, Rng& rng) {
     case Op::kDimensionShift: {
       static const int kWm[] = {0, 16, 64, 256};
       static const int kBatch[] = {0, 1, 7, 64, 333};
-      switch (rng.NextBounded(3)) {
+      static const char* kKernels[] = {"auto", "scalar", "sse2", "avx2"};
+      switch (rng.NextBounded(5)) {
         case 0:
           cfg->wm_every = kWm[rng.NextBounded(4)];
           break;
         case 1:
           cfg->batch = kBatch[rng.NextBounded(5)];
+          break;
+        case 2:
+          // Flip the ingest layout; SoA runs add the kernel cross-check.
+          cfg->layout = rng.NextBounded(2) == 0 ? "aos" : "soa";
+          break;
+        case 3:
+          cfg->kernel = kKernels[rng.NextBounded(4)];
           break;
         default:
           cfg->checkpoint =
@@ -279,6 +289,9 @@ void Sanitize(DifferentialConfig* cfg) {
 
   cfg->wm_every = std::max(0, cfg->wm_every);
   cfg->batch = std::clamp(cfg->batch, 0, kMaxTuples);
+  if (cfg->layout != "soa") cfg->layout = "aos";
+  simd::KernelMode km;
+  if (!simd::ParseMode(cfg->kernel, &km)) cfg->kernel = "auto";
   const int n = s.num_tuples;
   cfg->checkpoint = std::clamp(cfg->checkpoint, -1, n);
   cfg->crash = std::clamp(cfg->crash, -1, n);

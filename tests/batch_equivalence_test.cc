@@ -308,49 +308,70 @@ TEST(KeyedBatchTest, NameIsCachedWithoutFactoryCalls) {
 // SPSC queue: block transfers, capacity knob.
 
 TEST(SpscQueueBatchTest, BatchRoundTripAcrossWraparound) {
-  SpscQueue q(16);  // tiny ring: every batch straddles the wrap point
+  SpscQueue q(16);  // tiny ring: every block straddles the wrap point
   EXPECT_EQ(q.capacity(), 16u);
   constexpr size_t kTotal = 1000;
-  std::vector<SpscQueue::Item> in(kTotal);
+  TupleBatchSoA in(kTotal);
   for (size_t i = 0; i < kTotal; ++i) {
-    in[i].kind = SpscQueue::Item::Kind::kTuple;
-    in[i].tuple = T(static_cast<Time>(i), static_cast<double>(i), i);
+    in.PushBack(T(static_cast<Time>(i), static_cast<double>(i), i));
   }
-  std::thread producer([&] { q.PushBatch(in.data(), in.size()); });
-  std::vector<SpscQueue::Item> got;
-  SpscQueue::Item buf[7];  // odd size: chunks never align with the ring
+  std::thread producer([&] { q.PushTuples(in.View()); });
+  TupleBatchSoA got(kTotal);
+  TupleBatchSoA buf(8);
   while (got.size() < kTotal) {
-    const size_t n = q.PopBatch(buf, 7);
-    for (size_t i = 0; i < n; ++i) got.push_back(buf[i]);
+    buf.Clear();
+    // Odd pop size: chunks never align with the ring.
+    const size_t n = q.PopTuples(&buf, 7);
+    got.AppendView(buf.View());
     if (n == 0) std::this_thread::yield();
   }
   producer.join();
   ASSERT_EQ(got.size(), kTotal);
   for (size_t i = 0; i < kTotal; ++i) {
-    EXPECT_EQ(got[i].tuple.seq, i);
+    EXPECT_EQ(got.seq()[i], i);
+    EXPECT_EQ(got.ts()[i], static_cast<Time>(i));
+    EXPECT_EQ(got.value()[i], static_cast<double>(i));
   }
 }
 
-TEST(SpscQueueBatchTest, MixedSingleAndBatchOperationsPreserveOrder) {
+TEST(SpscQueueBatchTest, ControlsGateTupleConsumption) {
   SpscQueue q(8);
-  std::vector<SpscQueue::Item> items(3);
-  for (size_t i = 0; i < 3; ++i) items[i].tuple.seq = i;
-  q.PushBatch(items.data(), 3);
-  SpscQueue::Item single;
-  single.tuple.seq = 3;
-  q.Push(single);
-  SpscQueue::Item out;
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.tuple.seq, 0u);
-  SpscQueue::Item rest[8];
-  ASSERT_EQ(q.PopBatch(rest, 8), 3u);
-  EXPECT_EQ(rest[0].tuple.seq, 1u);
-  EXPECT_EQ(rest[2].tuple.seq, 3u);
-  EXPECT_EQ(q.PopBatch(rest, 8), 0u);
+  TupleBatchSoA block(4);
+  for (uint64_t i = 0; i < 3; ++i) block.PushBack(T(0, 0.0, i));
+  q.PushTuples(block.View());
+  SpscQueue::Control wm;
+  wm.kind = SpscQueue::Control::Kind::kWatermark;
+  wm.watermark = 42;
+  q.PushControl(wm);
+  block.Clear();
+  block.PushBack(T(0, 0.0, 3));
+  q.PushTuples(block.View());
+
+  // The control blocks until all three tuples before it are consumed, and
+  // PopTuples never crosses it to reach the fourth tuple.
+  SpscQueue::Control out;
+  EXPECT_FALSE(q.PopControl(&out));
+  TupleBatchSoA buf(8);
+  ASSERT_EQ(q.PopTuples(&buf, 8), 3u);
+  EXPECT_EQ(buf.seq()[0], 0u);
+  EXPECT_EQ(buf.seq()[2], 2u);
+  ASSERT_TRUE(q.PopControl(&out));
+  EXPECT_EQ(out.kind, SpscQueue::Control::Kind::kWatermark);
+  EXPECT_EQ(out.watermark, 42);
+  buf.Clear();
+  ASSERT_EQ(q.PopTuples(&buf, 8), 1u);
+  EXPECT_EQ(buf.seq()[0], 3u);
+  EXPECT_EQ(q.PopTuples(&buf, 8), 0u);
+  EXPECT_FALSE(q.PopControl(&out));
 }
 
 TEST(SpscQueueBatchTest, NonPowerOfTwoCapacityAborts) {
   EXPECT_DEATH(SpscQueue q(100), "power of two");
+}
+
+TEST(SpscQueueBatchTest, NonAlignedCapacityAborts) {
+  // 4 is a power of two but not a multiple of the SoA alignment quantum.
+  EXPECT_DEATH(SpscQueue q(4), "multiple");
 }
 
 // ---------------------------------------------------------------------------

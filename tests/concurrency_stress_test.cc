@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <random>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "aggregates/registry.h"
@@ -22,95 +24,130 @@
 namespace scotty {
 namespace {
 
-TEST(SpscQueueStress, TransfersEveryItemInOrder) {
+/// Tuples travel through the SoA data ring in blocks, controls through the
+/// control ring; the stamped data_pos must restore the producer's exact
+/// tuple/control interleaving: every watermark control carries the number
+/// of tuples pushed before it, and must pop exactly when that many tuples
+/// have been consumed.
+TEST(SpscQueueStress, TransfersEveryTupleInOrderAcrossControls) {
   SpscQueue q(1 << 8);  // small ring => constant wraparound + backpressure
-  constexpr uint64_t kItems = 200000;
+  constexpr uint64_t kTuples = 200000;
+  constexpr size_t kBlock = 100;
+  constexpr uint64_t kCtrlEvery = 700;  // a watermark every 7 blocks
 
-  std::thread producer([&q] {
-    for (uint64_t i = 0; i < kItems; ++i) {
-      SpscQueue::Item item;
-      item.kind = SpscQueue::Item::Kind::kTuple;
-      item.tuple.seq = i;
-      item.tuple.value = static_cast<double>(i % 1024);
-      q.Push(item);
+  std::thread producer([&] {
+    TupleBatchSoA block(kBlock);
+    uint64_t next = 0;
+    while (next < kTuples) {
+      block.Clear();
+      const uint64_t n = std::min<uint64_t>(kBlock, kTuples - next);
+      for (uint64_t i = 0; i < n; ++i) {
+        Tuple t;
+        t.seq = next + i;
+        t.value = static_cast<double>((next + i) % 1024);
+        block.PushBack(t);
+      }
+      q.PushTuples(block.View());
+      next += n;
+      if (next % kCtrlEvery == 0) {
+        SpscQueue::Control wm;
+        wm.kind = SpscQueue::Control::Kind::kWatermark;
+        wm.watermark = static_cast<Time>(next);  // tuples pushed before it
+        q.PushControl(wm);
+      }
     }
-    SpscQueue::Item stop;
-    stop.kind = SpscQueue::Item::Kind::kStop;
-    q.Push(stop);
+    SpscQueue::Control stop;
+    stop.kind = SpscQueue::Control::Kind::kStop;
+    q.PushControl(stop);
   });
 
   uint64_t received = 0;
   double checksum = 0;
   uint64_t expected_seq = 0;
   bool in_order = true;
+  bool controls_at_boundaries = true;
+  TupleBatchSoA buf(kBlock);
+  SpscQueue::Control c;
   while (true) {
-    SpscQueue::Item item;
-    if (!q.Pop(&item)) {
-      std::this_thread::yield();
-      continue;
+    buf.Clear();
+    const size_t n = q.PopTuples(&buf, kBlock);
+    for (size_t i = 0; i < n; ++i) {
+      in_order &= buf.seq()[i] == expected_seq++;
+      checksum += buf.value()[i];
     }
-    if (item.kind == SpscQueue::Item::Kind::kStop) break;
-    in_order &= item.tuple.seq == expected_seq++;
-    ++received;
-    checksum += item.tuple.value;
+    received += n;
+    if (q.PopControl(&c)) {
+      if (c.kind == SpscQueue::Control::Kind::kStop) break;
+      // The control must surface exactly at its stamped tuple boundary.
+      controls_at_boundaries &=
+          c.watermark == static_cast<Time>(received);
+    }
+    if (n == 0) std::this_thread::yield();
   }
   producer.join();
 
-  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(received, kTuples);
   EXPECT_TRUE(in_order);
+  EXPECT_TRUE(controls_at_boundaries);
   double expected_checksum = 0;
-  for (uint64_t i = 0; i < kItems; ++i) {
+  for (uint64_t i = 0; i < kTuples; ++i) {
     expected_checksum += static_cast<double>(i % 1024);
   }
   EXPECT_EQ(checksum, expected_checksum);
 }
 
-TEST(SpscQueueStress, BatchTransfersEveryItemInOrder) {
-  SpscQueue q(1 << 7);  // tiny ring: batches constantly split at the wrap
-  constexpr uint64_t kItems = 200000;
-  constexpr size_t kPush = 190;  // > capacity: PushBatch must chunk
+/// Blocks larger than the ring must chunk, and nearly every transfer wraps,
+/// splitting the per-column memcpys into two segments.
+TEST(SpscQueueStress, WrappedBlocksSurviveTinyRing) {
+  SpscQueue q(1 << 7);  // tiny ring: blocks constantly split at the wrap
+  constexpr uint64_t kTuples = 200000;
+  constexpr size_t kPush = 190;  // > capacity: PushTuples must chunk
   constexpr size_t kPop = 33;
 
   std::thread producer([&] {
-    std::vector<SpscQueue::Item> block(kPush);
+    TupleBatchSoA block(kPush);
     uint64_t next = 0;
-    while (next < kItems) {
-      const size_t n =
-          std::min<uint64_t>(kPush, kItems - next);
-      for (size_t i = 0; i < n; ++i) {
-        block[i].kind = SpscQueue::Item::Kind::kTuple;
-        block[i].tuple.seq = next + i;
+    while (next < kTuples) {
+      block.Clear();
+      const uint64_t n = std::min<uint64_t>(kPush, kTuples - next);
+      for (uint64_t i = 0; i < n; ++i) {
+        Tuple t;
+        t.seq = next + i;
+        t.ts = static_cast<Time>(next + i);
+        block.PushBack(t);
       }
-      q.PushBatch(block.data(), n);
+      q.PushTuples(block.View());
       next += n;
     }
-    SpscQueue::Item stop;
-    stop.kind = SpscQueue::Item::Kind::kStop;
-    q.Push(stop);
+    SpscQueue::Control stop;
+    stop.kind = SpscQueue::Control::Kind::kStop;
+    q.PushControl(stop);
   });
 
   uint64_t received = 0;
   uint64_t expected_seq = 0;
   bool in_order = true;
-  bool stopped = false;
-  SpscQueue::Item buf[kPop];
-  while (!stopped) {
-    const size_t n = q.PopBatch(buf, kPop);
+  TupleBatchSoA buf(kPop);
+  SpscQueue::Control c;
+  while (true) {
+    buf.Clear();
+    const size_t n = q.PopTuples(&buf, kPop);
     if (n == 0) {
+      if (q.PopControl(&c) && c.kind == SpscQueue::Control::Kind::kStop) {
+        break;
+      }
       std::this_thread::yield();
       continue;
     }
     for (size_t i = 0; i < n; ++i) {
-      if (buf[i].kind == SpscQueue::Item::Kind::kStop) {
-        stopped = true;
-        break;
-      }
-      in_order &= buf[i].tuple.seq == expected_seq++;
-      ++received;
+      in_order &= buf.seq()[i] == expected_seq &&
+                  buf.ts()[i] == static_cast<Time>(expected_seq);
+      ++expected_seq;
     }
+    received += n;
   }
   producer.join();
-  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(received, kTuples);
   EXPECT_TRUE(in_order);
 }
 
@@ -296,6 +333,181 @@ TEST(ParallelExecutorStress, RepeatedLifecycles) {
       EXPECT_EQ(exec.TotalResults(), reference);
     }
   }
+}
+
+/// Shared-operator pre-aggregation (Options::shared_preagg): one
+/// GeneralSlicingOperator fed by thread-local slice stores that merge at
+/// watermark barriers. Aggregations are commutative and values are
+/// integer-valued doubles, so results must match a single-threaded run of
+/// the same operator EXACTLY — any lost bucket, double merge, or barrier
+/// race shows up as a value or count mismatch (and as a TSan report in the
+/// concurrency lane).
+std::unique_ptr<WindowOperator> MakeSharedSlicing() {
+  GeneralSlicingOperator::Options o;
+  o.stream_in_order = false;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  op->AddAggregation(MakeAggregation("sum"));
+  op->AddAggregation(MakeAggregation("count"));
+  op->AddAggregation(MakeAggregation("max"));
+  op->AddWindow(std::make_shared<TumblingWindow>(100, Measure::kEventTime));
+  op->AddWindow(std::make_shared<SlidingWindow>(200, 50, Measure::kEventTime));
+  return op;
+}
+
+/// In-order stream with integer values: FP sums are then exact, so shared
+/// pre-aggregation (arbitrary merge order) and the sequential fold agree
+/// bit-for-bit. In-order also means no tuple ever lands in a bucket that
+/// already drained (ts only grows past every emitted watermark).
+std::vector<Tuple> MakeSharedWorkload(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<Tuple> tuples(n);
+  Time ts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ts += static_cast<Time>(rng() % 4);
+    tuples[i].ts = ts;
+    tuples[i].value = static_cast<double>(rng() % 1000);
+    tuples[i].seq = i;
+  }
+  return tuples;
+}
+
+std::vector<WindowResult> SequentialSharedReference(
+    const std::vector<Tuple>& tuples, Time wm_lag, Time final_wm) {
+  auto op = MakeSharedSlicing();
+  std::vector<WindowResult> results;
+  // Pre-data watermark: pins the operator's watermark floor below all data
+  // on both executions (the shared run merges only completed buckets, so
+  // its max-seen timestamp at the first watermark differs from the
+  // sequential run's; anchoring the floor first removes that asymmetry).
+  op->ProcessWatermark(-1);
+  Time last_wm = -1;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    op->ProcessTuple(tuples[i]);
+    if ((i + 1) % 500 == 0 && tuples[i].ts - wm_lag > last_wm) {
+      last_wm = tuples[i].ts - wm_lag;
+      op->ProcessWatermark(last_wm);
+      op->TakeResultsInto(&results);
+    }
+  }
+  op->ProcessWatermark(final_wm);
+  op->TakeResultsInto(&results);
+  return results;
+}
+
+std::vector<WindowResult> SharedPreaggRun(const std::vector<Tuple>& tuples,
+                                          Time wm_lag, Time final_wm,
+                                          size_t workers, size_t batch_size,
+                                          bool columnar) {
+  ParallelExecutor::Options opts;
+  opts.shared_preagg = true;
+  opts.preagg_slice_len = 25;  // divides 100, and 200/50
+  opts.batch_size = batch_size;
+  opts.queue_capacity = 1 << 10;
+  ParallelExecutor exec(workers, MakeSharedSlicing, opts);
+  exec.Start();
+  exec.PushWatermark(-1);
+  TupleBatchSoA all;
+  if (columnar) all.AppendTuples(tuples);
+  Time last_wm = -1;
+  size_t i = 0;
+  while (i < tuples.size()) {
+    const size_t len = std::min<size_t>(500 - i % 500, tuples.size() - i);
+    if (columnar) {
+      exec.PushColumns(all.Subview(i, len));
+    } else {
+      for (size_t k = 0; k < len; ++k) exec.Push(tuples[i + k]);
+    }
+    i += len;
+    if (i % 500 == 0 && tuples[i - 1].ts - wm_lag > last_wm) {
+      last_wm = tuples[i - 1].ts - wm_lag;
+      exec.PushWatermark(last_wm);
+    }
+  }
+  exec.PushWatermark(final_wm);
+  exec.Finish();
+  return exec.TakeSharedResults();
+}
+
+void SortResults(std::vector<WindowResult>* rs) {
+  std::sort(rs->begin(), rs->end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return std::tie(a.window_id, a.agg_id, a.start, a.end) <
+                     std::tie(b.window_id, b.agg_id, b.start, b.end);
+            });
+}
+
+void ExpectSameResults(std::vector<WindowResult> got,
+                       std::vector<WindowResult> want) {
+  ASSERT_EQ(got.size(), want.size());
+  // Emission order within one watermark may differ between the shared and
+  // sequential drains; (window, agg, extent) identifies a result uniquely.
+  SortResults(&got);
+  SortResults(&want);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].window_id, want[i].window_id) << i;
+    EXPECT_EQ(got[i].agg_id, want[i].agg_id) << i;
+    EXPECT_EQ(got[i].start, want[i].start) << i;
+    EXPECT_EQ(got[i].end, want[i].end) << i;
+    EXPECT_EQ(got[i].value, want[i].value) << got[i] << " vs " << want[i];
+  }
+}
+
+TEST(SharedPreaggStress, MatchesSequentialReferenceExactly) {
+  const std::vector<Tuple> tuples = MakeSharedWorkload(11, 20000);
+  const Time wm_lag = 60;
+  const Time final_wm = tuples.back().ts + 1000;
+  const std::vector<WindowResult> want =
+      SequentialSharedReference(tuples, wm_lag, final_wm);
+  ASSERT_GT(want.size(), 0u);
+  ExpectSameResults(SharedPreaggRun(tuples, wm_lag, final_wm, 2, 256, false),
+                    want);
+  ExpectSameResults(SharedPreaggRun(tuples, wm_lag, final_wm, 4, 256, false),
+                    want);
+}
+
+TEST(SharedPreaggStress, ColumnarIngestionAndTinyBatchesMatch) {
+  const std::vector<Tuple> tuples = MakeSharedWorkload(12, 20000);
+  const Time wm_lag = 60;
+  const Time final_wm = tuples.back().ts + 1000;
+  const std::vector<WindowResult> want =
+      SequentialSharedReference(tuples, wm_lag, final_wm);
+  ASSERT_GT(want.size(), 0u);
+  // Zero-copy columnar ingestion.
+  ExpectSameResults(SharedPreaggRun(tuples, wm_lag, final_wm, 3, 128, true),
+                    want);
+  // Unstaged per-tuple pushes: every tuple is its own ring transfer.
+  ExpectSameResults(SharedPreaggRun(tuples, wm_lag, final_wm, 2, 1, false),
+                    want);
+}
+
+/// Tuples past the last watermark merge into the shared store at stop;
+/// finalizing through SharedOperator() after Finish must surface them.
+TEST(SharedPreaggStress, StopDrainsRemainingBuckets) {
+  const std::vector<Tuple> tuples = MakeSharedWorkload(13, 5000);
+  const Time final_wm = tuples.back().ts + 1000;
+  // Reference: everything triggers at the final watermark.
+  auto ref = MakeSharedSlicing();
+  ref->ProcessWatermark(-1);
+  for (const Tuple& t : tuples) ref->ProcessTuple(t);
+  ref->ProcessWatermark(final_wm);
+  std::vector<WindowResult> want = ref->TakeResults();
+  ASSERT_GT(want.size(), 0u);
+
+  ParallelExecutor::Options opts;
+  opts.shared_preagg = true;
+  opts.preagg_slice_len = 25;
+  ParallelExecutor exec(3, MakeSharedSlicing, opts);
+  exec.Start();
+  exec.PushWatermark(-1);
+  for (const Tuple& t : tuples) exec.Push(t);
+  exec.Finish();  // no final watermark: buckets drain at stop
+  std::vector<WindowResult> got = exec.TakeSharedResults();
+  ASSERT_NE(exec.SharedOperator(), nullptr);
+  exec.SharedOperator()->ProcessWatermark(final_wm);
+  for (WindowResult& r : exec.SharedOperator()->TakeResults()) {
+    got.push_back(std::move(r));
+  }
+  ExpectSameResults(std::move(got), std::move(want));
 }
 
 }  // namespace

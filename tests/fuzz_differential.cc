@@ -86,7 +86,8 @@ constexpr const char* kKnownFlags[] = {
     "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
     "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch",
-    "checkpoint", "crash",      "rescale",   "guided",     "corpus",
+    "checkpoint", "crash",      "rescale",   "layout",     "kernel",
+    "guided",     "corpus",
     "seed-corpus", "time-budget-s", "stats-json", "stats-series",
     "no-minimize", "track-coverage"};
 
@@ -181,6 +182,12 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
     // rescaling lane runs 500 seeds this way). 0: off.
     cfg->rescale = static_cast<int>(flags.Int("rescale", cfg->rescale));
   }
+  if (flags.Has("layout")) {
+    // "soa" adds columnar-ingestion runs with the kernel dispatch pinned to
+    // --kernel and (for vector modes) the scalar fallback cross-check.
+    cfg->layout = flags.Str("layout", cfg->layout);
+  }
+  if (flags.Has("kernel")) cfg->kernel = flags.Str("kernel", cfg->kernel);
 }
 
 int ReportFailure(const Flags& flags, DifferentialConfig failing,

@@ -45,7 +45,12 @@ using testing::RunToFinalResults;
 using testing::T;
 
 std::string TempDir(const std::string& leaf) {
-  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  // Suffix with the running test's name: ctest schedules gtest cases from this
+  // binary concurrently, so a shared literal leaf would race on remove_all.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string unique =
+      info ? leaf + "_" + info->test_suite_name() + "_" + info->name() : leaf;
+  const fs::path dir = fs::path(::testing::TempDir()) / unique;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir.string();

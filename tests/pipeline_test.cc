@@ -69,27 +69,26 @@ TEST(Pipeline, OutOfOrderSourceProducesUpdatesWithinLateness) {
 
 TEST(SpscQueueTest, PushPopRoundTrip) {
   SpscQueue q(8);
-  SpscQueue::Item in;
-  in.kind = SpscQueue::Item::Kind::kTuple;
-  in.tuple = testutil::T(42, 3.5, 7);
-  q.Push(in);
-  SpscQueue::Item out;
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.tuple, in.tuple);
-  EXPECT_FALSE(q.Pop(&out));
+  const Tuple in = testutil::T(42, 3.5, 7);
+  TupleBatchSoA block(1);
+  block.PushBack(in);
+  q.PushTuples(block.View());
+  TupleBatchSoA out(1);
+  ASSERT_EQ(q.PopTuples(&out, 8), 1u);
+  EXPECT_EQ(out.Get(0), in);
+  out.Clear();
+  EXPECT_EQ(q.PopTuples(&out, 8), 0u);
 }
 
 TEST(SpscQueueTest, OrderPreserved) {
   SpscQueue q(16);
+  TupleBatchSoA block(10);
+  for (int i = 0; i < 10; ++i) block.PushBack(testutil::T(i, i));
+  q.PushTuples(block.View());
+  TupleBatchSoA out(16);
+  ASSERT_EQ(q.PopTuples(&out, 16), 10u);
   for (int i = 0; i < 10; ++i) {
-    SpscQueue::Item item;
-    item.tuple = testutil::T(i, i);
-    q.Push(item);
-  }
-  SpscQueue::Item out;
-  for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.Pop(&out));
-    EXPECT_EQ(out.tuple.ts, i);
+    EXPECT_EQ(out.ts()[i], i);
   }
 }
 

@@ -42,7 +42,13 @@ using testutil::RunToFinalResults;
 using testutil::T;
 
 std::string TempDir(const std::string& leaf) {
-  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  // Suffix with the running test's name: ctest schedules gtest cases from this
+  // binary concurrently, and two tests sharing a literal leaf (e.g. the
+  // FaultInjector crash-run tests) would otherwise race on remove_all.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string unique =
+      info ? leaf + "_" + info->test_suite_name() + "_" + info->name() : leaf;
+  const fs::path dir = fs::path(::testing::TempDir()) / unique;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir.string();
