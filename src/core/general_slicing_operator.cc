@@ -441,6 +441,12 @@ void GeneralSlicingOperator::Evict(Time wm) {
   }
 }
 
+Partial GeneralSlicingOperator::QueryTimeRangePartial(size_t agg, Time start,
+                                                      Time end) {
+  if (!time_store_) return Partial{};
+  return window_mgr_->RangePartial(agg, start, end);
+}
+
 std::vector<WindowResult> GeneralSlicingOperator::TakeResults() {
   std::vector<WindowResult> out;
   out.swap(results_);

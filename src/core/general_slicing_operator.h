@@ -145,6 +145,19 @@ class GeneralSlicingOperator : public WindowOperator {
   const AggregateStore* time_store() const { return time_store_.get(); }
   const CountLane* count_lane() const { return count_lane_.get(); }
   Time last_watermark() const { return last_wm_; }
+  /// Largest event time observed so far (kNoTime before the first tuple).
+  Time max_event_time() const { return max_ts_; }
+  /// Windows ending at or before this point predate the stream's first
+  /// observed instant and are never triggered (kNoTime before the stream).
+  Time watermark_floor() const { return wm_floor_; }
+  const Options& options() const { return opts_; }
+
+  /// The combined (un-lowered) partial over [start, end) for aggregation
+  /// `agg` on the time lane, splitting slices on demand where an edge falls
+  /// inside a slice. Identity partial when no time lane exists. Used by the
+  /// query registry to fold derived (Factor-Windows-rewritten) window
+  /// results from base-window granules.
+  Partial QueryTimeRangePartial(size_t agg, Time start, Time end);
 
  private:
   void EnsureInitialized();

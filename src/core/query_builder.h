@@ -9,6 +9,8 @@
 
 #include "aggregates/registry.h"
 #include "core/general_slicing_operator.h"
+#include "query/query_def.h"
+#include "query/window_desc.h"
 #include "windows/frames.h"
 #include "windows/multi_measure.h"
 #include "windows/punctuation.h"
@@ -68,17 +70,21 @@ class QueryBuilder {
     AggregateFunctionPtr fn = MakeAggregation(name);
     assert(fn != nullptr && "unknown aggregation name");
     aggs_.push_back(std::move(fn));
+    def_.aggs.push_back(name);
     return *this;
   }
 
-  /// Adds a custom aggregation function.
+  /// Adds a custom aggregation function. Custom functions have no registry
+  /// name, so the builder's portable QueryDef is forfeited (see Def()).
   QueryBuilder& Aggregate(AggregateFunctionPtr fn) {
     aggs_.push_back(std::move(fn));
+    portable_ = false;
     return *this;
   }
 
   QueryBuilder& Tumbling(Time length, Measure measure = Measure::kEventTime) {
     windows_.push_back(std::make_shared<TumblingWindow>(length, measure));
+    RecordWindow({WindowDesc::Kind::kTumbling, measure, length, 0});
     return *this;
   }
 
@@ -86,16 +92,21 @@ class QueryBuilder {
                         Measure measure = Measure::kEventTime) {
     windows_.push_back(
         std::make_shared<SlidingWindow>(length, slide, measure));
+    RecordWindow({WindowDesc::Kind::kSliding, measure, length, slide});
     return *this;
   }
 
   QueryBuilder& Session(Time gap) {
     windows_.push_back(std::make_shared<SessionWindow>(gap));
+    RecordWindow(
+        {WindowDesc::Kind::kSession, Measure::kEventTime, gap, 0});
     return *this;
   }
 
   QueryBuilder& Punctuated() {
     windows_.push_back(std::make_shared<PunctuationWindow>());
+    RecordWindow(
+        {WindowDesc::Kind::kPunctuation, Measure::kEventTime, 10, 0});
     return *this;
   }
 
@@ -103,17 +114,29 @@ class QueryBuilder {
   /// or above `threshold`.
   QueryBuilder& Frames(double threshold) {
     windows_.push_back(std::make_shared<ThresholdFrameWindow>(threshold));
+    // The desc grammar carries integral thresholds only.
+    if (threshold == static_cast<double>(static_cast<Time>(threshold))) {
+      RecordWindow({WindowDesc::Kind::kThresholdFrame, Measure::kEventTime,
+                    static_cast<Time>(threshold), 0});
+    } else {
+      portable_ = false;
+    }
     return *this;
   }
 
   QueryBuilder& LastNEveryT(int64_t n, Time period) {
     windows_.push_back(std::make_shared<LastNEveryTWindow>(n, period));
+    RecordWindow(
+        {WindowDesc::Kind::kLastNEveryT, Measure::kEventTime, n, period});
     return *this;
   }
 
   /// Adds any window implementation (user-defined types plug in here).
+  /// Arbitrary window objects cannot be described, so the builder's
+  /// portable QueryDef is forfeited (see Def()).
   QueryBuilder& Window(WindowPtr w) {
     windows_.push_back(std::move(w));
+    portable_ = false;
     return *this;
   }
 
@@ -127,10 +150,29 @@ class QueryBuilder {
     return op;
   }
 
+  /// True while every window and aggregation added so far has a textual
+  /// description — i.e. Def() round-trips this exact query. Custom
+  /// AggregateFunctionPtr/WindowPtr additions and non-integral frame
+  /// thresholds forfeit portability.
+  bool HasPortableDef() const { return portable_; }
+
+  /// The declarative form of the built query, suitable for
+  /// QueryRegistry::Register (and for reproducer lines). Only meaningful
+  /// when HasPortableDef().
+  const QueryDef& Def() const { return def_; }
+
+  const GeneralSlicingOperator::Options& options() const { return opts_; }
+
  private:
+  void RecordWindow(const WindowDesc& d) {
+    def_.windows.push_back(d.ToString());
+  }
+
   GeneralSlicingOperator::Options opts_;
   std::vector<AggregateFunctionPtr> aggs_;
   std::vector<WindowPtr> windows_;
+  QueryDef def_;
+  bool portable_ = true;
 };
 
 }  // namespace scotty

@@ -1,0 +1,22 @@
+#ifndef SCOTTY_QUERY_QUERY_DEF_H_
+#define SCOTTY_QUERY_QUERY_DEF_H_
+
+#include <string>
+#include <vector>
+
+namespace scotty {
+
+/// A portable (printable, serializable) description of one window query:
+/// window descriptions in the WindowDesc grammar (query/window_desc.h) and
+/// aggregation names resolvable through MakeAggregation. The query registry
+/// registers, deduplicates, snapshots, and restores queries in this form —
+/// descriptions, unlike Window/AggregateFunction objects, can be compared
+/// for sharing and recreated after a restore or on another host.
+struct QueryDef {
+  std::vector<std::string> windows;  // e.g. {"tumbling:1000", "session:40"}
+  std::vector<std::string> aggs;     // e.g. {"sum", "max"}
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_QUERY_QUERY_DEF_H_

@@ -1,0 +1,771 @@
+#include "query/query_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "aggregates/registry.h"
+#include "core/query_builder.h"
+
+namespace scotty {
+
+namespace {
+
+constexpr uint32_t kRegistryTag = 0x51524547;  // "QREG"
+constexpr uint32_t kRegistryVersion = 1;
+
+class Collector : public WindowCallback {
+ public:
+  void OnWindow(Time start, Time end) override {
+    windows.push_back({start, end});
+  }
+  std::vector<std::pair<Time, Time>> windows;
+};
+
+}  // namespace
+
+QueryRegistry::QueryRegistry(Options opts)
+    : opts_(opts),
+      engine_(std::make_unique<GeneralSlicingOperator>(opts.engine)),
+      guard_(std::make_shared<RetentionGuardWindow>()) {
+  const int slot = engine_->AddWindow(guard_);
+  assert(slot == 0);
+  (void)slot;
+  WindowSlot guard_slot;
+  guard_slot.alive = true;
+  slots_.push_back(std::move(guard_slot));
+}
+
+QueryRegistry::QueryId QueryRegistry::Register(const QueryBuilder& builder,
+                                               std::string* error) {
+  if (!builder.HasPortableDef()) {
+    if (error) {
+      *error = "builder holds custom window/aggregation objects with no "
+               "textual description; register a QueryDef instead";
+    }
+    return kInvalidQuery;
+  }
+  return Register(builder.Def(), error);
+}
+
+QueryRegistry::QueryId QueryRegistry::Register(const QueryDef& def,
+                                               std::string* error) {
+  const auto fail = [&](std::string msg) {
+    if (error) *error = std::move(msg);
+    return kInvalidQuery;
+  };
+  if (def.windows.empty()) return fail("query has no windows");
+  if (def.aggs.empty()) return fail("query has no aggregations");
+
+  std::vector<WindowDesc> descs(def.windows.size());
+  for (size_t i = 0; i < def.windows.size(); ++i) {
+    if (!WindowDesc::Parse(def.windows[i], &descs[i])) {
+      return fail("bad window description '" + def.windows[i] + "'");
+    }
+    if (engine_started_ && !descs[i].IsContextFreeTime()) {
+      return fail("mid-stream registration supports only context-free time "
+                  "windows, got '" + def.windows[i] + "'");
+    }
+  }
+
+  // Resolve aggregations up front so registration is all-or-nothing: the
+  // engine's store cannot grow aggregation columns once the stream started.
+  std::vector<int> agg_slots(def.aggs.size(), -1);
+  std::vector<std::pair<std::string, AggregateFunctionPtr>> new_aggs;
+  for (size_t i = 0; i < def.aggs.size(); ++i) {
+    const std::string& name = def.aggs[i];
+    for (size_t s = 0; s < agg_names_.size(); ++s) {
+      if (agg_names_[s] == name) {
+        agg_slots[i] = static_cast<int>(s);
+        break;
+      }
+    }
+    if (agg_slots[i] >= 0) continue;
+    for (size_t n = 0; n < new_aggs.size(); ++n) {
+      if (new_aggs[n].first == name) {
+        agg_slots[i] = static_cast<int>(agg_names_.size() + n);
+        break;
+      }
+    }
+    if (agg_slots[i] >= 0) continue;
+    if (engine_started_) {
+      return fail("mid-stream registration cannot introduce aggregation '" +
+                  name + "' (columns are fixed at the first tuple)");
+    }
+    AggregateFunctionPtr fn = MakeAggregation(name);
+    if (!fn) return fail("unknown aggregation '" + name + "'");
+    agg_slots[i] = static_cast<int>(agg_names_.size() + new_aggs.size());
+    new_aggs.emplace_back(name, std::move(fn));
+  }
+
+  // Validation passed; mutate.
+  for (auto& [name, fn] : new_aggs) {
+    const int slot = engine_->AddAggregation(std::move(fn));
+    assert(slot == static_cast<int>(agg_names_.size()));
+    (void)slot;
+    agg_names_.push_back(name);
+  }
+
+  Query q;
+  q.id = next_query_id_++;
+  q.agg_slots = std::move(agg_slots);
+  q.global_base = next_global_window_;
+  next_global_window_ += static_cast<int>(descs.size());
+  if (engine_started_) {
+    const Time seen =
+        std::max(engine_->max_event_time(), engine_->last_watermark());
+    if (seen != kNoTime) q.horizon = seen + 1;
+  }
+
+  for (WindowDesc& desc : descs) {
+    PlannedWindow pw;
+    pw.desc = desc;
+    const std::string key = desc.ToString();
+
+    int dedup = -1;
+    for (size_t s = 1; s < slots_.size(); ++s) {
+      if (slots_[s].alive && slots_[s].desc == key) {
+        dedup = static_cast<int>(s);
+        break;
+      }
+    }
+    if (dedup >= 0) {
+      pw.plan = PlanKind::kSharedDedup;
+      pw.slot = dedup;
+      ++slots_[dedup].refs;
+      q.windows.push_back(std::move(pw));
+      continue;
+    }
+
+    // Factor-Windows rewrite: a CF time window of length L / slide S folds
+    // over a live tumbling base of length g when g divides both. Largest
+    // eligible g minimizes the fold fan-in L/g.
+    if (opts_.enable_rewrites && desc.IsContextFreeTime()) {
+      const Time length = desc.length;
+      const Time slide =
+          desc.kind == WindowDesc::Kind::kSliding ? desc.slide : desc.length;
+      int best = -1;
+      Time best_g = 0;
+      for (size_t s = 1; s < slots_.size(); ++s) {
+        const WindowSlot& slot = slots_[s];
+        if (!slot.alive) continue;
+        if (slot.parsed.kind != WindowDesc::Kind::kTumbling ||
+            slot.parsed.measure != Measure::kEventTime) {
+          continue;
+        }
+        const Time g = slot.parsed.length;
+        if (g >= length || length % g != 0 || slide % g != 0) continue;
+        if (length / g > static_cast<Time>(opts_.max_rewrite_fan_in)) continue;
+        if (g > best_g) {
+          best = static_cast<int>(s);
+          best_g = g;
+        }
+      }
+      if (best >= 0) {
+        pw.plan = PlanKind::kDerived;
+        pw.slot = best;
+        ++slots_[best].refs;
+        pw.enumerator = desc.Instantiate();
+        pw.derived.base_slot = best;
+        pw.derived.granule = best_g;
+        pw.derived.length = length;
+        pw.derived.slide = slide;
+        pw.derived.prev_emit = engine_->last_watermark();
+        has_derived_ = true;
+        q.windows.push_back(std::move(pw));
+        continue;
+      }
+    }
+
+    pw.plan = PlanKind::kShared;
+    pw.slot = engine_->AddWindow(desc.Instantiate());
+    assert(pw.slot == static_cast<int>(slots_.size()));
+    WindowSlot slot;
+    slot.desc = key;
+    slot.parsed = desc;
+    slot.refs = 1;
+    slot.alive = true;
+    slots_.push_back(std::move(slot));
+    q.windows.push_back(std::move(pw));
+  }
+
+  const QueryId id = q.id;
+  queries_.emplace(id, std::move(q));
+  subs_stale_ = true;
+  UpdateRetentionFloor();
+  return id;
+}
+
+bool QueryRegistry::Deregister(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return false;
+  for (const PlannedWindow& pw : it->second.windows) {
+    WindowSlot& slot = slots_[static_cast<size_t>(pw.slot)];
+    if (--slot.refs == 0 && pw.slot != 0) {
+      engine_->RemoveWindow(pw.slot);
+      slot.alive = false;
+    }
+  }
+  queries_.erase(it);
+  has_derived_ = false;
+  for (const auto& [qid, q] : queries_) {
+    for (const PlannedWindow& pw : q.windows) {
+      if (pw.plan == PlanKind::kDerived) has_derived_ = true;
+    }
+  }
+  subs_stale_ = true;
+  UpdateRetentionFloor();
+  return true;
+}
+
+std::vector<WindowResult> QueryRegistry::TakeQueryResults(QueryId id) {
+  DrainEngine();
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return {};
+  std::vector<WindowResult> out;
+  out.swap(it->second.pending);
+  return out;
+}
+
+QueryRegistry::QueryPlan QueryRegistry::Plan(QueryId id) const {
+  QueryPlan plan;
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return plan;
+  plan.alive = true;
+  plan.horizon = it->second.horizon;
+  for (const PlannedWindow& pw : it->second.windows) {
+    plan.windows.push_back(pw.plan);
+  }
+  return plan;
+}
+
+size_t QueryRegistry::EngineWindows() const {
+  size_t n = 0;
+  for (size_t s = 1; s < slots_.size(); ++s) {
+    if (slots_[s].alive) ++n;
+  }
+  return n;
+}
+
+int QueryRegistry::GlobalWindowId(QueryId id, int local_window_id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return -1;
+  if (local_window_id < 0 ||
+      local_window_id >= static_cast<int>(it->second.windows.size())) {
+    return -1;
+  }
+  return it->second.global_base + local_window_id;
+}
+
+bool QueryRegistry::InOrderBatchNeverLate(std::span<const Tuple> batch) const {
+  if (batch.empty()) return true;
+  const Time lw = engine_->last_watermark();
+  bool ok = lw == kNoTime || batch.front().ts >= lw;
+  for (size_t i = 1; ok && i < batch.size(); ++i) {
+    ok = batch[i].ts >= batch[i - 1].ts;
+  }
+  return ok;
+}
+
+bool QueryRegistry::IsAdmissibleLate(Time ts) const {
+  const Time lw = engine_->last_watermark();
+  if (lw == kNoTime || ts > lw) return false;
+  return ts >= lw - opts_.engine.allowed_lateness;
+}
+
+void QueryRegistry::ProcessTuple(const Tuple& t) {
+  engine_started_ = true;
+  late_scratch_.clear();
+  if (has_derived_ && IsAdmissibleLate(t.ts)) late_scratch_.push_back(t.ts);
+  engine_->ProcessTuple(t);
+  AfterIngest(late_scratch_);
+}
+
+void QueryRegistry::ProcessTupleBatch(std::span<const Tuple> batch) {
+  engine_started_ = true;
+  if (has_derived_ && opts_.engine.stream_in_order) {
+    // On declared-in-order streams the watermark advances per tuple, so the
+    // late-mirroring pre-scan below would race it. But a batch that is
+    // internally sorted and starts at or above the engine watermark cannot
+    // contain an admissible-late tuple at all (a tie with the per-tuple
+    // watermark lands in the granule the watermark sits in, never inside an
+    // already-emitted window), so no mirroring is needed and the batched
+    // engine path is bit-identical. Only disordered data declared in-order
+    // still takes the per-tuple route.
+    if (InOrderBatchNeverLate(batch)) {
+      late_scratch_.clear();
+      engine_->ProcessTupleBatch(batch);
+      AfterIngest(late_scratch_);
+      return;
+    }
+    for (const Tuple& t : batch) ProcessTuple(t);
+    return;
+  }
+  late_scratch_.clear();
+  if (has_derived_) {
+    for (const Tuple& t : batch) {
+      if (IsAdmissibleLate(t.ts)) late_scratch_.push_back(t.ts);
+    }
+  }
+  engine_->ProcessTupleBatch(batch);
+  AfterIngest(late_scratch_);
+}
+
+void QueryRegistry::ProcessTupleColumns(const TupleColumnsView& cols) {
+  engine_started_ = true;
+  if (has_derived_ && opts_.engine.stream_in_order) {
+    // Same sorted-batch fast path as ProcessTupleBatch.
+    const Time lw = engine_->last_watermark();
+    bool never_late = cols.size == 0 || lw == kNoTime || cols.ts[0] >= lw;
+    for (size_t i = 1; never_late && i < cols.size; ++i) {
+      never_late = cols.ts[i] >= cols.ts[i - 1];
+    }
+    if (never_late) {
+      late_scratch_.clear();
+      engine_->ProcessTupleColumns(cols);
+      AfterIngest(late_scratch_);
+      return;
+    }
+    WindowOperator::ProcessTupleColumns(cols);  // row-materialized per-tuple
+    return;
+  }
+  late_scratch_.clear();
+  if (has_derived_) {
+    for (size_t i = 0; i < cols.size; ++i) {
+      if (IsAdmissibleLate(cols.ts[i])) late_scratch_.push_back(cols.ts[i]);
+    }
+  }
+  engine_->ProcessTupleColumns(cols);
+  AfterIngest(late_scratch_);
+}
+
+void QueryRegistry::ProcessWatermark(Time wm) {
+  engine_started_ = true;
+  engine_->ProcessWatermark(wm);
+  late_scratch_.clear();
+  AfterIngest(late_scratch_);
+}
+
+void QueryRegistry::MergePreAggregatedSlice(Time start, Time end, Time t_first,
+                                            Time t_last, uint64_t count,
+                                            std::span<const Partial> partials) {
+  engine_started_ = true;
+  engine_->MergePreAggregatedSlice(start, end, t_first, t_last, count,
+                                   partials);
+  if (has_derived_) InvalidateGranulesOverlapping(start, end);
+}
+
+void QueryRegistry::AfterIngest(const std::vector<Time>& late_ts) {
+  DrainEngine();
+  if (!has_derived_) return;
+  const Time lw = engine_->last_watermark();
+  if (lw == kNoTime) return;
+  const Time floor = engine_->watermark_floor();
+
+  // A late tuple may have landed inside cached granules; recompute them.
+  for (Time ts : late_ts) InvalidateGranulesAt(ts);
+
+  for (auto& [id, q] : queries_) {
+    for (size_t w = 0; w < q.windows.size(); ++w) {
+      PlannedWindow& pw = q.windows[w];
+      if (pw.plan != PlanKind::kDerived) continue;
+      // Mirror of WindowManager::EmitLateUpdates: already-emitted windows
+      // (end <= prev_emit) containing the late tuple get is_update results.
+      for (Time ts : late_ts) {
+        if (pw.derived.prev_emit == kNoTime) continue;
+        EmitDerived(q, static_cast<int>(w), std::max(ts, floor),
+                    pw.derived.prev_emit, ts, /*is_update=*/true);
+      }
+      // Trigger sweep: windows whose end the engine watermark passed.
+      const Time prev =
+          pw.derived.prev_emit == kNoTime ? floor : pw.derived.prev_emit;
+      if (lw > prev) {
+        EmitDerived(q, static_cast<int>(w), prev, lw, kMaxTime,
+                    /*is_update=*/false);
+      }
+      pw.derived.prev_emit = lw;
+    }
+  }
+  UpdateRetentionFloor();
+}
+
+void QueryRegistry::EmitDerived(Query& q, int local_window, Time prev,
+                                Time curr, Time late_ts, bool is_update) {
+  if (curr <= prev) return;
+  PlannedWindow& pw = q.windows[static_cast<size_t>(local_window)];
+  const DerivedPlan& d = pw.derived;
+  Collector c;
+  pw.enumerator->TriggerWindows(c, prev, curr);
+  for (const auto& [s, e] : c.windows) {
+    if (is_update && s > late_ts) continue;
+    if (q.horizon != kNoTime && s < q.horizon) continue;
+    for (size_t la = 0; la < q.agg_slots.size(); ++la) {
+      const int agg_slot = q.agg_slots[la];
+      const AggregateFunctionPtr& fn =
+          engine_->queries().aggs[static_cast<size_t>(agg_slot)];
+      Partial acc = fn->Identity();
+      for (Time g0 = s; g0 < e; g0 += d.granule) {
+        fn->Combine(acc, GranulePartial(d.base_slot, g0, d.granule, agg_slot));
+      }
+      WindowResult r;
+      r.window_id = local_window;
+      r.agg_id = static_cast<int>(la);
+      r.start = s;
+      r.end = e;
+      r.value = fn->Lower(acc);
+      r.is_update = is_update;
+      q.pending.push_back(std::move(r));
+    }
+  }
+}
+
+const Partial& QueryRegistry::GranulePartial(int base_slot, Time start,
+                                             Time granule, int agg_slot) {
+  const GranuleKey key{base_slot, start, agg_slot};
+  auto it = granule_cache_.find(key);
+  if (it == granule_cache_.end()) {
+    it = granule_cache_
+             .emplace(key, engine_->QueryTimeRangePartial(
+                               static_cast<size_t>(agg_slot), start,
+                               start + granule))
+             .first;
+  }
+  return it->second;
+}
+
+void QueryRegistry::InvalidateGranulesAt(Time ts) {
+  for (auto it = granule_cache_.begin(); it != granule_cache_.end();) {
+    const auto& [slot, start, agg] = it->first;
+    const Time g = slots_[static_cast<size_t>(slot)].parsed.length;
+    if (start <= ts && ts < start + g) {
+      it = granule_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryRegistry::InvalidateGranulesOverlapping(Time start, Time end) {
+  for (auto it = granule_cache_.begin(); it != granule_cache_.end();) {
+    const auto& [slot, gstart, agg] = it->first;
+    const Time g = slots_[static_cast<size_t>(slot)].parsed.length;
+    if (gstart < end && start < gstart + g) {
+      it = granule_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryRegistry::UpdateRetentionFloor() {
+  if (!has_derived_) {
+    guard_->SetRetentionFloor(false, kNoTime);
+    granule_cache_.clear();
+    return;
+  }
+  bool keep_all = false;
+  Time floor = kMaxTime;
+  for (const auto& [id, q] : queries_) {
+    for (const PlannedWindow& pw : q.windows) {
+      if (pw.plan != PlanKind::kDerived) continue;
+      Time f;
+      if (pw.derived.prev_emit == kNoTime) {
+        if (q.horizon == kNoTime) {
+          // Registered before the stream, nothing emitted yet: every slice
+          // may still contribute to this window's first emissions.
+          keep_all = true;
+          continue;
+        }
+        f = q.horizon;
+      } else {
+        f = pw.enumerator->EvictionSafePoint(pw.derived.prev_emit);
+        if (q.horizon != kNoTime) f = std::max(f, q.horizon);
+      }
+      floor = std::min(floor, f);
+    }
+  }
+  guard_->SetRetentionFloor(true, keep_all ? kNoTime : floor);
+
+  // Granules entirely below what any derived window can still read (floor
+  // minus the lateness that could resurrect an emitted window) are garbage.
+  if (!keep_all && floor != kMaxTime) {
+    const Time bound = floor - opts_.engine.allowed_lateness;
+    for (auto it = granule_cache_.begin(); it != granule_cache_.end();) {
+      const auto& [slot, gstart, agg] = it->first;
+      const Time g = slots_[static_cast<size_t>(slot)].parsed.length;
+      if (gstart + g <= bound) {
+        it = granule_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void QueryRegistry::RebuildSubscribers() {
+  slot_subs_.assign(slots_.size(), {});
+  for (const auto& [id, q] : queries_) {
+    for (size_t w = 0; w < q.windows.size(); ++w) {
+      const PlannedWindow& pw = q.windows[w];
+      if (pw.plan == PlanKind::kDerived) continue;
+      slot_subs_[static_cast<size_t>(pw.slot)].push_back(
+          Subscriber{id, static_cast<int>(w)});
+    }
+  }
+  subs_stale_ = false;
+}
+
+void QueryRegistry::DrainEngine() {
+  engine_scratch_.clear();
+  engine_->TakeResultsInto(&engine_scratch_);
+  if (engine_scratch_.empty()) return;
+  if (subs_stale_) RebuildSubscribers();
+  for (const WindowResult& r : engine_scratch_) {
+    const size_t slot = static_cast<size_t>(r.window_id);
+    if (slot >= slot_subs_.size()) continue;
+    for (const Subscriber& sub : slot_subs_[slot]) {
+      Query& q = queries_.at(sub.query);
+      // The engine emits every aggregation for every window; a query only
+      // sees the aggregations its definition names.
+      int local_agg = -1;
+      for (size_t a = 0; a < q.agg_slots.size(); ++a) {
+        if (q.agg_slots[a] == r.agg_id) {
+          local_agg = static_cast<int>(a);
+          break;
+        }
+      }
+      if (local_agg < 0) continue;
+      if (q.horizon != kNoTime && r.start < q.horizon) continue;
+      WindowResult out = r;
+      out.window_id = sub.local_window;
+      out.agg_id = local_agg;
+      q.pending.push_back(std::move(out));
+    }
+  }
+}
+
+std::vector<WindowResult> QueryRegistry::TakeResults() {
+  std::vector<WindowResult> out;
+  TakeResultsInto(&out);
+  return out;
+}
+
+void QueryRegistry::TakeResultsInto(std::vector<WindowResult>* out) {
+  DrainEngine();
+  for (auto& [id, q] : queries_) {
+    for (WindowResult& r : q.pending) {
+      r.window_id += q.global_base;
+      out->push_back(std::move(r));
+    }
+    q.pending.clear();
+  }
+}
+
+size_t QueryRegistry::MemoryUsageBytes() const {
+  size_t bytes = engine_->MemoryUsageBytes();
+  bytes += granule_cache_.size() *
+           (sizeof(GranuleKey) + sizeof(Partial) + 4 * sizeof(void*));
+  for (const auto& [id, q] : queries_) {
+    bytes += q.pending.capacity() * sizeof(WindowResult);
+  }
+  return bytes;
+}
+
+std::string QueryRegistry::Name() const {
+  return "query-registry(" + engine_->Name() + ")";
+}
+
+void QueryRegistry::SerializeState(state::Writer& w) const {
+  w.Tag(kRegistryTag);
+  w.U32(kRegistryVersion);
+
+  // Options fingerprint: a restore target constructed differently would
+  // rebuild a differently-behaving engine; fail fast instead.
+  w.Bool(opts_.engine.stream_in_order);
+  w.I64(opts_.engine.allowed_lateness);
+  w.U8(static_cast<uint8_t>(opts_.engine.store_mode));
+  w.Bool(opts_.engine.force_store_tuples);
+  w.Bool(opts_.engine.slice_at_window_ends);
+  w.Bool(opts_.enable_rewrites);
+  w.I64(opts_.max_rewrite_fan_in);
+
+  w.Bool(engine_started_);
+  w.I64(next_query_id_);
+  w.I64(next_global_window_);
+
+  w.U32(static_cast<uint32_t>(agg_names_.size()));
+  for (const std::string& name : agg_names_) w.Str(name);
+
+  w.U32(static_cast<uint32_t>(slots_.size()));
+  for (const WindowSlot& slot : slots_) {
+    w.Str(slot.desc);
+    w.Bool(slot.alive);
+    w.I64(slot.refs);
+  }
+
+  w.U32(static_cast<uint32_t>(queries_.size()));
+  for (const auto& [id, q] : queries_) {
+    w.I64(id);
+    w.I64(q.global_base);
+    w.I64(q.horizon);
+    w.U32(static_cast<uint32_t>(q.windows.size()));
+    for (const PlannedWindow& pw : q.windows) {
+      w.Str(pw.desc.ToString());
+      w.U8(static_cast<uint8_t>(pw.plan));
+      w.I64(pw.slot);
+      if (pw.plan == PlanKind::kDerived) {
+        w.I64(pw.derived.base_slot);
+        w.I64(pw.derived.granule);
+        w.I64(pw.derived.length);
+        w.I64(pw.derived.slide);
+        w.I64(pw.derived.prev_emit);
+      }
+    }
+    w.U32(static_cast<uint32_t>(q.agg_slots.size()));
+    for (int slot : q.agg_slots) w.I64(slot);
+    w.U32(static_cast<uint32_t>(q.pending.size()));
+    for (const WindowResult& r : q.pending) SerializeWindowResult(w, r);
+  }
+
+  engine_->SerializeState(w);
+}
+
+void QueryRegistry::DeserializeState(state::Reader& r) {
+  r.Tag(kRegistryTag);
+  const uint32_t version = r.U32();
+  if (!r.ok() || version != kRegistryVersion) {
+    r.Fail();
+    return;
+  }
+
+  const bool in_order = r.Bool();
+  const Time lateness = r.I64();
+  const uint8_t store_mode = r.U8();
+  const bool force_store = r.Bool();
+  const bool slice_at_ends = r.Bool();
+  const bool rewrites = r.Bool();
+  const int64_t fan_in = r.I64();
+  if (!r.ok() || in_order != opts_.engine.stream_in_order ||
+      lateness != opts_.engine.allowed_lateness ||
+      store_mode != static_cast<uint8_t>(opts_.engine.store_mode) ||
+      force_store != opts_.engine.force_store_tuples ||
+      slice_at_ends != opts_.engine.slice_at_window_ends ||
+      rewrites != opts_.enable_rewrites ||
+      fan_in != opts_.max_rewrite_fan_in) {
+    r.Fail();
+    return;
+  }
+
+  const bool started = r.Bool();
+  const QueryId next_id = static_cast<QueryId>(r.I64());
+  const int next_global = static_cast<int>(r.I64());
+
+  // Rebuild the engine from scratch: replay aggregations, then every window
+  // slot in id order (dead slots are added then removed so live ids match),
+  // then restore the engine's own state on top.
+  engine_ = std::make_unique<GeneralSlicingOperator>(opts_.engine);
+  guard_ = std::make_shared<RetentionGuardWindow>();
+  slots_.clear();
+  agg_names_.clear();
+  queries_.clear();
+  granule_cache_.clear();
+  slot_subs_.clear();
+  engine_started_ = started;
+  next_query_id_ = next_id;
+  next_global_window_ = next_global;
+
+  const uint32_t nagg = r.U32();
+  for (uint32_t a = 0; a < nagg && r.ok(); ++a) {
+    const std::string name = r.Str();
+    AggregateFunctionPtr fn = MakeAggregation(name);
+    if (!fn) {
+      r.Fail();
+      return;
+    }
+    engine_->AddAggregation(std::move(fn));
+    agg_names_.push_back(name);
+  }
+
+  const uint32_t nslots = r.U32();
+  if (!r.ok() || nslots == 0) {
+    r.Fail();
+    return;
+  }
+  for (uint32_t s = 0; s < nslots && r.ok(); ++s) {
+    WindowSlot slot;
+    slot.desc = r.Str();
+    slot.alive = r.Bool();
+    slot.refs = static_cast<int>(r.I64());
+    if (s == 0) {
+      if (!slot.desc.empty()) {
+        r.Fail();
+        return;
+      }
+      const int id = engine_->AddWindow(guard_);
+      assert(id == 0);
+      (void)id;
+    } else {
+      if (!WindowDesc::Parse(slot.desc, &slot.parsed)) {
+        r.Fail();
+        return;
+      }
+      const int id = engine_->AddWindow(slot.parsed.Instantiate());
+      assert(id == static_cast<int>(s));
+      (void)id;
+    }
+    slots_.push_back(std::move(slot));
+  }
+  if (!r.ok()) return;
+  for (size_t s = 1; s < slots_.size(); ++s) {
+    if (!slots_[s].alive) engine_->RemoveWindow(static_cast<int>(s));
+  }
+
+  has_derived_ = false;
+  const uint32_t nqueries = r.U32();
+  for (uint32_t i = 0; i < nqueries && r.ok(); ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(r.I64());
+    q.global_base = static_cast<int>(r.I64());
+    q.horizon = r.I64();
+    const uint32_t nwin = r.U32();
+    for (uint32_t win = 0; win < nwin && r.ok(); ++win) {
+      PlannedWindow pw;
+      const std::string desc = r.Str();
+      if (!WindowDesc::Parse(desc, &pw.desc)) {
+        r.Fail();
+        return;
+      }
+      pw.plan = static_cast<PlanKind>(r.U8());
+      pw.slot = static_cast<int>(r.I64());
+      if (pw.plan == PlanKind::kDerived) {
+        pw.derived.base_slot = static_cast<int>(r.I64());
+        pw.derived.granule = r.I64();
+        pw.derived.length = r.I64();
+        pw.derived.slide = r.I64();
+        pw.derived.prev_emit = r.I64();
+        pw.enumerator = pw.desc.Instantiate();
+        has_derived_ = true;
+      }
+      q.windows.push_back(std::move(pw));
+    }
+    const uint32_t naggs = r.U32();
+    for (uint32_t a = 0; a < naggs && r.ok(); ++a) {
+      q.agg_slots.push_back(static_cast<int>(r.I64()));
+    }
+    const uint32_t npending = r.U32();
+    for (uint32_t p = 0; p < npending && r.ok(); ++p) {
+      q.pending.push_back(DeserializeWindowResult(r));
+    }
+    const QueryId qid = q.id;
+    queries_.emplace(qid, std::move(q));
+  }
+  if (!r.ok()) return;
+
+  engine_->DeserializeState(r);
+  if (!r.ok()) return;
+
+  subs_stale_ = true;
+  UpdateRetentionFloor();
+}
+
+}  // namespace scotty

@@ -1,0 +1,253 @@
+#ifndef SCOTTY_QUERY_QUERY_REGISTRY_H_
+#define SCOTTY_QUERY_QUERY_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/general_slicing_operator.h"
+#include "query/query_def.h"
+#include "query/retention_guard.h"
+#include "query/window_desc.h"
+
+namespace scotty {
+
+class QueryBuilder;
+
+/// Multi-query shared slicing (ROADMAP "Factor-Windows direction"): one
+/// registry serves N concurrent window queries over one shared stream from a
+/// single slice stream and a single AggregateStore, instead of running one
+/// pipeline per query.
+///
+/// The registry owns one inner GeneralSlicingOperator ("the engine"). The
+/// engine's StreamSlicer already slices at the union of all registered
+/// windows' edges and its store already holds one partial per (slice, agg) —
+/// so sharing is a matter of *planning* what each registered query adds:
+///
+///   - kShared:      the window is new — a fresh Window object joins the
+///                   engine; its edges refine the shared slice stream.
+///   - kSharedDedup: an identical window (same description) is already live —
+///                   the query subscribes to the existing engine window and
+///                   adds nothing. Identical aggregations (same registry
+///                   name) are likewise computed once, whatever number of
+///                   queries read them.
+///   - kDerived:     a Factor-Windows rewrite (PAPERS.md, arXiv 2008.12379):
+///                   a context-free time sliding/tumbling window whose length
+///                   and slide are both multiples of a live tumbling window's
+///                   length g folds over that base's g-granule partials
+///                   (L/g combines per window) instead of registering its own
+///                   edges — the engine's per-window trigger/slice cost for
+///                   this query drops to zero and no new slice boundaries are
+///                   created. Chosen when a base exists and the fold fan-in
+///                   L/g stays within Options::max_rewrite_fan_in; the
+///                   largest eligible g (fewest combines) wins.
+///
+/// Queries register before or during the stream. Mid-stream registrations
+/// are limited to context-free time windows over already-registered
+/// aggregation names (the engine's store cannot grow new aggregation columns
+/// after the first tuple) and receive a *horizon*: only windows with
+/// start >= horizon (the first instant after registration) are reported, so
+/// a late-joining query never sees partially-observed history.
+/// Deregistration drops the query's undelivered results and removes engine
+/// windows that no remaining query (including derived dependents) needs; a
+/// base window kept alive only by derived dependents keeps slicing but its
+/// results are dropped at demux.
+///
+/// Results: the registry is itself a WindowOperator, so pipelines, the
+/// parallel executor, and the checkpoint coordinator drive it like any other
+/// operator. TakeResults() flattens all queries' results with globally dense
+/// window ids (see GlobalWindowId) while agg ids stay local to the owning
+/// query's def; TakeQueryResults(id) returns one query's results with both
+/// ids local to its QueryDef. Each result is delivered exactly once, through
+/// whichever accessor drains it first.
+///
+/// Snapshots: SerializeState writes the full query table (definitions,
+/// plans, horizons, trigger progress, undelivered results) followed by the
+/// engine state; DeserializeState rebuilds the engine and replays every
+/// registration from its description before restoring engine state, so a
+/// freshly constructed registry with the same Options — and nothing
+/// registered — resumes bit-identically with all queries intact.
+class QueryRegistry : public WindowOperator {
+ public:
+  using QueryId = int;
+  static constexpr QueryId kInvalidQuery = -1;
+
+  struct Options {
+    GeneralSlicingOperator::Options engine;
+    /// Factor-Windows rewrites on/off (off: every window plans kShared or
+    /// kSharedDedup; useful as the cost-model ablation baseline).
+    bool enable_rewrites = true;
+    /// Cost bound for the rewrite: folding a derived window of length L
+    /// over granules g costs L/g combines at trigger time, vs. the engine
+    /// paying per-slice combine + trigger-heap work continuously for a
+    /// native window. The rewrite wins until the fold fan-in gets large;
+    /// beyond this bound the window registers natively.
+    int max_rewrite_fan_in = 4096;
+  };
+
+  enum class PlanKind : uint8_t {
+    kShared = 0,
+    kSharedDedup = 1,
+    kDerived = 2,
+  };
+
+  /// Introspection: how each window of a query was planned.
+  struct QueryPlan {
+    bool alive = false;
+    Time horizon = kNoTime;
+    std::vector<PlanKind> windows;
+  };
+
+  QueryRegistry() : QueryRegistry(Options{}) {}
+  explicit QueryRegistry(Options opts);
+  ~QueryRegistry() override = default;
+
+  QueryRegistry(const QueryRegistry&) = delete;
+  QueryRegistry& operator=(const QueryRegistry&) = delete;
+
+  /// Registers a query; returns its id, or kInvalidQuery with *error set
+  /// (unparseable window, unknown aggregation, or an unsupported mid-stream
+  /// registration). Ids are never reused within a registry's lifetime.
+  QueryId Register(const QueryDef& def, std::string* error = nullptr);
+
+  /// Registers a query assembled with the fluent QueryBuilder. The builder
+  /// must be portable (QueryBuilder::HasPortableDef()): custom aggregation
+  /// functions or window objects have no textual description the registry
+  /// could replan or snapshot from.
+  QueryId Register(const QueryBuilder& builder, std::string* error = nullptr);
+
+  /// Removes a query: undelivered results are dropped, engine windows no
+  /// remaining query needs are removed. False if the id is unknown or
+  /// already deregistered.
+  bool Deregister(QueryId id);
+
+  /// One query's pending results, window_id/agg_id local to its QueryDef
+  /// (window_id indexes def.windows, agg_id indexes def.aggs).
+  std::vector<WindowResult> TakeQueryResults(QueryId id);
+
+  QueryPlan Plan(QueryId id) const;
+  size_t ActiveQueries() const { return queries_.size(); }
+  /// Live engine windows, excluding the retention guard.
+  size_t EngineWindows() const;
+  /// The dense id TakeResults() reports for a query's local window id.
+  int GlobalWindowId(QueryId id, int local_window_id) const;
+
+  GeneralSlicingOperator* engine() { return engine_.get(); }
+  const GeneralSlicingOperator* engine() const { return engine_.get(); }
+  const Options& options() const { return opts_; }
+
+  void ProcessTuple(const Tuple& t) override;
+  void ProcessTupleBatch(std::span<const Tuple> batch) override;
+  void ProcessTupleColumns(const TupleColumnsView& cols) override;
+  void ProcessWatermark(Time wm) override;
+  std::vector<WindowResult> TakeResults() override;
+  void TakeResultsInto(std::vector<WindowResult>* out) override;
+  size_t MemoryUsageBytes() const override;
+  std::string Name() const override;
+
+  /// Shared pre-aggregation (runtime/parallel_executor.h): merges a
+  /// thread-local pre-aggregated slice into the shared engine store and
+  /// invalidates any cached derived-fold granules the merge touches.
+  void MergePreAggregatedSlice(Time start, Time end, Time t_first, Time t_last,
+                               uint64_t count,
+                               std::span<const Partial> partials);
+
+  bool SupportsSnapshot() const override { return true; }
+  void SerializeState(state::Writer& w) const override;
+  void DeserializeState(state::Reader& r) override;
+  // Incremental checkpointing composes through the WindowOperator default
+  // delta surface (a full-state delta); per-query dirty tracking is future
+  // work (DESIGN.md section 10).
+
+ private:
+  struct DerivedPlan {
+    int base_slot = -1;  // engine window id of the base tumbling window
+    Time granule = 0;    // base tumbling length g
+    Time length = 0;     // derived length L (multiple of g)
+    Time slide = 0;      // derived slide S (multiple of g); == L for tumbling
+    /// Engine watermark as of this window's last trigger sweep; windows with
+    /// end in (prev_emit, watermark] are emitted by the next sweep. Also
+    /// anchors the retention-guard floor: slices a window ending after
+    /// prev_emit could read must survive engine eviction.
+    Time prev_emit = kNoTime;
+  };
+
+  struct PlannedWindow {
+    WindowDesc desc;
+    PlanKind plan = PlanKind::kShared;
+    int slot = -1;         // engine window id (shared/dedup); base (derived)
+    WindowPtr enumerator;  // derived only: instance used to enumerate windows
+    DerivedPlan derived;
+  };
+
+  struct Query {
+    QueryId id = kInvalidQuery;
+    Time horizon = kNoTime;  // only windows with start >= horizon reported
+    int global_base = 0;     // first dense global window id (TakeResults)
+    std::vector<PlannedWindow> windows;
+    std::vector<int> agg_slots;         // local agg id -> engine agg slot
+    std::vector<WindowResult> pending;  // local ids
+  };
+
+  /// Engine window id == index; slot 0 is always the retention guard.
+  struct WindowSlot {
+    std::string desc;  // "" for the guard
+    WindowDesc parsed;
+    int refs = 0;  // subscribing queries + derived dependents
+    bool alive = false;
+  };
+
+  // (base_slot, granule start, engine agg slot) -> combined granule partial.
+  using GranuleKey = std::tuple<int, Time, int>;
+
+  void DrainEngine();
+  void RebuildSubscribers();
+  /// Derived sweep after any delegated call: mirrors the engine's late
+  /// updates for the given late-tuple timestamps, triggers derived windows
+  /// whose end the engine watermark passed, then refreshes the retention
+  /// guard floor and prunes the granule cache.
+  void AfterIngest(const std::vector<Time>& late_ts);
+  void EmitDerived(Query& q, int local_window, Time prev, Time curr,
+                   Time late_ts, bool is_update);
+  const Partial& GranulePartial(int base_slot, Time start, Time granule,
+                                int agg_slot);
+  void InvalidateGranulesAt(Time ts);
+  void InvalidateGranulesOverlapping(Time start, Time end);
+  void UpdateRetentionFloor();
+  /// Collects timestamps the engine will treat as late-but-admissible, for
+  /// mirroring its EmitLateUpdates on derived windows.
+  bool IsAdmissibleLate(Time ts) const;
+  /// True when an in-order batch is internally sorted and starts at or above
+  /// the engine watermark, so it cannot contain an admissible-late tuple and
+  /// the batched engine path needs no late mirroring.
+  bool InOrderBatchNeverLate(std::span<const Tuple> batch) const;
+
+  Options opts_;
+  std::unique_ptr<GeneralSlicingOperator> engine_;
+  std::shared_ptr<RetentionGuardWindow> guard_;
+  bool engine_started_ = false;
+  bool has_derived_ = false;
+
+  std::vector<WindowSlot> slots_;
+  std::vector<std::string> agg_names_;  // engine agg slot -> registry name
+  std::map<QueryId, Query> queries_;    // alive queries only
+  QueryId next_query_id_ = 0;
+  int next_global_window_ = 0;
+
+  struct Subscriber {
+    QueryId query = kInvalidQuery;
+    int local_window = -1;
+  };
+  std::vector<std::vector<Subscriber>> slot_subs_;  // engine slot -> readers
+  bool subs_stale_ = true;
+
+  std::map<GranuleKey, Partial> granule_cache_;
+  std::vector<WindowResult> engine_scratch_;
+  std::vector<Time> late_scratch_;
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_QUERY_QUERY_REGISTRY_H_

@@ -1,4 +1,4 @@
-#include "testing/query_spec.h"
+#include "query/window_desc.h"
 
 #include <cstdlib>
 #include <memory>
@@ -12,7 +12,6 @@
 #include "windows/tumbling.h"
 
 namespace scotty {
-namespace testing {
 
 namespace {
 
@@ -42,7 +41,7 @@ bool ParsePositive(const std::string& s, Time* out) {
 
 }  // namespace
 
-std::string WindowSpec::ToString() const {
+std::string WindowDesc::ToString() const {
   const bool count = measure == Measure::kCount;
   std::ostringstream os;
   switch (kind) {
@@ -68,7 +67,7 @@ std::string WindowSpec::ToString() const {
   return os.str();
 }
 
-WindowPtr WindowSpec::Instantiate() const {
+WindowPtr WindowDesc::Instantiate() const {
   switch (kind) {
     case Kind::kTumbling:
       return std::make_shared<TumblingWindow>(length, measure);
@@ -87,63 +86,62 @@ WindowPtr WindowSpec::Instantiate() const {
   return nullptr;
 }
 
-bool WindowSpec::Parse(const std::string& text, WindowSpec* out) {
+bool WindowDesc::Parse(const std::string& text, WindowDesc* out) {
   const std::vector<std::string> parts = SplitOn(text, ':');
-  WindowSpec spec;
+  WindowDesc desc;
   const std::string& head = parts[0];
   if (head == "punct") {
     if (parts.size() != 1) return false;
-    spec.kind = Kind::kPunctuation;
+    desc.kind = Kind::kPunctuation;
   } else if (head == "tumbling" || head == "ctumbling" || head == "session") {
-    if (parts.size() != 2 || !ParsePositive(parts[1], &spec.length)) {
+    if (parts.size() != 2 || !ParsePositive(parts[1], &desc.length)) {
       return false;
     }
-    spec.kind = head == "session" ? Kind::kSession : Kind::kTumbling;
-    if (head == "ctumbling") spec.measure = Measure::kCount;
+    desc.kind = head == "session" ? Kind::kSession : Kind::kTumbling;
+    if (head == "ctumbling") desc.measure = Measure::kCount;
   } else if (head == "sliding" || head == "csliding") {
-    if (parts.size() != 3 || !ParsePositive(parts[1], &spec.length) ||
-        !ParsePositive(parts[2], &spec.slide)) {
+    if (parts.size() != 3 || !ParsePositive(parts[1], &desc.length) ||
+        !ParsePositive(parts[2], &desc.slide)) {
       return false;
     }
-    spec.kind = Kind::kSliding;
-    if (head == "csliding") spec.measure = Measure::kCount;
+    desc.kind = Kind::kSliding;
+    if (head == "csliding") desc.measure = Measure::kCount;
   } else if (head == "lastn") {
-    if (parts.size() != 3 || !ParsePositive(parts[1], &spec.length) ||
-        !ParsePositive(parts[2], &spec.slide)) {
+    if (parts.size() != 3 || !ParsePositive(parts[1], &desc.length) ||
+        !ParsePositive(parts[2], &desc.slide)) {
       return false;
     }
-    spec.kind = Kind::kLastNEveryT;
+    desc.kind = Kind::kLastNEveryT;
   } else if (head == "frames") {
-    if (parts.size() != 2 || !ParsePositive(parts[1], &spec.length)) {
+    if (parts.size() != 2 || !ParsePositive(parts[1], &desc.length)) {
       return false;
     }
-    spec.kind = Kind::kThresholdFrame;
+    desc.kind = Kind::kThresholdFrame;
   } else {
     return false;
   }
-  *out = spec;
+  *out = desc;
   return true;
 }
 
-std::string WindowSpecsToString(const std::vector<WindowSpec>& specs) {
+std::string WindowDescsToString(const std::vector<WindowDesc>& descs) {
   std::string out;
-  for (size_t i = 0; i < specs.size(); ++i) {
+  for (size_t i = 0; i < descs.size(); ++i) {
     if (i > 0) out += ",";
-    out += specs[i].ToString();
+    out += descs[i].ToString();
   }
   return out;
 }
 
-bool ParseWindowSpecs(const std::string& text, std::vector<WindowSpec>* out) {
+bool ParseWindowDescs(const std::string& text, std::vector<WindowDesc>* out) {
   out->clear();
   if (text.empty()) return false;
   for (const std::string& part : SplitOn(text, ',')) {
-    WindowSpec spec;
-    if (!WindowSpec::Parse(part, &spec)) return false;
-    out->push_back(spec);
+    WindowDesc desc;
+    if (!WindowDesc::Parse(part, &desc)) return false;
+    out->push_back(desc);
   }
   return true;
 }
 
-}  // namespace testing
 }  // namespace scotty

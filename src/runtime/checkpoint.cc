@@ -603,7 +603,13 @@ void DrivePipeline(TupleSource& src, WindowOperator& op, uint64_t start_index,
   // Settle async persists before handing control back: the report's
   // last_checkpoint is durable (or accounted as failed/dropped) once this
   // returns, and no background thread touches checkpoint files afterwards.
-  if (coord != nullptr) coord->Flush();
+  // Health is sampled after the flush for the same reason — it reflects
+  // every barrier this run scheduled, including ones that failed in the
+  // background.
+  if (coord != nullptr) {
+    coord->Flush();
+    out->health = coord->HealthReport();
+  }
 }
 
 }  // namespace

@@ -48,6 +48,7 @@
 
 #include "core/window_operator.h"
 #include "datagen/generators.h"
+#include "runtime/checkpoint_health.h"
 #include "runtime/pipeline.h"
 #include "state/delta_log.h"
 #include "state/snapshot.h"
@@ -63,11 +64,8 @@ using OperatorFactory = std::function<std::unique_ptr<WindowOperator>()>;
 /// uninterrupted run.
 using ResultSink = std::function<void(const WindowResult&)>;
 
-/// Degradation state machine: kHealthy until a persist fails; kDegraded
-/// while failures are happening but recovery to kHealthy is still possible
-/// (a success resets it); kFailed (terminal) after
-/// `max_consecutive_failures` — checkpointing stops, the pipeline runs on.
-enum class CheckpointHealth { kHealthy, kDegraded, kFailed };
+// CheckpointHealth lives in runtime/checkpoint_health.h (included above) so
+// pipeline reports can carry it without including this header.
 
 /// Test/fuzz hook: return true to make this persist attempt fail as if the
 /// underlying I/O failed. Called once per attempt (so retries re-consult
@@ -159,6 +157,18 @@ class CheckpointCoordinator {
   uint64_t barriers_dropped() const { return barriers_dropped_.load(); }
   uint64_t bases_persisted() const { return bases_persisted_.load(); }
   uint64_t deltas_persisted() const { return deltas_persisted_.load(); }
+
+  /// One-shot snapshot of the counters above plus the health state, in the
+  /// shape the pipeline reports embed.
+  CheckpointHealthReport HealthReport() const {
+    CheckpointHealthReport hr;
+    hr.health = health();
+    hr.persist_failures = persist_failures();
+    hr.barriers_dropped = barriers_dropped();
+    hr.bases_persisted = bases_persisted();
+    hr.deltas_persisted = deltas_persisted();
+    return hr;
+  }
 
   /// Continue counting from a restored barrier index (resume path). The
   /// first barrier after a resume is always a full base: the coordinator
@@ -298,6 +308,10 @@ struct CheckpointedPipelineReport {
   PipelineReport report;
   uint64_t checkpoints = 0;
   std::string last_checkpoint;
+  /// Coordinator persistence health at return (after the final Flush), so
+  /// callers observe degradation — retried or dropped persists, a terminal
+  /// kFailed — without keeping the coordinator around.
+  CheckpointHealthReport health;
 };
 
 /// RunPipeline with a barrier after every injected watermark: identical

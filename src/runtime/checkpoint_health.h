@@ -1,0 +1,45 @@
+#ifndef SCOTTY_RUNTIME_CHECKPOINT_HEALTH_H_
+#define SCOTTY_RUNTIME_CHECKPOINT_HEALTH_H_
+
+#include <cstdint>
+
+// Checkpoint health surface, split out of checkpoint.h so pipeline reports
+// can carry it: checkpoint.h includes pipeline.h (the checkpointed drivers
+// wrap the plain ones), so pipeline.h cannot include checkpoint.h back.
+
+namespace scotty {
+
+/// Degradation state machine: kHealthy until a persist fails; kDegraded
+/// while failures are happening but recovery to kHealthy is still possible
+/// (a success resets it); kFailed (terminal) after
+/// `max_consecutive_failures` — checkpointing stops, the pipeline runs on.
+enum class CheckpointHealth { kHealthy, kDegraded, kFailed };
+
+inline const char* CheckpointHealthName(CheckpointHealth h) {
+  switch (h) {
+    case CheckpointHealth::kHealthy:
+      return "healthy";
+    case CheckpointHealth::kDegraded:
+      return "degraded";
+    case CheckpointHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// Point-in-time view of a CheckpointCoordinator's persistence health,
+/// surfaced on the checkpointed pipeline reports so callers see degradation
+/// without holding a reference to the coordinator.
+struct CheckpointHealthReport {
+  CheckpointHealth health = CheckpointHealth::kHealthy;
+  uint64_t persist_failures = 0;
+  uint64_t barriers_dropped = 0;
+  uint64_t bases_persisted = 0;
+  uint64_t deltas_persisted = 0;
+
+  bool Degraded() const { return health != CheckpointHealth::kHealthy; }
+};
+
+}  // namespace scotty
+
+#endif  // SCOTTY_RUNTIME_CHECKPOINT_HEALTH_H_

@@ -8,6 +8,7 @@
 #include <iterator>
 
 #include "core/general_slicing_operator.h"
+#include "query/query_registry.h"
 #include "runtime/keyed_operator.h"
 #include "runtime/local_slice_store.h"
 #include "state/serde.h"
@@ -152,11 +153,17 @@ ParallelExecutor::ParallelExecutor(
   if (opts_.shared_preagg) {
     operators_.push_back(factory_());
     shared_op_ = dynamic_cast<GeneralSlicingOperator*>(operators_[0].get());
+    if (shared_op_ == nullptr) {
+      shared_registry_ = dynamic_cast<QueryRegistry*>(operators_[0].get());
+      if (shared_registry_ != nullptr) {
+        shared_op_ = shared_registry_->engine();
+      }
+    }
     if (shared_op_ == nullptr || opts_.preagg_slice_len <= 0) {
       std::fprintf(stderr,
                    "ParallelExecutor: shared_preagg requires a "
-                   "GeneralSlicingOperator factory and a positive "
-                   "preagg_slice_len\n");
+                   "GeneralSlicingOperator or QueryRegistry factory and a "
+                   "positive preagg_slice_len\n");
       std::abort();
     }
     assert(shared_op_->queries().AllCommutative() &&
@@ -495,9 +502,17 @@ void ParallelExecutor::SharedWorkerLoop(size_t i) {
   // worker's private buckets; only finished buckets cross the mutex.
   ThreadLocalSliceStore local(opts_.preagg_slice_len,
                               shared_op_->queries().aggs);
+  // With a registry on top, merges and watermarks route through it so its
+  // derived-query bookkeeping (granule invalidation, post-watermark sweeps,
+  // per-query demux) stays in sync with the engine.
   const auto merge = [&](const ThreadLocalSliceStore::Bucket& b) {
-    shared_op_->MergePreAggregatedSlice(b.start, b.end, b.t_first, b.t_last,
-                                        b.count, b.partials);
+    if (shared_registry_ != nullptr) {
+      shared_registry_->MergePreAggregatedSlice(b.start, b.end, b.t_first,
+                                                b.t_last, b.count, b.partials);
+    } else {
+      shared_op_->MergePreAggregatedSlice(b.start, b.end, b.t_first, b.t_last,
+                                          b.count, b.partials);
+    }
   };
   std::vector<WindowResult> drained;
   uint64_t results = 0;
@@ -526,9 +541,14 @@ void ParallelExecutor::SharedWorkerLoop(size_t i) {
           // arrival always completes the FRONT barrier: every earlier one
           // had all workers arrive before they could reach this one.
           assert(my_barrier - 1 == barriers_popped_);
-          shared_op_->ProcessWatermark(b.wm);
           drained.clear();
-          shared_op_->TakeResultsInto(&drained);
+          if (shared_registry_ != nullptr) {
+            shared_registry_->ProcessWatermark(b.wm);
+            shared_registry_->TakeResultsInto(&drained);
+          } else {
+            shared_op_->ProcessWatermark(b.wm);
+            shared_op_->TakeResultsInto(&drained);
+          }
           results += drained.size();
           shared_results_.insert(shared_results_.end(),
                                  std::make_move_iterator(drained.begin()),

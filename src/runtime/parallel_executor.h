@@ -17,6 +17,7 @@
 namespace scotty {
 
 class GeneralSlicingOperator;
+class QueryRegistry;
 
 /// Single-producer single-consumer channel between the source thread and
 /// one worker, split into two rings:
@@ -135,8 +136,11 @@ class ParallelExecutor {
     /// 0 or 1 disables staging: every tuple is pushed individually.
     size_t batch_size = 256;
     /// Shared-operator pre-aggregation mode (see class comment). The
-    /// factory must produce a GeneralSlicingOperator whose aggregations are
-    /// all commutative.
+    /// factory must produce a GeneralSlicingOperator — or a QueryRegistry,
+    /// whose inner engine then receives the merged buckets while the
+    /// registry demuxes results to its queries — with all-commutative
+    /// aggregations. A registry factory must register its queries before
+    /// returning (the bucket layout is derived from the operator's windows).
     bool shared_preagg = false;
     /// Thread-local bucket length for shared_preagg; must be positive and
     /// divide every window length and slide of the shared operator's
@@ -201,10 +205,15 @@ class ParallelExecutor {
   size_t num_workers() const { return num_workers_; }
   const Options& options() const { return opts_; }
 
-  /// Shared mode only: the one shared operator (null otherwise). Only
-  /// touch it before Start() or after Finish() — workers merge into it
-  /// concurrently in between.
+  /// Shared mode only: the one shared slicing engine (null otherwise).
+  /// With a QueryRegistry factory this is the registry's inner engine.
+  /// Only touch it before Start() or after Finish() — workers merge into
+  /// it concurrently in between.
   GeneralSlicingOperator* SharedOperator() { return shared_op_; }
+
+  /// Shared mode with a QueryRegistry factory: the registry (null
+  /// otherwise). Same access rule as SharedOperator().
+  QueryRegistry* SharedRegistry() { return shared_registry_; }
 
   /// Shared mode only: moves out every result the shared operator emitted
   /// at watermark barriers so far. Call after Finish() (workers append
@@ -233,6 +242,7 @@ class ParallelExecutor {
   std::function<std::unique_ptr<WindowOperator>()> factory_;
   std::vector<std::unique_ptr<WindowOperator>> operators_;
   GeneralSlicingOperator* shared_op_ = nullptr;  // shared mode only
+  QueryRegistry* shared_registry_ = nullptr;     // shared mode + registry
   std::vector<std::unique_ptr<SpscQueue>> queues_;
   std::vector<TupleBatchSoA> staging_;  // producer-owned, one per worker
   size_t rr_worker_ = 0;                // shared-mode chunk routing cursor

@@ -143,7 +143,11 @@ ParallelPipelineReport RunPipelineParallel(
   // Only after the workers are down: settle the coordinator, so an
   // in-flight async persist is completed (or was explicitly abandoned by
   // the caller) before control returns and the executor can be destroyed.
-  if (coord != nullptr) coord->Flush();
+  // Health is sampled post-flush so it covers background persist failures.
+  if (coord != nullptr) {
+    coord->Flush();
+    out.checkpoint_health = coord->HealthReport();
+  }
   out.report.results = exec.TotalResults();
   const auto end = std::chrono::steady_clock::now();
   out.report.seconds = std::chrono::duration<double>(end - start).count();

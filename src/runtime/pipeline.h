@@ -7,6 +7,7 @@
 
 #include "core/window_operator.h"
 #include "datagen/generators.h"
+#include "runtime/checkpoint_health.h"
 #include "runtime/parallel_executor.h"
 
 namespace scotty {
@@ -55,6 +56,9 @@ class CheckpointCoordinator;
 struct ParallelPipelineReport {
   PipelineReport report;
   uint64_t checkpoints = 0;  ///< barriers accepted by the coordinator
+  /// Coordinator persistence health at return (meaningful when a coordinator
+  /// was passed; default-healthy otherwise).
+  CheckpointHealthReport checkpoint_health;
   bool ok = true;
   std::string error;
 };

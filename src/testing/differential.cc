@@ -1,5 +1,6 @@
 #include "testing/differential.h"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <memory>
@@ -13,6 +14,9 @@
 #include "baselines/buckets.h"
 #include "baselines/tuple_buffer.h"
 #include "core/general_slicing_operator.h"
+#include "query/query_def.h"
+#include "query/query_registry.h"
+#include "query/window_desc.h"
 #include "runtime/keyed_operator.h"
 #include "testing/coverage.h"
 #include "testing/fault_injector.h"
@@ -130,7 +134,8 @@ void CoverConfigFeatures(const DifferentialConfig& cfg, bool sorted) {
                    Log2Bucket(static_cast<uint64_t>(cfg.batch) + 1));
   CoverFeature(FeatureDomain::kDimension, 1,
                (cfg.checkpoint != 0 ? 1u : 0u) | (cfg.crash != 0 ? 2u : 0u) |
-                   (cfg.rescale != 0 ? 4u : 0u));
+                   (cfg.rescale != 0 ? 4u : 0u) |
+                   (cfg.shared != 0 ? 8u : 0u));
   CoverFeature(FeatureDomain::kDimension, 2,
                Log2Bucket(static_cast<uint64_t>(s.num_tuples)));
   simd::KernelMode km = simd::KernelMode::kAuto;
@@ -197,6 +202,355 @@ void CoverCrashRun(const std::string& tech, const FaultPlan& plan,
                Log2Bucket(stats.deltas_applied + 1));
 }
 
+/// Seed-derived query mix for the shared-registry arm (--shared-queries):
+/// the config's own query plus companion queries that duplicate its windows
+/// (dedup planning path), fold over its tumbling granules (Factor-Windows
+/// derived path), and add fresh context-free edges (shared path).
+struct SharedPlan {
+  std::vector<QueryDef> defs;  // defs[0] is the config's own query
+  bool dynamics = false;       // mid-stream deregister + register
+  size_t flip_at = 0;          // tuple index of the membership change
+  QueryDef late_def;           // context-free query registered at flip_at
+};
+
+SharedPlan DeriveSharedPlan(const DifferentialConfig& cfg,
+                            size_t num_tuples) {
+  Rng rng(cfg.stream.seed ^ 0x5153484152454451ULL);
+  SharedPlan plan;
+  QueryDef q0;
+  for (const WindowSpec& w : cfg.windows) q0.windows.push_back(w.ToString());
+  q0.aggs = cfg.aggs;
+  plan.defs.push_back(q0);
+
+  // Tumbling granules a companion window can fold over (the registry picks
+  // the largest eligible one itself; any multiple is rewrite-eligible).
+  std::vector<Time> bases;
+  for (const WindowSpec& w : cfg.windows) {
+    if (w.kind == WindowSpec::Kind::kTumbling &&
+        w.measure == Measure::kEventTime) {
+      bases.push_back(w.length);
+    }
+  }
+  auto fresh_window = [&rng] {
+    WindowSpec w;
+    if (rng.NextBounded(2) == 0) {
+      w.kind = WindowSpec::Kind::kTumbling;
+      w.length = 5 + static_cast<Time>(rng.NextBounded(56));
+    } else {
+      w.kind = WindowSpec::Kind::kSliding;
+      w.length = 8 + static_cast<Time>(rng.NextBounded(73));
+      w.slide = 1 + static_cast<Time>(
+                        rng.NextBounded(static_cast<uint64_t>(w.length)));
+    }
+    return w;
+  };
+  auto derived_window = [&rng, &bases] {
+    const Time g = bases[rng.NextBounded(bases.size())];
+    WindowSpec w;
+    if (rng.NextBounded(2) == 0) {
+      w.kind = WindowSpec::Kind::kTumbling;
+      w.length = g * (2 + static_cast<Time>(rng.NextBounded(3)));
+    } else {
+      w.kind = WindowSpec::Kind::kSliding;
+      w.slide = g * (1 + static_cast<Time>(rng.NextBounded(3)));
+      w.length = w.slide * (1 + static_cast<Time>(rng.NextBounded(3)));
+    }
+    return w;
+  };
+
+  // A fixed companion count (> 0) stays bounded so hostile corpus lines
+  // cannot turn one exec into hundreds of solo oracle runs.
+  const size_t extras = cfg.shared > 0
+                            ? std::min<size_t>(static_cast<size_t>(cfg.shared),
+                                               16)
+                            : 1 + rng.NextBounded(2);
+  for (size_t e = 0; e < extras; ++e) {
+    QueryDef def;
+    const size_t nw = 1 + rng.NextBounded(2);
+    for (size_t k = 0; k < nw; ++k) {
+      switch (rng.NextBounded(3)) {
+        case 0:  // dedup: one of the config's own windows verbatim
+          def.windows.push_back(
+              cfg.windows[rng.NextBounded(cfg.windows.size())].ToString());
+          break;
+        case 1:  // derived: edges that are multiples of a live granule
+          if (!bases.empty()) {
+            def.windows.push_back(derived_window().ToString());
+            break;
+          }
+          [[fallthrough]];
+        default:  // shared: fresh context-free edges
+          def.windows.push_back(fresh_window().ToString());
+          break;
+      }
+    }
+    def.aggs.push_back(cfg.aggs[rng.NextBounded(cfg.aggs.size())]);
+    if (rng.NextBounded(3) == 0) {
+      // Occasionally a measure the base config does not compute, so the
+      // engine's store grows a column only this companion reads.
+      const std::vector<std::string>& names = FuzzAggregationNames();
+      const std::string& pick = names[rng.NextBounded(names.size())];
+      if (pick != def.aggs[0]) def.aggs.push_back(pick);
+    }
+    plan.defs.push_back(def);
+  }
+
+  if (cfg.shared < 0 && num_tuples >= 16) {
+    plan.dynamics = true;
+    plan.flip_at = num_tuples / 3 + rng.NextBounded(num_tuples / 3 + 1);
+    QueryDef late;
+    late.windows.push_back((!bases.empty() && rng.NextBounded(2) == 0
+                                ? derived_window()
+                                : fresh_window())
+                               .ToString());
+    // Mid-stream registrations cannot grow new store columns: reuse a
+    // measure the config's own query already registered.
+    late.aggs.push_back(cfg.aggs[rng.NextBounded(cfg.aggs.size())]);
+    plan.late_def = late;
+  }
+  return plan;
+}
+
+/// Per-query oracle for the shared arm: a fresh single-query slicing
+/// operator over the same stream and watermark cadence.
+bool SoloQueryResults(const QueryDef& def, const std::vector<Tuple>& stream,
+                      Time final_wm, int wm_every, Time wm_lag,
+                      std::map<ResultKey, Value>* out, std::string* err) {
+  GeneralSlicingOperator::Options o;
+  o.allowed_lateness = kLateness;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  for (const std::string& name : def.aggs) {
+    auto agg = MakeAggregation(name);
+    if (agg == nullptr) {
+      *err = "unknown aggregation '" + name + "'";
+      return false;
+    }
+    op->AddAggregation(std::move(agg));
+  }
+  for (const std::string& text : def.windows) {
+    WindowDesc d;
+    if (!WindowDesc::Parse(text, &d)) {
+      *err = "unparseable window '" + text + "'";
+      return false;
+    }
+    op->AddWindow(d.Instantiate());
+  }
+  *out = RunToFinalResults(*op, stream, final_wm, wm_every, wm_lag);
+  return true;
+}
+
+bool CompareSharedQuery(const std::string& run_name, size_t query_idx,
+                        const QueryDef& def,
+                        const std::map<ResultKey, Value>& got,
+                        const std::map<ResultKey, Value>& want,
+                        DifferentialOutcome* outcome) {
+  const std::string who = run_name + " query#" + std::to_string(query_idx);
+  for (const auto& [key, expected] : want) {
+    ++outcome->comparisons;
+    const bool approx =
+        IsApproxAgg(def.aggs[static_cast<size_t>(std::get<1>(key))]);
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << who << " is missing window " << Describe(key) << " = "
+         << expected << " reported by its solo run";
+      outcome->detail = os.str();
+      return false;
+    }
+    if (!ValuesMatch(expected, it->second, approx)) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << who << " vs solo at " << Describe(key) << ": " << it->second
+         << " vs " << expected;
+      outcome->detail = os.str();
+      return false;
+    }
+  }
+  for (const auto& [key, value] : got) {
+    if (!want.count(key)) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << who << " reported extra window " << Describe(key) << " = "
+         << value << " absent from its solo run";
+      outcome->detail = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One registry variant over the whole stream: registers every plan query,
+/// applies the plan's mid-stream dynamics, and compares each live query's
+/// final results against its solo run. The deregistered query is checked
+/// for silence only — its early drains may hold values a later late update
+/// would have revised, so they have no final-results oracle.
+bool RunSharedRegistryOnce(
+    const SharedPlan& plan,
+    const std::vector<std::map<ResultKey, Value>>& expected,
+    const std::map<ResultKey, Value>& late_expected,
+    const DifferentialConfig& cfg, const std::vector<Tuple>& stream,
+    Time final_wm, Time wm_lag, StoreMode mode, bool in_order,
+    DifferentialOutcome* outcome) {
+  const std::string name =
+      std::string("shared-registry-") +
+      (in_order ? "inorder" : mode == StoreMode::kEager ? "eager" : "lazy");
+  auto fail = [&](const std::string& msg) {
+    outcome->ok = false;
+    outcome->detail = name + ": " + msg;
+    return false;
+  };
+
+  QueryRegistry::Options ropts;
+  ropts.engine.allowed_lateness = kLateness;
+  ropts.engine.store_mode = mode;
+  ropts.engine.stream_in_order = in_order;
+  QueryRegistry reg(ropts);
+
+  std::vector<QueryRegistry::QueryId> ids;
+  for (const QueryDef& def : plan.defs) {
+    std::string err;
+    const QueryRegistry::QueryId id = reg.Register(def, &err);
+    if (id == QueryRegistry::kInvalidQuery) {
+      return fail("registration rejected: " + err);
+    }
+    ids.push_back(id);
+  }
+  // Plan-shape coverage: which planning paths (shared / dedup / derived)
+  // this config's query mix actually drove the registry into.
+  for (const QueryRegistry::QueryId id : ids) {
+    for (const QueryRegistry::PlanKind pk : reg.Plan(id).windows) {
+      CoverFeature(FeatureDomain::kTechniqueWindow,
+                   NameHash("shared-registry"),
+                   16 + static_cast<uint64_t>(pk));
+    }
+  }
+
+  const size_t dropped = plan.defs.size() - 1;  // dynamics target
+  std::vector<size_t> live;
+  for (size_t i = 0; i < plan.defs.size(); ++i) live.push_back(i);
+  QueryRegistry::QueryId late_id = QueryRegistry::kInvalidQuery;
+  Time late_horizon = kNoTime;
+  std::vector<std::map<ResultKey, Value>> got(plan.defs.size());
+  std::map<ResultKey, Value> late_got;
+  auto drain = [&] {
+    for (const size_t qi : live) {
+      for (const WindowResult& r : reg.TakeQueryResults(ids[qi])) {
+        got[qi][{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+      }
+    }
+    if (late_id != QueryRegistry::kInvalidQuery) {
+      for (const WindowResult& r : reg.TakeQueryResults(late_id)) {
+        late_got[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+      }
+    }
+  };
+
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (plan.dynamics && i == plan.flip_at) {
+      drain();
+      if (!reg.Deregister(ids[dropped])) return fail("deregister refused");
+      live.erase(std::find(live.begin(), live.end(), dropped));
+      std::string err;
+      late_id = reg.Register(plan.late_def, &err);
+      if (late_id == QueryRegistry::kInvalidQuery) {
+        return fail("mid-stream registration rejected: " + err);
+      }
+      late_horizon = reg.Plan(late_id).horizon;
+    }
+    Tuple t = stream[i];
+    t.seq = seq++;
+    reg.ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (cfg.wm_every > 0 &&
+        seq % static_cast<uint64_t>(cfg.wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        reg.ProcessWatermark(wm);
+        last_wm = wm;
+        drain();
+      }
+    }
+  }
+  reg.ProcessWatermark(final_wm);
+  drain();
+
+  for (const size_t qi : live) {
+    if (!CompareSharedQuery(name, qi, plan.defs[qi], got[qi], expected[qi],
+                            outcome)) {
+      return false;
+    }
+  }
+  if (plan.dynamics) {
+    if (reg.Plan(ids[dropped]).alive) {
+      return fail("deregistered query still reports alive");
+    }
+    if (!reg.TakeQueryResults(ids[dropped]).empty()) {
+      return fail("deregistered query still yields results");
+    }
+    // The mid-stream query sees only windows at or past its horizon; the
+    // solo run (which saw everything) is filtered to the same set.
+    std::map<ResultKey, Value> want;
+    for (const auto& [key, value] : late_expected) {
+      if (std::get<2>(key) >= late_horizon) want[key] = value;
+    }
+    if (!CompareSharedQuery(name + " (mid-stream)", plan.defs.size(),
+                            plan.late_def, late_got, want, outcome)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The shared-registry arm: one QueryRegistry serves the config's query
+/// plus seed-derived companions from a single slice stream; every query
+/// must reproduce its own solo slicing run. Variants mirror the solo
+/// technique matrix (lazy / eager stores, in-order fast path on sorted
+/// streams).
+bool CheckSharedQueries(const DifferentialConfig& cfg,
+                        const std::vector<Tuple>& stream, bool sorted,
+                        Time final_wm, Time wm_lag,
+                        DifferentialOutcome* outcome) {
+  const SharedPlan plan = DeriveSharedPlan(cfg, stream.size());
+  std::vector<std::map<ResultKey, Value>> expected(plan.defs.size());
+  for (size_t i = 0; i < plan.defs.size(); ++i) {
+    if (plan.dynamics && i == plan.defs.size() - 1) continue;  // deregistered
+    std::string err;
+    if (!SoloQueryResults(plan.defs[i], stream, final_wm, cfg.wm_every,
+                          wm_lag, &expected[i], &err)) {
+      outcome->ok = false;
+      outcome->detail =
+          "shared-registry solo query#" + std::to_string(i) + ": " + err;
+      return false;
+    }
+  }
+  std::map<ResultKey, Value> late_expected;
+  if (plan.dynamics) {
+    std::string err;
+    if (!SoloQueryResults(plan.late_def, stream, final_wm, cfg.wm_every,
+                          wm_lag, &late_expected, &err)) {
+      outcome->ok = false;
+      outcome->detail = std::string("shared-registry solo mid-stream: ") + err;
+      return false;
+    }
+  }
+  CoverFeature(FeatureDomain::kDimension, 4,
+               (plan.dynamics ? 16u : 0u) | plan.defs.size());
+  return RunSharedRegistryOnce(plan, expected, late_expected, cfg, stream,
+                               final_wm, wm_lag, StoreMode::kLazy, false,
+                               outcome) &&
+         RunSharedRegistryOnce(plan, expected, late_expected, cfg, stream,
+                               final_wm, wm_lag, StoreMode::kEager, false,
+                               outcome) &&
+         (!sorted ||
+          RunSharedRegistryOnce(plan, expected, late_expected, cfg, stream,
+                                final_wm, wm_lag, StoreMode::kLazy, true,
+                                outcome));
+}
+
 }  // namespace
 
 std::string DifferentialConfig::ToFlags() const {
@@ -227,6 +581,7 @@ std::string DifferentialConfig::ToFlags() const {
   flag("checkpoint", checkpoint, 0);
   flag("crash", crash, 0);
   flag("rescale", rescale, 0);
+  flag("shared-queries", shared, 0);
   flag("layout", layout, std::string("aos"));
   flag("kernel", kernel, std::string("auto"));
   return os.str();
@@ -345,6 +700,8 @@ bool ParseConfigLine(const std::string& line, DifferentialConfig* out,
       cfg.crash = static_cast<int>(i);
     } else if (key == "rescale" && parse_i64(&i) && i >= -1) {
       cfg.rescale = static_cast<int>(i);
+    } else if (key == "shared-queries" && parse_i64(&i) && i >= -1) {
+      cfg.shared = static_cast<int>(i);
     } else if (key == "layout") {
       if (val != "aos" && val != "soa") return fail("bad --layout=" + val);
       cfg.layout = val;
@@ -796,6 +1153,12 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
       }
     }
   }
+  // Multi-query shared slicing arm: one QueryRegistry serving this config's
+  // query plus seed-derived companions, checked per query against solo runs.
+  if (cfg.shared != 0 &&
+      !CheckSharedQueries(cfg, stream, sorted, final_wm, wm_lag, &outcome)) {
+    return outcome;
+  }
   return outcome;
 }
 
@@ -927,6 +1290,10 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
     static const char* kKernels[] = {"auto", "scalar", "sse2", "avx2"};
     cfg.kernel = kKernels[rng.NextBounded(4)];
   }
+  // A quarter of the seeds also run the shared-registry arm (seed-derived
+  // companion queries plus mid-stream register/deregister dynamics); the
+  // nightly shared lane forces it on everywhere.
+  if (rng.NextBounded(4) == 0) cfg.shared = -1;
   return cfg;
 }
 

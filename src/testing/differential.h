@@ -52,6 +52,16 @@ struct DifferentialConfig {
   /// W, W', the persistence mode, and any snapshot damage are seed-derived.
   /// 0 disables the rescale runs.
   int rescale = 0;
+  /// Additionally run the multi-query shared-slicing arm: the config's own
+  /// query plus seed-derived companion queries (duplicating its windows,
+  /// folding over its tumbling granules, adding fresh edges) register in one
+  /// QueryRegistry served by a single slice stream, and every query's final
+  /// results must equal its own solo slicing run (lazy and eager stores,
+  /// plus the in-order fast path on sorted streams). N > 0: N companion
+  /// queries with static membership; -1: seed-derived companions plus a
+  /// mid-stream deregistration and a context-free mid-stream registration
+  /// checked against the horizon contract. 0 disables the shared runs.
+  int shared = 0;
   /// Tuple delivery layout for the additional slicing runs: "aos" (default)
   /// keeps only the row-major ProcessTupleBatch runs controlled by `batch`;
   /// "soa" additionally transposes blocks into columnar TupleBatchSoA

@@ -163,7 +163,7 @@ void Apply(Op op, DifferentialConfig* cfg, Rng& rng) {
       static const int kWm[] = {0, 16, 64, 256};
       static const int kBatch[] = {0, 1, 7, 64, 333};
       static const char* kKernels[] = {"auto", "scalar", "sse2", "avx2"};
-      switch (rng.NextBounded(5)) {
+      switch (rng.NextBounded(6)) {
         case 0:
           cfg->wm_every = kWm[rng.NextBounded(4)];
           break;
@@ -176,6 +176,16 @@ void Apply(Op op, DifferentialConfig* cfg, Rng& rng) {
           break;
         case 3:
           cfg->kernel = kKernels[rng.NextBounded(4)];
+          break;
+        case 4:
+          // Shared-registry arm: off, static companions, or seed-derived
+          // companions with mid-stream membership dynamics.
+          cfg->shared =
+              rng.NextBounded(3) == 0
+                  ? 0
+                  : (rng.NextBounded(2) == 0
+                         ? -1
+                         : 1 + static_cast<int>(rng.NextBounded(4)));
           break;
         default:
           cfg->checkpoint =
@@ -296,6 +306,7 @@ void Sanitize(DifferentialConfig* cfg) {
   cfg->checkpoint = std::clamp(cfg->checkpoint, -1, n);
   cfg->crash = std::clamp(cfg->crash, -1, n);
   cfg->rescale = std::clamp(cfg->rescale, -1, n);
+  cfg->shared = std::clamp(cfg->shared, -1, 16);
   // The persistence twins need at least one tuple on each side of the cut.
   if (n <= 1) {
     cfg->checkpoint = 0;

@@ -4,56 +4,26 @@
 #include <string>
 #include <vector>
 
-#include "common/time.h"
-#include "windows/window.h"
+#include "query/window_desc.h"
 
 namespace scotty {
 namespace testing {
 
-/// A declarative, parse-/printable window description. The differential
-/// fuzzer works on WindowSpecs rather than Window objects for two reasons:
-/// Window instances are stateful (each technique needs a fresh copy), and
-/// the brute-force oracle needs the window *parameters* to enumerate the
-/// expected window instances independently of the production window
-/// classes.
-///
-/// Textual form (the --queries= reproducer syntax):
-///   tumbling:L       time tumbling, length L
-///   sliding:L:S      time sliding, length L, slide S
-///   session:G        session with inactivity gap G
-///   ctumbling:N      count tumbling, N tuples
-///   csliding:N:S     count sliding, length N tuples, slide S tuples
-///   punct            punctuation-delimited windows (FCF)
-///   lastn:N:T        FCA multi-measure "last N tuples every T time units"
-///   frames:V         threshold frames, qualifying value >= V (FCF)
-struct WindowSpec {
-  enum class Kind {
-    kTumbling,
-    kSliding,
-    kSession,
-    kPunctuation,
-    kLastNEveryT,
-    kThresholdFrame,
-  };
+/// The declarative window-description grammar now lives in the production
+/// tree (query/window_desc.h) because the query registry registers and
+/// snapshots queries by description, not by stateful Window object. The
+/// fuzzer keeps its historical names as aliases: a --queries= reproducer
+/// line and a QueryRegistry registration share one grammar by construction.
+using WindowSpec = ::scotty::WindowDesc;
 
-  Kind kind = Kind::kTumbling;
-  Measure measure = Measure::kEventTime;  // kCount for count windows
-  Time length = 10;  // tumbling length / sliding length / session gap /
-                     // lastn N / frames threshold
-  Time slide = 0;    // sliding windows (slide) and lastn (period T)
+inline std::string WindowSpecsToString(const std::vector<WindowSpec>& specs) {
+  return WindowDescsToString(specs);
+}
 
-  std::string ToString() const;
-  /// Fresh, stateless-as-of-yet window object for one operator instance.
-  WindowPtr Instantiate() const;
-
-  /// Parses one spec; returns false (leaving *out* unspecified) on syntax
-  /// errors or non-positive parameters.
-  static bool Parse(const std::string& text, WindowSpec* out);
-};
-
-/// Comma-joined list form used by --queries= and the reproducer line.
-std::string WindowSpecsToString(const std::vector<WindowSpec>& specs);
-bool ParseWindowSpecs(const std::string& text, std::vector<WindowSpec>* out);
+inline bool ParseWindowSpecs(const std::string& text,
+                             std::vector<WindowSpec>* out) {
+  return ParseWindowDescs(text, out);
+}
 
 }  // namespace testing
 }  // namespace scotty

@@ -86,8 +86,8 @@ constexpr const char* kKnownFlags[] = {
     "repro-file", "queries",    "aggs",      "step-lo",    "step-hi",
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
     "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch",
-    "checkpoint", "crash",      "rescale",   "layout",     "kernel",
-    "guided",     "corpus",
+    "checkpoint", "crash",      "rescale",   "shared-queries",
+    "layout",     "kernel",     "guided",    "corpus",
     "seed-corpus", "time-budget-s", "stats-json", "stats-series",
     "no-minimize", "track-coverage"};
 
@@ -181,6 +181,15 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
     // -1: seed-derived crash point, worker counts, and faults (the nightly
     // rescaling lane runs 500 seeds this way). 0: off.
     cfg->rescale = static_cast<int>(flags.Int("rescale", cfg->rescale));
+  }
+  if (flags.Has("shared-queries")) {
+    // Multi-query shared slicing: the config's query plus companion queries
+    // in one QueryRegistry, each checked against its own solo run. N > 0:
+    // N static companions. -1: seed-derived companions plus mid-stream
+    // register/deregister dynamics (the nightly shared lane runs 500 seeds
+    // this way). 0: off.
+    cfg->shared =
+        static_cast<int>(flags.Int("shared-queries", cfg->shared));
   }
   if (flags.Has("layout")) {
     // "soa" adds columnar-ingestion runs with the kernel dispatch pinned to

@@ -1,0 +1,906 @@
+// Multi-query shared slicing (DESIGN.md §10): the QueryRegistry must answer
+// every registered query exactly as a dedicated per-query operator would —
+// across slicing techniques and baselines, all aggregate classes,
+// out-of-order input, mid-stream register/deregister, rewrite ablation, and
+// snapshot round-trips.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "baselines/aggregate_tree.h"
+#include "baselines/buckets.h"
+#include "baselines/tuple_buffer.h"
+#include "core/general_slicing_operator.h"
+#include "core/query_builder.h"
+#include "query/query_registry.h"
+#include "testing/stream_gen.h"
+#include "tests/test_util.h"
+
+namespace scotty {
+namespace {
+
+using testing::GenerateStream;
+using testing::StreamSpec;
+using testutil::ResultKey;
+using testutil::RunToFinalResults;
+using testutil::T;
+
+constexpr Time kLateness = 1'000'000'000'000;
+
+bool IsApproxAgg(const std::string& name) {
+  return name == "stddev" || name == "geometric-mean";
+}
+
+/// Per-query final results keyed by the query's local window/agg ids.
+using FinalMap = std::map<ResultKey, Value>;
+
+/// Drives the registry with the RunToFinalResults cadence, draining every
+/// query's results separately after each watermark.
+std::map<QueryRegistry::QueryId, FinalMap> RunRegistryToFinal(
+    QueryRegistry& reg, const std::vector<QueryRegistry::QueryId>& ids,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every,
+    Time wm_lag) {
+  std::map<QueryRegistry::QueryId, FinalMap> out;
+  auto drain = [&] {
+    for (QueryRegistry::QueryId id : ids) {
+      for (const WindowResult& r : reg.TakeQueryResults(id)) {
+        out[id][{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+      }
+    }
+  };
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  for (Tuple t : tuples) {
+    t.seq = seq++;
+    reg.ProcessTuple(t);
+    max_ts = std::max(max_ts, t.ts);
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        reg.ProcessWatermark(wm);
+        last_wm = wm;
+        drain();
+      }
+    }
+  }
+  reg.ProcessWatermark(final_wm);
+  drain();
+  return out;
+}
+
+std::vector<WindowPtr> InstantiateAll(const std::vector<std::string>& descs) {
+  std::vector<WindowPtr> out;
+  for (const std::string& text : descs) {
+    WindowDesc d;
+    EXPECT_TRUE(WindowDesc::Parse(text, &d)) << text;
+    out.push_back(d.Instantiate());
+  }
+  return out;
+}
+
+std::unique_ptr<GeneralSlicingOperator> BuildGSO(const QueryDef& def,
+                                                 StoreMode mode,
+                                                 bool in_order) {
+  GeneralSlicingOperator::Options o;
+  o.store_mode = mode;
+  o.stream_in_order = in_order;
+  o.allowed_lateness = in_order ? 0 : kLateness;
+  auto op = std::make_unique<GeneralSlicingOperator>(o);
+  for (const std::string& a : def.aggs) op->AddAggregation(MakeAggregation(a));
+  for (WindowPtr& w : InstantiateAll(def.windows)) op->AddWindow(std::move(w));
+  return op;
+}
+
+template <typename Op>
+std::unique_ptr<Op> BuildBaseline(const QueryDef& def, bool in_order) {
+  auto op = std::make_unique<Op>(in_order, in_order ? 0 : kLateness);
+  for (const std::string& a : def.aggs) op->AddAggregation(MakeAggregation(a));
+  for (WindowPtr& w : InstantiateAll(def.windows)) op->AddWindow(std::move(w));
+  return op;
+}
+
+QueryRegistry::Options RegistryOptions(bool in_order = false,
+                                       bool rewrites = true) {
+  QueryRegistry::Options o;
+  o.engine.stream_in_order = in_order;
+  o.engine.allowed_lateness = in_order ? 0 : kLateness;
+  o.enable_rewrites = rewrites;
+  return o;
+}
+
+void ExpectQueryMatches(const FinalMap& got, const FinalMap& want,
+                        const std::vector<std::string>& aggs,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  auto it = got.begin();
+  for (const auto& [key, val] : want) {
+    ASSERT_EQ(it->first, key) << label;
+    const std::string& agg = aggs[static_cast<size_t>(std::get<1>(key))];
+    if (IsApproxAgg(agg)) {
+      const double a = it->second.Numeric();
+      const double b = val.Numeric();
+      if (!(std::isnan(a) && std::isnan(b))) {
+        const double tol =
+            1e-6 * std::max({1.0, std::fabs(a), std::fabs(b)});
+        EXPECT_NEAR(a, b, tol) << label << " agg=" << agg;
+      }
+    } else {
+      EXPECT_EQ(it->second, val) << label << " agg=" << agg;
+    }
+    ++it;
+  }
+}
+
+std::vector<Tuple> OOOStream(uint64_t seed, int n, double punct = 0.0) {
+  StreamSpec spec;
+  spec.seed = seed;
+  spec.num_tuples = n;
+  spec.step_lo = 1;
+  spec.step_hi = 4;
+  spec.value_range = 20;
+  spec.punctuation_probability = punct;
+  spec.ooo_fraction = 0.3;
+  spec.max_delay = 40;
+  spec.burst_probability = 0.05;
+  return GenerateStream(spec);
+}
+
+Time MaxTs(const std::vector<Tuple>& tuples) {
+  Time max_ts = kNoTime;
+  for (const Tuple& t : tuples) max_ts = std::max(max_ts, t.ts);
+  return max_ts;
+}
+
+// ---------------------------------------------------------------------------
+// Planning introspection.
+
+TEST(RegistryPlanning, DedupAndSharedPlans) {
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  const auto q1 = reg.Register({{"tumbling:10", "session:7"}, {"sum"}}, &err);
+  ASSERT_NE(q1, QueryRegistry::kInvalidQuery) << err;
+  const auto q2 =
+      reg.Register({{"tumbling:10", "sliding:20:5"}, {"sum", "min"}}, &err);
+  ASSERT_NE(q2, QueryRegistry::kInvalidQuery) << err;
+
+  const QueryRegistry::QueryPlan p1 = reg.Plan(q1);
+  ASSERT_TRUE(p1.alive);
+  EXPECT_EQ(p1.windows[0], QueryRegistry::PlanKind::kShared);
+  EXPECT_EQ(p1.windows[1], QueryRegistry::PlanKind::kShared);
+
+  const QueryRegistry::QueryPlan p2 = reg.Plan(q2);
+  ASSERT_TRUE(p2.alive);
+  // tumbling:10 is already live -> dedup; sliding:20:5 has slide 5 which is
+  // not a multiple of 10, so no rewrite applies -> shared.
+  EXPECT_EQ(p2.windows[0], QueryRegistry::PlanKind::kSharedDedup);
+  EXPECT_EQ(p2.windows[1], QueryRegistry::PlanKind::kShared);
+
+  // tumbling:10 counted once: the engine carries 3 windows, not 4.
+  EXPECT_EQ(reg.EngineWindows(), 3u);
+  EXPECT_EQ(reg.ActiveQueries(), 2u);
+}
+
+TEST(RegistryPlanning, FactorWindowsRewriteFoldsOverBase) {
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  ASSERT_NE(reg.Register({{"tumbling:5"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  // tumbling:10 is itself a fold over tumbling:5 (2 combines per window):
+  // the rewrite applies to coarser tumblings too, so no engine window is
+  // added for it.
+  const auto q10 = reg.Register({{"tumbling:10"}, {"sum"}}, &err);
+  ASSERT_NE(q10, QueryRegistry::kInvalidQuery) << err;
+  EXPECT_EQ(reg.Plan(q10).windows[0], QueryRegistry::PlanKind::kDerived);
+  EXPECT_EQ(reg.EngineWindows(), 1u);
+
+  const auto q =
+      reg.Register({{"sliding:40:20", "tumbling:40"}, {"sum"}}, &err);
+  ASSERT_NE(q, QueryRegistry::kInvalidQuery) << err;
+  const QueryRegistry::QueryPlan p = reg.Plan(q);
+  // Both fold over the only engine base (tumbling:5 — derived windows are
+  // not themselves eligible bases); still no new engine windows.
+  EXPECT_EQ(p.windows[0], QueryRegistry::PlanKind::kDerived);
+  EXPECT_EQ(p.windows[1], QueryRegistry::PlanKind::kDerived);
+  EXPECT_EQ(reg.EngineWindows(), 1u);
+
+  // When two eligible bases exist the largest granule (fewest combines)
+  // wins: with rewrites off, tumbling:12 registers natively, and a later
+  // sliding:48:24 folds over granule 12, not 5... observable as plan kind
+  // here and as fold cost in the benchmark.
+  QueryRegistry reg2(RegistryOptions());
+  ASSERT_NE(reg2.Register({{"tumbling:5", "tumbling:12"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  EXPECT_EQ(reg2.EngineWindows(), 2u);  // 12 % 5 != 0: both are native
+  const auto q48 = reg2.Register({{"sliding:48:24"}, {"sum"}}, &err);
+  ASSERT_NE(q48, QueryRegistry::kInvalidQuery) << err;
+  EXPECT_EQ(reg2.Plan(q48).windows[0], QueryRegistry::PlanKind::kDerived);
+  EXPECT_EQ(reg2.EngineWindows(), 2u);
+}
+
+TEST(RegistryPlanning, RewriteRespectsFanInBound) {
+  QueryRegistry::Options o = RegistryOptions();
+  o.max_rewrite_fan_in = 3;
+  QueryRegistry reg(o);
+  std::string err;
+  ASSERT_NE(reg.Register({{"tumbling:10"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  // L/g = 40/10 = 4 > 3: the fold is too wide, register natively.
+  const auto q = reg.Register({{"sliding:40:20"}, {"sum"}}, &err);
+  ASSERT_NE(q, QueryRegistry::kInvalidQuery) << err;
+  EXPECT_EQ(reg.Plan(q).windows[0], QueryRegistry::PlanKind::kShared);
+  EXPECT_EQ(reg.EngineWindows(), 2u);
+}
+
+TEST(RegistryPlanning, RejectsBadDefs) {
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  EXPECT_EQ(reg.Register({{}, {"sum"}}, &err), QueryRegistry::kInvalidQuery);
+  EXPECT_EQ(reg.Register({{"tumbling:10"}, {}}, &err),
+            QueryRegistry::kInvalidQuery);
+  EXPECT_EQ(reg.Register({{"bogus:1"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+  EXPECT_EQ(reg.Register({{"tumbling:10"}, {"no-such-agg"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  // Nothing half-registered sticks around after a failed registration.
+  EXPECT_EQ(reg.ActiveQueries(), 0u);
+  EXPECT_EQ(reg.EngineWindows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: registry vs. one dedicated operator per query.
+
+/// Registers all queries, runs the shared registry once over `tuples`, and
+/// checks every query against dedicated operators of every technique.
+void CheckSharedAgainstIndependent(const std::vector<QueryDef>& defs,
+                                   const std::vector<Tuple>& tuples,
+                                   bool in_order, bool rewrites = true) {
+  QueryRegistry reg(RegistryOptions(in_order, rewrites));
+  std::vector<QueryRegistry::QueryId> ids;
+  std::string err;
+  for (const QueryDef& def : defs) {
+    const auto id = reg.Register(def, &err);
+    ASSERT_NE(id, QueryRegistry::kInvalidQuery) << err;
+    ids.push_back(id);
+  }
+
+  const Time max_ts = MaxTs(tuples);
+  const Time final_wm = max_ts + 100;
+  const int wm_every = 16;
+  // In-order ops run with allowed_lateness 0: keep the watermark strictly
+  // behind any timestamp that can still arrive (punctuation markers share
+  // the preceding tuple's timestamp) so nothing is boundary-dropped.
+  const Time wm_lag = in_order ? 2 : 64;
+
+  const auto shared =
+      RunRegistryToFinal(reg, ids, tuples, final_wm, wm_every, wm_lag);
+
+  for (size_t qi = 0; qi < defs.size(); ++qi) {
+    const QueryDef& def = defs[qi];
+    const auto shared_it = shared.find(ids[qi]);
+    const FinalMap got =
+        shared_it != shared.end() ? shared_it->second : FinalMap{};
+    const std::string tag = "query " + std::to_string(qi);
+
+    auto lazy = BuildGSO(def, StoreMode::kLazy, in_order);
+    ExpectQueryMatches(
+        got, RunToFinalResults(*lazy, tuples, final_wm, wm_every, wm_lag),
+        def.aggs, tag + " vs gso-lazy");
+
+    auto eager = BuildGSO(def, StoreMode::kEager, in_order);
+    ExpectQueryMatches(
+        got, RunToFinalResults(*eager, tuples, final_wm, wm_every, wm_lag),
+        def.aggs, tag + " vs gso-eager");
+
+    // Baseline applicability mirrors the differential harness: the buffer
+    // and tree baselines model everything but lastn; buckets additionally
+    // exclude punctuation and frame windows.
+    bool has_punct = false, has_lastn = false, has_frames = false;
+    for (const std::string& text : def.windows) {
+      WindowDesc d;
+      ASSERT_TRUE(WindowDesc::Parse(text, &d)) << text;
+      has_punct |= d.kind == WindowDesc::Kind::kPunctuation;
+      has_lastn |= d.kind == WindowDesc::Kind::kLastNEveryT;
+      has_frames |= d.kind == WindowDesc::Kind::kThresholdFrame;
+    }
+    if (!has_lastn) {
+      auto buf = BuildBaseline<TupleBufferOperator>(def, in_order);
+      ExpectQueryMatches(
+          got, RunToFinalResults(*buf, tuples, final_wm, wm_every, wm_lag),
+          def.aggs, tag + " vs tuple-buffer");
+
+      auto tree = BuildBaseline<AggregateTreeOperator>(def, in_order);
+      ExpectQueryMatches(
+          got, RunToFinalResults(*tree, tuples, final_wm, wm_every, wm_lag),
+          def.aggs, tag + " vs aggregate-tree");
+    }
+    if (!has_punct && !has_lastn && !has_frames) {
+      auto buckets = BuildBaseline<BucketsOperator>(def, in_order);
+      ExpectQueryMatches(
+          got,
+          RunToFinalResults(*buckets, tuples, final_wm, wm_every, wm_lag),
+          def.aggs, tag + " vs buckets");
+    }
+  }
+}
+
+TEST(SharedEquivalence, OutOfOrderAcrossTechniques) {
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10", "session:7"}, {"sum", "min"}},
+      {{"sliding:20:5", "punct"}, {"count", "avg"}},
+      // tumbling:10 dedups against query 0; sliding:40:20 derives from it.
+      {{"tumbling:10", "sliding:40:20"}, {"max", "median"}},
+  };
+  CheckSharedAgainstIndependent(defs, OOOStream(7, 400, /*punct=*/0.05),
+                                /*in_order=*/false);
+}
+
+TEST(SharedEquivalence, InOrderFastPath) {
+  StreamSpec spec;
+  spec.seed = 11;
+  spec.num_tuples = 400;
+  spec.punctuation_probability = 0.05;
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10", "punct"}, {"sum", "count"}},
+      {{"sliding:30:10", "tumbling:10"}, {"min", "max"}},
+  };
+  CheckSharedAgainstIndependent(defs, GenerateStream(spec),
+                                /*in_order=*/true);
+}
+
+// Batched and columnar in-order ingestion take a no-late-mirroring fast
+// path when the batch is sorted (the bench-critical route for derived
+// plans); duplicate timestamps tying the per-tuple watermark at window
+// edges must still produce results bit-identical to per-tuple ingestion.
+TEST(SharedEquivalence, BatchedAndColumnarInOrderMatchPerTuple) {
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10"}, {"sum", "count"}},
+      // tumbling:10 dedups against query 0; the others derive from it.
+      {{"sliding:40:20", "tumbling:10"}, {"sum"}},
+      {{"tumbling:30"}, {"count"}},
+  };
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 600; ++i) {
+    // Three tuples per timestamp: every trigger-edge crossing leaves
+    // same-ts stragglers that tie the advanced watermark.
+    tuples.push_back(T(i / 3, (i % 17) - 8));
+  }
+  const Time final_wm = MaxTs(tuples) + 100;
+  const int wm_every = 16;
+  const Time wm_lag = 2;
+
+  auto register_all = [&](QueryRegistry& reg,
+                          std::vector<QueryRegistry::QueryId>* ids) {
+    std::string err;
+    for (const QueryDef& def : defs) {
+      const auto id = reg.Register(def, &err);
+      ASSERT_NE(id, QueryRegistry::kInvalidQuery) << err;
+      ids->push_back(id);
+    }
+  };
+
+  QueryRegistry per_tuple(RegistryOptions(/*in_order=*/true));
+  std::vector<QueryRegistry::QueryId> pt_ids;
+  register_all(per_tuple, &pt_ids);
+  const auto want =
+      RunRegistryToFinal(per_tuple, pt_ids, tuples, final_wm, wm_every, wm_lag);
+
+  // Same watermark cadence, but tuples arrive as the blocks between
+  // watermarks — via ProcessTupleBatch and via ProcessTupleColumns.
+  for (const bool columnar : {false, true}) {
+    QueryRegistry reg(RegistryOptions(/*in_order=*/true));
+    std::vector<QueryRegistry::QueryId> ids;
+    register_all(reg, &ids);
+    std::map<QueryRegistry::QueryId, FinalMap> got;
+    auto drain = [&] {
+      for (QueryRegistry::QueryId id : ids) {
+        for (const WindowResult& r : reg.TakeQueryResults(id)) {
+          got[id][{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+        }
+      }
+    };
+    std::vector<Tuple> block;
+    std::vector<Time> ts_col;
+    std::vector<double> val_col;
+    std::vector<int64_t> key_col;
+    std::vector<uint64_t> seq_col;
+    auto flush = [&] {
+      if (block.empty()) return;
+      if (columnar) {
+        ts_col.clear(), val_col.clear(), key_col.clear(), seq_col.clear();
+        for (const Tuple& t : block) {
+          ts_col.push_back(t.ts);
+          val_col.push_back(t.value);
+          key_col.push_back(t.key);
+          seq_col.push_back(t.seq);
+        }
+        reg.ProcessTupleColumns({ts_col.data(), val_col.data(), key_col.data(),
+                                 seq_col.data(), nullptr, block.size()});
+      } else {
+        reg.ProcessTupleBatch(block);
+      }
+      block.clear();
+    };
+    uint64_t seq = 0;
+    Time max_ts = kNoTime;
+    Time last_wm = kNoTime;
+    for (Tuple t : tuples) {
+      t.seq = seq++;
+      block.push_back(t);
+      max_ts = std::max(max_ts, t.ts);
+      if (seq % wm_every == 0) {
+        const Time wm = max_ts - wm_lag;
+        if (wm > last_wm || last_wm == kNoTime) {
+          flush();
+          reg.ProcessWatermark(wm);
+          last_wm = wm;
+          drain();
+        }
+      }
+    }
+    flush();
+    reg.ProcessWatermark(final_wm);
+    drain();
+
+    for (size_t qi = 0; qi < defs.size(); ++qi) {
+      const auto want_it = want.find(pt_ids[qi]);
+      const auto got_it = got.find(ids[qi]);
+      ExpectQueryMatches(
+          got_it != got.end() ? got_it->second : FinalMap{},
+          want_it != want.end() ? want_it->second : FinalMap{}, defs[qi].aggs,
+          (columnar ? "columnar" : "batched") + std::string(" query ") +
+              std::to_string(qi));
+    }
+  }
+}
+
+TEST(SharedEquivalence, CountWindowsAndMultiMeasure) {
+  const std::vector<QueryDef> defs = {
+      {{"ctumbling:25", "tumbling:15"}, {"sum", "count"}},
+      {{"csliding:30:10", "lastn:20:15"}, {"min", "avg"}},
+      {{"frames:12", "ctumbling:25"}, {"max", "sum"}},
+  };
+  CheckSharedAgainstIndependent(defs, OOOStream(13, 400),
+                                /*in_order=*/false);
+}
+
+TEST(SharedEquivalence, AllAggregateKinds) {
+  // Every deterministic aggregation the fuzzer draws from, split over two
+  // queries that share both windows (full dedup) plus one derived window.
+  const std::vector<std::string> all = {
+      "sum",     "count",     "avg",       "min",
+      "max",     "median",    "p90",       "m4",
+      "arg-max", "arg-min",   "min-count", "max-count",
+      "stddev",  "sum-no-invert", "concat", "geometric-mean"};
+  const std::vector<std::string> first(all.begin(), all.begin() + 8);
+  const std::vector<std::string> second(all.begin() + 8, all.end());
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10", "sliding:30:10"}, first},
+      {{"sliding:30:10", "tumbling:10", "tumbling:40"}, second},
+  };
+  CheckSharedAgainstIndependent(defs, OOOStream(17, 350),
+                                /*in_order=*/false);
+}
+
+TEST(SharedEquivalence, RewriteAblationMatches) {
+  // The same query set with rewrites disabled must produce the same
+  // answers — kDerived is purely a cost optimization.
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10"}, {"sum", "median"}},
+      {{"sliding:40:20", "tumbling:20"}, {"sum", "max"}},
+  };
+  const std::vector<Tuple> tuples = OOOStream(23, 400);
+  CheckSharedAgainstIndependent(defs, tuples, /*in_order=*/false,
+                                /*rewrites=*/true);
+  CheckSharedAgainstIndependent(defs, tuples, /*in_order=*/false,
+                                /*rewrites=*/false);
+
+  QueryRegistry ablated(RegistryOptions(false, /*rewrites=*/false));
+  std::string err;
+  ASSERT_NE(ablated.Register(defs[0], &err), QueryRegistry::kInvalidQuery);
+  const auto q = ablated.Register(defs[1], &err);
+  ASSERT_NE(q, QueryRegistry::kInvalidQuery) << err;
+  EXPECT_EQ(ablated.Plan(q).windows[0], QueryRegistry::PlanKind::kShared);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership.
+
+TEST(RegistryDynamics, MidStreamRegisterSeesOnlyPostHorizonWindows) {
+  const std::vector<Tuple> tuples = OOOStream(31, 400);
+  const Time max_ts = MaxTs(tuples);
+  const Time final_wm = max_ts + 100;
+  const QueryDef base{{"tumbling:10"}, {"sum", "max"}};
+  const QueryDef late{{"sliding:30:10", "tumbling:25"}, {"sum"}};
+
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  const auto q0 = reg.Register(base, &err);
+  ASSERT_NE(q0, QueryRegistry::kInvalidQuery) << err;
+
+  std::map<QueryRegistry::QueryId, FinalMap> got;
+  auto drain = [&](const std::vector<QueryRegistry::QueryId>& ids) {
+    for (auto id : ids) {
+      for (const WindowResult& r : reg.TakeQueryResults(id)) {
+        got[id][{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+      }
+    }
+  };
+
+  QueryRegistry::QueryId q1 = QueryRegistry::kInvalidQuery;
+  uint64_t seq = 0;
+  Time seen = kNoTime;
+  Time last_wm = kNoTime;
+  for (Tuple t : tuples) {
+    if (seq == tuples.size() / 2) {
+      q1 = reg.Register(late, &err);
+      ASSERT_NE(q1, QueryRegistry::kInvalidQuery) << err;
+    }
+    t.seq = seq++;
+    reg.ProcessTuple(t);
+    seen = std::max(seen, t.ts);
+    if (seq % 16 == 0) {
+      const Time wm = seen - 64;
+      if (wm > last_wm || last_wm == kNoTime) {
+        reg.ProcessWatermark(wm);
+        last_wm = wm;
+        drain({q0, q1});
+      }
+    }
+  }
+  reg.ProcessWatermark(final_wm);
+  drain({q0, q1});
+
+  const Time horizon = reg.Plan(q1).horizon;
+  ASSERT_NE(horizon, kNoTime);
+  EXPECT_GT(horizon, 0);
+
+  // The early query is untouched by the membership change.
+  auto full = BuildGSO(base, StoreMode::kLazy, false);
+  ExpectQueryMatches(got[q0],
+                     RunToFinalResults(*full, tuples, final_wm, 16, 64),
+                     base.aggs, "pre-registered query");
+
+  // The late query answers exactly the dedicated-operator results filtered
+  // to windows that start at or after its horizon.
+  auto solo = BuildGSO(late, StoreMode::kLazy, false);
+  FinalMap expect;
+  for (const auto& [key, val] :
+       RunToFinalResults(*solo, tuples, final_wm, 16, 64)) {
+    if (std::get<2>(key) >= horizon) expect[key] = val;
+  }
+  ExpectQueryMatches(got[q1], expect, late.aggs, "mid-stream query");
+  // And it genuinely reported something: the horizon is not an excuse to
+  // stay silent forever.
+  EXPECT_FALSE(got[q1].empty());
+}
+
+TEST(RegistryDynamics, DeregisterDropsOnlyThatQuery) {
+  const std::vector<Tuple> tuples = OOOStream(37, 400);
+  const Time max_ts = MaxTs(tuples);
+  const Time final_wm = max_ts + 100;
+  const QueryDef keep{{"tumbling:10", "session:7"}, {"sum", "median"}};
+  const QueryDef drop{{"tumbling:10", "sliding:20:10"}, {"max"}};
+
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  const auto qk = reg.Register(keep, &err);
+  const auto qd = reg.Register(drop, &err);
+  ASSERT_NE(qk, QueryRegistry::kInvalidQuery);
+  ASSERT_NE(qd, QueryRegistry::kInvalidQuery);
+  // tumbling:10 is shared between both and sliding:20:10 folds over it, so
+  // the second query added no engine windows at all.
+  EXPECT_EQ(reg.Plan(qd).windows[0], QueryRegistry::PlanKind::kSharedDedup);
+  EXPECT_EQ(reg.Plan(qd).windows[1], QueryRegistry::PlanKind::kDerived);
+  EXPECT_EQ(reg.EngineWindows(), 2u);
+
+  FinalMap kept;
+  uint64_t seq = 0;
+  Time seen = kNoTime;
+  Time last_wm = kNoTime;
+  for (Tuple t : tuples) {
+    if (seq == tuples.size() / 2) {
+      ASSERT_TRUE(reg.Deregister(qd));
+      EXPECT_FALSE(reg.Deregister(qd));  // idempotence: already gone
+      EXPECT_FALSE(reg.Plan(qd).alive);
+      // tumbling:10 lives on for the surviving query.
+      EXPECT_EQ(reg.EngineWindows(), 2u);
+      EXPECT_EQ(reg.ActiveQueries(), 1u);
+    }
+    t.seq = seq++;
+    reg.ProcessTuple(t);
+    seen = std::max(seen, t.ts);
+    if (seq % 16 == 0) {
+      const Time wm = seen - 64;
+      if (wm > last_wm || last_wm == kNoTime) {
+        reg.ProcessWatermark(wm);
+        last_wm = wm;
+        for (const WindowResult& r : reg.TakeQueryResults(qk)) {
+          kept[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+        }
+        // After the deregistration nothing leaks out under the dead id.
+        if (seq > tuples.size() / 2) {
+          EXPECT_TRUE(reg.TakeQueryResults(qd).empty());
+        }
+      }
+    }
+  }
+  reg.ProcessWatermark(final_wm);
+  for (const WindowResult& r : reg.TakeQueryResults(qk)) {
+    kept[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+  }
+
+  auto solo = BuildGSO(keep, StoreMode::kLazy, false);
+  ExpectQueryMatches(kept, RunToFinalResults(*solo, tuples, final_wm, 16, 64),
+                     keep.aggs, "surviving query");
+
+  // The registry stays open for business after a deregistration.
+  const auto q2 = reg.Register({{"tumbling:50"}, {"sum"}}, &err);
+  EXPECT_NE(q2, QueryRegistry::kInvalidQuery) << err;
+}
+
+TEST(RegistryDynamics, MidStreamRegistrationLimits) {
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  ASSERT_NE(reg.Register({{"tumbling:10"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  reg.ProcessTuple(T(5, 1.0));
+
+  // Context-sensitive windows cannot join mid-stream...
+  EXPECT_EQ(reg.Register({{"session:7"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  EXPECT_NE(err.find("mid-stream"), std::string::npos) << err;
+  // ...nor can new aggregation columns be added to a started store...
+  EXPECT_EQ(reg.Register({{"tumbling:20"}, {"median"}}, &err),
+            QueryRegistry::kInvalidQuery);
+  // ...but context-free windows over known aggregations can.
+  EXPECT_NE(reg.Register({{"sliding:30:10"}, {"sum"}}, &err),
+            QueryRegistry::kInvalidQuery)
+      << err;
+}
+
+// ---------------------------------------------------------------------------
+// Global result stream.
+
+TEST(RegistryResults, TakeResultsUsesDenseGlobalWindowIds) {
+  const std::vector<Tuple> tuples = OOOStream(41, 200);
+  const Time final_wm = MaxTs(tuples) + 100;
+  const QueryDef a{{"tumbling:10", "session:7"}, {"sum"}};
+  const QueryDef b{{"tumbling:10"}, {"max", "count"}};
+
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  const auto qa = reg.Register(a, &err);
+  const auto qb = reg.Register(b, &err);
+  ASSERT_NE(qa, QueryRegistry::kInvalidQuery);
+  ASSERT_NE(qb, QueryRegistry::kInvalidQuery);
+  EXPECT_EQ(reg.GlobalWindowId(qa, 0), 0);
+  EXPECT_EQ(reg.GlobalWindowId(qa, 1), 1);
+  EXPECT_EQ(reg.GlobalWindowId(qb, 0), 2);
+
+  uint64_t seq = 0;
+  for (Tuple t : tuples) {
+    t.seq = seq++;
+    reg.ProcessTuple(t);
+  }
+  reg.ProcessWatermark(final_wm);
+  const FinalMap merged = testutil::FinalResults(reg.TakeResults());
+  ASSERT_FALSE(merged.empty());
+
+  // Recompute per query and re-key through GlobalWindowId: the merged view
+  // is exactly the union (agg ids stay local; window ids disambiguate).
+  FinalMap expect;
+  for (const auto& [def, id] :
+       std::vector<std::pair<QueryDef, QueryRegistry::QueryId>>{{a, qa},
+                                                                {b, qb}}) {
+    auto solo = BuildGSO(def, StoreMode::kLazy, false);
+    for (const auto& [key, val] :
+         RunToFinalResults(*solo, tuples, final_wm, 0, 0)) {
+      expect[{reg.GlobalWindowId(id, std::get<0>(key)), std::get<1>(key),
+              std::get<2>(key), std::get<3>(key)}] = val;
+    }
+  }
+  EXPECT_EQ(merged, expect);
+}
+
+// ---------------------------------------------------------------------------
+// QueryBuilder front-end.
+
+TEST(RegistryBuilder, PortableBuilderRegisters) {
+  QueryBuilder b;
+  b.OutOfOrder(kLateness)
+      .Aggregate("sum")
+      .Aggregate("median")
+      .Tumbling(10)
+      .Sliding(30, 10);
+  ASSERT_TRUE(b.HasPortableDef());
+  EXPECT_EQ(b.Def().windows,
+            (std::vector<std::string>{"tumbling:10", "sliding:30:10"}));
+  EXPECT_EQ(b.Def().aggs, (std::vector<std::string>{"sum", "median"}));
+
+  const std::vector<Tuple> tuples = OOOStream(43, 250);
+  const Time final_wm = MaxTs(tuples) + 100;
+
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  const auto q = reg.Register(b, &err);
+  ASSERT_NE(q, QueryRegistry::kInvalidQuery) << err;
+
+  const auto shared =
+      RunRegistryToFinal(reg, {q}, tuples, final_wm, 16, 64);
+  auto solo = b.Build();
+  ExpectQueryMatches(shared.at(q),
+                     RunToFinalResults(*solo, tuples, final_wm, 16, 64),
+                     b.Def().aggs, "builder query");
+}
+
+TEST(RegistryBuilder, CustomObjectsForfeitPortability) {
+  QueryBuilder b;
+  b.Aggregate(MakeAggregation("sum")).Tumbling(10);  // custom fn object
+  EXPECT_FALSE(b.HasPortableDef());
+  QueryRegistry reg(RegistryOptions());
+  std::string err;
+  EXPECT_EQ(reg.Register(b, &err), QueryRegistry::kInvalidQuery);
+  EXPECT_NE(err.find("textual description"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trip.
+
+TEST(RegistrySnapshot, CheckpointedTwinIsBitIdentical) {
+  const std::vector<QueryDef> defs = {
+      {{"tumbling:10", "session:7"}, {"sum", "median"}},
+      {{"sliding:40:20", "tumbling:10"}, {"max", "sum"}},
+  };
+  const std::vector<Tuple> tuples = OOOStream(47, 400);
+  const Time final_wm = MaxTs(tuples) + 100;
+
+  auto factory = [&]() -> std::unique_ptr<WindowOperator> {
+    auto reg = std::make_unique<QueryRegistry>(RegistryOptions());
+    std::string err;
+    for (const QueryDef& def : defs) {
+      EXPECT_NE(reg->Register(def, &err), QueryRegistry::kInvalidQuery)
+          << err;
+    }
+    return reg;
+  };
+
+  auto plain = factory();
+  const FinalMap expect =
+      RunToFinalResults(*plain, tuples, final_wm, 16, 64);
+
+  for (size_t cut : {size_t{1}, tuples.size() / 3, tuples.size() / 2,
+                     tuples.size() - 1}) {
+    FinalMap got;
+    std::string error;
+    ASSERT_TRUE(testing::RunToFinalResultsCheckpointed(
+        factory, tuples, final_wm, 16, 64, cut, &got, &error))
+        << "cut=" << cut << ": " << error;
+    EXPECT_EQ(got, expect) << "cut=" << cut;  // exact, median included
+  }
+}
+
+TEST(RegistrySnapshot, RestorePreservesDynamicMembership) {
+  // Register -> feed -> deregister one -> register mid-stream -> snapshot
+  // -> restore onto a fresh registry -> both must finish identically.
+  const std::vector<Tuple> tuples = OOOStream(53, 300);
+  const Time final_wm = MaxTs(tuples) + 100;
+  const size_t cut = tuples.size() * 2 / 3;
+
+  auto drive_prefix = [&](QueryRegistry& reg, FinalMap* out,
+                          std::vector<QueryRegistry::QueryId>* ids) {
+    std::string err;
+    ids->push_back(reg.Register({{"tumbling:10"}, {"sum", "max"}}, &err));
+    ids->push_back(
+        reg.Register({{"tumbling:10", "session:9"}, {"sum"}}, &err));
+    uint64_t seq = 0;
+    Time seen = kNoTime;
+    Time last_wm = kNoTime;
+    for (size_t i = 0; i < cut; ++i) {
+      if (i == tuples.size() / 3) {
+        ASSERT_TRUE(reg.Deregister((*ids)[1]));
+        ids->push_back(
+            reg.Register({{"sliding:30:10"}, {"sum"}}, &err));
+        ASSERT_NE(ids->back(), QueryRegistry::kInvalidQuery) << err;
+      }
+      Tuple t = tuples[i];
+      t.seq = seq++;
+      reg.ProcessTuple(t);
+      seen = std::max(seen, t.ts);
+      if (seq % 16 == 0 && (seen - 64 > last_wm || last_wm == kNoTime)) {
+        last_wm = seen - 64;
+        reg.ProcessWatermark(last_wm);
+        for (const WindowResult& r : reg.TakeResults()) {
+          (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+        }
+      }
+    }
+  };
+
+  auto drive_suffix = [&](QueryRegistry& reg, FinalMap* out,
+                          uint64_t seq, Time seen, Time last_wm) {
+    for (size_t i = cut; i < tuples.size(); ++i) {
+      Tuple t = tuples[i];
+      t.seq = seq++;
+      reg.ProcessTuple(t);
+      seen = std::max(seen, t.ts);
+      if (seq % 16 == 0 && (seen - 64 > last_wm || last_wm == kNoTime)) {
+        last_wm = seen - 64;
+        reg.ProcessWatermark(last_wm);
+        for (const WindowResult& r : reg.TakeResults()) {
+          (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+        }
+      }
+    }
+    reg.ProcessWatermark(final_wm);
+    for (const WindowResult& r : reg.TakeResults()) {
+      (*out)[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+    }
+  };
+
+  // Uninterrupted run.
+  QueryRegistry full(RegistryOptions());
+  FinalMap want;
+  std::vector<QueryRegistry::QueryId> ids;
+  drive_prefix(full, &want, &ids);
+  {
+    // Recover the harness locals the prefix ended with.
+    uint64_t seq = cut;
+    Time seen = kNoTime;
+    for (size_t i = 0; i < cut; ++i) seen = std::max(seen, tuples[i].ts);
+    Time last_wm = kNoTime;
+    for (size_t s = 16; s <= cut; s += 16) {
+      Time m = kNoTime;
+      for (size_t i = 0; i < s; ++i) m = std::max(m, tuples[i].ts);
+      if (m - 64 > last_wm || last_wm == kNoTime) last_wm = m - 64;
+    }
+    drive_suffix(full, &want, seq, seen, last_wm);
+  }
+
+  // Interrupted twin: snapshot at the cut, restore onto a fresh registry
+  // with the same Options and nothing registered.
+  QueryRegistry head(RegistryOptions());
+  FinalMap got;
+  std::vector<QueryRegistry::QueryId> head_ids;
+  drive_prefix(head, &got, &head_ids);
+  state::Writer w;
+  head.SerializeState(w);
+  const std::vector<uint8_t> bytes = w.Take();
+
+  QueryRegistry tail(RegistryOptions());
+  state::Reader r(bytes);
+  tail.DeserializeState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(tail.ActiveQueries(), head.ActiveQueries());
+  {
+    uint64_t seq = cut;
+    Time seen = kNoTime;
+    for (size_t i = 0; i < cut; ++i) seen = std::max(seen, tuples[i].ts);
+    Time last_wm = kNoTime;
+    for (size_t s = 16; s <= cut; s += 16) {
+      Time m = kNoTime;
+      for (size_t i = 0; i < s; ++i) m = std::max(m, tuples[i].ts);
+      if (m - 64 > last_wm || last_wm == kNoTime) last_wm = m - 64;
+    }
+    drive_suffix(tail, &got, seq, seen, last_wm);
+  }
+  EXPECT_EQ(got, want);
+
+  // Restoring with different Options must fail loudly, not half-apply.
+  QueryRegistry wrong(RegistryOptions(false, /*rewrites=*/false));
+  state::Reader r2(bytes);
+  wrong.DeserializeState(r2);
+  EXPECT_FALSE(r2.ok());
+}
+
+}  // namespace
+}  // namespace scotty
