@@ -45,6 +45,18 @@ std::string DlogPathForSnap(const std::string& snap_path) {
 
 CheckpointCoordinator::CheckpointCoordinator(CheckpointOptions opts)
     : opts_(std::move(opts)), crash_after_(CrashAfterFromEnv()) {
+  // Map the options onto the ladder's capability rungs. For a synchronous
+  // coordinator the first three rungs all persist on the barrier path; the
+  // rung still tracks what is being persisted (deltas vs full bases).
+  if (opts_.incremental && opts_.full_snapshot_every > 1) {
+    configured_mode_ =
+        static_cast<int>(CheckpointPersistenceMode::kAsyncIncremental);
+  } else if (opts_.async) {
+    configured_mode_ = static_cast<int>(CheckpointPersistenceMode::kAsyncFull);
+  } else {
+    configured_mode_ = static_cast<int>(CheckpointPersistenceMode::kSyncFull);
+  }
+  mode_.store(configured_mode_, std::memory_order_relaxed);
   if (opts_.async) {
     persist_thread_ = std::thread([this] { PersistThreadMain(); });
   }
@@ -73,8 +85,14 @@ std::string CheckpointCoordinator::SnapPath(uint64_t idx) const {
   return PathPrefix() + "-" + std::to_string(idx) + ".snap";
 }
 
+bool CheckpointCoordinator::EffectiveIncremental() const {
+  if (!opts_.incremental || opts_.full_snapshot_every <= 1) return false;
+  return mode_.load(std::memory_order_relaxed) ==
+         static_cast<int>(CheckpointPersistenceMode::kAsyncIncremental);
+}
+
 bool CheckpointCoordinator::NeedBase() const {
-  if (!opts_.incremental || opts_.full_snapshot_every <= 1) return true;
+  if (!EffectiveIncremental()) return true;
   if (!have_base_ || need_new_base_.load(std::memory_order_relaxed)) {
     return true;
   }
@@ -131,6 +149,21 @@ std::string CheckpointCoordinator::Submit(PersistJob job) {
   const std::string target =
       job.is_base ? job.path
                   : state::DeltaLogPath(PathPrefix(), last_base_index_);
+  if (mode_.load(std::memory_order_relaxed) ==
+      static_cast<int>(CheckpointPersistenceMode::kOff)) {
+    // Bottom rung: checkpointing is off with the alarm raised. Shed the
+    // barrier, except every `off_probe_every`-th one which is attempted as
+    // a probe so sustained disk recovery promotes the mode back up.
+    const uint64_t k = off_barriers_seen_++;
+    const bool probe =
+        opts_.off_probe_every > 0 &&
+        k % static_cast<uint64_t>(opts_.off_probe_every) == 0;
+    if (!probe) {
+      barriers_dropped_.fetch_add(1, std::memory_order_relaxed);
+      need_new_base_.store(true, std::memory_order_relaxed);
+      return "";
+    }
+  }
   if (!opts_.async) {
     const bool is_base = job.is_base;
     bool ok = ProcessJob(job);
@@ -155,6 +188,16 @@ std::string CheckpointCoordinator::Submit(PersistJob job) {
     ++barrier_index_;
   }
   cv_.notify_one();
+  if (mode_.load(std::memory_order_relaxed) ==
+      static_cast<int>(CheckpointPersistenceMode::kSyncFull)) {
+    // Demoted to the sync-full rung on an async coordinator: the barrier
+    // waits for the background thread to settle, so durability (or an
+    // accounted failure) is established before the pipeline resumes —
+    // matching a synchronous coordinator's contract.
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(
+        lk, [this] { return (queue_.empty() && !busy_) || abandoned_; });
+  }
   return target;
 }
 
@@ -172,6 +215,8 @@ void CheckpointCoordinator::Abandon() {
     queue_.clear();
   }
   cv_.notify_all();
+  // A barrier may be blocked in Submit's sync-full wait; release it.
+  idle_cv_.notify_all();
 }
 
 const std::string& CheckpointCoordinator::last_path() const {
@@ -226,7 +271,7 @@ bool CheckpointCoordinator::ProcessJob(PersistJob& job) {
     dlog_.Close();
     segment_ok_ = false;
     seg_records_ = 0;
-    if (opts_.incremental && opts_.full_snapshot_every > 1) {
+    if (EffectiveIncremental()) {
       segment_ok_ =
           dlog_.Open(state::DeltaLogPath(PathPrefix(), job.index), job.index);
       if (!segment_ok_) {
@@ -266,12 +311,30 @@ bool CheckpointCoordinator::ProcessJob(PersistJob& job) {
   return true;
 }
 
+void CheckpointCoordinator::RetryBackoff(int attempt, uint64_t salt) const {
+  if (attempt <= 0 || opts_.retry_backoff_ms <= 0) return;
+  const int shift = std::min(attempt - 1, 10);
+  const uint64_t base = static_cast<uint64_t>(opts_.retry_backoff_ms) << shift;
+  // Deterministic jitter in [0, base]: spreads retries of independent
+  // coordinators over [B, 2B] without a global RNG, so injected failure
+  // sweeps stay reproducible.
+  uint64_t h = salt * 0x9E3779B97F4A7C15ULL +
+               static_cast<uint64_t>(attempt) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= h >> 29;
+  std::this_thread::sleep_for(std::chrono::milliseconds(base + h % (base + 1)));
+}
+
+void CheckpointCoordinator::MaybeInjectDelay(uint64_t index,
+                                             bool is_base) const {
+  if (!delay_hook_) return;
+  const uint64_t ms = delay_hook_(index, is_base);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 bool CheckpointCoordinator::PersistBaseWithRetry(const PersistJob& job) {
+  MaybeInjectDelay(job.index, true);
   for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
-    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
-    }
+    RetryBackoff(attempt, job.index);
     const bool injected = failure_hook_ && failure_hook_(job.index, true);
     if (!injected && state::WriteSnapshotFile(job.path, job.blob)) return true;
   }
@@ -279,11 +342,9 @@ bool CheckpointCoordinator::PersistBaseWithRetry(const PersistJob& job) {
 }
 
 bool CheckpointCoordinator::AppendDeltaWithRetry(const PersistJob& job) {
+  MaybeInjectDelay(job.index, false);
   for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
-    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
-    }
+    RetryBackoff(attempt, job.index);
     const bool injected = failure_hook_ && failure_hook_(job.index, false);
     if (injected) continue;
     if (dlog_.Append(job.meta, job.name, job.delta)) return true;
@@ -297,13 +358,11 @@ bool CheckpointCoordinator::AppendDeltaWithRetry(const PersistJob& job) {
 bool CheckpointCoordinator::CommitAppends() {
   if (unsynced_.empty()) return true;
   const size_t n = unsynced_.size();
+  const uint64_t salt = unsynced_.front();
   unsynced_.clear();
   bool ok = false;
   for (int attempt = 0; attempt <= opts_.max_retries && !ok; ++attempt) {
-    if (attempt > 0 && opts_.retry_backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(opts_.retry_backoff_ms * attempt));
-    }
+    RetryBackoff(attempt, salt);
     ok = dlog_.Sync();
   }
   if (!ok) {
@@ -343,13 +402,44 @@ void CheckpointCoordinator::NoteSuccess() {
     health_.store(static_cast<int>(CheckpointHealth::kHealthy),
                   std::memory_order_relaxed);
   }
+  if (!opts_.auto_fallback) return;
+  const int m = mode_.load(std::memory_order_relaxed);
+  if (m <= configured_mode_) {
+    consecutive_successes_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const int succ =
+      consecutive_successes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (succ >= std::max(1, opts_.promote_after)) {
+    consecutive_successes_.store(0, std::memory_order_relaxed);
+    mode_.store(m - 1, std::memory_order_relaxed);
+    mode_promotions_.fetch_add(1, std::memory_order_relaxed);
+    // A promoted mode starts a fresh epoch: the first barrier on the new
+    // rung re-establishes the chain from a full base.
+    need_new_base_.store(true, std::memory_order_relaxed);
+  }
 }
 
 void CheckpointCoordinator::NoteFailure() {
   persist_failures_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_successes_.store(0, std::memory_order_relaxed);
   const int consecutive =
       consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (consecutive >= opts_.max_consecutive_failures) {
+    if (opts_.auto_fallback) {
+      // Demote one rung instead of failing stop; the failure streak starts
+      // over on the new rung. Health saturates at kDegraded so OnBarrier
+      // keeps offering barriers and recovery stays possible.
+      consecutive_failures_.store(0, std::memory_order_relaxed);
+      const int m = mode_.load(std::memory_order_relaxed);
+      if (m < static_cast<int>(CheckpointPersistenceMode::kOff)) {
+        mode_.store(m + 1, std::memory_order_relaxed);
+        mode_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      health_.store(static_cast<int>(CheckpointHealth::kDegraded),
+                    std::memory_order_relaxed);
+      return;
+    }
     health_.store(static_cast<int>(CheckpointHealth::kFailed),
                   std::memory_order_relaxed);
   } else if (health_.load(std::memory_order_relaxed) !=

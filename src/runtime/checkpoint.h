@@ -73,6 +73,14 @@ using ResultSink = std::function<void(const WindowResult&)>;
 using PersistFailureHook =
     std::function<bool(uint64_t barrier_index, bool is_base)>;
 
+/// Test/fuzz hook: return the number of milliseconds this persist operation
+/// should stall before touching the disk (0 = no delay). Models a slow or
+/// overloaded storage device; called once per persist operation from the
+/// persist context, so in async mode the stall backs up the bounded queue
+/// instead of the pipeline.
+using PersistDelayHook =
+    std::function<uint64_t(uint64_t barrier_index, bool is_base)>;
+
 struct CheckpointOptions {
   /// Directory snapshot files are written into (must exist).
   std::string directory = ".";
@@ -100,10 +108,28 @@ struct CheckpointOptions {
   uint64_t full_snapshot_every = 8;
   /// Extra attempts per persist operation on failure.
   int max_retries = 2;
-  /// Backoff before retry k is `retry_backoff_ms * k` milliseconds.
+  /// Backoff before retry k is exponential with deterministic jitter:
+  /// uniformly in [B, 2B] where B = `retry_backoff_ms << (k-1)` (shift
+  /// capped at 10). 0 disables sleeping between retries.
   int retry_backoff_ms = 1;
-  /// Consecutive failed barriers before health turns kFailed (terminal).
+  /// Consecutive failed barriers before health turns kFailed (terminal) —
+  /// or, with `auto_fallback`, before the persistence mode demotes one
+  /// rung down the ladder instead.
   int max_consecutive_failures = 5;
+  /// Walk the persistence ladder instead of failing stop: reaching
+  /// `max_consecutive_failures` demotes one rung (async-incremental →
+  /// async-full → sync-full → off-with-alarm) and resets the failure
+  /// count; health saturates at kDegraded and never turns kFailed. The
+  /// bottom rung sheds barriers but probes every `off_probe_every`-th one
+  /// so recovery is detectable. `promote_after` consecutive successful
+  /// persists climb one rung back toward the configured mode. Off by
+  /// default, preserving the original fail-stop contract.
+  bool auto_fallback = false;
+  /// Consecutive successful persists required to promote one rung back up.
+  int promote_after = 8;
+  /// On the kOff rung, every Nth barrier is still attempted as a probe;
+  /// the rest are shed. <= 0 never probes (kOff becomes terminal).
+  int off_probe_every = 4;
 };
 
 /// Takes watermark-aligned snapshots and persists them via the versioned
@@ -158,6 +184,32 @@ class CheckpointCoordinator {
   uint64_t bases_persisted() const { return bases_persisted_.load(); }
   uint64_t deltas_persisted() const { return deltas_persisted_.load(); }
 
+  /// Active rung of the persistence ladder. Without `auto_fallback` this
+  /// never moves off the configured rung.
+  CheckpointPersistenceMode persistence_mode() const {
+    return static_cast<CheckpointPersistenceMode>(mode_.load());
+  }
+  /// The rung the options configure (promotion ceiling). Rungs are
+  /// capability levels: for a synchronous coordinator the first three all
+  /// persist on the barrier path.
+  CheckpointPersistenceMode configured_persistence_mode() const {
+    return static_cast<CheckpointPersistenceMode>(configured_mode_);
+  }
+  uint64_t mode_fallbacks() const { return mode_fallbacks_.load(); }
+  uint64_t mode_promotions() const { return mode_promotions_.load(); }
+  /// True while the kOff rung is active: no durability, page an operator.
+  bool alarm() const {
+    return persistence_mode() == CheckpointPersistenceMode::kOff;
+  }
+
+  /// Jobs waiting for (or in) the background persist, including the batch
+  /// currently being processed as one. Always 0 for a sync coordinator.
+  /// Backpressure controllers sample this as the persist-lag signal.
+  size_t PersistQueueDepth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
+
   /// One-shot snapshot of the counters above plus the health state, in the
   /// shape the pipeline reports embed.
   CheckpointHealthReport HealthReport() const {
@@ -167,6 +219,11 @@ class CheckpointCoordinator {
     hr.barriers_dropped = barriers_dropped();
     hr.bases_persisted = bases_persisted();
     hr.deltas_persisted = deltas_persisted();
+    hr.mode = persistence_mode();
+    hr.configured_mode = configured_persistence_mode();
+    hr.mode_fallbacks = mode_fallbacks();
+    hr.mode_promotions = mode_promotions();
+    hr.alarm = alarm();
     return hr;
   }
 
@@ -179,6 +236,12 @@ class CheckpointCoordinator {
   /// first barrier.
   void SetPersistFailureHook(PersistFailureHook hook) {
     failure_hook_ = std::move(hook);
+  }
+
+  /// Installs a slow-persist latency injection hook. Must be set before
+  /// the first barrier.
+  void SetPersistDelayHook(PersistDelayHook hook) {
+    delay_hook_ = std::move(hook);
   }
 
  private:
@@ -196,6 +259,14 @@ class CheckpointCoordinator {
   std::string PathPrefix() const;  // directory + "/" + prefix
   bool NeedBase() const;
   std::string Submit(PersistJob job);
+
+  /// Deltas are only serialized while the top rung is active; any demotion
+  /// forces full bases until promotion climbs back.
+  bool EffectiveIncremental() const;
+  /// Exponential backoff with deterministic jitter before retry `attempt`.
+  void RetryBackoff(int attempt, uint64_t salt) const;
+  /// Runs the slow-persist injection hook, if any, for this operation.
+  void MaybeInjectDelay(uint64_t index, bool is_base) const;
 
   // Persist context (the caller thread in sync mode, the background thread
   // in async mode — never both).
@@ -216,6 +287,9 @@ class CheckpointCoordinator {
   bool have_base_ = false;
   int64_t crash_after_ = -1;  // from SCOTTY_CRASH_AFTER; -1 = disabled
   PersistFailureHook failure_hook_;
+  PersistDelayHook delay_hook_;
+  int configured_mode_ = 0;        // ladder rung the options map to
+  uint64_t off_barriers_seen_ = 0;  // producer-side probe cadence counter
 
   std::atomic<bool> need_new_base_{false};
   std::atomic<uint64_t> persist_failures_{0};
@@ -224,7 +298,12 @@ class CheckpointCoordinator {
   std::atomic<uint64_t> deltas_persisted_{0};
   std::atomic<uint64_t> durable_barriers_{0};
   std::atomic<int> consecutive_failures_{0};
+  std::atomic<int> consecutive_successes_{0};
   std::atomic<int> health_{static_cast<int>(CheckpointHealth::kHealthy)};
+  std::atomic<int> mode_{0};  // active ladder rung; written by the persist
+                              // context, read by the barrier path
+  std::atomic<uint64_t> mode_fallbacks_{0};
+  std::atomic<uint64_t> mode_promotions_{0};
 
   // Persist-context state; unsynchronized because exactly one context owns
   // it (see above).

@@ -27,6 +27,33 @@ inline const char* CheckpointHealthName(CheckpointHealth h) {
   return "unknown";
 }
 
+/// The persistence-mode ladder the coordinator's auto-fallback walks, most
+/// capable rung first. Demotion moves one rung down after
+/// `max_consecutive_failures` persist failures; promotion moves one rung
+/// back up (never past the configured mode) after `promote_after`
+/// consecutive successes. The bottom rung sheds every barrier except
+/// periodic probe persists and raises the alarm flag.
+enum class CheckpointPersistenceMode : int {
+  kAsyncIncremental = 0,  ///< base + deltas on the background thread
+  kAsyncFull = 1,         ///< full snapshot per barrier, background thread
+  kSyncFull = 2,          ///< full snapshot, barrier waits for durability
+  kOff = 3,               ///< checkpointing off with alarm; probes only
+};
+
+inline const char* CheckpointPersistenceModeName(CheckpointPersistenceMode m) {
+  switch (m) {
+    case CheckpointPersistenceMode::kAsyncIncremental:
+      return "async-incremental";
+    case CheckpointPersistenceMode::kAsyncFull:
+      return "async-full";
+    case CheckpointPersistenceMode::kSyncFull:
+      return "sync-full";
+    case CheckpointPersistenceMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
 /// Point-in-time view of a CheckpointCoordinator's persistence health,
 /// surfaced on the checkpointed pipeline reports so callers see degradation
 /// without holding a reference to the coordinator.
@@ -36,6 +63,17 @@ struct CheckpointHealthReport {
   uint64_t barriers_dropped = 0;
   uint64_t bases_persisted = 0;
   uint64_t deltas_persisted = 0;
+  /// Active rung of the persistence ladder at sampling time; equals
+  /// `configured_mode` unless auto-fallback demoted it.
+  CheckpointPersistenceMode mode = CheckpointPersistenceMode::kSyncFull;
+  /// The rung the coordinator's options ask for (promotion ceiling).
+  CheckpointPersistenceMode configured_mode =
+      CheckpointPersistenceMode::kSyncFull;
+  uint64_t mode_fallbacks = 0;   ///< downward ladder transitions taken
+  uint64_t mode_promotions = 0;  ///< upward ladder transitions taken
+  /// True while the bottom rung (checkpointing off) is active: durability
+  /// is gone and an operator should be paged — the pipeline itself runs on.
+  bool alarm = false;
 
   bool Degraded() const { return health != CheckpointHealth::kHealthy; }
 };

@@ -80,6 +80,36 @@ void SpscQueue::PushTuples(const TupleColumnsView& cols) {
   }
 }
 
+size_t SpscQueue::TryPushTuplesFor(const TupleColumnsView& cols,
+                                   std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  size_t done = 0;
+  while (done < cols.size) {
+    const uint64_t tail = data_tail_.load(std::memory_order_relaxed);
+    uint64_t free = cap_ - (tail - data_head_cache_);
+    if (free == 0) {
+      data_head_cache_ = data_head_.load(std::memory_order_acquire);
+      free = cap_ - (tail - data_head_cache_);
+    }
+    if (free == 0) {
+      // The deadline check sits on the ring-full path only, so the fast
+      // path costs nothing extra over PushTuples.
+      if (std::chrono::steady_clock::now() >= deadline) return done;
+      std::this_thread::yield();
+      continue;
+    }
+    const size_t chunk =
+        std::min(cols.size - done, static_cast<size_t>(free));
+    const size_t pos = static_cast<size_t>(tail) & mask_;
+    const size_t first = std::min(chunk, cap_ - pos);
+    CopyIn(pos, cols.Subview(done, first));
+    if (chunk > first) CopyIn(0, cols.Subview(done + first, chunk - first));
+    data_tail_.store(tail + chunk, std::memory_order_release);
+    done += chunk;
+  }
+  return done;
+}
+
 void SpscQueue::PushControl(Control c) {
   // Stamp the boundary: everything pushed so far precedes this control.
   c.data_pos = data_tail_.load(std::memory_order_relaxed);
@@ -92,6 +122,31 @@ void SpscQueue::PushControl(Control c) {
   }
   ctrl_[static_cast<size_t>(tail) & (kCtrlCapacity - 1)] = c;
   ctrl_tail_.store(tail + 1, std::memory_order_release);
+}
+
+bool SpscQueue::TryPushControlFor(Control c, std::chrono::nanoseconds timeout) {
+  c.data_pos = data_tail_.load(std::memory_order_relaxed);
+  const uint64_t tail = ctrl_tail_.load(std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (tail - ctrl_head_cache_ >= kCtrlCapacity) {
+    ctrl_head_cache_ = ctrl_head_.load(std::memory_order_acquire);
+    if (tail - ctrl_head_cache_ >= kCtrlCapacity) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+  }
+  ctrl_[static_cast<size_t>(tail) & (kCtrlCapacity - 1)] = c;
+  ctrl_tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+double SpscQueue::ApproxOccupancy() const {
+  const uint64_t tail = data_tail_.load(std::memory_order_relaxed);
+  const uint64_t head = data_head_.load(std::memory_order_relaxed);
+  // Both loads are relaxed and unordered, so a freshly-advanced head can
+  // overtake a stale tail read; clamp instead of wrapping to 2^64.
+  if (tail <= head) return 0.0;
+  return static_cast<double>(tail - head) / static_cast<double>(cap_);
 }
 
 size_t SpscQueue::PopTuples(TupleBatchSoA* out, size_t max_n) {
@@ -228,6 +283,20 @@ void ParallelExecutor::Push(const Tuple& t) {
   }
 }
 
+bool ParallelExecutor::TryPushFor(const Tuple& t,
+                                  std::chrono::nanoseconds timeout) {
+  const size_t w = opts_.shared_preagg ? rr_worker_ : WorkerFor(t);
+  // Anything staged for this worker precedes the tuple in arrival order;
+  // with batch_size <= 1 (the admission-controlled configuration) staging
+  // is always empty and this is a no-op.
+  FlushStaging(w);
+  const uint8_t punct = t.is_punctuation ? 1 : 0;
+  const TupleColumnsView one{&t.ts, &t.value, &t.key, &t.seq, &punct, 1};
+  if (queues_[w]->TryPushTuplesFor(one, timeout) != 1) return false;
+  if (opts_.shared_preagg) AdvanceRoundRobin();
+  return true;
+}
+
 void ParallelExecutor::PushBatch(std::span<const Tuple> tuples) {
   for (const Tuple& t : tuples) Push(t);
 }
@@ -281,6 +350,19 @@ void ParallelExecutor::PushWatermark(Time wm) {
   c.kind = SpscQueue::Control::Kind::kWatermark;
   c.watermark = wm;
   for (auto& q : queues_) q->PushControl(c);
+}
+
+bool ParallelExecutor::TryPushWatermarkFor(Time wm,
+                                           std::chrono::nanoseconds timeout) {
+  assert(!opts_.shared_preagg &&
+         "timed watermarks would leak shared-mode barrier entries");
+  FlushAllStaging();
+  SpscQueue::Control c;
+  c.kind = SpscQueue::Control::Kind::kWatermark;
+  c.watermark = wm;
+  bool ok = true;
+  for (auto& q : queues_) ok &= q->TryPushControlFor(c, timeout);
+  return ok;
 }
 
 void ParallelExecutor::Finish() {
@@ -456,6 +538,7 @@ void ParallelExecutor::WorkerLoop(size_t i) {
   uint64_t results = 0;
   SpscQueue::Control c;
   while (true) {
+    if (opts_.worker_tick_hook) opts_.worker_tick_hook(i);
     buf.Clear();
     if (q.PopTuples(&buf, batch) > 0) {
       // Straight from the SoA ring into the columnar ingestion hot path:
@@ -473,6 +556,7 @@ void ParallelExecutor::WorkerLoop(size_t i) {
         drained.clear();
         op.TakeResultsInto(&drained);
         results += drained.size();
+        if (opts_.result_sink) opts_.result_sink(drained);
         break;
       case SpscQueue::Control::Kind::kSnapshot: {
         // Serialize between two items of this worker's own stream: the
@@ -488,6 +572,7 @@ void ParallelExecutor::WorkerLoop(size_t i) {
         drained.clear();
         op.TakeResultsInto(&drained);
         results += drained.size();
+        if (opts_.result_sink) opts_.result_sink(drained);
         total_results_.fetch_add(results);
         return;
     }
@@ -582,6 +667,12 @@ std::vector<WindowResult> ParallelExecutor::TakeSharedResults() {
   std::vector<WindowResult> out = std::move(shared_results_);
   shared_results_.clear();
   return out;
+}
+
+double ParallelExecutor::ApproxMaxQueueFraction() const {
+  double frac = 0.0;
+  for (const auto& q : queues_) frac = std::max(frac, q->ApproxOccupancy());
+  return frac;
 }
 
 size_t ParallelExecutor::MemoryUsageBytes() const {

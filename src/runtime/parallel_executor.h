@@ -2,6 +2,7 @@
 #define SCOTTY_RUNTIME_PARALLEL_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -69,9 +70,23 @@ class SpscQueue {
   /// column is materialized as zeros in the ring.
   void PushTuples(const TupleColumnsView& cols);
 
+  /// Bounded-blocking twin of PushTuples: spins at most until `timeout`
+  /// elapses while the ring is full, then gives up and returns how many
+  /// tuples actually transferred (a short count IS the backpressure signal;
+  /// the transferred prefix stays in the ring and must not be re-pushed).
+  /// This is what keeps a dead or stalled consumer from livelocking the
+  /// producer forever — the unbounded PushTuples spin has no exit once the
+  /// peer thread stops consuming.
+  size_t TryPushTuplesFor(const TupleColumnsView& cols,
+                          std::chrono::nanoseconds timeout);
+
   /// Appends a control marker at the current data position; blocks while
   /// the control ring is full.
   void PushControl(Control c);
+
+  /// Bounded-blocking twin of PushControl: returns false (control NOT
+  /// enqueued) if the control ring stays full past `timeout`.
+  bool TryPushControlFor(Control c, std::chrono::nanoseconds timeout);
 
   /// Appends up to `max_n` tuples to `*out`, never crossing the earliest
   /// pending control. Returns the number appended (0 when empty or when a
@@ -81,6 +96,11 @@ class SpscQueue {
   /// Pops the next control, but only once every tuple pushed before it has
   /// been consumed; returns false when no control is deliverable yet.
   bool PopControl(Control* out);
+
+  /// Monitoring-grade data-ring fill fraction in [0, 1]: relaxed loads of
+  /// both positions, so the value may lag either endpoint by a few blocks —
+  /// fine for admission decisions, never for correctness.
+  double ApproxOccupancy() const;
 
  private:
   TupleColumnsView RingView(size_t pos, size_t n) const;
@@ -146,6 +166,16 @@ class ParallelExecutor {
     /// divide every window length and slide of the shared operator's
     /// queries (bucket edges then cover all window edges).
     Time preagg_slice_len = 0;
+    /// Key-partitioned mode only: called from each worker thread with the
+    /// results drained at every watermark/stop control (instead of
+    /// discarding them after counting). Invoked concurrently from all
+    /// workers — the callback must provide its own synchronization.
+    std::function<void(const std::vector<WindowResult>&)> result_sink;
+    /// Called once per worker-loop iteration from the worker's own thread
+    /// (argument = worker index), BEFORE it attempts to pop. Testing hook:
+    /// sleeping in it simulates a stalled/slow consumer so the producer-side
+    /// backpressure and shedding paths can be driven deterministically.
+    std::function<void(size_t)> worker_tick_hook;
   };
 
   ParallelExecutor(size_t num_workers,
@@ -160,6 +190,12 @@ class ParallelExecutor {
 
   void Start();
   void Push(const Tuple& t);
+  /// Bounded-blocking twin of Push for overload admission (meaningful with
+  /// batch_size <= 1, where nothing is staged): returns false — tuple NOT
+  /// enqueued — if the target worker's ring stays full past `timeout`. The
+  /// caller decides what a false means (shed the tuple, raise an error);
+  /// the executor itself never drops anything.
+  bool TryPushFor(const Tuple& t, std::chrono::nanoseconds timeout);
   /// Routes a block of tuples through the per-worker staging buffers.
   void PushBatch(std::span<const Tuple> tuples);
   /// Columnar ingestion: like PushBatch but reads the SoA columns directly
@@ -167,6 +203,14 @@ class ParallelExecutor {
   /// sub-ranges forward zero-copy into the worker rings.
   void PushColumns(const TupleColumnsView& cols);
   void PushWatermark(Time wm);
+  /// Bounded-blocking twin of PushWatermark (key-partitioned mode only):
+  /// flushes staging, then pushes the watermark control to every queue with
+  /// a per-queue timeout. Returns false when any queue stayed full — the
+  /// watermark may then have reached only a prefix of the workers, so a
+  /// false is a fatal stall signal (a dead worker thread), not a retryable
+  /// condition. Punctuation-bearing controls are never shed: the caller
+  /// either delivers them everywhere or aborts the run.
+  bool TryPushWatermarkFor(Time wm, std::chrono::nanoseconds timeout);
   /// Sends stop markers, drains, and joins all workers. Idempotent: a
   /// second call (e.g. the destructor after an error-path Finish) is a
   /// no-op, so error handling can always call Finish unconditionally.
@@ -201,6 +245,10 @@ class ParallelExecutor {
                         std::string* error = nullptr);
 
   uint64_t TotalResults() const { return total_results_.load(); }
+  /// Max data-ring fill fraction across all worker queues (see
+  /// SpscQueue::ApproxOccupancy) — the admission signal a
+  /// BackpressureController samples between pushes.
+  double ApproxMaxQueueFraction() const;
   size_t MemoryUsageBytes() const;
   size_t num_workers() const { return num_workers_; }
   const Options& options() const { return opts_; }

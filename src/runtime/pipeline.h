@@ -8,6 +8,7 @@
 #include "core/window_operator.h"
 #include "datagen/generators.h"
 #include "runtime/checkpoint_health.h"
+#include "runtime/overload.h"
 #include "runtime/parallel_executor.h"
 
 namespace scotty {
@@ -57,8 +58,14 @@ struct ParallelPipelineReport {
   PipelineReport report;
   uint64_t checkpoints = 0;  ///< barriers accepted by the coordinator
   /// Coordinator persistence health at return (meaningful when a coordinator
-  /// was passed; default-healthy otherwise).
+  /// was passed; default-healthy otherwise). Carries the persistence-mode
+  /// ladder position (mode/fallbacks/promotions/alarm) when the coordinator
+  /// runs with auto_fallback.
   CheckpointHealthReport checkpoint_health;
+  /// Admission-control counters when the feed ran behind a
+  /// BackpressureController (the overload harness does); all-zero for the
+  /// plain drivers, which never shed.
+  OverloadStats overload;
   bool ok = true;
   std::string error;
 };

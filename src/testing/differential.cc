@@ -135,7 +135,8 @@ void CoverConfigFeatures(const DifferentialConfig& cfg, bool sorted) {
   CoverFeature(FeatureDomain::kDimension, 1,
                (cfg.checkpoint != 0 ? 1u : 0u) | (cfg.crash != 0 ? 2u : 0u) |
                    (cfg.rescale != 0 ? 4u : 0u) |
-                   (cfg.shared != 0 ? 8u : 0u));
+                   (cfg.shared != 0 ? 8u : 0u) |
+                   (cfg.overload != 0 ? 16u : 0u));
   CoverFeature(FeatureDomain::kDimension, 2,
                Log2Bucket(static_cast<uint64_t>(s.num_tuples)));
   simd::KernelMode km = simd::KernelMode::kAuto;
@@ -551,6 +552,124 @@ bool CheckSharedQueries(const DifferentialConfig& cfg,
                                 outcome));
 }
 
+/// The overload-resilience arm (--overload): the config's deterministic-edge
+/// time windows run through RunOverloadedToFinalResults' backpressure-
+/// controlled executor under a seed-derived consumer stall plus persistence
+/// faults, and delivered results ∪ shed-marked windows must exactly
+/// partition the unfaulted run — windows without shed overlap bit-identical,
+/// overlapped windows free to differ or be absent, nothing delivered the
+/// unfaulted run did not produce. The shed set is timing-dependent, but the
+/// check holds for ANY shed set, so replays stay meaningful everywhere.
+bool CheckOverload(const DifferentialConfig& cfg,
+                   const std::vector<Tuple>& stream, Time final_wm,
+                   Time wm_lag, DifferentialOutcome* outcome) {
+  // Only tumbling/sliding event-time windows have edges independent of
+  // which tuples were shed; count/session/frame/punctuation edges move with
+  // the data, so per-window shed accounting is undefined for them. Configs
+  // without any eligible window get a synthesized tumbling one.
+  std::vector<WindowSpec> windows;
+  for (const WindowSpec& w : cfg.windows) {
+    if (w.measure == Measure::kEventTime &&
+        (w.kind == WindowSpec::Kind::kTumbling ||
+         w.kind == WindowSpec::Kind::kSliding)) {
+      windows.push_back(w);
+    }
+  }
+  if (windows.empty()) {
+    WindowSpec w;
+    w.kind = WindowSpec::Kind::kTumbling;
+    w.length = 40;
+    windows.push_back(w);
+  }
+  auto factory = [&]() -> std::unique_ptr<WindowOperator> {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = kLateness;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    for (const std::string& agg : cfg.aggs) {
+      op->AddAggregation(MakeAggregation(agg));
+    }
+    for (const WindowSpec& w : windows) op->AddWindow(w.Instantiate());
+    return op;
+  };
+
+  // Unfaulted reference under the identical watermark cadence — the
+  // overloaded run counts shed tuples toward the cadence, so its trigger
+  // edges line up with this run's no matter what gets dropped. A config
+  // with only the final watermark gets a periodic cadence instead: barriers
+  // are what put the persistence ladder under test.
+  const int wm_every = cfg.wm_every > 0 ? cfg.wm_every : 32;
+  std::map<ResultKey, Value> want;
+  {
+    auto op = factory();
+    want = RunToFinalResults(*op, stream, final_wm, wm_every, wm_lag);
+  }
+
+  const OverloadPlan plan =
+      MakeOverloadPlan(cfg.stream.seed ^ 0x4F56455245444C44ULL,
+                       stream.size());
+  std::map<ResultKey, Value> delivered;
+  ShedLedger ledger;
+  OverloadRunStats stats;
+  std::string err;
+  if (!RunOverloadedToFinalResults(factory, stream, final_wm, wm_every,
+                                   wm_lag, plan, CrashScratchDir("overload"),
+                                   &delivered, &ledger, &err, &stats)) {
+    outcome->ok = false;
+    outcome->detail = "overloaded run: " + err;
+    return false;
+  }
+
+  for (const auto& [key, expected] : want) {
+    ++outcome->comparisons;
+    if (ledger.OverlapsWindow(std::get<2>(key), std::get<3>(key))) {
+      continue;  // shed-marked: flagged approximate, value unconstrained
+    }
+    const bool approx =
+        IsApproxAgg(cfg.aggs[static_cast<size_t>(std::get<1>(key))]);
+    const auto it = delivered.find(key);
+    if (it == delivered.end()) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << "overloaded run is missing unshed window " << Describe(key)
+         << " = " << expected << " (no shed timestamp overlaps it)";
+      outcome->detail = os.str();
+      return false;
+    }
+    if (!ValuesMatch(expected, it->second, approx)) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << "overloaded run vs unfaulted at unshed window " << Describe(key)
+         << ": " << it->second << " vs " << expected;
+      outcome->detail = os.str();
+      return false;
+    }
+  }
+  for (const auto& [key, value] : delivered) {
+    if (!want.count(key)) {
+      outcome->ok = false;
+      std::ostringstream os;
+      os << "overloaded run reported window " << Describe(key) << " = "
+         << value << " absent from the unfaulted run";
+      outcome->detail = os.str();
+      return false;
+    }
+  }
+
+  // Overload observables: shed volume, admission pressure, and how far the
+  // persistence ladder moved — exactly the rare-path state this dimension
+  // exists to reach.
+  CoverFeature(FeatureDomain::kDimension, 5,
+               Log2Bucket(stats.admission.shed + 1) * 64 +
+                   Log2Bucket(stats.admission.backpressure_waits + 1));
+  const uint64_t ladder = (stats.health.mode_fallbacks > 0 ? 1u : 0u) |
+                          (stats.health.mode_promotions > 0 ? 2u : 0u) |
+                          (stats.health.alarm ? 4u : 0u) |
+                          (ledger.empty() ? 0u : 8u);
+  CoverFeature(FeatureDomain::kDimension, 6,
+               static_cast<uint64_t>(stats.health.mode) * 16 + ladder);
+  return true;
+}
+
 }  // namespace
 
 std::string DifferentialConfig::ToFlags() const {
@@ -582,6 +701,7 @@ std::string DifferentialConfig::ToFlags() const {
   flag("crash", crash, 0);
   flag("rescale", rescale, 0);
   flag("shared-queries", shared, 0);
+  flag("overload", overload, 0);
   flag("layout", layout, std::string("aos"));
   flag("kernel", kernel, std::string("auto"));
   return os.str();
@@ -702,6 +822,8 @@ bool ParseConfigLine(const std::string& line, DifferentialConfig* out,
       cfg.rescale = static_cast<int>(i);
     } else if (key == "shared-queries" && parse_i64(&i) && i >= -1) {
       cfg.shared = static_cast<int>(i);
+    } else if (key == "overload" && parse_i64(&i) && i >= -1) {
+      cfg.overload = static_cast<int>(i);
     } else if (key == "layout") {
       if (val != "aos" && val != "soa") return fail("bad --layout=" + val);
       cfg.layout = val;
@@ -1159,6 +1281,13 @@ DifferentialOutcome RunDifferential(const DifferentialConfig& cfg) {
       !CheckSharedQueries(cfg, stream, sorted, final_wm, wm_lag, &outcome)) {
     return outcome;
   }
+  // Overload-resilience arm: the deterministic-edge window subset under a
+  // seed-derived stall + persistence-fault schedule; delivered ∪ shed-marked
+  // windows must exactly partition the unfaulted run.
+  if (cfg.overload != 0 &&
+      !CheckOverload(cfg, stream, final_wm, wm_lag, &outcome)) {
+    return outcome;
+  }
   return outcome;
 }
 
@@ -1294,6 +1423,10 @@ DifferentialConfig RandomConfig(uint64_t seed, int num_tuples) {
   // companion queries plus mid-stream register/deregister dynamics); the
   // nightly shared lane forces it on everywhere.
   if (rng.NextBounded(4) == 0) cfg.shared = -1;
+  // An eighth also run the overload-resilience arm (consumer stall, slow
+  // and failing persists, watermark-safe shedding — all seed-derived); the
+  // nightly fault-matrix lane forces it on everywhere.
+  if (rng.NextBounded(8) == 0 && num_tuples > 1) cfg.overload = -1;
   return cfg;
 }
 

@@ -62,6 +62,19 @@ struct DifferentialConfig {
   /// mid-stream deregistration and a context-free mid-stream registration
   /// checked against the horizon contract. 0 disables the shared runs.
   int shared = 0;
+  /// Additionally run the overload-resilience arm: the config's
+  /// deterministic-edge time windows (tumbling/sliding; one is synthesized
+  /// when the config has none) run through a backpressure-controlled
+  /// 1-worker executor with a seed-derived consumer stall, slow-persist and
+  /// sustained persist-failure injection, and an auto-fallback async
+  /// coordinator. The oracle: delivered exact results ∪ shed-marked windows
+  /// must exactly partition the unfaulted run (windows without shed overlap
+  /// bit-identical, delivered windows a subset of the unfaulted run's) and
+  /// the run must neither deadlock nor abort. -1: seed-derived plan
+  /// (any other non-zero value behaves the same; the shed set itself is
+  /// timing-dependent and the oracle is valid for any of them).
+  /// 0 disables the overload runs.
+  int overload = 0;
   /// Tuple delivery layout for the additional slicing runs: "aos" (default)
   /// keeps only the row-major ProcessTupleBatch runs controlled by `batch`;
   /// "soa" additionally transposes blocks into columnar TupleBatchSoA

@@ -1,9 +1,13 @@
 #include "testing/fault_injector.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <system_error>
+#include <thread>
 
 #include "common/rng.h"
 #include "runtime/checkpoint.h"
@@ -561,6 +565,198 @@ bool RunKeyedRescaleCrashRecovered(
   *out = std::move(delivered);
   for (const auto& [key, value] : replayed) (*out)[key] = value;
 
+  fs::remove_all(scratch_dir, ec);
+  return true;
+}
+
+OverloadPlan MakeOverloadPlan(uint64_t seed, size_t num_tuples) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xA24BAED4963EE407ULL);
+  OverloadPlan plan;
+  if (num_tuples == 0) return plan;
+  const uint64_t n = static_cast<uint64_t>(num_tuples);
+  plan.stall_from = rng.NextBounded(n);
+  plan.stall_to =
+      std::min<uint64_t>(n, plan.stall_from + 1 + rng.NextBounded(n / 2 + 1));
+  plan.stall_us = 100 + static_cast<uint32_t>(rng.NextBounded(400));
+  if (rng.NextBounded(2) == 0) {
+    plan.slow_from = rng.NextBounded(n);
+    plan.slow_to =
+        std::min<uint64_t>(n, plan.slow_from + 1 + rng.NextBounded(n / 2 + 1));
+    plan.slow_ms = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+  }
+  if (rng.NextBounded(2) == 0) {
+    plan.fail_from = rng.NextBounded(n);
+    plan.fail_to =
+        std::min<uint64_t>(n, plan.fail_from + 1 + rng.NextBounded(n / 2 + 1));
+  }
+  return plan;
+}
+
+bool RunOverloadedToFinalResults(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const OverloadPlan& plan, const std::string& scratch_dir,
+    std::map<ResultKey, Value>* out, ShedLedger* ledger, std::string* error,
+    OverloadRunStats* stats) {
+  namespace fs = std::filesystem;
+  out->clear();
+  *ledger = ShedLedger();
+  std::error_code ec;
+  fs::remove_all(scratch_dir, ec);
+  ec.clear();
+  fs::create_directories(scratch_dir, ec);
+  if (ec) {
+    *error = "cannot create scratch dir " + scratch_dir;
+    return false;
+  }
+
+  // Async-incremental coordinator at the top of the ladder, tuned so the
+  // plan's fault windows actually walk it: two consecutive failures demote,
+  // two consecutive successes (incl. kOff probes, every other barrier)
+  // promote.
+  CheckpointOptions copts;
+  copts.directory = scratch_dir;
+  copts.prefix = "ckpt";
+  copts.retain = 3;
+  copts.async = true;
+  copts.async_queue_depth = 4;
+  copts.incremental = true;
+  copts.full_snapshot_every = 4;
+  copts.max_retries = 1;
+  copts.retry_backoff_ms = 0;
+  copts.max_consecutive_failures = 2;
+  copts.auto_fallback = true;
+  copts.promote_after = 2;
+  copts.off_probe_every = 2;
+
+  // Injection flags the producer toggles as it crosses the plan windows;
+  // read from the worker and persist threads.
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> slow{false};
+  std::atomic<bool> failing{false};
+
+  CheckpointCoordinator coord(copts);
+  coord.SetPersistFailureHook(
+      [&failing](uint64_t, bool) { return failing.load(); });
+  coord.SetPersistDelayHook([&slow, &plan](uint64_t, bool) -> uint64_t {
+    return slow.load() ? plan.slow_ms : 0;
+  });
+
+  std::mutex sink_mu;
+  std::map<ResultKey, Value> delivered;
+  ParallelExecutor::Options xopts;
+  xopts.queue_capacity = 64;  // tiny ring so the stall builds real pressure
+  xopts.batch_size = 1;
+  xopts.result_sink = [&](const std::vector<WindowResult>& rs) {
+    std::lock_guard<std::mutex> lk(sink_mu);
+    for (const WindowResult& r : rs) {
+      delivered[{r.window_id, r.agg_id, r.start, r.end}] = r.value;
+    }
+  };
+  xopts.worker_tick_hook = [&](size_t) {
+    if (stalled.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(plan.stall_us));
+    }
+  };
+  ParallelExecutor exec(1, factory, xopts);
+  exec.Start();
+
+  BackpressureController ctrl;
+  OverloadStats st;
+  // Generous bound for pushes that must not be shed (punctuation,
+  // watermarks): expiry means a dead consumer, which is a harness failure,
+  // never a legitimate overload outcome.
+  const auto kMustDeliver = std::chrono::seconds(10);
+
+  bool ok = true;
+  uint64_t seq = 0;
+  Time max_ts = kNoTime;
+  Time last_wm = kNoTime;
+  uint64_t barriers = 0;
+  const size_t n = tuples.size();
+  for (size_t i = 0; i < n && ok; ++i) {
+    stalled.store(i >= plan.stall_from && i < plan.stall_to,
+                  std::memory_order_relaxed);
+    slow.store(i >= plan.slow_from && i < plan.slow_to,
+               std::memory_order_relaxed);
+    failing.store(i >= plan.fail_from && i < plan.fail_to,
+                  std::memory_order_relaxed);
+    Tuple t = tuples[i];
+    // Shed tuples still consume a seq slot and advance max_ts: the
+    // watermark cadence (and therefore every trigger edge) is identical to
+    // the unfaulted run no matter what gets shed.
+    t.seq = seq++;
+    max_ts = std::max(max_ts, t.ts);
+    if (t.is_punctuation) {
+      if (!exec.TryPushFor(t, kMustDeliver)) {
+        *error = "punctuation push stalled out (dead consumer?)";
+        ok = false;
+        break;
+      }
+    } else {
+      const Admission a =
+          ctrl.Decide(exec.ApproxMaxQueueFraction(), coord.PersistQueueDepth(),
+                      coord.HealthReport());
+      if (a == Admission::kShed) {
+        ledger->RecordShed(t.ts);
+        ++st.shed;
+      } else {
+        if (a == Admission::kBackpressure) ++st.backpressure_waits;
+        if (exec.TryPushFor(t, ctrl.options().block_timeout)) {
+          ++st.accepted;
+        } else {
+          // Bounded blocking expired: the consumer is stalled, not merely
+          // slow. Escalate to shedding instead of spinning forever.
+          if (a == Admission::kBackpressure) ++st.backpressure_timeouts;
+          ledger->RecordShed(t.ts);
+          ++st.shed;
+        }
+      }
+    }
+    if (wm_every > 0 && seq % static_cast<uint64_t>(wm_every) == 0) {
+      const Time wm = max_ts - wm_lag;
+      if (wm > last_wm || last_wm == kNoTime) {
+        if (!exec.TryPushWatermarkFor(wm, kMustDeliver)) {
+          *error = "watermark push stalled out (dead consumer?)";
+          ok = false;
+          break;
+        }
+        last_wm = wm;
+        const std::vector<uint8_t> blob = exec.SnapshotAtBarrier();
+        if (!blob.empty()) {
+          state::CheckpointMetadata meta;
+          meta.source_offset = i + 1;
+          meta.next_seq = seq;
+          meta.max_ts = max_ts;
+          meta.last_wm = last_wm;
+          coord.OnBarrierBytes("parallel", blob, meta);
+          ++barriers;
+        }
+      }
+    }
+  }
+  stalled.store(false, std::memory_order_relaxed);
+  slow.store(false, std::memory_order_relaxed);
+  failing.store(false, std::memory_order_relaxed);
+  if (ok && max_ts != kNoTime &&
+      !exec.TryPushWatermarkFor(final_wm, kMustDeliver)) {
+    *error = "final watermark push stalled out (dead consumer?)";
+    ok = false;
+  }
+  exec.Finish();
+  coord.Flush();
+  if (stats != nullptr) {
+    st.shed_decisions = ctrl.shed_decisions();
+    st.backpressure_decisions = ctrl.backpressure_decisions();
+    stats->admission = st;
+    stats->health = coord.HealthReport();
+    stats->barriers = barriers;
+  }
+  if (!ok) return false;
+  {
+    std::lock_guard<std::mutex> lk(sink_mu);
+    *out = std::move(delivered);
+  }
   fs::remove_all(scratch_dir, ec);
   return true;
 }

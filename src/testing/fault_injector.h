@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/overload.h"
 #include "testing/harness.h"
 
 namespace scotty {
@@ -154,6 +155,62 @@ bool RunKeyedRescaleCrashRecovered(
     const FaultPlan& plan, const std::string& scratch_dir, size_t from_workers,
     size_t to_workers, std::map<KeyedResultKey, Value>* out,
     std::string* error, CrashRunStats* stats = nullptr);
+
+/// One deterministic overload scenario for the --overload fuzz dimension:
+/// a consumer stall (the real SPSC-backpressure driver), optionally slow
+/// persists and a sustained persist-failure sequence. All windows are in
+/// producer tuple indices — the producer toggles the injection flags as it
+/// crosses them, so the schedule replays from the seed even though the
+/// resulting shed set is timing-dependent (the oracle is valid for ANY
+/// shed set; see RunOverloadedToFinalResults).
+struct OverloadPlan {
+  uint64_t stall_from = 0;  ///< consumer stall while feeding [from, to)
+  uint64_t stall_to = 0;
+  uint32_t stall_us = 0;    ///< per worker-loop tick sleep while stalled
+  uint64_t slow_from = 0;   ///< slow-persist injection while in [from, to)
+  uint64_t slow_to = 0;
+  uint32_t slow_ms = 0;     ///< per persist-operation delay
+  uint64_t fail_from = 0;   ///< every persist attempt fails in [from, to)
+  uint64_t fail_to = 0;
+};
+
+/// Derives an overload plan from `seed`: a consumer stall is always
+/// present (pressure is the point), slow persists and sustained persist
+/// failures each on roughly half the seeds.
+OverloadPlan MakeOverloadPlan(uint64_t seed, size_t num_tuples);
+
+/// Observability for one overloaded run.
+struct OverloadRunStats {
+  OverloadStats admission;        ///< producer-side admission counters
+  CheckpointHealthReport health;  ///< coordinator report after final flush
+  uint64_t barriers = 0;          ///< barriers offered to the coordinator
+};
+
+/// Overloaded twin of RunToFinalResults: drives the stream through a
+/// 1-worker ParallelExecutor (tiny ring, per-tuple pushes) under a
+/// BackpressureController, with the plan's consumer stall and persistence
+/// faults injected, checkpointing through an auto-fallback async
+/// coordinator at every watermark barrier. Data tuples the controller
+/// sheds — or whose bounded-blocking push times out — are recorded in
+/// `*ledger` and never enter the pipeline; punctuation and watermarks are
+/// NEVER shed (a watermark failing its generous bounded push is a harness
+/// error, not a shed). Watermark cadence counts shed tuples too, so
+/// trigger edges are identical to the unfaulted run.
+///
+/// The oracle contract this enables (--overload dimension, for
+/// deterministic-edge time windows): for every window of the unfaulted
+/// run, either the ledger records no shed timestamp in [start, end) and
+/// the delivered result is bit-identical, or the ledger overlaps the
+/// window and the delivered result may differ or be absent (flagged
+/// approximate). Delivered windows are always a subset of the unfaulted
+/// run's windows. This holds for ANY shed set, so the check is free of
+/// timing assumptions.
+bool RunOverloadedToFinalResults(
+    const std::function<std::unique_ptr<WindowOperator>()>& factory,
+    const std::vector<Tuple>& tuples, Time final_wm, int wm_every, Time wm_lag,
+    const OverloadPlan& plan, const std::string& scratch_dir,
+    std::map<ResultKey, Value>* out, ShedLedger* ledger, std::string* error,
+    OverloadRunStats* stats = nullptr);
 
 }  // namespace testing
 }  // namespace scotty

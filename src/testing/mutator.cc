@@ -199,25 +199,33 @@ void Apply(Op op, DifferentialConfig* cfg, Rng& rng) {
       break;
     }
     case Op::kFaultSiteShift:
-      // The crash/rescale fault plan is derived from the stream seed, so
-      // shifting the kill point (or toggling the whole dimension) explores
-      // the persistence-mode × fault × position matrix.
-      if (rng.NextBounded(2) == 0) {
-        cfg->crash = rng.NextBounded(3) == 0
-                         ? 0
-                         : (rng.NextBounded(2) == 0
-                                ? -1
-                                : 1 + static_cast<int>(rng.NextBounded(
-                                          static_cast<uint64_t>(std::max(
-                                              1, s.num_tuples)))));
-      } else {
-        cfg->rescale = rng.NextBounded(3) == 0
+      // The crash/rescale/overload fault plans are derived from the stream
+      // seed, so shifting the kill point (or toggling a whole dimension)
+      // explores the persistence-mode × fault × position matrix.
+      switch (rng.NextBounded(3)) {
+        case 0:
+          cfg->crash = rng.NextBounded(3) == 0
                            ? 0
                            : (rng.NextBounded(2) == 0
                                   ? -1
                                   : 1 + static_cast<int>(rng.NextBounded(
                                             static_cast<uint64_t>(std::max(
                                                 1, s.num_tuples)))));
+          break;
+        case 1:
+          cfg->rescale = rng.NextBounded(3) == 0
+                             ? 0
+                             : (rng.NextBounded(2) == 0
+                                    ? -1
+                                    : 1 + static_cast<int>(rng.NextBounded(
+                                              static_cast<uint64_t>(std::max(
+                                                  1, s.num_tuples)))));
+          break;
+        default:
+          // The overload schedule is wholly seed-derived; the dimension is
+          // effectively on/off (any non-zero value behaves like -1).
+          cfg->overload = rng.NextBounded(3) == 0 ? 0 : -1;
+          break;
       }
       break;
     case Op::kCount:
@@ -307,11 +315,13 @@ void Sanitize(DifferentialConfig* cfg) {
   cfg->crash = std::clamp(cfg->crash, -1, n);
   cfg->rescale = std::clamp(cfg->rescale, -1, n);
   cfg->shared = std::clamp(cfg->shared, -1, 16);
+  cfg->overload = std::clamp(cfg->overload, -1, 1);
   // The persistence twins need at least one tuple on each side of the cut.
   if (n <= 1) {
     cfg->checkpoint = 0;
     cfg->crash = 0;
     cfg->rescale = 0;
+    cfg->overload = 0;
   }
 }
 

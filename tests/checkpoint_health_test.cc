@@ -200,6 +200,129 @@ TEST(CheckpointedPipeline, AsyncFailuresVisibleAfterFlush) {
   EXPECT_EQ(rep.health.bases_persisted, 0u);
 }
 
+TEST(CheckpointHealthTransitions, RecoversJustBelowEscalationThreshold) {
+  // kHealthy -> kDegraded -> kHealthy: exactly max_consecutive_failures - 1
+  // injected failures, then a success. The streak must reset without ever
+  // touching terminal kFailed.
+  const std::string dir = TempDir("health_edge_recover");
+  CheckpointOptions copts;
+  copts.directory = dir;
+  copts.prefix = "r";
+  copts.max_retries = 0;
+  copts.retry_backoff_ms = 0;
+  copts.max_consecutive_failures = 3;
+  CheckpointCoordinator coord(copts);
+  std::atomic<int> failures_left{2};
+  coord.SetPersistFailureHook(
+      [&](uint64_t, bool) { return failures_left.fetch_sub(1) > 0; });
+
+  auto op = Factory()();
+  for (int i = 0; i < 30; ++i) op->ProcessTuple(T(i * 3, i));
+  op->ProcessWatermark(50);
+  op->TakeResults();
+  state::CheckpointMetadata meta;
+
+  EXPECT_EQ(coord.health(), CheckpointHealth::kHealthy);
+  EXPECT_TRUE(coord.OnBarrier(*op, meta).empty());
+  EXPECT_EQ(coord.health(), CheckpointHealth::kDegraded);
+  EXPECT_TRUE(coord.OnBarrier(*op, meta).empty());
+  EXPECT_EQ(coord.health(), CheckpointHealth::kDegraded);  // 2 < 3: no kFailed
+  EXPECT_FALSE(coord.OnBarrier(*op, meta).empty());
+  EXPECT_EQ(coord.health(), CheckpointHealth::kHealthy);
+  EXPECT_EQ(coord.persist_failures(), 2u);
+  EXPECT_EQ(coord.HealthReport().mode_fallbacks, 0u);  // opt-in only
+}
+
+TEST(CheckpointHealthTransitions, EscalatesToFailedAndAbandonIsSafe) {
+  // kDegraded -> kFailed at the escalation threshold without auto_fallback,
+  // with the async persist thread doing the counting; Abandon() must then
+  // shut the coordinator down cleanly with work still queued.
+  const std::string dir = TempDir("health_edge_escalate");
+  CheckpointOptions copts;
+  copts.directory = dir;
+  copts.prefix = "e";
+  copts.async = true;
+  copts.max_retries = 0;
+  copts.retry_backoff_ms = 0;
+  copts.max_consecutive_failures = 2;
+  CheckpointCoordinator coord(copts);
+  coord.SetPersistFailureHook([](uint64_t, bool) { return true; });
+
+  auto op = Factory()();
+  for (int i = 0; i < 30; ++i) op->ProcessTuple(T(i * 3, i));
+  op->ProcessWatermark(50);
+  op->TakeResults();
+  state::CheckpointMetadata meta;
+
+  coord.OnBarrier(*op, meta);
+  coord.Flush();
+  EXPECT_EQ(coord.health(), CheckpointHealth::kDegraded);
+  coord.OnBarrier(*op, meta);
+  coord.Flush();
+  EXPECT_EQ(coord.health(), CheckpointHealth::kFailed);
+  // Without the auto_fallback opt-in the ladder never moves.
+  const CheckpointHealthReport hr = coord.HealthReport();
+  EXPECT_EQ(hr.mode, coord.configured_persistence_mode());
+  EXPECT_EQ(hr.mode_fallbacks, 0u);
+  EXPECT_FALSE(hr.alarm);
+
+  coord.OnBarrier(*op, meta);  // possibly in flight at shutdown
+  coord.Abandon();             // must not deadlock against pending work
+  EXPECT_EQ(coord.health(), CheckpointHealth::kFailed);
+}
+
+TEST(CheckpointLadder, FallsBackThroughModesAndPromotesBack) {
+  // The auto-fallback ladder end to end on a deterministic (sync-context)
+  // coordinator: two consecutive failures per rung walk async-incremental
+  // -> async-full -> sync-full -> off (alarm), health saturating at
+  // kDegraded; once faults clear, every off-rung barrier probes
+  // (off_probe_every = 1) and two successes per rung promote all the way
+  // back to the configured mode.
+  const std::string dir = TempDir("ladder_roundtrip");
+  CheckpointOptions copts;
+  copts.directory = dir;
+  copts.prefix = "l";
+  copts.incremental = true;
+  copts.full_snapshot_every = 4;
+  copts.max_retries = 0;
+  copts.retry_backoff_ms = 0;
+  copts.max_consecutive_failures = 2;
+  copts.auto_fallback = true;
+  copts.promote_after = 2;
+  copts.off_probe_every = 1;
+  CheckpointCoordinator coord(copts);
+  ASSERT_EQ(coord.configured_persistence_mode(),
+            CheckpointPersistenceMode::kAsyncIncremental);
+  std::atomic<bool> failing{true};
+  coord.SetPersistFailureHook([&](uint64_t, bool) { return failing.load(); });
+
+  auto op = Factory()();
+  for (int i = 0; i < 30; ++i) op->ProcessTuple(T(i * 3, i));
+  op->ProcessWatermark(50);
+  op->TakeResults();
+  state::CheckpointMetadata meta;
+
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(coord.OnBarrier(*op, meta).empty());
+  CheckpointHealthReport hr = coord.HealthReport();
+  EXPECT_EQ(hr.mode, CheckpointPersistenceMode::kOff);
+  EXPECT_TRUE(hr.alarm);
+  EXPECT_EQ(hr.mode_fallbacks, 3u);
+  EXPECT_EQ(hr.health, CheckpointHealth::kDegraded);  // never terminal
+
+  failing = false;
+  int persisted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (!coord.OnBarrier(*op, meta).empty()) ++persisted;
+  }
+  hr = coord.HealthReport();
+  EXPECT_EQ(hr.mode, CheckpointPersistenceMode::kAsyncIncremental);
+  EXPECT_EQ(hr.configured_mode, CheckpointPersistenceMode::kAsyncIncremental);
+  EXPECT_FALSE(hr.alarm);
+  EXPECT_EQ(hr.mode_promotions, 3u);
+  EXPECT_EQ(hr.health, CheckpointHealth::kHealthy);
+  EXPECT_GT(persisted, 0);
+}
+
 TEST(ParallelPipeline, ReportCarriesCheckpointHealth) {
   const std::string dir = TempDir("health_parallel");
   PipelineOptions popts;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <random>
 #include <thread>
@@ -94,6 +95,61 @@ TEST(SpscQueueStress, TransfersEveryTupleInOrderAcrossControls) {
     expected_checksum += static_cast<double>(i % 1024);
   }
   EXPECT_EQ(checksum, expected_checksum);
+}
+
+/// The bounded-blocking push path (the backpressure fix for the unbounded
+/// PushTuples spin): with no consumer, a full ring must hand control back
+/// with a partial (or zero) transfer inside the timeout instead of spinning
+/// forever, ApproxOccupancy must expose the pressure, and the same call
+/// must complete once a consumer starts draining — with the transferred
+/// prefix never re-sent, so the seq stream through the ring stays exact.
+TEST(SpscQueueStress, TimedPushSignalsBackpressureAndRecovers) {
+  SpscQueue q(64);
+  TupleBatchSoA block(16);
+  uint64_t next_seq = 0;
+  auto fill_block = [&] {
+    block.Clear();
+    for (int i = 0; i < 16; ++i) {
+      Tuple t;
+      t.seq = next_seq + static_cast<uint64_t>(i);
+      block.PushBack(t);
+    }
+  };
+
+  // Saturate: with no consumer, a bounded push must report a timeout
+  // (transferring only a prefix of its block) within a handful of blocks.
+  uint64_t pushed = 0;
+  bool timed_out = false;
+  for (int b = 0; b < 8 && !timed_out; ++b) {
+    fill_block();
+    const size_t n =
+        q.TryPushTuplesFor(block.View(), std::chrono::milliseconds(5));
+    pushed += n;
+    next_seq += n;
+    timed_out = n < 16;
+  }
+  ASSERT_TRUE(timed_out);
+  EXPECT_GE(pushed, 32u);  // the ring did accept ~capacity before refusing
+  EXPECT_GT(q.ApproxOccupancy(), 0.5);
+
+  // A consumer arriving mid-wait unblocks the same bounded call, and the
+  // consumed stream is the exact concatenation of every transferred prefix.
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    TupleBatchSoA buf(16);
+    uint64_t got = 0;
+    uint64_t expect = 0;
+    while (got < pushed + 16) {
+      buf.Clear();
+      const size_t n = q.PopTuples(&buf, 16);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(buf.seq()[i], expect++);
+      got += n;
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+  fill_block();
+  EXPECT_EQ(q.TryPushTuplesFor(block.View(), std::chrono::seconds(10)), 16u);
+  consumer.join();
 }
 
 /// Blocks larger than the ring must chunk, and nearly every transfer wraps,

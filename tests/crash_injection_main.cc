@@ -77,6 +77,32 @@ bool ApplyMode(const std::string& mode, CheckpointOptions* copts) {
   return false;
 }
 
+void PrintUsage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: crash_injection [--technique=slicing-lazy|slicing-eager|"
+      "slicing-inorder|\n"
+      "                          tuple-buffer|aggregate-tree|buckets]\n"
+      "                       [--tuples=N] [--wm-every=N] [--dir=DIR] "
+      "[--out=FILE]\n"
+      "                       [--mode=sync-full|async-full|"
+      "async-incremental]\n"
+      "                       [--resume]\n");
+}
+
+/// Strict unsigned parse: whole token, digits only. strtoull's silent
+/// garbage-to-zero (and negative wraparound) would turn a typo'd
+/// --tuples/--wm-every into a degenerate run that crash_sweep.sh then
+/// compares as if it were real.
+bool ParseU64(const char* v, uint64_t* dst) {
+  if (v[0] < '0' || v[0] > '9') return false;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *dst = x;
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* a) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,9 +116,15 @@ bool ParseArgs(int argc, char** argv, Args* a) {
     if (const char* v = val("--technique")) {
       a->technique = v;
     } else if (const char* v = val("--tuples")) {
-      a->tuples = std::strtoull(v, nullptr, 10);
+      if (!ParseU64(v, &a->tuples)) {
+        std::fprintf(stderr, "bad --tuples=%s (expected an integer)\n", v);
+        return false;
+      }
     } else if (const char* v = val("--wm-every")) {
-      a->wm_every = std::strtoull(v, nullptr, 10);
+      if (!ParseU64(v, &a->wm_every)) {
+        std::fprintf(stderr, "bad --wm-every=%s (expected an integer)\n", v);
+        return false;
+      }
     } else if (const char* v = val("--dir")) {
       a->dir = v;
     } else if (const char* v = val("--out")) {
@@ -105,6 +137,14 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  // Validate --mode here, not in Run(): by the time Run() applies the
+  // checkpoint options it has already truncated --out, so a typo'd mode
+  // must fail before any file is touched.
+  CheckpointOptions probe;
+  if (!ApplyMode(a->mode, &probe)) {
+    std::fprintf(stderr, "unknown mode: %s\n", a->mode.c_str());
+    return false;
   }
   return true;
 }
@@ -269,6 +309,9 @@ int Run(const Args& a) {
 
 int main(int argc, char** argv) {
   scotty::Args args;
-  if (!scotty::ParseArgs(argc, argv, &args)) return 2;
+  if (!scotty::ParseArgs(argc, argv, &args)) {
+    scotty::PrintUsage(stderr);
+    return 2;
+  }
   return scotty::Run(args);
 }

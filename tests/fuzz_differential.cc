@@ -87,7 +87,7 @@ constexpr const char* kKnownFlags[] = {
     "gap-prob",   "gap-len",    "value-range", "punct-prob", "ooo",
     "max-delay",  "burst-prob", "burst-len", "wm-every",   "batch",
     "checkpoint", "crash",      "rescale",   "shared-queries",
-    "layout",     "kernel",     "guided",    "corpus",
+    "overload",   "layout",     "kernel",    "guided",     "corpus",
     "seed-corpus", "time-budget-s", "stats-json", "stats-series",
     "no-minimize", "track-coverage"};
 
@@ -190,6 +190,15 @@ void ApplyOverrides(const Flags& flags, DifferentialConfig* cfg) {
     // this way). 0: off.
     cfg->shared =
         static_cast<int>(flags.Int("shared-queries", cfg->shared));
+  }
+  if (flags.Has("overload")) {
+    // Overload-resilience arm: consumer stall + slow/failing persists with
+    // backpressure, watermark-safe shedding, and the auto-fallback
+    // persistence ladder; delivered ∪ shed-marked windows must partition
+    // the unfaulted run. Any non-zero value derives the fault schedule from
+    // the seed (the nightly fault-matrix lane runs 500 seeds this way).
+    // 0: off.
+    cfg->overload = static_cast<int>(flags.Int("overload", cfg->overload));
   }
   if (flags.Has("layout")) {
     // "soa" adds columnar-ingestion runs with the kernel dispatch pinned to

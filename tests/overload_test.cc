@@ -1,0 +1,271 @@
+// Overload & failure resilience (DESIGN.md §11): the BackpressureController
+// three-level admission policy, ShedLedger per-window accounting, and the
+// end-to-end acceptance scenario — sustained persist failures plus a stalled
+// consumer must neither deadlock nor abort; the coordinator auto-falls back
+// through the persistence ladder, data tuples shed under pressure are
+// recorded with exact per-window accounting (delivered ∪ shed-marked windows
+// partition the unfaulted run), and the ladder promotes back once the
+// faults clear.
+
+#include <atomic>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregates/registry.h"
+#include "core/general_slicing_operator.h"
+#include "runtime/checkpoint_health.h"
+#include "runtime/overload.h"
+#include "testing/fault_injector.h"
+#include "testing/harness.h"
+#include "tests/test_util.h"
+#include "windows/sliding.h"
+#include "windows/tumbling.h"
+
+namespace scotty {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::MakeOverloadPlan;
+using testing::OverloadPlan;
+using testing::OverloadRunStats;
+using testing::ResultKey;
+using testing::RunOverloadedToFinalResults;
+using testing::RunToFinalResults;
+using testutil::T;
+
+std::string TempDir(const std::string& leaf) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string unique =
+      info ? leaf + "_" + info->test_suite_name() + "_" + info->name() : leaf;
+  const fs::path dir = fs::path(::testing::TempDir()) / unique;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(BackpressureController, ThreeLevelPolicyWithHysteresis) {
+  BackpressureOptions o;
+  o.backpressure_fraction = 0.6;
+  o.shed_fraction = 0.9;
+  o.resume_fraction = 0.4;
+  o.persist_queue_soft_limit = 4;
+  BackpressureController c(o);
+  const CheckpointHealthReport h;
+
+  EXPECT_EQ(c.Decide(0.1, 0, h), Admission::kAccept);
+  EXPECT_EQ(c.Decide(0.7, 0, h), Admission::kBackpressure);
+  EXPECT_EQ(c.Decide(0.95, 0, h), Admission::kShed);
+  EXPECT_TRUE(c.shedding());
+  // Hysteresis: once shedding, the controller stays shedding until the
+  // queue drains below the resume threshold — no accept/shed flapping.
+  EXPECT_EQ(c.Decide(0.7, 0, h), Admission::kShed);
+  EXPECT_EQ(c.Decide(0.5, 0, h), Admission::kShed);
+  EXPECT_EQ(c.Decide(0.3, 0, h), Admission::kAccept);
+  EXPECT_FALSE(c.shedding());
+  // Persist-queue lag escalates to backpressure only — checkpoint trouble
+  // slows admission but never drops data (the ladder handles persistence).
+  EXPECT_EQ(c.Decide(0.1, 4, h), Admission::kBackpressure);
+  EXPECT_EQ(c.Decide(0.1, 3, h), Admission::kAccept);
+  EXPECT_GT(c.backpressure_decisions(), 0u);
+  EXPECT_GT(c.shed_decisions(), 0u);
+}
+
+TEST(BackpressureController, ClampsThresholdsMonotone) {
+  BackpressureOptions o;
+  o.backpressure_fraction = 0.9;
+  o.shed_fraction = 0.5;    // below backpressure: must be lifted
+  o.resume_fraction = 0.95;  // above both: must be lowered
+  const BackpressureController c(o);
+  EXPECT_LE(c.options().resume_fraction, c.options().backpressure_fraction);
+  EXPECT_LE(c.options().backpressure_fraction, c.options().shed_fraction);
+}
+
+TEST(ShedLedger, WindowOverlapAccounting) {
+  ShedLedger l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_FALSE(l.OverlapsWindow(0, 100));
+  l.RecordShed(40);
+  l.RecordShed(40);  // duplicates are distinct shed tuples
+  l.RecordShed(99);
+  EXPECT_FALSE(l.empty());
+  EXPECT_EQ(l.total_shed(), 3u);
+  EXPECT_TRUE(l.OverlapsWindow(0, 41));
+  EXPECT_FALSE(l.OverlapsWindow(0, 40));   // window end is exclusive
+  EXPECT_TRUE(l.OverlapsWindow(99, 100));  // window start is inclusive
+  EXPECT_FALSE(l.OverlapsWindow(100, 200));
+  EXPECT_EQ(l.CountInWindow(0, 100), 3u);
+  EXPECT_EQ(l.CountInWindow(41, 99), 0u);
+}
+
+TEST(OverloadPlanDerivation, DeterministicWithStallAlwaysPresent) {
+  const OverloadPlan a = MakeOverloadPlan(7, 1000);
+  const OverloadPlan b = MakeOverloadPlan(7, 1000);
+  EXPECT_EQ(a.stall_from, b.stall_from);
+  EXPECT_EQ(a.stall_to, b.stall_to);
+  EXPECT_EQ(a.stall_us, b.stall_us);
+  EXPECT_EQ(a.slow_ms, b.slow_ms);
+  EXPECT_EQ(a.fail_from, b.fail_from);
+  EXPECT_GT(a.stall_us, 0u);  // pressure is the point: always a stall
+  EXPECT_LT(a.stall_from, a.stall_to);
+  EXPECT_LE(a.stall_to, 1000u);
+}
+
+// The ISSUE acceptance scenario: sustained persist failures plus a stalled
+// consumer. The run must complete (no deadlock, no abort), fall back
+// through the persistence ladder, account every shed tuple so that
+// delivered ∪ shed-marked windows exactly partition the unfaulted run, and
+// promote back to the configured mode once the faults clear.
+TEST(OverloadRun, FallsBackShedsExactlyAndPromotesBack) {
+  constexpr size_t kN = 2400;
+  std::vector<Tuple> stream;
+  stream.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    stream.push_back(T(static_cast<Time>(i),
+                       0.5 * static_cast<double>(i % 17) - 3.0));
+  }
+  auto factory = []() -> std::unique_ptr<WindowOperator> {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = 1000;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    op->AddAggregation(MakeAggregation("sum"));
+    op->AddAggregation(MakeAggregation("min"));
+    op->AddWindow(std::make_shared<TumblingWindow>(40));
+    op->AddWindow(std::make_shared<SlidingWindow>(100, 25));
+    return op;
+  };
+  const Time final_wm = static_cast<Time>(kN) + 1000;
+  // The cadence must exceed the executor's 64-slot ring: every barrier is a
+  // full drain (SnapshotAtBarrier quiesces the worker), so pressure — and
+  // therefore shedding — can only build between barriers.
+  const int wm_every = 100;
+  const Time wm_lag = 5;
+
+  std::map<ResultKey, Value> want;
+  {
+    auto op = factory();
+    want = RunToFinalResults(*op, stream, final_wm, wm_every, wm_lag);
+  }
+  ASSERT_FALSE(want.empty());
+
+  OverloadPlan plan;
+  // The stall spans the whole stream: the per-tuple consumer delay paces
+  // the producer (each barrier drains the ring), so barriers arrive slower
+  // than persists complete. That makes the ladder walk reproducible — every
+  // failing barrier is processed while the fault is live, and post-fault
+  // probes reliably succeed instead of being shed at the persist queue.
+  plan.stall_from = 100;
+  plan.stall_to = kN;
+  plan.stall_us = 300;
+  plan.slow_from = 300;
+  plan.slow_to = 600;
+  plan.slow_ms = 2;
+  plan.fail_from = 200;  // 7 consecutive failing barriers: walks the whole
+  plan.fail_to = 900;    // ladder down to checkpointing-off
+  std::map<ResultKey, Value> delivered;
+  ShedLedger ledger;
+  OverloadRunStats stats;
+  std::string err;
+  ASSERT_TRUE(RunOverloadedToFinalResults(
+      factory, stream, final_wm, wm_every, wm_lag, plan,
+      TempDir("overload_accept"), &delivered, &ledger, &err, &stats))
+      << err;
+
+  // Exact shed accounting: every data tuple either entered the pipeline or
+  // is in the ledger, and the delivered/shed-marked windows partition the
+  // unfaulted run.
+  EXPECT_EQ(stats.admission.accepted + stats.admission.shed, kN);
+  EXPECT_EQ(stats.admission.shed, ledger.total_shed());
+  EXPECT_GT(stats.admission.shed, 0u);  // the stall forced real shedding
+  for (const auto& [key, expected] : want) {
+    const Time ws = std::get<2>(key);
+    const Time we = std::get<3>(key);
+    if (ledger.OverlapsWindow(ws, we)) continue;  // flagged approximate
+    const auto it = delivered.find(key);
+    ASSERT_NE(it, delivered.end())
+        << "unshed window [" << ws << "," << we << ") missing";
+    EXPECT_EQ(it->second, expected)
+        << "unshed window [" << ws << "," << we << ") diverged";
+  }
+  for (const auto& [key, value] : delivered) {
+    EXPECT_TRUE(want.count(key))
+        << "window [" << std::get<2>(key) << "," << std::get<3>(key)
+        << ") absent from the unfaulted run";
+  }
+
+  // The ladder moved down under the sustained failures and promoted back
+  // once they cleared; terminal kFailed is never reached with auto
+  // fallback on. How many rungs the climb completes before the stream ends
+  // depends on persist timing (queue-full barriers are shed, not counted as
+  // successes), so the assertions are on direction, not the final rung.
+  EXPECT_GE(stats.health.mode_fallbacks, 1u);
+  EXPECT_GE(stats.health.mode_promotions, 1u);
+  EXPECT_LT(static_cast<int>(stats.health.mode),
+            static_cast<int>(CheckpointPersistenceMode::kOff));
+  EXPECT_FALSE(stats.health.alarm);
+  EXPECT_EQ(stats.health.health, CheckpointHealth::kHealthy);
+  EXPECT_GT(stats.barriers, 0u);
+}
+
+// Watermark safety: even a plan whose stall covers the whole stream (so the
+// controller sheds aggressively throughout) must deliver every watermark —
+// shedding affects data tuples only, and the run still terminates.
+TEST(OverloadRun, ShedsDataButNeverWatermarksUnderFullStall) {
+  constexpr size_t kN = 600;
+  std::vector<Tuple> stream;
+  stream.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    stream.push_back(T(static_cast<Time>(i), static_cast<double>(i % 5)));
+  }
+  auto factory = []() -> std::unique_ptr<WindowOperator> {
+    GeneralSlicingOperator::Options o;
+    o.allowed_lateness = 1000;
+    auto op = std::make_unique<GeneralSlicingOperator>(o);
+    op->AddAggregation(MakeAggregation("count"));
+    op->AddWindow(std::make_shared<TumblingWindow>(50));
+    return op;
+  };
+  const Time final_wm = static_cast<Time>(kN) + 1000;
+
+  // Cadence 200 >> ring capacity 64: between two barriers the crawling
+  // consumer guarantees the ring fills and the shed latch engages.
+  std::map<ResultKey, Value> want;
+  {
+    auto op = factory();
+    want = RunToFinalResults(*op, stream, final_wm, 200, 5);
+  }
+
+  OverloadPlan plan;
+  plan.stall_from = 0;
+  plan.stall_to = kN;
+  plan.stall_us = 2000;
+  std::map<ResultKey, Value> delivered;
+  ShedLedger ledger;
+  OverloadRunStats stats;
+  std::string err;
+  ASSERT_TRUE(RunOverloadedToFinalResults(
+      factory, stream, final_wm, 200, 5, plan, TempDir("overload_stall"),
+      &delivered, &ledger, &err, &stats))
+      << err;
+
+  // The crawling consumer forces real shedding, yet the partition contract
+  // still holds and nothing outside the unfaulted result set appears.
+  EXPECT_GT(ledger.total_shed(), 0u);
+  for (const auto& [key, expected] : want) {
+    if (ledger.OverlapsWindow(std::get<2>(key), std::get<3>(key))) continue;
+    const auto it = delivered.find(key);
+    ASSERT_NE(it, delivered.end());
+    EXPECT_EQ(it->second, expected);
+  }
+  for (const auto& [key, value] : delivered) {
+    EXPECT_TRUE(want.count(key));
+  }
+}
+
+}  // namespace
+}  // namespace scotty
